@@ -1,0 +1,284 @@
+// Benchmarks regenerating every table and figure of the paper's results
+// (one benchmark per artifact of DESIGN.md's per-experiment index; the
+// series themselves are printed by cmd/repro and recorded in
+// EXPERIMENTS.md). Reported ns/op tracks the paper's cost measure,
+// geometric resolutions, by Lemma 4.5.
+package tetrisjoin_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrisjoin/internal/baseline"
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/index"
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/klee"
+	"tetrisjoin/internal/relation"
+	"tetrisjoin/internal/workload"
+)
+
+func mustRun(b *testing.B, q *join.Query, opts join.Options) *join.Result {
+	b.Helper()
+	res, err := join.Execute(q, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func mustRunBCP(b *testing.B, inst workload.BCP, opts core.Options) *core.Result {
+	b.Helper()
+	o, err := core.NewBoxOracle(inst.Depths, inst.Boxes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Run(o, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable1Acyclic — Table 1 row "α-acyclic: N+Z" (Thm D.8).
+func BenchmarkTable1Acyclic(b *testing.B) {
+	for _, n := range []int{250, 1000, 4000} {
+		q := workload.PathQuery(3, n, 12, int64(n))
+		b.Run(fmt.Sprintf("N=%d", 3*n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, q, join.Options{Mode: core.Preloaded})
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1AGM — Table 1 row "arbitrary: N+AGM" (Thm D.2); the
+// dense triangle output meets the AGM bound N^{3/2}.
+func BenchmarkTable1AGM(b *testing.B) {
+	for _, m := range []uint64{8, 16, 24} {
+		q := workload.TriangleDense(m, 10)
+		b.Run(fmt.Sprintf("dense/N=%d", m*m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, q, join.Options{Mode: core.Preloaded})
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+	}
+	for _, m := range []uint64{64, 256} {
+		q := workload.TriangleAGMStar(m, 12)
+		b.Run(fmt.Sprintf("star/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, q, join.Options{Mode: core.Preloaded})
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1FHTW — Table 1 row "bounded fhtw: N^fhtw+Z" (Thm 4.6) on
+// the triangle-with-tail query (tw 2, fhtw 3/2).
+func BenchmarkTable1FHTW(b *testing.B) {
+	for _, m := range []uint64{8, 16} {
+		base := workload.TriangleDense(m, 10)
+		u := relation.MustNewUniform("U", []string{"X", "Y"}, 10)
+		for i := uint64(0); i < m; i++ {
+			u.MustInsert(i, i)
+		}
+		q := join.MustNewQuery(append(base.Atoms(),
+			join.Atom{Relation: u, Vars: []string{"C", "D"}})...)
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, q, join.Options{Mode: core.Preloaded})
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1TreewidthW — Table 1 row "treewidth w: |C|^{w+1}+Z"
+// (Thm 4.9): constant-certificate four-cycles at growing N.
+func BenchmarkTable1TreewidthW(b *testing.B) {
+	for _, d := range []uint8{4, 6, 8} {
+		q := workload.FourCycleBlocks(d)
+		b.Run(fmt.Sprintf("N=%d", 4<<(2*(d-1))), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, q, join.Options{Mode: core.Reloaded})
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Treewidth1 — Table 1 row "treewidth 1: |C|+Z" (Thm 4.7):
+// flat certificate-bound work as N grows 4096×.
+func BenchmarkTable1Treewidth1(b *testing.B) {
+	for _, d := range []uint8{4, 8, 12} {
+		q := workload.BowtieBlock(d)
+		b.Run(fmt.Sprintf("N=%d", 1<<(2*(d-1))), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, q, join.Options{Mode: core.Reloaded})
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+	}
+}
+
+// BenchmarkFig2TreeOrderedAGM — Figure 2 upper bound Õ(AGM) for Tree
+// Ordered resolution (Thm 5.1): caching disabled, single-pass skeleton
+// (the TetrisSkeleton2 variant the theorem is stated for).
+func BenchmarkFig2TreeOrderedAGM(b *testing.B) {
+	for _, m := range []uint64{8, 16} {
+		q := workload.TriangleDense(m, 10)
+		b.Run(fmt.Sprintf("N=%d", m*m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, q, join.Options{Mode: core.Preloaded, NoCache: true, SinglePass: true})
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+	}
+}
+
+// BenchmarkFig2TreeOrderedLower — Figure 2 lower bound Ω(N^{n/2}) for
+// Tree Ordered resolution on tw-1 queries (Thm 5.2 mechanism): cached vs
+// no-cache on the cache-reuse family.
+func BenchmarkFig2TreeOrderedLower(b *testing.B) {
+	for _, m := range []uint64{8, 16} {
+		q := workload.TreeOrderedHard(m)
+		opts := join.Options{SAOVars: []string{"A", "B", "C"}}
+		b.Run(fmt.Sprintf("cached/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, q, opts)
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+		optsN := opts
+		optsN.NoCache = true
+		b.Run(fmt.Sprintf("nocache/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, q, optsN)
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+	}
+}
+
+// BenchmarkFig2OrderedLower — Figure 2 lower bound Ω(|C|^{n-1}) for
+// Ordered resolution (Thm 5.4): plain Tetris on Example F.1.
+func BenchmarkFig2OrderedLower(b *testing.B) {
+	for _, d := range []uint8{4, 5, 6} {
+		inst := workload.ExampleF1(d)
+		b.Run(fmt.Sprintf("C=%d", len(inst.Boxes)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRunBCP(b, inst, core.Options{Mode: core.Preloaded})
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+	}
+}
+
+// BenchmarkFig2LBUpper — Figure 2 upper bound Õ(|C|^{n/2}+Z) (Thm 4.11):
+// the Balance-lifted Tetris on the same family.
+func BenchmarkFig2LBUpper(b *testing.B) {
+	for _, d := range []uint8{4, 5, 6} {
+		inst := workload.ExampleF1(d)
+		b.Run(fmt.Sprintf("C=%d", len(inst.Boxes)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRunBCP(b, inst, core.Options{Mode: core.PreloadedLB})
+				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+			}
+		})
+	}
+}
+
+// BenchmarkKleeBoolean — Corollary F.8: Boolean Klee's measure problem.
+func BenchmarkKleeBoolean(b *testing.B) {
+	for _, m := range []int{32, 128} {
+		inst := workload.RandomBoxes(3, m, 8, int64(m))
+		b.Run(fmt.Sprintf("B=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := klee.CoversSpace(inst.Depths, inst.Boxes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCertIndexPower — Appendix B.2 / Figure 13: certificate size
+// under (A,B)- versus (B,A)-ordered indices.
+func BenchmarkCertIndexPower(b *testing.B) {
+	const m, d = 32, 8
+	for _, order := range [][]string{{"X", "Y"}, {"Y", "X"}} {
+		q := workload.GAOSensitive(m, d)
+		atoms := q.Atoms()
+		atoms[1].Indexes = []index.Index{index.MustSorted(atoms[1].Relation, order...)}
+		q2 := join.MustNewQuery(atoms...)
+		sao := []string{"A", "B"}
+		if order[0] == "Y" {
+			sao = []string{"B", "A"}
+		}
+		b.Run(fmt.Sprintf("order=%s%s", order[0], order[1]), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, q2, join.Options{SAOVars: sao})
+				b.ReportMetric(float64(res.Stats.BoxesLoaded), "boxes")
+			}
+		})
+	}
+}
+
+// BenchmarkBaselines compares the substrate join algorithms on the
+// AGM-hard star triangle (the Table 1 "who wins" comparison).
+func BenchmarkBaselines(b *testing.B) {
+	q := workload.TriangleAGMStar(64, 12)
+	b.Run("tetris-preloaded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustRun(b, q, join.Options{Mode: core.Preloaded})
+		}
+	})
+	b.Run("tetris-reloaded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustRun(b, q, join.Options{Mode: core.Reloaded})
+		}
+	})
+	b.Run("generic-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.GenericJoin(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("leapfrog", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.Leapfrog(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hash-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := baseline.HashJoin(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkYannakakisVsTetris compares Yannakakis and Tetris-Preloaded on
+// an acyclic path query (Table 1 row 1's two contenders).
+func BenchmarkYannakakisVsTetris(b *testing.B) {
+	q := workload.PathQuery(3, 2000, 12, 99)
+	b.Run("yannakakis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.Yannakakis(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tetris-preloaded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustRun(b, q, join.Options{Mode: core.Preloaded})
+		}
+	})
+}

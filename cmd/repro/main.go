@@ -1,0 +1,76 @@
+// Command repro regenerates every table and figure of the Tetris paper's
+// results as measured scaling experiments and prints paper-vs-measured
+// tables (the rows recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	repro            # run all experiments
+//	repro T1-R2 KLEE # run selected experiment IDs
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"tetrisjoin/internal/experiments"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[strings.ToUpper(a)] = true
+	}
+	ran := 0
+	for _, e := range experiments.All() {
+		if len(want) > 0 && !want[strings.ToUpper(e.ID)] {
+			continue
+		}
+		ran++
+		printExperiment(e)
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched; known IDs:")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Artifact)
+		}
+		os.Exit(1)
+	}
+}
+
+func printExperiment(e experiments.Experiment) {
+	fmt.Printf("══ %s — %s\n", e.ID, e.Artifact)
+	fmt.Printf("   claim: %s\n\n", e.Claim)
+	widths := make([]int, len(e.Columns))
+	for i, c := range e.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range e.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		fmt.Print("   ")
+		for i, cell := range cells {
+			fmt.Printf("%-*s  ", widths[i], cell)
+		}
+		fmt.Println()
+	}
+	printRow(e.Columns)
+	sep := make([]string, len(e.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("─", widths[i])
+	}
+	printRow(sep)
+	for _, row := range e.Rows {
+		printRow(row)
+	}
+	fmt.Println()
+	for _, fnd := range e.Findings {
+		fmt.Printf("   » %s\n", fnd)
+	}
+	fmt.Println()
+}

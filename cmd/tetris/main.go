@@ -1,0 +1,207 @@
+// Command tetris evaluates natural join queries over CSV relations with
+// the Tetris algorithm.
+//
+// Usage:
+//
+//	tetris -rel R=edges.csv -rel S=edges.csv \
+//	       -query "R(A,B), S(B,C)" [-mode reloaded] [-sao A,B,C] [-stats]
+//
+// Each CSV file holds one tuple per line, comma-separated. Values may be
+// arbitrary strings; every attribute's values are dictionary-encoded onto
+// an ordered integer domain.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tetrisjoin"
+	"tetrisjoin/internal/core"
+)
+
+type relFlags []string
+
+func (r *relFlags) String() string { return strings.Join(*r, ",") }
+func (r *relFlags) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
+
+func main() {
+	var rels relFlags
+	flag.Var(&rels, "rel", "NAME=FILE relation binding (repeatable)")
+	query := flag.String("query", "", `query, e.g. "R(A,B), S(B,C)"`)
+	mode := flag.String("mode", "reloaded", "tetris variant: reloaded|preloaded|reloaded-lb|preloaded-lb")
+	sao := flag.String("sao", "", "comma-separated splitting attribute order (optional)")
+	stats := flag.Bool("stats", false, "print work statistics to stderr")
+	limit := flag.Int("limit", 0, "stop after this many output tuples (0 = all)")
+	explain := flag.Bool("explain", false, "print the evaluation plan instead of running the query")
+	count := flag.Bool("count", false, "print the exact output cardinality instead of the tuples")
+	flag.Parse()
+
+	if *query == "" || len(rels) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(rels, *query, *mode, *sao, *stats, *limit, *explain, *count); err != nil {
+		fmt.Fprintln(os.Stderr, "tetris:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rels []string, query, modeName, sao string, stats bool, limit int, explain, count bool) error {
+	// First pass: gather attribute values per relation column so each
+	// query variable's domain can be encoded consistently. Columns are
+	// matched to variables by the query, so parse it structurally first.
+	files := map[string]string{}
+	for _, spec := range rels {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -rel %q, want NAME=FILE", spec)
+		}
+		files[name] = file
+	}
+
+	// Load raw rows.
+	raw := map[string][][]string{}
+	for name, file := range files {
+		rows, err := readCSV(file)
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		raw[name] = rows
+	}
+
+	// A single global encoder keeps all attributes comparable; join
+	// variables shared between relations must agree on coding anyway.
+	enc := tetrisjoin.NewEncoder()
+	for _, rows := range raw {
+		for _, row := range rows {
+			for _, cell := range row {
+				enc.Add(cell)
+			}
+		}
+	}
+	depth := enc.Freeze()
+
+	catalog := map[string]*tetrisjoin.Relation{}
+	for name, rows := range raw {
+		if len(rows) == 0 {
+			return fmt.Errorf("relation %s is empty", name)
+		}
+		arity := len(rows[0])
+		attrs := make([]string, arity)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("c%d", i+1)
+		}
+		rel, err := tetrisjoin.NewRelation(name, attrs, depth)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if len(row) != arity {
+				return fmt.Errorf("relation %s has ragged rows (%d vs %d columns)", name, len(row), arity)
+			}
+			vals := make([]uint64, arity)
+			for i, cell := range row {
+				v, err := enc.Code(cell)
+				if err != nil {
+					return err
+				}
+				vals[i] = v
+			}
+			if err := rel.Insert(vals...); err != nil {
+				return err
+			}
+		}
+		catalog[name] = rel
+	}
+
+	q, err := tetrisjoin.ParseQuery(query, catalog)
+	if err != nil {
+		return err
+	}
+	opts := tetrisjoin.Options{MaxOutput: limit}
+	switch modeName {
+	case "reloaded":
+		opts.Mode = core.Reloaded
+	case "preloaded":
+		opts.Mode = core.Preloaded
+	case "reloaded-lb":
+		opts.Mode = core.ReloadedLB
+	case "preloaded-lb":
+		opts.Mode = core.PreloadedLB
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	if sao != "" {
+		opts.SAOVars = strings.Split(sao, ",")
+	}
+
+	if explain {
+		ex, err := tetrisjoin.Explain(q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ex)
+		return nil
+	}
+	if count {
+		size, err := tetrisjoin.JoinSize(q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(size)
+		return nil
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	opts.OnOutput = func(tuple []uint64) bool {
+		cells := make([]string, len(tuple))
+		for i, v := range tuple {
+			s, err := enc.Value(v)
+			if err != nil {
+				s = fmt.Sprint(v)
+			}
+			cells[i] = s
+		}
+		fmt.Fprintln(out, strings.Join(cells, ","))
+		return true
+	}
+	res, err := tetrisjoin.Join(q, opts)
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "vars=%v sao=%v outputs=%d resolutions=%d boxes=%d oracle=%d\n",
+			res.Vars, res.SAO, res.Stats.Outputs, res.Stats.Resolutions,
+			res.Stats.BoxesLoaded, res.Stats.OracleCalls)
+	}
+	return nil
+}
+
+func readCSV(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows [][]string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cells := strings.Split(line, ",")
+		for i := range cells {
+			cells[i] = strings.TrimSpace(cells[i])
+		}
+		rows = append(rows, cells)
+	}
+	return rows, sc.Err()
+}

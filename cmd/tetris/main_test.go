@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadCSV(t *testing.T) {
+	path := writeFile(t, "r.csv", "a, b\n# comment\n\nc,d\n")
+	rows, err := readCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != "a" || rows[0][1] != "b" || rows[1][1] != "d" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if _, err := readCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	edges := writeFile(t, "edges.csv", "a,b\nb,c\na,c\nc,d\n")
+	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "", true, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// All modes work.
+	for _, mode := range []string{"preloaded", "reloaded-lb", "preloaded-lb"} {
+		if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", mode, "", false, 0, false, false); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+	}
+	// Explain and count modes.
+	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "", false, 0, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "", false, 0, false, true); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit SAO.
+	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "Z,Y,X", false, 2, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	edges := writeFile(t, "edges.csv", "a,b\n")
+	ragged := writeFile(t, "ragged.csv", "a,b\nc\n")
+	empty := writeFile(t, "empty.csv", "# nothing\n")
+	cases := []struct {
+		name  string
+		rels  []string
+		query string
+		mode  string
+		sao   string
+	}{
+		{"bad-rel-spec", []string{"E"}, "E(X,Y)", "reloaded", ""},
+		{"missing-file", []string{"E=/does/not/exist.csv"}, "E(X,Y)", "reloaded", ""},
+		{"unknown-relation", []string{"E=" + edges}, "Q(X,Y)", "reloaded", ""},
+		{"bad-mode", []string{"E=" + edges}, "E(X,Y)", "warp", ""},
+		{"ragged", []string{"E=" + ragged}, "E(X,Y)", "reloaded", ""},
+		{"empty-relation", []string{"E=" + empty}, "E(X,Y)", "reloaded", ""},
+		{"bad-sao", []string{"E=" + edges}, "E(X,Y)", "reloaded", "X"},
+	}
+	for _, c := range cases {
+		if err := run(c.rels, c.query, c.mode, c.sao, false, 0, false, false); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

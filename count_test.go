@@ -1,0 +1,86 @@
+package tetrisjoin_test
+
+import (
+	"math/big"
+	"testing"
+
+	"tetrisjoin"
+)
+
+func TestJoinSizeMatchesEnumeration(t *testing.T) {
+	r, _ := tetrisjoin.NewRelation("R", []string{"x", "y"}, 4)
+	for i := uint64(0); i < 12; i++ {
+		r.MustInsert(i%8, (i*5+1)%16)
+	}
+	q, err := tetrisjoin.ParseQuery("R(A,B), R(B,C)", map[string]*tetrisjoin.Relation{"R": r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tetrisjoin.Join(q, tetrisjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := tetrisjoin.JoinSize(q, tetrisjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Cmp(big.NewInt(int64(len(res.Tuples)))) != 0 {
+		t.Errorf("JoinSize = %s, enumeration = %d", count, len(res.Tuples))
+	}
+}
+
+func TestJoinSizeHugeCrossProduct(t *testing.T) {
+	// R(A) ⋈ S(B) with full 2^20-value unary relations: 2^40 output
+	// tuples, counted without enumeration... relations would be too big
+	// to build; instead use two relations whose join is a large grid:
+	// R(A) with 2^10 values and S(B) with 2^10 values -> 2^20 outputs.
+	r, _ := tetrisjoin.NewRelation("R", []string{"x"}, 10)
+	s, _ := tetrisjoin.NewRelation("S", []string{"x"}, 10)
+	for i := uint64(0); i < 1<<10; i++ {
+		r.MustInsert(i)
+		s.MustInsert(i)
+	}
+	q, err := tetrisjoin.ParseQuery("R(A), S(B)", map[string]*tetrisjoin.Relation{"R": r, "S": s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := tetrisjoin.JoinSize(q, tetrisjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), 20)
+	if count.Cmp(want) != 0 {
+		t.Errorf("JoinSize = %s, want %s", count, want)
+	}
+}
+
+func TestCountUncoveredPublic(t *testing.T) {
+	depths := []uint8{3, 3}
+	half, _ := tetrisjoin.ParseBox("0,λ")
+	count, err := tetrisjoin.CountUncovered(depths, []tetrisjoin.Box{half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Cmp(big.NewInt(32)) != 0 {
+		t.Errorf("CountUncovered = %s, want 32", count)
+	}
+	measure, err := tetrisjoin.MeasureUnion(depths, []tetrisjoin.Box{half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measure.Cmp(big.NewInt(32)) != 0 {
+		t.Errorf("MeasureUnion = %s, want 32", measure)
+	}
+}
+
+func TestCountModelsFastPublic(t *testing.T) {
+	c := tetrisjoin.CNF{NumVars: 40, Clauses: []tetrisjoin.Clause{{1}, {-2}}}
+	count, err := tetrisjoin.CountModelsFast(c, tetrisjoin.SATOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), 38)
+	if count.Cmp(want) != 0 {
+		t.Errorf("CountModelsFast = %s, want %s", count, want)
+	}
+}

@@ -1,0 +1,82 @@
+package tetrisjoin_test
+
+import (
+	"fmt"
+
+	"tetrisjoin"
+)
+
+// ExampleCoversSpace decides the Boolean box cover problem — is the
+// whole space covered by the union of the boxes?
+func ExampleCoversSpace() {
+	depths := []uint8{4, 4}
+	lower, _ := tetrisjoin.ParseBox("0,λ")
+	upper, _ := tetrisjoin.ParseBox("1,λ")
+	covered, _, _ := tetrisjoin.CoversSpace(depths, []tetrisjoin.Box{lower, upper})
+	fmt.Println(covered)
+	covered, hole, _ := tetrisjoin.CoversSpace(depths, []tetrisjoin.Box{lower})
+	fmt.Println(covered, hole[0] >= 8)
+	// Output:
+	// true
+	// false true
+}
+
+// ExampleJoinSize counts a join's output without materializing it.
+func ExampleJoinSize() {
+	r, _ := tetrisjoin.NewRelation("R", []string{"x"}, 8)
+	s, _ := tetrisjoin.NewRelation("S", []string{"x"}, 8)
+	for v := uint64(0); v < 100; v++ {
+		r.MustInsert(v)
+		s.MustInsert(v)
+	}
+	// R(A) ⋈ S(B) is a cross product with 100·100 tuples.
+	q, _ := tetrisjoin.ParseQuery("R(A), S(B)",
+		map[string]*tetrisjoin.Relation{"R": r, "S": s})
+	size, _ := tetrisjoin.JoinSize(q, tetrisjoin.Options{})
+	fmt.Println(size)
+	// Output:
+	// 10000
+}
+
+// ExampleCountModelsFast counts CNF models through the paper's
+// clauses-as-boxes correspondence.
+func ExampleCountModelsFast() {
+	// x1 ∧ ¬x2 over 20 variables: 2^18 models.
+	formula := tetrisjoin.CNF{
+		NumVars: 20,
+		Clauses: []tetrisjoin.Clause{{1}, {-2}},
+	}
+	count, _ := tetrisjoin.CountModelsFast(formula, tetrisjoin.SATOptions{})
+	fmt.Println(count)
+	// Output:
+	// 262144
+}
+
+// ExampleMinimalCertificate shrinks a gap box set to an inclusion-minimal
+// certificate with the same union.
+func ExampleMinimalCertificate() {
+	depths := []uint8{3, 3}
+	var boxes []tetrisjoin.Box
+	for _, s := range []string{"0,λ", "00,λ", "01,0", "1,λ"} {
+		b, _ := tetrisjoin.ParseBox(s)
+		boxes = append(boxes, b)
+	}
+	cert, _ := tetrisjoin.MinimalCertificate(depths, boxes)
+	fmt.Println(len(cert))
+	// Output:
+	// 2
+}
+
+// ExampleAGMBound computes the worst-case output bound of a query.
+func ExampleAGMBound() {
+	r, _ := tetrisjoin.NewRelation("E", []string{"u", "v"}, 8)
+	for i := uint64(0); i < 16; i++ {
+		r.MustInsert(i, (i+1)%16)
+	}
+	q, _ := tetrisjoin.ParseQuery("E(A,B), E(B,C), E(A,C)",
+		map[string]*tetrisjoin.Relation{"E": r})
+	bound, _ := tetrisjoin.AGMBound(q)
+	fmt.Printf("%.1f\n", bound) // |E|^{3/2} = 16^{1.5}
+	// Output:
+	// 64.0
+}

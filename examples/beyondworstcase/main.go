@@ -1,0 +1,80 @@
+// Beyond worst case: certificate-sized running time.
+//
+// The instance is the bowtie query R(A) ⋈ S(A,B) ⋈ T(B) where S is a full
+// 2^{d-1} × 2^{d-1} block of tuples and R lives entirely in the other
+// half of the domain, so the join is empty. The input size N = |S| grows
+// ~4× with every extra bit of depth, but a two-box certificate proves
+// emptiness at every size — and Tetris-Reloaded's work stays flat, while
+// Tetris-Preloaded (worst-case optimal but certificate-oblivious) pays
+// for reading all the gaps (Table 1, treewidth-1 row; Theorem 4.7).
+//
+// Run with: go run ./examples/beyondworstcase
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tetrisjoin"
+)
+
+func buildBowtie(d uint8) *tetrisjoin.Query {
+	h := uint64(1) << (d - 1)
+	r, err := tetrisjoin.NewRelation("R", []string{"x"}, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v := h; v < 2*h; v++ {
+		r.MustInsert(v)
+	}
+	s, err := tetrisjoin.NewRelation("S", []string{"x", "y"}, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for a := uint64(0); a < h; a++ {
+		for b := uint64(0); b < h; b++ {
+			s.MustInsert(a, b)
+		}
+	}
+	t, err := tetrisjoin.NewRelation("T", []string{"y"}, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v := uint64(0); v < h; v++ {
+		t.MustInsert(v)
+	}
+	q, err := tetrisjoin.NewQuery(
+		tetrisjoin.Atom{Relation: r, Vars: []string{"A"}},
+		tetrisjoin.Atom{Relation: s, Vars: []string{"A", "B"},
+			Indexes: []tetrisjoin.Index{tetrisjoin.DyadicIndex(s)}},
+		tetrisjoin.Atom{Relation: t, Vars: []string{"B"}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q
+}
+
+func main() {
+	fmt.Println("bowtie R(A) ⋈ S(A,B) ⋈ T(B), empty output, |C| = O(1)")
+	fmt.Printf("%6s %10s | %-28s | %-28s\n", "depth", "N=|S|", "tetris-reloaded", "tetris-preloaded")
+	fmt.Printf("%6s %10s | %12s %13s | %12s %13s\n", "", "", "resolutions", "boxes loaded", "resolutions", "boxes loaded")
+	for d := uint8(4); d <= 10; d++ {
+		q := buildBowtie(d)
+		re, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: tetrisjoin.Reloaded})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pre, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: tetrisjoin.Preloaded})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := 1 << (2 * (d - 1))
+		fmt.Printf("%6d %10d | %12d %13d | %12d %13d\n",
+			d, n, re.Stats.Resolutions, re.Stats.BoxesLoaded,
+			pre.Stats.Resolutions, pre.Stats.BoxesLoaded)
+	}
+	fmt.Println("\nReloaded touches O(|C|) boxes no matter how large S grows;")
+	fmt.Println("Preloaded ingests the whole gap set up front (its guarantee is")
+	fmt.Println("worst-case optimality, not instance optimality).")
+}

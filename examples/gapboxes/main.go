@@ -1,0 +1,77 @@
+// Gap boxes: how the same relation yields different gap box sets under
+// different indices — reproducing Figures 1 and 3 of the paper.
+//
+// The relation is R(A,B) = {3}×{1,3,5,7} ∪ {1,3,5,7}×{3} over a 3-bit
+// domain. An (A,B)-ordered B-tree, a (B,A)-ordered B-tree and a
+// quadtree-style dyadic index each certify the complement of R with a
+// different collection of boxes; the dyadic index needs far fewer.
+//
+// Run with: go run ./examples/gapboxes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tetrisjoin"
+)
+
+func main() {
+	r, err := tetrisjoin.NewRelation("R", []string{"A", "B"}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range []uint64{1, 3, 5, 7} {
+		r.MustInsert(3, v)
+		r.MustInsert(v, 3)
+	}
+
+	fmt.Println("Relation R(A,B) — Figure 1a:")
+	plotRelation(r)
+
+	ab, err := tetrisjoin.BTreeIndex(r, "A", "B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ba, err := tetrisjoin.BTreeIndex(r, "B", "A")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dy := tetrisjoin.DyadicIndex(r)
+	kd := tetrisjoin.KDTreeIndex(r)
+
+	for _, ix := range []tetrisjoin.Index{ab, ba, dy, kd} {
+		gaps := ix.AllGaps()
+		fmt.Printf("\n%s: %d gap boxes\n", ix.Kind(), len(gaps))
+		for _, g := range gaps {
+			fmt.Printf("  %v\n", g)
+		}
+	}
+
+	fmt.Println("\nThe (A,B) and (B,A) B-trees shatter the empty space into " +
+		"thin order-aligned strips (Figures 1b, 3a); the dyadic index finds " +
+		"big multidimensional boxes (Figure 3b). All three certify the same " +
+		"region: the complement of R.")
+
+	// Probe a point and show what each index reports.
+	probe := []uint64{0, 6}
+	fmt.Printf("\nmaximal gap boxes containing probe point (%d,%d):\n", probe[0], probe[1])
+	for _, ix := range []tetrisjoin.Index{ab, ba, dy, kd} {
+		fmt.Printf("  %-12s -> %v\n", ix.Kind(), ix.GapsAt(probe))
+	}
+}
+
+func plotRelation(r *tetrisjoin.Relation) {
+	fmt.Println("    B ->")
+	for a := uint64(0); a < 8; a++ {
+		fmt.Printf("  %d ", a)
+		for b := uint64(0); b < 8; b++ {
+			if r.Contains(a, b) {
+				fmt.Print("● ")
+			} else {
+				fmt.Print("· ")
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,57 @@
+// Triangle joins, worst-case optimally: the AGM-hard star instance.
+//
+// R = S = T = {0}×[m] ∪ [m]×{0}. Every pairwise join has Θ(m²) tuples, so
+// any binary join plan materializes a quadratic intermediate — yet the
+// output has only 3m-2 triangles and the AGM bound is N^{3/2}. Tetris
+// (like any worst-case optimal join) avoids the blowup.
+//
+// Run with: go run ./examples/triangle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tetrisjoin"
+)
+
+func starRelation(name string, m uint64, d uint8) *tetrisjoin.Relation {
+	r, err := tetrisjoin.NewRelation(name, []string{"x", "y"}, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := uint64(0); i < m; i++ {
+		r.MustInsert(0, i)
+		r.MustInsert(i, 0)
+	}
+	return r
+}
+
+func main() {
+	const d = 12
+	fmt.Println("triangle query on the AGM-hard star instance")
+	fmt.Printf("%8s %8s %14s %12s %14s %12s\n",
+		"m", "N", "AGM bound", "output", "resolutions", "boxes")
+	for _, m := range []uint64{16, 32, 64, 128, 256} {
+		q, err := tetrisjoin.NewQuery(
+			tetrisjoin.Atom{Relation: starRelation("R", m, d), Vars: []string{"A", "B"}},
+			tetrisjoin.Atom{Relation: starRelation("S", m, d), Vars: []string{"B", "C"}},
+			tetrisjoin.Atom{Relation: starRelation("T", m, d), Vars: []string{"A", "C"}},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agm, err := tetrisjoin.AGMBound(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: tetrisjoin.Preloaded})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %8d %14.0f %12d %14d %12d\n",
+			m, 2*m-1, agm, len(res.Tuples), res.Stats.Resolutions, res.Stats.BoxesLoaded)
+	}
+	fmt.Println("\nresolutions grow ~linearly in N — far below the AGM worst case")
+	fmt.Println("N^{3/2} and the Θ(N²) intermediates of binary join plans.")
+}

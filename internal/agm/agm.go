@@ -1,0 +1,238 @@
+// Package agm computes the size-bound machinery of Appendix A of the
+// Tetris paper: fractional edge covers and the fractional edge cover
+// number ρ* (Definition A.2), the per-instance AGM bound (Definition
+// A.1), and the fractional hypertree width fhtw (Appendix A.2).
+package agm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"tetrisjoin/internal/hypergraph"
+	"tetrisjoin/internal/lp"
+)
+
+// FractionalEdgeCover solves the weighted fractional edge cover LP
+//
+//	minimize   Σ_F w_F · x_F
+//	subject to Σ_{F ∋ v} x_F ≥ 1  for every vertex v,   x ≥ 0,
+//
+// returning the optimal weights and objective value. Vertices belonging
+// to no edge make the program infeasible.
+func FractionalEdgeCover(h *hypergraph.Hypergraph, weights []float64) ([]float64, float64, error) {
+	edges := h.Edges()
+	if len(edges) == 0 {
+		if h.N() == 0 {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("agm: vertices cannot be covered without edges")
+	}
+	if weights == nil {
+		weights = make([]float64, len(edges))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(edges) {
+		return nil, 0, fmt.Errorf("agm: %d weights for %d edges", len(weights), len(edges))
+	}
+	p := lp.Problem{C: weights}
+	for v := 0; v < h.N(); v++ {
+		row := make([]float64, len(edges))
+		nonzero := false
+		for i, e := range edges {
+			for _, u := range e {
+				if u == v {
+					row[i] = 1
+					nonzero = true
+					break
+				}
+			}
+		}
+		if !nonzero {
+			return nil, 0, fmt.Errorf("agm: vertex %d belongs to no edge", v)
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, 1)
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, 0, fmt.Errorf("agm: %w", err)
+	}
+	return sol.X, sol.Value, nil
+}
+
+// Rho returns the fractional edge cover number ρ*(H) — the unweighted
+// optimum (Definition A.2).
+func Rho(h *hypergraph.Hypergraph) (float64, error) {
+	_, v, err := FractionalEdgeCover(h, nil)
+	return v, err
+}
+
+// Bound returns the per-instance AGM bound (Definition A.1):
+// min Π_F |R_F|^{x_F} over fractional edge covers x, computed by solving
+// the cover LP with weights log2|R_F|. sizes[i] is the cardinality of the
+// relation on edge i; empty relations give bound 0.
+func Bound(h *hypergraph.Hypergraph, sizes []int) (float64, error) {
+	edges := h.Edges()
+	if len(sizes) != len(edges) {
+		return 0, fmt.Errorf("agm: %d sizes for %d edges", len(sizes), len(edges))
+	}
+	weights := make([]float64, len(sizes))
+	for i, s := range sizes {
+		if s < 0 {
+			return 0, fmt.Errorf("agm: negative size %d", s)
+		}
+		if s == 0 {
+			return 0, nil
+		}
+		weights[i] = math.Log2(float64(s))
+	}
+	_, v, err := FractionalEdgeCover(h, weights)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp2(v), nil
+}
+
+// rhoOfBag computes ρ* of the hypergraph restricted to a bag: edges are
+// intersected with the bag and must cover its vertices.
+func rhoOfBag(h *hypergraph.Hypergraph, bag uint64, memo map[uint64]float64) (float64, error) {
+	if v, ok := memo[bag]; ok {
+		return v, nil
+	}
+	var verts []int
+	for v := 0; v < h.N(); v++ {
+		if bag>>uint(v)&1 == 1 {
+			verts = append(verts, v)
+		}
+	}
+	remap := make(map[int]int, len(verts))
+	for i, v := range verts {
+		remap[v] = i
+	}
+	sub := hypergraph.New(len(verts))
+	for _, e := range h.Edges() {
+		var inter []int
+		for _, v := range e {
+			if bag>>uint(v)&1 == 1 {
+				inter = append(inter, remap[v])
+			}
+		}
+		if len(inter) > 0 {
+			sub.MustAddEdge(inter...)
+		}
+	}
+	rho, err := Rho(sub)
+	if err != nil {
+		return 0, err
+	}
+	memo[bag] = rho
+	return rho, nil
+}
+
+// WidthOfDecomposition returns the fractional hypertree width of one tree
+// decomposition: the maximum ρ* over its bags.
+func WidthOfDecomposition(h *hypergraph.Hypergraph, d *hypergraph.Decomposition) (float64, error) {
+	memo := map[uint64]float64{}
+	width := 0.0
+	for _, mask := range d.BagMasks() {
+		rho, err := rhoOfBag(h, mask, memo)
+		if err != nil {
+			return 0, err
+		}
+		if rho > width {
+			width = rho
+		}
+	}
+	return width, nil
+}
+
+// FHTW computes the fractional hypertree width: the minimum over tree
+// decompositions of the maximum bag ρ*. Decompositions are enumerated
+// through elimination orders — exact for n ≤ 8 (all n! orders, with bag
+// ρ* memoized across orders), and via exact-treewidth plus min-fill
+// orders beyond that (an upper bound, flagged by exact=false).
+func FHTW(h *hypergraph.Hypergraph) (width float64, exact bool, err error) {
+	n := h.N()
+	if n == 0 {
+		return 0, true, nil
+	}
+	memo := map[uint64]float64{}
+	best := math.Inf(1)
+	try := func(order []int) error {
+		d, err := h.DecompositionFromOrder(order)
+		if err != nil {
+			return err
+		}
+		w := 0.0
+		for _, mask := range d.BagMasks() {
+			rho, err := rhoOfBag(h, mask, memo)
+			if err != nil {
+				return err
+			}
+			if rho > w {
+				w = rho
+			}
+			if w >= best {
+				return nil // cannot improve
+			}
+		}
+		if w < best {
+			best = w
+		}
+		return nil
+	}
+	if n <= 8 {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int) error
+		rec = func(k int) error {
+			if k == n {
+				return try(perm)
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				if err := rec(k + 1); err != nil {
+					return err
+				}
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+			return nil
+		}
+		if err := rec(0); err != nil {
+			return 0, false, err
+		}
+		return best, true, nil
+	}
+	if _, order, err := h.Treewidth(); err == nil {
+		if e := try(order); e != nil {
+			return 0, false, e
+		}
+	}
+	order, _ := h.MinFillOrder()
+	if e := try(order); e != nil {
+		return 0, false, e
+	}
+	return best, false, nil
+}
+
+// EdgeMask converts an edge's vertex list to a bitmask; exposed for
+// callers combining agm with decomposition bags.
+func EdgeMask(e []int) uint64 {
+	var m uint64
+	for _, v := range e {
+		m |= 1 << uint(v)
+	}
+	return m
+}
+
+// Subsumes reports whether the bag mask covers the edge mask; a
+// convenience built on bit arithmetic.
+func Subsumes(bag, edge uint64) bool { return edge&^bag == 0 }
+
+// PopCount returns the number of set bits; exposed for width reporting.
+func PopCount(m uint64) int { return bits.OnesCount64(m) }

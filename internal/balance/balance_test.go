@@ -1,0 +1,264 @@
+package balance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+func iv(s string) dyadic.Interval { return dyadic.MustParseInterval(s) }
+
+func TestTrivialPartition(t *testing.T) {
+	p := Trivial(4)
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	x1, x2 := p.Split(iv("0101"))
+	if x1 != dyadic.Lambda || x2 != iv("0101") {
+		t.Errorf("Split = %s, %s", x1, x2)
+	}
+	// λ itself is a prefix of the element λ.
+	x1, x2 = p.Split(dyadic.Lambda)
+	if x1 != dyadic.Lambda || x2 != dyadic.Lambda {
+		t.Errorf("Split(λ) = %s, %s", x1, x2)
+	}
+}
+
+func TestBalancedPartitionInvariant(t *testing.T) {
+	const d = 6
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + r.Intn(200)
+		comps := make([]dyadic.Interval, m)
+		for i := range comps {
+			l := uint8(r.Intn(d + 1))
+			var b uint64
+			if l > 0 {
+				b = r.Uint64() & (1<<l - 1)
+			}
+			comps[i] = dyadic.Interval{Bits: b, Len: l}
+		}
+		target := 1 + r.Intn(20)
+		p := Balanced(comps, d, target)
+		if err := p.Check(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Definition F.3 condition: no element has more than target
+		// components strictly inside it — unless the element is a unit
+		// interval (cannot be split further).
+		for _, e := range p.Elements() {
+			if e.Len == d {
+				continue
+			}
+			if got := StrictlyInside(comps, e); got > target {
+				t.Errorf("trial %d: element %s has %d > %d strict components", trial, e, got, target)
+			}
+		}
+	}
+}
+
+func TestBalancedPartitionSizeBound(t *testing.T) {
+	// m singleton-ish components concentrated in one subtree: the number
+	// of layers must stay O(√m · d), the Õ(√|C|) of Definition F.3.
+	const d = 10
+	var comps []dyadic.Interval
+	for v := uint64(0); v < 256; v++ {
+		comps = append(comps, dyadic.Unit(v, d))
+	}
+	target := 16 // √256
+	p := Balanced(comps, d, target)
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy intervals form ≤ m/target disjoint leaves plus ancestors;
+	// partition ≤ 2·(heavy count). Generous check: ≤ 4·√m·d.
+	if p.Len() > 4*16*d {
+		t.Errorf("partition has %d elements", p.Len())
+	}
+}
+
+func TestPartitionSplitCases(t *testing.T) {
+	// Partition of a 4-bit domain: {00, 01, 10, 110, 111}.
+	p := Partition{d: 4, elems: []dyadic.Interval{iv("00"), iv("01"), iv("10"), iv("110"), iv("111")}}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, x1, x2 string }{
+		{"λ", "λ", "λ"},      // prefix of every element
+		{"0", "0", "λ"},      // prefix of 00, 01
+		{"00", "00", "λ"},    // equal to an element
+		{"001", "00", "1"},   // strictly inside 00
+		{"0010", "00", "10"}, // strictly inside 00, two extra bits
+		{"11", "11", "λ"},    // prefix of 110, 111
+		{"1101", "110", "1"}, // inside 110
+	}
+	for _, c := range cases {
+		x1, x2 := p.Split(iv(c.x))
+		if x1 != iv(c.x1) || x2 != iv(c.x2) {
+			t.Errorf("Split(%s) = (%s,%s), want (%s,%s)", c.x, x1, x2, c.x1, c.x2)
+		}
+	}
+}
+
+func TestElementAt(t *testing.T) {
+	p := Partition{d: 3, elems: []dyadic.Interval{iv("0"), iv("10"), iv("110"), iv("111")}}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 8; v++ {
+		e := p.ElementAt(v)
+		if !e.ContainsValue(v, 3) {
+			t.Errorf("ElementAt(%d) = %s does not contain %d", v, e, v)
+		}
+	}
+}
+
+func randIv(r *rand.Rand, d uint8) dyadic.Interval {
+	l := uint8(r.Intn(int(d) + 1))
+	var b uint64
+	if l > 0 {
+		b = r.Uint64() & (1<<l - 1)
+	}
+	return dyadic.Interval{Bits: b, Len: l}
+}
+
+func TestQuickSplitReassembles(t *testing.T) {
+	const d = 8
+	r := rand.New(rand.NewSource(12))
+	f := func() bool {
+		var comps []dyadic.Interval
+		for i := 0; i < 30; i++ {
+			comps = append(comps, randIv(r, d))
+		}
+		p := Balanced(comps, d, 3)
+		x := randIv(r, d)
+		x1, x2 := p.Split(x)
+		// Concatenating x1 and x2 must reproduce x.
+		if x1.Len+x2.Len != x.Len {
+			return false
+		}
+		reassembled := dyadic.Interval{Bits: x1.Bits<<x2.Len | x2.Bits, Len: x.Len}
+		return reassembled == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildTestLift(t *testing.T, baseDepths []uint8, boxes []dyadic.Box) *Lift {
+	t.Helper()
+	l, err := LiftFromBoxes(baseDepths, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLiftDimensions(t *testing.T) {
+	depths := []uint8{4, 5, 6}
+	l := buildTestLift(t, depths, []dyadic.Box{dyadic.MustParseBox("01,001,1")})
+	if l.Dims() != 4 {
+		t.Fatalf("Dims = %d", l.Dims())
+	}
+	// Layout: (A'_1, A_3, A_2, A''_1).
+	want := []uint8{4, 6, 5, 4}
+	for i, d := range l.Depths() {
+		if d != want[i] {
+			t.Errorf("Depths[%d] = %d, want %d", i, d, want[i])
+		}
+	}
+	if _, err := LiftFromBoxes([]uint8{4, 4}, nil); err == nil {
+		t.Error("LiftFromBoxes accepted n=2")
+	}
+}
+
+func TestLiftPointDecodeRoundTrip(t *testing.T) {
+	const n = 4
+	depths := []uint8{5, 6, 4, 7}
+	r := rand.New(rand.NewSource(13))
+	var boxes []dyadic.Box
+	for i := 0; i < 100; i++ {
+		b := make(dyadic.Box, n)
+		for j := range b {
+			b[j] = randIv(r, depths[j])
+		}
+		boxes = append(boxes, b)
+	}
+	l := buildTestLift(t, depths, boxes)
+	for trial := 0; trial < 500; trial++ {
+		t0 := make([]uint64, n)
+		for j := range t0 {
+			t0[j] = uint64(r.Intn(1 << depths[j]))
+		}
+		class := l.Point(t0)
+		// Pick an arbitrary lifted unit point inside the class box and
+		// decode it; we must get t0 back.
+		lifted := make([]uint64, l.Dims())
+		ld := l.Depths()
+		for j, ivl := range class {
+			free := ld[j] - ivl.Len
+			lifted[j] = ivl.Bits<<free | (r.Uint64() & (1<<free - 1))
+		}
+		back := l.DecodePoint(lifted)
+		for j := range t0 {
+			if back[j] != t0[j] {
+				t.Fatalf("trial %d: decode = %v, want %v (class %v)", trial, back, t0, class)
+			}
+		}
+	}
+}
+
+// TestLiftPreservesCoverage verifies the key semantic fact behind
+// Algorithm 5: a lifted unit point is covered by the lifted box set if
+// and only if its decoded base point is covered by the base box set.
+func TestLiftPreservesCoverage(t *testing.T) {
+	const n = 3
+	depths := []uint8{4, 4, 4}
+	r := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 30; trial++ {
+		var boxes []dyadic.Box
+		for i := 0; i < 20; i++ {
+			b := make(dyadic.Box, n)
+			for j := range b {
+				b[j] = randIv(r, depths[j])
+			}
+			boxes = append(boxes, b)
+		}
+		l := buildTestLift(t, depths, boxes)
+		lifted := make([]dyadic.Box, len(boxes))
+		for i, b := range boxes {
+			lifted[i] = l.Box(b)
+		}
+		ld := l.Depths()
+		for probe := 0; probe < 200; probe++ {
+			lp := make([]uint64, l.Dims())
+			for j := range lp {
+				lp[j] = uint64(r.Intn(1 << ld[j]))
+			}
+			base := l.DecodePoint(lp)
+			baseCovered := false
+			for _, b := range boxes {
+				if b.ContainsPoint(base, depths) {
+					baseCovered = true
+					break
+				}
+			}
+			liftCovered := false
+			for _, b := range lifted {
+				if b.ContainsPoint(lp, ld) {
+					liftCovered = true
+					break
+				}
+			}
+			if baseCovered != liftCovered {
+				t.Fatalf("trial %d probe %d: base covered=%v lifted covered=%v (point %v -> %v)",
+					trial, probe, baseCovered, liftCovered, lp, base)
+			}
+		}
+	}
+}

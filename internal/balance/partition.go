@@ -1,0 +1,156 @@
+// Package balance implements the load-balancing machinery of Section 4.5
+// and Appendix F of the Tetris paper: balanced dimension partitions
+// (Definitions F.2/F.3, Proposition F.4) and the Balance map that lifts an
+// n-dimensional box cover problem into 2n-2 dimensions so that ordered
+// geometric resolution achieves the Õ(|C|^{n/2} + Z) bound (Theorem 4.11).
+package balance
+
+import (
+	"fmt"
+	"sort"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+// Partition is a dimension partition (Definition F.2): a set of disjoint
+// dyadic intervals whose union is the whole domain {0,1}^d, sorted by
+// position. The trivial partition is {λ}.
+type Partition struct {
+	d     uint8
+	elems []dyadic.Interval
+}
+
+// Trivial returns the one-element partition {λ} of a depth-d domain.
+func Trivial(d uint8) Partition {
+	return Partition{d: d, elems: []dyadic.Interval{dyadic.Lambda}}
+}
+
+// Depth returns the bit depth of the partitioned domain.
+func (p Partition) Depth() uint8 { return p.d }
+
+// Len returns the number of intervals in the partition.
+func (p Partition) Len() int { return len(p.elems) }
+
+// Elements returns the partition's intervals in domain order.
+func (p Partition) Elements() []dyadic.Interval { return p.elems }
+
+// Check verifies the partition invariant: prefix-free intervals covering
+// the whole domain in order.
+func (p Partition) Check() error {
+	if len(p.elems) == 0 {
+		return fmt.Errorf("balance: empty partition")
+	}
+	var next uint64
+	for i, e := range p.elems {
+		if err := e.Check(p.d); err != nil {
+			return err
+		}
+		if e.Lo(p.d) != next {
+			return fmt.Errorf("balance: gap or overlap before element %d (%s)", i, e)
+		}
+		next = e.Hi(p.d) + 1
+	}
+	last := p.elems[len(p.elems)-1]
+	if last.Hi(p.d) != uint64(1)<<p.d-1 {
+		return fmt.Errorf("balance: partition does not reach the end of the domain")
+	}
+	return nil
+}
+
+// Split decomposes a dyadic interval x relative to the partition into the
+// pair (x1, x2) of the paper's s'(P), s”(P) (equations 19 and 20):
+//
+//   - if x is a prefix of some partition element (x ∈ prefixes(P)),
+//     then x1 = x and x2 = λ;
+//   - otherwise x = x̂·x2 for a unique partition element x̂ that is a
+//     strict prefix of x, and x1 = x̂.
+func (p Partition) Split(x dyadic.Interval) (x1, x2 dyadic.Interval) {
+	elem := p.ElementAt(x.Lo(p.d))
+	if x.Contains(elem) {
+		// x is a (possibly equal) prefix of the element: x ∈ prefixes(P).
+		return x, dyadic.Lambda
+	}
+	// elem is a strict prefix of x; the suffix has the remaining bits.
+	sufLen := x.Len - elem.Len
+	suffix := dyadic.Interval{Bits: x.Bits & (1<<sufLen - 1), Len: sufLen}
+	return elem, suffix
+}
+
+// ElementAt returns the unique partition element whose interval contains
+// the domain value v.
+func (p Partition) ElementAt(v uint64) dyadic.Interval {
+	i := sort.Search(len(p.elems), func(i int) bool { return p.elems[i].Hi(p.d) >= v })
+	if i == len(p.elems) {
+		panic(fmt.Sprintf("balance: value %d beyond partition", v))
+	}
+	return p.elems[i]
+}
+
+// countTrie counts, per prefix, how many component intervals lie strictly
+// below it (are strict prefix-extensions).
+type countTrie struct {
+	children [2]*countTrie
+	subtree  int // components equal to or extending this prefix
+	at       int // components exactly equal to this prefix
+}
+
+func (t *countTrie) insert(iv dyadic.Interval) {
+	nd := t
+	nd.subtree++
+	for i := int(iv.Len) - 1; i >= 0; i-- {
+		bit := iv.Bits >> uint(i) & 1
+		if nd.children[bit] == nil {
+			nd.children[bit] = &countTrie{}
+		}
+		nd = nd.children[bit]
+		nd.subtree++
+	}
+	nd.at++
+}
+
+// Balanced computes a balanced partition (Definition F.3) for the given
+// multiset of dimension components at depth d: an interval is split while
+// the number of components strictly inside it exceeds target. With
+// target = ⌊√|C|⌋ this realizes Proposition F.4: at most Õ(√|C|) layers,
+// each with at most √|C| strictly-contained boxes.
+func Balanced(components []dyadic.Interval, d uint8, target int) Partition {
+	if target < 1 {
+		target = 1
+	}
+	root := &countTrie{}
+	for _, iv := range components {
+		root.insert(iv)
+	}
+	var elems []dyadic.Interval
+	var walk func(nd *countTrie, iv dyadic.Interval)
+	walk = func(nd *countTrie, iv dyadic.Interval) {
+		strictBelow := 0
+		if nd != nil {
+			strictBelow = nd.subtree - nd.at
+		}
+		if strictBelow <= target || iv.Len == d {
+			elems = append(elems, iv)
+			return
+		}
+		var c0, c1 *countTrie
+		if nd != nil {
+			c0, c1 = nd.children[0], nd.children[1]
+		}
+		walk(c0, iv.Child(0))
+		walk(c1, iv.Child(1))
+	}
+	walk(root, dyadic.Lambda)
+	return Partition{d: d, elems: elems}
+}
+
+// StrictlyInside counts the components of the given list strictly inside
+// interval x (the paper's |C_{⊂x}(X)|).
+func StrictlyInside(components []dyadic.Interval, x dyadic.Interval) int {
+	n := 0
+	for _, c := range components {
+		if x.Contains(c) && x != c {
+			n++
+		}
+	}
+	return n
+}

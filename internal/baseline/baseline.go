@@ -1,0 +1,203 @@
+// Package baseline implements the classical join algorithms that the
+// Tetris paper recovers or compares against: Yannakakis' algorithm for
+// α-acyclic queries [73], the worst-case optimal Generic Join [52] and
+// Leapfrog Triejoin [72], binary hash join plans, and a nested-loop
+// evaluator used as ground truth in tests.
+//
+// All evaluators take a join.Query and return the output tuples over the
+// query's variables in first-occurrence order, sorted lexicographically
+// and deduplicated, so results are directly comparable across algorithms
+// (and with the Tetris engine).
+package baseline
+
+import (
+	"sort"
+
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/relation"
+)
+
+// sortTuples orders tuples lexicographically in place.
+func sortTuples(ts [][]uint64) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// dedupe removes adjacent duplicates from sorted tuples.
+func dedupe(ts [][]uint64) [][]uint64 {
+	out := ts[:0]
+	for i, t := range ts {
+		if i > 0 {
+			prev := ts[i-1]
+			same := true
+			for k := range t {
+				if t[k] != prev[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				continue
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// key encodes a projection of a tuple for hashing.
+func key(t []uint64, pos []int) string {
+	buf := make([]byte, 0, len(pos)*8)
+	for _, p := range pos {
+		v := t[p]
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(buf)
+}
+
+// table is an intermediate relation over query variable positions.
+type table struct {
+	vars []int // query variable positions, in column order
+	rows [][]uint64
+}
+
+// tableFromAtom materializes an atom as a table over its variables'
+// query positions.
+func tableFromAtom(q *join.Query, a join.Atom) table {
+	vars := make([]int, len(a.Vars))
+	for i, v := range a.Vars {
+		vars[i] = q.VarIndex(v)
+	}
+	rows := make([][]uint64, 0, a.Relation.Len())
+	for _, t := range a.Relation.Tuples() {
+		rows = append(rows, append([]uint64(nil), t...))
+	}
+	return table{vars: vars, rows: rows}
+}
+
+// varCols returns, for each query position shared between t and other,
+// the column pairs (tCol, otherCol).
+func sharedCols(t, other table) (tc, oc []int) {
+	pos := map[int]int{}
+	for i, v := range t.vars {
+		pos[v] = i
+	}
+	for j, v := range other.vars {
+		if i, ok := pos[v]; ok {
+			tc = append(tc, i)
+			oc = append(oc, j)
+		}
+	}
+	return tc, oc
+}
+
+// hashJoin joins two tables on their shared variables.
+func hashJoin(a, b table) table {
+	ac, bc := sharedCols(a, b)
+	// Output columns: a's columns then b's new columns.
+	var extraB []int
+	seen := map[int]bool{}
+	for _, v := range a.vars {
+		seen[v] = true
+	}
+	outVars := append([]int(nil), a.vars...)
+	for j, v := range b.vars {
+		if !seen[v] {
+			extraB = append(extraB, j)
+			outVars = append(outVars, v)
+		}
+	}
+	idx := map[string][][]uint64{}
+	for _, row := range b.rows {
+		k := key(row, bc)
+		idx[k] = append(idx[k], row)
+	}
+	var rows [][]uint64
+	for _, row := range a.rows {
+		for _, match := range idx[key(row, ac)] {
+			out := make([]uint64, 0, len(outVars))
+			out = append(out, row...)
+			for _, j := range extraB {
+				out = append(out, match[j])
+			}
+			rows = append(rows, out)
+		}
+	}
+	return table{vars: outVars, rows: rows}
+}
+
+// semijoin keeps the rows of a with a matching row in b on shared
+// variables.
+func semijoin(a, b table) table {
+	ac, bc := sharedCols(a, b)
+	idx := map[string]bool{}
+	for _, row := range b.rows {
+		idx[key(row, bc)] = true
+	}
+	var rows [][]uint64
+	for _, row := range a.rows {
+		if idx[key(row, ac)] {
+			rows = append(rows, row)
+		}
+	}
+	return table{vars: a.vars, rows: rows}
+}
+
+// project reorders/projects a table's rows onto the query variable order
+// given by positions (which must all be present in t.vars) and dedupes.
+func (t table) project(positions []int) [][]uint64 {
+	col := map[int]int{}
+	for i, v := range t.vars {
+		col[v] = i
+	}
+	out := make([][]uint64, 0, len(t.rows))
+	for _, row := range t.rows {
+		o := make([]uint64, len(positions))
+		for i, p := range positions {
+			o[i] = row[col[p]]
+		}
+		out = append(out, o)
+	}
+	sortTuples(out)
+	return dedupe(out)
+}
+
+// identity positions 0..n-1.
+func allPositions(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// reorderTuplesByVarOrder sorts atom tuples by a global variable order.
+func reorderAtomTuples(q *join.Query, a join.Atom, varOrder []int) ([]relation.Tuple, []int) {
+	rank := make([]int, len(q.Vars()))
+	for r, pos := range varOrder {
+		rank[pos] = r
+	}
+	// Relation attribute positions sorted by the rank of their variable.
+	perm := allPositions(len(a.Vars))
+	sort.Slice(perm, func(i, j int) bool {
+		return rank[q.VarIndex(a.Vars[perm[i]])] < rank[q.VarIndex(a.Vars[perm[j]])]
+	})
+	tuples, err := a.Relation.Reordered(perm)
+	if err != nil {
+		panic(err) // perm is a permutation by construction
+	}
+	// varAt[k] = query variable position of the k-th reordered column.
+	varAt := make([]int, len(perm))
+	for k, p := range perm {
+		varAt[k] = q.VarIndex(a.Vars[p])
+	}
+	return tuples, varAt
+}

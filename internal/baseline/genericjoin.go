@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"sort"
+
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/relation"
+)
+
+// gjTrie is a sorted-array trie over an atom's tuples in a global
+// variable order: level k branches on the k-th attribute in that order.
+type gjTrie struct {
+	tuples []relation.Tuple
+	varAt  []int // query variable position per level
+}
+
+// childRange returns the sub-range of [lo,hi) whose level-k value is v.
+func (t *gjTrie) childRange(lo, hi, k int, v uint64) (int, int) {
+	a := lo + sort.Search(hi-lo, func(i int) bool { return t.tuples[lo+i][k] >= v })
+	b := lo + sort.Search(hi-lo, func(i int) bool { return t.tuples[lo+i][k] > v })
+	return a, b
+}
+
+// distinct returns the distinct level-k values within [lo,hi).
+func (t *gjTrie) distinct(lo, hi, k int) []uint64 {
+	var out []uint64
+	for i := lo; i < hi; {
+		v := t.tuples[i][k]
+		out = append(out, v)
+		i += sort.Search(hi-i, func(x int) bool { return t.tuples[i+x][k] > v })
+	}
+	return out
+}
+
+// GenericJoin evaluates the query with the attribute-at-a-time worst-case
+// optimal algorithm of Ngo–Ré–Rudra ("skew strikes back", [52]): for each
+// variable in a global order, the candidate values are the intersection
+// of the projections of all relations containing that variable,
+// enumerated from the smallest candidate set.
+//
+// varOrder gives the global variable order as positions into q.Vars();
+// nil means first-occurrence order.
+func GenericJoin(q *join.Query, varOrder []int) ([][]uint64, error) {
+	n := len(q.Vars())
+	if varOrder == nil {
+		varOrder = allPositions(n)
+	}
+	if err := checkOrder(varOrder, n); err != nil {
+		return nil, err
+	}
+	tries := make([]*gjTrie, len(q.Atoms()))
+	for i, a := range q.Atoms() {
+		tuples, varAt := reorderAtomTuples(q, a, varOrder)
+		tries[i] = &gjTrie{tuples: tuples, varAt: varAt}
+	}
+	// state per atom: current range and level.
+	type state struct{ lo, hi, level int }
+	states := make([]state, len(tries))
+	for i, tr := range tries {
+		states[i] = state{0, len(tr.tuples), 0}
+	}
+	assignment := make([]uint64, n)
+	var out [][]uint64
+
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]uint64(nil), assignment...))
+			return
+		}
+		v := varOrder[k]
+		// Atoms whose next level binds v.
+		var active []int
+		for i, tr := range tries {
+			if states[i].level < len(tr.varAt) && tr.varAt[states[i].level] == v {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 {
+			// Variable unconstrained at this point (cannot happen for
+			// connected queries; handle by enumerating its domain).
+			for val := uint64(0); val < 1<<q.Depths()[v]; val++ {
+				assignment[v] = val
+				rec(k + 1)
+			}
+			return
+		}
+		// Candidates: distinct values of the smallest active atom.
+		bestIdx := active[0]
+		for _, i := range active[1:] {
+			if states[i].hi-states[i].lo < states[bestIdx].hi-states[bestIdx].lo {
+				bestIdx = i
+			}
+		}
+		st := states[bestIdx]
+		candidates := tries[bestIdx].distinct(st.lo, st.hi, st.level)
+		for _, val := range candidates {
+			ok := true
+			saved := make([]state, len(active))
+			for ai, i := range active {
+				saved[ai] = states[i]
+				lo, hi := tries[i].childRange(states[i].lo, states[i].hi, states[i].level, val)
+				if lo == hi {
+					ok = false
+					// Restore the ones already advanced.
+					for bi := 0; bi <= ai; bi++ {
+						states[active[bi]] = saved[bi]
+					}
+					break
+				}
+				states[i] = state{lo, hi, states[i].level + 1}
+			}
+			if !ok {
+				continue
+			}
+			assignment[v] = val
+			rec(k + 1)
+			for ai, i := range active {
+				states[i] = saved[ai]
+			}
+		}
+	}
+	rec(0)
+	sortTuples(out)
+	return dedupe(out), nil
+}
+
+func checkOrder(order []int, n int) error {
+	if len(order) != n {
+		return errBadOrder(order, n)
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			return errBadOrder(order, n)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+type orderError struct {
+	order []int
+	n     int
+}
+
+func errBadOrder(order []int, n int) error { return &orderError{order: order, n: n} }
+
+func (e *orderError) Error() string {
+	return "baseline: variable order is not a permutation of the query variables"
+}

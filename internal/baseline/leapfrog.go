@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"sort"
+
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/relation"
+)
+
+// lfIter is a Leapfrog Triejoin trie iterator over an atom's tuples in a
+// global variable order (Veldhuizen [72]). It supports the standard
+// open/up/next/seek interface; positions are maintained as sorted-array
+// ranges per trie level.
+type lfIter struct {
+	tuples []relation.Tuple
+	varAt  []int
+	// Per open level: the tuple range of the current prefix and the
+	// current position within it.
+	los, his, pos []int
+	depth         int // number of open levels
+}
+
+func newLFIter(tuples []relation.Tuple, varAt []int) *lfIter {
+	return &lfIter{tuples: tuples, varAt: varAt}
+}
+
+// rangeAt returns the range of tuples matching the prefix above level
+// depth-1.
+func (it *lfIter) parentRange() (int, int) {
+	if it.depth == 1 {
+		return 0, len(it.tuples)
+	}
+	return it.los[it.depth-2], it.his[it.depth-2]
+}
+
+// open descends into the first child at the next level.
+func (it *lfIter) open() {
+	it.depth++
+	plo, _ := it.parentRange()
+	if it.depth > len(it.los) {
+		it.los = append(it.los, 0)
+		it.his = append(it.his, 0)
+		it.pos = append(it.pos, 0)
+	}
+	it.setPosition(plo)
+}
+
+// setPosition positions the current level at the run of tuples starting
+// at index i (which must lie in the parent range).
+func (it *lfIter) setPosition(i int) {
+	k := it.depth - 1
+	_, phi := it.parentRange()
+	it.pos[k] = i
+	if i >= phi {
+		it.los[k], it.his[k] = phi, phi
+		return
+	}
+	v := it.tuples[i][k]
+	end := i + sort.Search(phi-i, func(x int) bool { return it.tuples[i+x][k] > v })
+	it.los[k], it.his[k] = i, end
+}
+
+// up leaves the current level.
+func (it *lfIter) up() { it.depth-- }
+
+// atEnd reports whether the current level is exhausted.
+func (it *lfIter) atEnd() bool {
+	_, phi := it.parentRange()
+	return it.pos[it.depth-1] >= phi
+}
+
+// keyAt returns the current key of the open level.
+func (it *lfIter) key() uint64 { return it.tuples[it.pos[it.depth-1]][it.depth-1] }
+
+// next advances to the following distinct key at this level.
+func (it *lfIter) next() { it.setPosition(it.his[it.depth-1]) }
+
+// seek advances to the first key ≥ v at this level.
+func (it *lfIter) seek(v uint64) {
+	k := it.depth - 1
+	plo, phi := it.parentRange()
+	start := it.pos[k]
+	if start < plo {
+		start = plo
+	}
+	i := start + sort.Search(phi-start, func(x int) bool { return it.tuples[start+x][k] >= v })
+	it.setPosition(i)
+}
+
+// Leapfrog evaluates the query with Leapfrog Triejoin [72]: a worst-case
+// optimal join that unifies per-variable sorted iterators by repeated
+// seeking to the maximum current key. varOrder is as in GenericJoin.
+func Leapfrog(q *join.Query, varOrder []int) ([][]uint64, error) {
+	n := len(q.Vars())
+	if varOrder == nil {
+		varOrder = allPositions(n)
+	}
+	if err := checkOrder(varOrder, n); err != nil {
+		return nil, err
+	}
+	iters := make([]*lfIter, len(q.Atoms()))
+	for i, a := range q.Atoms() {
+		tuples, varAt := reorderAtomTuples(q, a, varOrder)
+		iters[i] = newLFIter(tuples, varAt)
+	}
+	assignment := make([]uint64, n)
+	var out [][]uint64
+
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]uint64(nil), assignment...))
+			return
+		}
+		v := varOrder[k]
+		var active []*lfIter
+		for _, it := range iters {
+			if it.depth < len(it.varAt) && it.varAt[it.depth] == v {
+				active = append(active, it)
+			}
+		}
+		if len(active) == 0 {
+			for val := uint64(0); val < 1<<q.Depths()[v]; val++ {
+				assignment[v] = val
+				rec(k + 1)
+			}
+			return
+		}
+		for _, it := range active {
+			it.open()
+		}
+		// Leapfrog search: all active iterators at the same key.
+		exhausted := false
+		for _, it := range active {
+			if it.atEnd() {
+				exhausted = true
+			}
+		}
+		if !exhausted {
+			p := 0 // index of iterator with smallest key after sorting step
+			sort.Slice(active, func(i, j int) bool { return active[i].key() < active[j].key() })
+			maxKey := active[len(active)-1].key()
+			for {
+				it := active[p]
+				if it.key() == maxKey {
+					// Match: all iterators agree.
+					assignment[v] = maxKey
+					rec(k + 1)
+					it.next()
+					if it.atEnd() {
+						break
+					}
+					maxKey = it.key()
+					p = (p + 1) % len(active)
+					continue
+				}
+				it.seek(maxKey)
+				if it.atEnd() {
+					break
+				}
+				maxKey = it.key()
+				p = (p + 1) % len(active)
+			}
+		}
+		for _, it := range active {
+			it.up()
+		}
+	}
+	rec(0)
+	sortTuples(out)
+	return dedupe(out), nil
+}

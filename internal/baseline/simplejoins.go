@@ -1,0 +1,66 @@
+package baseline
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/join"
+)
+
+// NestedLoop evaluates the query by enumerating every point of the
+// variable domain product and testing membership in all relations. It is
+// exponential in the total bit width and exists purely as ground truth
+// for small tests.
+func NestedLoop(q *join.Query) ([][]uint64, error) {
+	totalBits := 0
+	for _, d := range q.Depths() {
+		totalBits += int(d)
+	}
+	if totalBits > 24 {
+		return nil, fmt.Errorf("baseline: nested loop limited to 24 total bits, query has %d", totalBits)
+	}
+	n := len(q.Vars())
+	point := make([]uint64, n)
+	var out [][]uint64
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == n {
+			for _, a := range q.Atoms() {
+				proj := make([]uint64, len(a.Vars))
+				for i, v := range a.Vars {
+					proj[i] = point[q.VarIndex(v)]
+				}
+				if !a.Relation.Contains(proj...) {
+					return
+				}
+			}
+			out = append(out, append([]uint64(nil), point...))
+			return
+		}
+		for v := uint64(0); v < 1<<q.Depths()[dim]; v++ {
+			point[dim] = v
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// HashJoin evaluates the query with a left-deep binary hash join plan in
+// atom order. On AGM-hard instances its intermediate results blow up to
+// Θ(N²) where worst-case optimal algorithms stay at O(N^{3/2}) — the
+// comparison behind Table 1's "arbitrary" row.
+//
+// The returned count is the peak intermediate row count, the quantity
+// that separates binary plans from WCOJ algorithms.
+func HashJoin(q *join.Query) (tuples [][]uint64, peakIntermediate int, err error) {
+	atoms := q.Atoms()
+	acc := tableFromAtom(q, atoms[0])
+	peak := len(acc.rows)
+	for _, a := range atoms[1:] {
+		acc = hashJoin(acc, tableFromAtom(q, a))
+		if len(acc.rows) > peak {
+			peak = len(acc.rows)
+		}
+	}
+	return acc.project(allPositions(len(q.Vars()))), peak, nil
+}

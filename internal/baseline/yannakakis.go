@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/join"
+)
+
+// Yannakakis evaluates an α-acyclic query with Yannakakis' algorithm
+// [73]: build a join tree by GYO elimination, run a bottom-up then
+// top-down semijoin reduction (after which every intermediate join is
+// output-bounded), and materialize the join up the tree. Returns an
+// error if the query is not α-acyclic.
+func Yannakakis(q *join.Query) ([][]uint64, error) {
+	parent, order, err := joinTree(q)
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]table, len(q.Atoms()))
+	for i, a := range q.Atoms() {
+		tables[i] = tableFromAtom(q, a)
+	}
+	// order lists atom indices leaves-first (GYO removal order); parents
+	// always come later than their children... not necessarily, but each
+	// node's parent is distinct and processing in removal order
+	// guarantees children are reduced before their parent consumes them.
+	//
+	// Bottom-up: parent ⋉= child.
+	for _, i := range order {
+		if parent[i] >= 0 {
+			tables[parent[i]] = semijoin(tables[parent[i]], tables[i])
+		}
+	}
+	// Top-down: child ⋉= parent.
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		if parent[i] >= 0 {
+			tables[i] = semijoin(tables[i], tables[parent[i]])
+		}
+	}
+	// Materialize bottom-up: parent ⋈= child.
+	for _, i := range order {
+		if parent[i] >= 0 {
+			tables[parent[i]] = hashJoin(tables[parent[i]], tables[i])
+		}
+	}
+	root := order[len(order)-1]
+	res := tables[root]
+	// The root may not mention isolated variables (possible only for
+	// disconnected queries whose components GYO eliminated separately);
+	// join in any remaining components.
+	have := map[int]bool{}
+	for _, v := range res.vars {
+		have[v] = true
+	}
+	for _, i := range order {
+		if parent[i] == -1 && i != root {
+			res = hashJoin(res, tables[i])
+			for _, v := range tables[i].vars {
+				have[v] = true
+			}
+		}
+	}
+	if len(have) != len(q.Vars()) {
+		return nil, fmt.Errorf("baseline: yannakakis did not cover all variables")
+	}
+	return res.project(allPositions(len(q.Vars()))), nil
+}
+
+// joinTree builds a join tree over the query's atoms via GYO
+// elimination: an atom removed because its remaining variables are
+// covered by another atom attaches to that atom. It returns parent
+// pointers (-1 for roots) and the removal order, or an error when the
+// query is cyclic.
+func joinTree(q *join.Query) (parent []int, order []int, err error) {
+	atoms := q.Atoms()
+	m := len(atoms)
+	// Variable sets as masks over query positions (≤ 62 variables).
+	if len(q.Vars()) > 62 {
+		return nil, nil, fmt.Errorf("baseline: too many variables")
+	}
+	masks := make([]uint64, m)
+	for i, a := range atoms {
+		for _, v := range a.Vars {
+			masks[i] |= 1 << uint(q.VarIndex(v))
+		}
+	}
+	parent = make([]int, m)
+	for i := range parent {
+		parent[i] = -1
+	}
+	removed := make([]bool, m)
+	remaining := m
+	for remaining > 1 {
+		progress := false
+		// Count, for each variable, the live atoms containing it.
+		varCount := map[int]int{}
+		for i := 0; i < m; i++ {
+			if removed[i] {
+				continue
+			}
+			for v := 0; v < len(q.Vars()); v++ {
+				if masks[i]>>uint(v)&1 == 1 {
+					varCount[v]++
+				}
+			}
+		}
+		for i := 0; i < m && remaining > 1; i++ {
+			if removed[i] {
+				continue
+			}
+			// Strip private variables (appearing only in atom i).
+			core := uint64(0)
+			for v := 0; v < len(q.Vars()); v++ {
+				if masks[i]>>uint(v)&1 == 1 && varCount[v] > 1 {
+					core |= 1 << uint(v)
+				}
+			}
+			// Find another live atom covering the core.
+			for j := 0; j < m; j++ {
+				if j == i || removed[j] {
+					continue
+				}
+				if core&^masks[j] == 0 {
+					parent[i] = j
+					removed[i] = true
+					order = append(order, i)
+					remaining--
+					progress = true
+					break
+				}
+			}
+		}
+		if !progress {
+			return nil, nil, fmt.Errorf("baseline: query is not α-acyclic; yannakakis does not apply")
+		}
+	}
+	for i := 0; i < m; i++ {
+		if !removed[i] {
+			order = append(order, i)
+		}
+	}
+	return parent, order, nil
+}

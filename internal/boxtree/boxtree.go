@@ -1,0 +1,410 @@
+// Package boxtree implements the multilevel dyadic tree of Appendix C.1
+// of the Tetris paper: the data structure backing the knowledge base A.
+//
+// Each level is a binary trie over the bits of one box component. A node
+// whose path spells the i-th component of a stored box either links to the
+// root of the next level's trie (i < n-1) or stores the box itself
+// (i == n-1). Because a box a contains a box b exactly when every a_i is a
+// prefix of b_i, the boxes containing b lie on the ≤ d+1 prefix paths per
+// level, giving Õ(1) superset queries; the boxes contained in a box w form
+// whole subtrees, giving cheap subsumption pruning.
+package boxtree
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+type node struct {
+	children [2]*node
+	next     *node      // root of the trie for the following component
+	box      dyadic.Box // stored box (terminal nodes of the last level only)
+	count    int        // boxes stored in this subtree, including deeper levels
+}
+
+// Tree stores a set of n-dimensional dyadic boxes.
+type Tree struct {
+	n    int
+	root *node
+	size int
+}
+
+// New returns an empty tree for n-dimensional boxes.
+func New(n int) *Tree {
+	if n < 1 {
+		panic("boxtree: dimension must be positive")
+	}
+	return &Tree{n: n, root: &node{}}
+}
+
+// Dims returns the dimensionality of the stored boxes.
+func (t *Tree) Dims() int { return t.n }
+
+// Len returns the number of stored boxes.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds the box and reports whether it was not already present.
+func (t *Tree) Insert(b dyadic.Box) bool {
+	if len(b) != t.n {
+		panic(fmt.Sprintf("boxtree: inserting %d-dimensional box into %d-dimensional tree", len(b), t.n))
+	}
+	path := make([]*node, 0, 64)
+	nd := t.root
+	path = append(path, nd)
+	for level := 0; level < t.n; level++ {
+		iv := b[level]
+		for i := int(iv.Len) - 1; i >= 0; i-- {
+			bit := iv.Bits >> uint(i) & 1
+			if nd.children[bit] == nil {
+				nd.children[bit] = &node{}
+			}
+			nd = nd.children[bit]
+			path = append(path, nd)
+		}
+		if level == t.n-1 {
+			if nd.box != nil {
+				return false // exact duplicate
+			}
+			nd.box = b.Clone()
+		} else {
+			if nd.next == nil {
+				nd.next = &node{}
+			}
+			nd = nd.next
+			path = append(path, nd)
+		}
+	}
+	for _, p := range path {
+		p.count++
+	}
+	t.size++
+	return true
+}
+
+// ContainsSuperset returns a stored box containing b, if any. Shorter
+// prefixes (bigger boxes) are preferred, so the first match found tends to
+// be a large cover.
+func (t *Tree) ContainsSuperset(b dyadic.Box) (dyadic.Box, bool) {
+	if len(b) != t.n {
+		panic("boxtree: dimension mismatch in ContainsSuperset")
+	}
+	return findSuperset(t.root, 0, t.n, b, false)
+}
+
+// ProperSuperset returns a stored box that contains b and is not equal to
+// b, if any.
+func (t *Tree) ProperSuperset(b dyadic.Box) (dyadic.Box, bool) {
+	if len(b) != t.n {
+		panic("boxtree: dimension mismatch in ProperSuperset")
+	}
+	return findSuperset(t.root, 0, t.n, b, true)
+}
+
+func findSuperset(nd *node, level, n int, b dyadic.Box, proper bool) (dyadic.Box, bool) {
+	if nd == nil || nd.count == 0 {
+		return nil, false
+	}
+	iv := b[level]
+	// Walk the prefixes of b's component at this level, from λ down to the
+	// full component, probing the next level at each storage point.
+	cur := nd
+	for depth := 0; ; depth++ {
+		if level == n-1 {
+			if cur.box != nil {
+				if !proper || !cur.box.Equal(b) {
+					return cur.box, true
+				}
+			}
+		} else if cur.next != nil {
+			if found, ok := findSuperset(cur.next, level+1, n, b, proper); ok {
+				return found, ok
+			}
+		}
+		if depth == int(iv.Len) {
+			return nil, false
+		}
+		bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
+		cur = cur.children[bit]
+		if cur == nil {
+			return nil, false
+		}
+	}
+}
+
+// Supersets returns all stored boxes containing b.
+func (t *Tree) Supersets(b dyadic.Box) []dyadic.Box {
+	if len(b) != t.n {
+		panic("boxtree: dimension mismatch in Supersets")
+	}
+	var out []dyadic.Box
+	collectSupersets(t.root, 0, t.n, b, &out)
+	return out
+}
+
+func collectSupersets(nd *node, level, n int, b dyadic.Box, out *[]dyadic.Box) {
+	if nd == nil || nd.count == 0 {
+		return
+	}
+	iv := b[level]
+	cur := nd
+	for depth := 0; ; depth++ {
+		if level == n-1 {
+			if cur.box != nil {
+				*out = append(*out, cur.box)
+			}
+		} else if cur.next != nil {
+			collectSupersets(cur.next, level+1, n, b, out)
+		}
+		if depth == int(iv.Len) {
+			return
+		}
+		bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
+		cur = cur.children[bit]
+		if cur == nil {
+			return
+		}
+	}
+}
+
+// IntersectsAny reports whether any stored box shares at least one point
+// with b. A box intersects b exactly when every pair of corresponding
+// components is prefix-comparable, so the search explores the prefixes of
+// b's component (supersets at this level) plus the whole subtree below it
+// (extensions), pruned by subtree counts.
+func (t *Tree) IntersectsAny(b dyadic.Box) bool {
+	if len(b) != t.n {
+		panic("boxtree: dimension mismatch in IntersectsAny")
+	}
+	return intersectsAny(t.root, 0, t.n, b)
+}
+
+func intersectsAny(nd *node, level, n int, b dyadic.Box) bool {
+	if nd == nil || nd.count == 0 {
+		return false
+	}
+	iv := b[level]
+	// Prefix path: nodes whose interval contains b's component.
+	cur := nd
+	for depth := 0; ; depth++ {
+		if level == n-1 {
+			if cur.box != nil {
+				return true
+			}
+		} else if cur.next != nil && intersectsAny(cur.next, level+1, n, b) {
+			return true
+		}
+		if depth == int(iv.Len) {
+			break
+		}
+		bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
+		cur = cur.children[bit]
+		if cur == nil {
+			return false
+		}
+	}
+	// cur spells b's component exactly; every descendant extends it and
+	// is therefore comparable. Explore the whole subtree (skipping cur
+	// itself, already handled above).
+	var walk func(v *node) bool
+	walk = func(v *node) bool {
+		if v == nil || v.count == 0 {
+			return false
+		}
+		if level == n-1 {
+			if v.box != nil {
+				return true
+			}
+		} else if v.next != nil && intersectsAny(v.next, level+1, n, b) {
+			return true
+		}
+		return walk(v.children[0]) || walk(v.children[1])
+	}
+	return walk(cur.children[0]) || walk(cur.children[1])
+}
+
+// ContainedIn returns all stored boxes contained in w.
+func (t *Tree) ContainedIn(w dyadic.Box) []dyadic.Box {
+	if len(w) != t.n {
+		panic("boxtree: dimension mismatch in ContainedIn")
+	}
+	var out []dyadic.Box
+	collectContained(t.root, 0, t.n, w, &out)
+	return out
+}
+
+func collectContained(nd *node, level, n int, w dyadic.Box, out *[]dyadic.Box) {
+	if nd == nil || nd.count == 0 {
+		return
+	}
+	// Navigate to the node spelling w[level]; everything below it has
+	// w[level] as a prefix.
+	iv := w[level]
+	cur := nd
+	for depth := 0; depth < int(iv.Len); depth++ {
+		bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
+		cur = cur.children[bit]
+		if cur == nil {
+			return
+		}
+	}
+	var walk func(*node)
+	walk = func(v *node) {
+		if v == nil || v.count == 0 {
+			return
+		}
+		if level == n-1 {
+			if v.box != nil {
+				*out = append(*out, v.box)
+			}
+		} else if v.next != nil {
+			collectContained(v.next, level+1, n, w, out)
+		}
+		walk(v.children[0])
+		walk(v.children[1])
+	}
+	walk(cur)
+}
+
+// DeleteContainedIn removes every stored box that is contained in w and
+// returns the number removed. Subtrees emptied by the removal are pruned.
+func (t *Tree) DeleteContainedIn(w dyadic.Box) int {
+	return t.DeleteContainedInBudget(w, -1)
+}
+
+// DeleteContainedInBudget is DeleteContainedIn with a bound on the number
+// of trie nodes visited: once the budget is exhausted the sweep stops,
+// leaving any not-yet-visited contained boxes in place. A negative budget
+// means unlimited. Partial deletion keeps the tree consistent — the
+// operation is pure compaction — while bounding the cost of subsuming
+// very wide boxes, which would otherwise sweep the entire structure
+// (Lemma 4.5's accounting charges only Õ(1) per resolution).
+func (t *Tree) DeleteContainedInBudget(w dyadic.Box, budget int) int {
+	if len(w) != t.n {
+		panic("boxtree: dimension mismatch in DeleteContainedIn")
+	}
+	if budget < 0 {
+		budget = int(^uint(0) >> 1)
+	}
+	removed := deleteContained(t.root, 0, t.n, w, &budget)
+	t.size -= removed
+	return removed
+}
+
+func deleteContained(nd *node, level, n int, w dyadic.Box, budget *int) int {
+	if nd == nil || nd.count == 0 {
+		return 0
+	}
+	iv := w[level]
+	// Descend along w[level], remembering the path so counts can be fixed.
+	path := []*node{nd}
+	cur := nd
+	for depth := 0; depth < int(iv.Len); depth++ {
+		bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
+		cur = cur.children[bit]
+		if cur == nil {
+			return 0
+		}
+		path = append(path, cur)
+	}
+	var removed int
+	var walk func(*node) int
+	walk = func(v *node) int {
+		if v == nil || v.count == 0 || *budget <= 0 {
+			return 0
+		}
+		*budget--
+		var rem int
+		if level == n-1 {
+			if v.box != nil {
+				v.box = nil
+				rem++
+			}
+		} else if v.next != nil {
+			rem += deleteContained(v.next, level+1, n, w, budget)
+			if v.next.count == 0 {
+				v.next = nil
+			}
+		}
+		for i, c := range v.children {
+			r := walk(c)
+			rem += r
+			if c != nil && c.count == 0 {
+				v.children[i] = nil
+			}
+		}
+		v.count -= rem
+		return rem
+	}
+	removed = walk(cur)
+	// cur's count was fixed by walk; fix the ancestors.
+	for _, p := range path[:len(path)-1] {
+		p.count -= removed
+	}
+	if len(path) == 1 {
+		// walk already adjusted nd (== cur); nothing more to do.
+		_ = path
+	}
+	return removed
+}
+
+// subsumeBudget bounds the per-insertion compaction sweep; see
+// DeleteContainedInBudget.
+const subsumeBudget = 32
+
+// InsertSubsuming inserts b unless it is already covered by a stored box;
+// when inserted, stored boxes contained in b are removed (best-effort,
+// bounded by subsumeBudget trie nodes per insertion). It reports whether
+// b was inserted. This keeps the knowledge base compact without changing
+// the region covered or breaking the Õ(1)-per-resolution cost accounting.
+func (t *Tree) InsertSubsuming(b dyadic.Box) bool {
+	if _, ok := t.ContainsSuperset(b); ok {
+		return false
+	}
+	t.DeleteContainedInBudget(b, subsumeBudget)
+	return t.Insert(b)
+}
+
+// All returns every stored box.
+func (t *Tree) All() []dyadic.Box {
+	out := make([]dyadic.Box, 0, t.size)
+	var walk func(nd *node, level int)
+	walk = func(nd *node, level int) {
+		if nd == nil || nd.count == 0 {
+			return
+		}
+		if level == t.n-1 && nd.box != nil {
+			out = append(out, nd.box)
+		}
+		if nd.next != nil {
+			walk(nd.next, level+1)
+		}
+		walk(nd.children[0], level)
+		walk(nd.children[1], level)
+	}
+	walk(t.root, 0)
+	return out
+}
+
+// Contains reports whether the exact box b is stored.
+func (t *Tree) Contains(b dyadic.Box) bool {
+	nd := t.root
+	for level := 0; level < t.n; level++ {
+		iv := b[level]
+		for i := int(iv.Len) - 1; i >= 0; i-- {
+			bit := iv.Bits >> uint(i) & 1
+			nd = nd.children[bit]
+			if nd == nil {
+				return false
+			}
+		}
+		if level == t.n-1 {
+			return nd.box != nil
+		}
+		nd = nd.next
+		if nd == nil {
+			return false
+		}
+	}
+	return false
+}

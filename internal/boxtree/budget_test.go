@@ -1,0 +1,59 @@
+package boxtree
+
+import (
+	"testing"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+func TestDeleteContainedInBudgetPartial(t *testing.T) {
+	tr := New(2)
+	// Many unit boxes inside ⟨0,λ⟩.
+	for x := uint64(0); x < 8; x++ {
+		for y := uint64(0); y < 16; y++ {
+			tr.Insert(dyadic.Box{dyadic.Unit(x, 4), dyadic.Unit(y, 4)})
+		}
+	}
+	total := tr.Len()
+	// A tiny budget removes only some of the contained boxes…
+	removed := tr.DeleteContainedInBudget(dyadic.MustParseBox("0,λ"), 10)
+	if removed <= 0 || removed >= total {
+		t.Fatalf("budgeted delete removed %d of %d", removed, total)
+	}
+	if tr.Len() != total-removed {
+		t.Fatalf("Len = %d, want %d", tr.Len(), total-removed)
+	}
+	// …and the structure stays fully consistent: a second, unlimited
+	// sweep removes the rest and every remaining query still works.
+	rest := tr.DeleteContainedIn(dyadic.MustParseBox("0,λ"))
+	if removed+rest != total {
+		t.Fatalf("two sweeps removed %d+%d of %d", removed, rest, total)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty: %d", tr.Len())
+	}
+	if _, ok := tr.ContainsSuperset(dyadic.MustParseBox("0000,0000")); ok {
+		t.Error("query found a deleted box")
+	}
+}
+
+func TestDeleteContainedInBudgetZero(t *testing.T) {
+	tr := New(1)
+	tr.Insert(dyadic.MustParseBox("01"))
+	if removed := tr.DeleteContainedInBudget(dyadic.MustParseBox("0"), 0); removed != 0 {
+		t.Errorf("zero budget removed %d boxes", removed)
+	}
+	if tr.Len() != 1 {
+		t.Error("zero-budget sweep changed the tree")
+	}
+}
+
+func TestIntersectsAnyDimensionMismatch(t *testing.T) {
+	tr := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch accepted")
+		}
+	}()
+	tr.IntersectsAny(dyadic.MustParseBox("λ"))
+}

@@ -1,0 +1,155 @@
+// Package cert works with box certificates (Definitions 3.1 and 3.4 of
+// the Tetris paper): subsets of the gap box set whose union equals the
+// union of all gap boxes. The minimum certificate size |C| is the
+// complexity measure of the paper's beyond-worst-case results.
+//
+// Computing a minimum certificate is a set-cover-like problem; this
+// package provides exact minimum search for small inputs, an
+// inclusion-minimal certificate for larger ones (both using Tetris
+// itself as the coverage decision procedure), and union-equality
+// verification.
+package cert
+
+import (
+	"fmt"
+	"sort"
+
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/dyadic"
+)
+
+// coveredBy reports whether box b is covered by the union of the boxes.
+func coveredBy(depths []uint8, boxes []dyadic.Box, b dyadic.Box) (bool, error) {
+	rep, err := core.CoversTarget(depths, boxes, b, core.Options{})
+	if err != nil {
+		return false, err
+	}
+	return rep.Covered, nil
+}
+
+// SameUnion reports whether the two box sets cover exactly the same
+// region: every box of each set is covered by the other set's union.
+func SameUnion(depths []uint8, a, b []dyadic.Box) (bool, error) {
+	for _, box := range a {
+		ok, err := coveredBy(depths, b, box)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	for _, box := range b {
+		ok, err := coveredBy(depths, a, box)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Verify reports whether subset is a box certificate for boxes: subset ⊆
+// boxes (by box equality) and the unions coincide.
+func Verify(depths []uint8, boxes, subset []dyadic.Box) (bool, error) {
+	all := map[string]bool{}
+	for _, b := range boxes {
+		all[b.Key()] = true
+	}
+	for _, s := range subset {
+		if !all[s.Key()] {
+			return false, fmt.Errorf("cert: box %v is not among the gap boxes", s)
+		}
+	}
+	return SameUnion(depths, boxes, subset)
+}
+
+// Minimal returns an inclusion-minimal certificate: boxes are dropped
+// (largest-last order) whenever the remaining set still covers them. The
+// result is minimal — no further box can be removed — though not
+// necessarily minimum.
+func Minimal(depths []uint8, boxes []dyadic.Box) ([]dyadic.Box, error) {
+	// Deduplicate, then try to drop small boxes first so large ones
+	// remain as covers.
+	seen := map[string]bool{}
+	var work []dyadic.Box
+	for _, b := range boxes {
+		if k := b.Key(); !seen[k] {
+			seen[k] = true
+			work = append(work, b)
+		}
+	}
+	sort.Slice(work, func(i, j int) bool {
+		return work[i].LogVolume(depths) < work[j].LogVolume(depths)
+	})
+	kept := append([]dyadic.Box(nil), work...)
+	for i := 0; i < len(kept); i++ {
+		rest := make([]dyadic.Box, 0, len(kept)-1)
+		rest = append(rest, kept[:i]...)
+		rest = append(rest, kept[i+1:]...)
+		ok, err := coveredBy(depths, rest, kept[i])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			kept = rest
+			i--
+		}
+	}
+	return kept, nil
+}
+
+// Minimum returns a minimum-size certificate by exhaustive subset search,
+// guarded to at most 20 distinct boxes.
+func Minimum(depths []uint8, boxes []dyadic.Box) ([]dyadic.Box, error) {
+	seen := map[string]bool{}
+	var work []dyadic.Box
+	for _, b := range boxes {
+		if k := b.Key(); !seen[k] {
+			seen[k] = true
+			work = append(work, b)
+		}
+	}
+	m := len(work)
+	if m > 20 {
+		return nil, fmt.Errorf("cert: Minimum limited to 20 distinct boxes, have %d", m)
+	}
+	if m == 0 {
+		return nil, nil
+	}
+	// Try subsets in order of increasing size.
+	for size := 0; size <= m; size++ {
+		idx := make([]int, size)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			sub := make([]dyadic.Box, size)
+			for i, j := range idx {
+				sub[i] = work[j]
+			}
+			same, err := SameUnion(depths, work, sub)
+			if err != nil {
+				return nil, err
+			}
+			if same {
+				return sub, nil
+			}
+			// Next combination.
+			i := size - 1
+			for i >= 0 && idx[i] == m-size+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < size; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+	return work, nil // unreachable: the full set always works
+}

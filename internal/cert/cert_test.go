@@ -1,0 +1,130 @@
+package cert
+
+import (
+	"testing"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+func boxes(ss ...string) []dyadic.Box {
+	out := make([]dyadic.Box, len(ss))
+	for i, s := range ss {
+		out[i] = dyadic.MustParseBox(s)
+	}
+	return out
+}
+
+func depths2(d uint8) []uint8 { return []uint8{d, d} }
+
+func TestSameUnion(t *testing.T) {
+	d := depths2(2)
+	// ⟨0,λ⟩ == ⟨00,λ⟩ ∪ ⟨01,λ⟩.
+	same, err := SameUnion(d, boxes("0,λ"), boxes("00,λ", "01,λ"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Error("equal unions reported different")
+	}
+	same, err = SameUnion(d, boxes("0,λ"), boxes("00,λ"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Error("different unions reported equal")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	d := depths2(2)
+	all := boxes("0,λ", "00,λ", "λ,1")
+	ok, err := Verify(d, all, boxes("0,λ", "λ,1"))
+	if err != nil || !ok {
+		t.Errorf("valid certificate rejected: %v %v", ok, err)
+	}
+	ok, err = Verify(d, all, boxes("00,λ", "λ,1"))
+	if err != nil || ok {
+		t.Errorf("incomplete certificate accepted: %v %v", ok, err)
+	}
+	if _, err = Verify(d, all, boxes("11,λ")); err == nil {
+		t.Error("foreign box accepted")
+	}
+}
+
+func TestMinimalDropsRedundant(t *testing.T) {
+	d := depths2(3)
+	// ⟨0,λ⟩ subsumes the two smaller boxes; ⟨1,λ⟩ needed as well.
+	all := boxes("0,λ", "00,λ", "01,01", "1,λ")
+	min, err := Minimal(d, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) != 2 {
+		t.Fatalf("Minimal = %v, want 2 boxes", min)
+	}
+	ok, err := Verify(d, all, min)
+	if err != nil || !ok {
+		t.Errorf("Minimal result is not a certificate: %v %v", ok, err)
+	}
+}
+
+func TestMinimalHandlesJointCoverage(t *testing.T) {
+	d := depths2(2)
+	// ⟨λ,0⟩ ∪ ⟨λ,1⟩ covers everything, so ⟨0,λ⟩ is redundant — but only
+	// through their union, not through any single box.
+	all := boxes("λ,0", "λ,1", "0,λ")
+	min, err := Minimal(d, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) != 2 {
+		t.Fatalf("Minimal = %v", min)
+	}
+}
+
+func TestMinimum(t *testing.T) {
+	d := depths2(2)
+	// Union is ⟨λ,λ⟩; minimum certificate is the two halves {⟨0,λ⟩,⟨1,λ⟩},
+	// even though three other boxes also cover parts.
+	all := boxes("0,λ", "1,λ", "00,λ", "λ,00", "10,1")
+	min, err := Minimum(d, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) != 2 {
+		t.Fatalf("Minimum = %v, want 2 boxes", min)
+	}
+	ok, err := Verify(d, all, min)
+	if err != nil || !ok {
+		t.Error("Minimum result is not a certificate")
+	}
+	// Minimum ≤ Minimal always.
+	minimal, err := Minimal(d, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) > len(minimal) {
+		t.Errorf("Minimum %d > Minimal %d", len(min), len(minimal))
+	}
+}
+
+func TestMinimumEdgeCases(t *testing.T) {
+	d := depths2(2)
+	min, err := Minimum(d, nil)
+	if err != nil || len(min) != 0 {
+		t.Error("empty input")
+	}
+	d3 := depths2(3)
+	big := make([]dyadic.Box, 21)
+	for i := range big {
+		big[i] = dyadic.Point([]uint64{uint64(i % 8), uint64(i / 8)}, d3)
+	}
+	if _, err := Minimum(d3, big); err == nil {
+		t.Error("oversized input accepted")
+	}
+	// Duplicates collapse.
+	min, err = Minimum(d, boxes("0,λ", "0,λ", "0,λ"))
+	if err != nil || len(min) != 1 {
+		t.Errorf("duplicate collapse: %v %v", min, err)
+	}
+}

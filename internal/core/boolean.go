@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+// CoverReport is the outcome of a Boolean box cover query
+// (Definition 3.5).
+type CoverReport struct {
+	// Covered is true when the union of the boxes is the whole space.
+	Covered bool
+	// Witness is, when Covered, a box containing the whole space that is
+	// covered by the input union; when not Covered, a unit box (point)
+	// not covered by any input box.
+	Witness dyadic.Box
+	// Stats reports the work performed.
+	Stats Stats
+}
+
+// Covers solves the Boolean box cover problem: does the union of boxes
+// cover the entire output space ⟨λ,…,λ⟩? This is TetrisSkeleton invoked
+// once with the knowledge base preloaded; it also solves Klee's measure
+// problem over the Boolean semiring (Corollary F.8).
+func Covers(depths []uint8, boxes []dyadic.Box, opts Options) (*CoverReport, error) {
+	n := len(depths)
+	if n == 0 {
+		return nil, fmt.Errorf("core: Covers needs at least one dimension")
+	}
+	sao, err := checkSAO(opts.SAO, n)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CoverReport{}
+	sk := newSkeleton(n, depths, sao, opts, &rep.Stats)
+	for _, b := range boxes {
+		if err := b.Check(depths); err != nil {
+			return nil, fmt.Errorf("core: invalid box %v: %w", b, err)
+		}
+		sk.add(b)
+	}
+	v, w, err := sk.run(dyadic.Universe(n))
+	if err != nil {
+		return nil, err
+	}
+	rep.Covered = v
+	rep.Witness = w
+	rep.Stats.KnowledgeBase = sk.kb.Len()
+	return rep, nil
+}
+
+// CoversTarget reports whether the union of boxes covers the given target
+// box: the general Boolean sub-problem solved by TetrisSkeleton.
+func CoversTarget(depths []uint8, boxes []dyadic.Box, target dyadic.Box, opts Options) (*CoverReport, error) {
+	n := len(depths)
+	if n == 0 {
+		return nil, fmt.Errorf("core: CoversTarget needs at least one dimension")
+	}
+	if err := target.Check(depths); err != nil {
+		return nil, fmt.Errorf("core: invalid target box %v: %w", target, err)
+	}
+	sao, err := checkSAO(opts.SAO, n)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CoverReport{}
+	sk := newSkeleton(n, depths, sao, opts, &rep.Stats)
+	for _, b := range boxes {
+		if err := b.Check(depths); err != nil {
+			return nil, fmt.Errorf("core: invalid box %v: %w", b, err)
+		}
+		sk.add(b)
+	}
+	v, w, err := sk.run(target)
+	if err != nil {
+		return nil, err
+	}
+	rep.Covered = v
+	rep.Witness = w
+	rep.Stats.KnowledgeBase = sk.kb.Len()
+	return rep, nil
+}

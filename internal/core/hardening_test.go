@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+// malformedOracle returns a box that fails validation (component deeper
+// than the dimension).
+type malformedOracle struct{ depths []uint8 }
+
+func (m malformedOracle) Dims() int       { return len(m.depths) }
+func (m malformedOracle) Depths() []uint8 { return m.depths }
+func (m malformedOracle) GapsContaining(point []uint64) []dyadic.Box {
+	return []dyadic.Box{{dyadic.Interval{Bits: 5, Len: 3}, dyadic.Lambda}}
+}
+func (m malformedOracle) AllGaps() []dyadic.Box {
+	return []dyadic.Box{{dyadic.Interval{Bits: 5, Len: 3}, dyadic.Lambda}}
+}
+
+func TestMalformedOracleBoxesRejected(t *testing.T) {
+	o := malformedOracle{depths: depthsOf(2, 2)}
+	if _, err := Run(o, Options{Mode: Reloaded}); err == nil {
+		t.Error("Reloaded accepted a malformed gap box")
+	}
+	if _, err := Run(o, Options{Mode: Preloaded}); err == nil {
+		t.Error("Preloaded accepted a malformed gap box")
+	}
+	if _, err := Run(o, Options{Mode: ReloadedLB}); err == nil {
+		t.Error("ReloadedLB accepted a malformed gap box")
+	}
+}
+
+// inconsistentOracle reports a different dimensionality than its depths.
+type inconsistentOracle struct{}
+
+func (inconsistentOracle) Dims() int                                  { return 3 }
+func (inconsistentOracle) Depths() []uint8                            { return []uint8{2, 2} }
+func (inconsistentOracle) GapsContaining(point []uint64) []dyadic.Box { return nil }
+func (inconsistentOracle) AllGaps() []dyadic.Box                      { return nil }
+
+func TestInconsistentOracleRejected(t *testing.T) {
+	if _, err := Run(inconsistentOracle{}, Options{}); err == nil {
+		t.Error("inconsistent oracle accepted")
+	}
+}
+
+// violatingLBOracle exercises the contract-violation path of the LB loop.
+type violatingLBOracle struct{ depths []uint8 }
+
+func (v violatingLBOracle) Dims() int       { return len(v.depths) }
+func (v violatingLBOracle) Depths() []uint8 { return v.depths }
+func (v violatingLBOracle) GapsContaining(point []uint64) []dyadic.Box {
+	// A fixed valid box that does not contain most probe points.
+	return []dyadic.Box{dyadic.MustParseBox("00,00,00")}
+}
+func (v violatingLBOracle) AllGaps() []dyadic.Box { return nil }
+
+func TestLBOracleContractViolation(t *testing.T) {
+	o := violatingLBOracle{depths: depthsOf(3, 2)}
+	if _, err := Run(o, Options{Mode: ReloadedLB}); err == nil {
+		t.Error("LB loop accepted contract-violating oracle")
+	}
+}
+
+func TestTrackProvenanceAcrossModes(t *testing.T) {
+	depths := depthsOf(3, 2)
+	bs := boxes("0,0,λ", "1,1,λ", "λ,0,0", "λ,1,1", "0,λ,1", "1,λ,0")
+	o := MustBoxOracle(depths, bs)
+	for _, m := range allModes() {
+		res, err := Run(o, Options{Mode: m, TrackProvenance: true})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Stats.GapResolutions+res.Stats.OutputResolutions != res.Stats.Resolutions {
+			t.Errorf("%v: provenance split %d+%d != %d", m,
+				res.Stats.GapResolutions, res.Stats.OutputResolutions, res.Stats.Resolutions)
+		}
+	}
+}
+
+func TestDisableSubsumeStillCorrect(t *testing.T) {
+	depths := depthsOf(2, 3)
+	bs := boxes("λ,0", "00,λ", "λ,11", "10,1")
+	o := MustBoxOracle(depths, bs)
+	on, err := Run(o, Options{Mode: Preloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(o, Options{Mode: Preloaded, DisableSubsume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(on.Tuples) != len(off.Tuples) {
+		t.Errorf("subsumption changed the answer: %d vs %d", len(on.Tuples), len(off.Tuples))
+	}
+	// Without compaction the knowledge base holds at least as many boxes.
+	if off.Stats.KnowledgeBase < on.Stats.KnowledgeBase {
+		t.Errorf("no-subsume kb %d < subsume kb %d", off.Stats.KnowledgeBase, on.Stats.KnowledgeBase)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/balance"
+	"tetrisjoin/internal/dyadic"
+)
+
+// runLB executes the load-balanced variants of Section 4.5: the gap boxes
+// are carried through the Balance map into 2n-2 dimensions and Tetris
+// runs there with the lifted splitting attribute order
+// (A'_1..A'_{n-2}, A_n, A_{n-1}, A”_{n-2}..A”_1), realizing Algorithm 5
+// (Preloaded) and the online strategy of Appendix F.6 (Reloaded, with
+// periodic partition rebuilds).
+//
+// When the skeleton finds an uncovered lifted unit point, the point is
+// decoded back to a base tuple t; if t is an output, the whole lifted
+// equivalence class Balance(⟨t⟩) is added to the knowledge base so the
+// unconstrained suffix bits of the lifted space never have to be
+// enumerated.
+func runLB(o Oracle, opts Options) (*Result, error) {
+	depths := o.Depths()
+	res := &Result{}
+
+	var baseBoxes []dyadic.Box
+	if opts.Mode == PreloadedLB {
+		for _, b := range o.AllGaps() {
+			if err := b.Check(depths); err != nil {
+				return nil, fmt.Errorf("core: oracle returned invalid gap box %v: %w", b, err)
+			}
+			baseBoxes = append(baseBoxes, b)
+		}
+	}
+
+	lift, err := balance.LiftFromBoxes(depths, baseBoxes)
+	if err != nil {
+		return nil, err
+	}
+	liftSAO := make([]int, lift.Dims())
+	for i := range liftSAO {
+		liftSAO[i] = i
+	}
+	sk := newSkeleton(lift.Dims(), lift.Depths(), liftSAO, opts, &res.Stats)
+	loaded := make(map[string]bool)
+	load := func(b dyadic.Box) bool {
+		fresh := !loaded[b.Key()]
+		if fresh {
+			loaded[b.Key()] = true
+			res.Stats.BoxesLoaded++
+		}
+		sk.add(lift.Box(b))
+		return fresh
+	}
+	for _, b := range baseBoxes {
+		load(b)
+	}
+
+	// outputs retains every reported tuple even when the caller streams
+	// via OnOutput, because rebuilds must re-cover them.
+	var outputs [][]uint64
+
+	// rebuild recomputes balanced partitions from the boxes loaded so far
+	// and rebuilds the knowledge base in the new lifted space. Learned
+	// resolvents are discarded — they are boxes of the old lifted space —
+	// but loaded gap boxes and reported outputs are re-lifted, so the
+	// covered region is preserved. Rebuilds happen O(log |C|) times.
+	lastBuild := 0
+	rebuild := func() error {
+		res.Stats.Rebuilds++
+		lift, err = balance.LiftFromBoxes(depths, baseBoxes)
+		if err != nil {
+			return err
+		}
+		sk = newSkeleton(lift.Dims(), lift.Depths(), liftSAO, opts, &res.Stats)
+		for _, b := range baseBoxes {
+			sk.add(lift.Box(b))
+		}
+		for _, t := range outputs {
+			sk.addOutput(lift.Point(t))
+		}
+		lastBuild = len(baseBoxes)
+		return nil
+	}
+
+	universe := dyadic.Universe(lift.Dims())
+	for {
+		if opts.Mode == ReloadedLB && len(baseBoxes) >= 2*max(1, lastBuild) {
+			if err := rebuild(); err != nil {
+				return nil, err
+			}
+		}
+		v, w, err := sk.run(universe)
+		if err != nil {
+			return nil, err
+		}
+		if v {
+			break
+		}
+		// w is an uncovered lifted unit point; decode to a base tuple.
+		liftedPoint := w.Values(lift.Depths())
+		point := lift.DecodePoint(liftedPoint)
+		res.Stats.OracleCalls++
+		gaps := o.GapsContaining(point)
+		if len(gaps) == 0 {
+			res.Stats.Outputs++
+			tup := make([]uint64, len(point))
+			copy(tup, point)
+			outputs = append(outputs, tup)
+			stop := false
+			if opts.OnOutput != nil {
+				stop = !opts.OnOutput(point)
+			} else {
+				res.Tuples = append(res.Tuples, tup)
+			}
+			sk.addOutput(lift.Point(tup))
+			if stop || (opts.MaxOutput > 0 && res.Stats.Outputs >= int64(opts.MaxOutput)) {
+				break
+			}
+			continue
+		}
+		progress := false
+		containsPoint := false
+		for _, g := range gaps {
+			if err := g.Check(depths); err != nil {
+				return nil, fmt.Errorf("core: oracle returned invalid gap box %v: %w", g, err)
+			}
+			if g.ContainsPoint(point, depths) {
+				containsPoint = true
+			}
+			if load(g) {
+				progress = true
+				baseBoxes = append(baseBoxes, g)
+			}
+		}
+		if !containsPoint {
+			return nil, fmt.Errorf("core: oracle contract violation: no returned gap box contains probe point %v", point)
+		}
+		if !progress {
+			return nil, fmt.Errorf("core: no progress: oracle returned only known gap boxes for uncovered point %v", point)
+		}
+	}
+	res.Stats.KnowledgeBase = sk.kb.Len()
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+// Mode selects the knowledge-base initialization strategy of Algorithm 2,
+// which determines the runtime guarantee Tetris achieves (Sections
+// 4.3–4.5 of the paper).
+type Mode int
+
+const (
+	// Reloaded starts with an empty knowledge base and loads gap boxes
+	// lazily from the oracle; it achieves the certificate-based
+	// ("beyond worst-case") bounds: Õ(|C|+Z) for treewidth 1 (Thm 4.7),
+	// Õ(|C|^{w+1}+Z) for treewidth w (Thm 4.9), Õ(|C|^{n-1}+Z) in
+	// general (Thm E.11). This is the default.
+	Reloaded Mode = iota
+	// Preloaded copies the entire gap box set into the knowledge base
+	// up front; with a suitable SAO it achieves the worst-case optimal
+	// bounds: Õ(N+AGM) (Thm D.2), Õ(N+Z) for α-acyclic queries
+	// (Thm D.8) and Õ(N^fhtw + Z) in general (Thm 4.6).
+	Preloaded
+	// PreloadedLB is Tetris-Preloaded-LB (Algorithm 3): the input is
+	// lifted to 2n-2 dimensions through the Balance map before running,
+	// achieving Õ(|B|^{n/2} + Z) (Theorem F.7).
+	PreloadedLB
+	// ReloadedLB is Tetris-Reloaded-LB: the lazy variant of the above,
+	// achieving Õ(|C|^{n/2} + Z) (Theorem F.9). Partitions are rebuilt
+	// whenever the number of loaded boxes doubles (the paper's periodic
+	// re-adjustment).
+	ReloadedLB
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Reloaded:
+		return "tetris-reloaded"
+	case Preloaded:
+		return "tetris-preloaded"
+	case PreloadedLB:
+		return "tetris-preloaded-lb"
+	case ReloadedLB:
+		return "tetris-reloaded-lb"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a Tetris run.
+type Options struct {
+	// Mode selects the knowledge-base initialization (default Reloaded).
+	Mode Mode
+	// SAO is the splitting attribute order: a permutation of dimension
+	// indices. The skeleton splits target boxes along the first thick
+	// dimension in this order. Nil means the natural order 0..n-1.
+	// Ignored by the LB modes, which impose the Balance order of
+	// Appendix F.5.
+	SAO []int
+	// NoCache disables line 19 of Algorithm 1 (caching of resolvents),
+	// restricting the algorithm to Tree Ordered Geometric Resolution
+	// (Section 5.1). Used to reproduce Theorems 5.1 and 5.2.
+	NoCache bool
+	// SinglePass uses the TetrisSkeleton2 variant of the paper's footnote
+	// 13 and Theorem D.2's proof: output tuples are reported inside the
+	// skeleton — an uncovered unit box is an output, since the knowledge
+	// base holds every gap box — so the whole enumeration is one
+	// depth-first pass with no outer-loop restarts. Requires Preloaded
+	// mode. This is what makes the worst-case bounds (D.2, D.8, 5.1)
+	// hold with large outputs; without it each output restarts the
+	// search from the root.
+	SinglePass bool
+	// DisableSubsume turns off knowledge-base compaction (removal of
+	// boxes covered by a newly learned resolvent). Compaction does not
+	// change the covered region; disabling it aids debugging and keeps
+	// resolution counts directly comparable to the paper's accounting.
+	DisableSubsume bool
+	// TrackProvenance enables the gap-vs-output resolution accounting of
+	// Definitions C.3/C.4, populating Stats.GapResolutions and
+	// Stats.OutputResolutions at the cost of one map entry per resolvent.
+	TrackProvenance bool
+	// MaxResolutions aborts the run with an error after this many
+	// resolutions (0 = unlimited). A safety valve for adversarial
+	// experiments.
+	MaxResolutions int64
+	// MaxOutput stops after reporting this many output tuples
+	// (0 = unlimited).
+	MaxOutput int
+	// OnOutput, if non-nil, is invoked for every output tuple as it is
+	// found. Returning false stops the enumeration early. The slice is
+	// reused; callers must copy it to retain it.
+	OnOutput func(tuple []uint64) bool
+	// OnResolve, if non-nil, observes every geometric resolution: the two
+	// witnesses, their resolvent, and the dimension resolved on (in the
+	// run's working space — the lifted space for LB modes). Intended for
+	// tracing and tests; it must not retain the boxes without copying.
+	OnResolve func(w1, w2, resolvent dyadic.Box, dim int)
+}
+
+// Stats reports the work performed by a Tetris run. Resolution counts are
+// the paper's primary complexity measure (Lemma 4.5: total runtime is
+// Õ(#resolutions)).
+type Stats struct {
+	// Resolutions is the total number of geometric resolutions performed.
+	Resolutions int64
+	// GapResolutions counts resolutions not involving any output box
+	// (Definition C.3). Populated only with Options.TrackProvenance.
+	GapResolutions int64
+	// OutputResolutions counts resolutions involving an output box
+	// directly or transitively (Definition C.4). Populated only with
+	// Options.TrackProvenance.
+	OutputResolutions int64
+	// SkeletonCalls counts recursive TetrisSkeleton invocations.
+	SkeletonCalls int64
+	// Splits counts Split-First-Thick-Dimension operations.
+	Splits int64
+	// CoverHits counts successful knowledge-base containment lookups
+	// (line 1 of Algorithm 1).
+	CoverHits int64
+	// OracleCalls counts probes of the gap box oracle (line 4 of
+	// Algorithm 2).
+	OracleCalls int64
+	// BoxesLoaded counts gap boxes added to the knowledge base from the
+	// oracle. Under Reloaded this is the implicit certificate size
+	// witness (Lemma E.1: O(|C|) up to Õ(1) factors).
+	BoxesLoaded int64
+	// Outputs is the number of output tuples reported.
+	Outputs int64
+	// Rebuilds counts partition rebuilds in ReloadedLB mode.
+	Rebuilds int64
+	// KnowledgeBase is the final number of boxes in the knowledge base.
+	KnowledgeBase int
+}
+
+// Result is the outcome of a Tetris run: the output tuples of the box
+// cover problem (in dimension order) and the work statistics.
+type Result struct {
+	Tuples [][]uint64
+	Stats  Stats
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/boxtree"
+	"tetrisjoin/internal/dyadic"
+)
+
+// Oracle provides access to the gap box set B of a box cover problem
+// (Definition 3.4). It models the paper's assumption (Section 3.4) that
+// pre-built database indices can return, in Õ(1) time, the gap boxes
+// containing a given tuple. Implementations are provided by package index
+// (B-tree, trie, dyadic-tree and KD-tree indices) and, for raw box sets,
+// by BoxOracle below.
+type Oracle interface {
+	// Dims returns the dimensionality n of the output space.
+	Dims() int
+	// Depths returns the per-dimension bit depths of the output space.
+	Depths() []uint8
+	// GapsContaining returns the gap boxes of B that contain the given
+	// point. An empty result certifies that the point is an output tuple.
+	GapsContaining(point []uint64) []dyadic.Box
+	// AllGaps enumerates the complete gap box set B. It is used by the
+	// Preloaded variants and may be expensive for lazy indices.
+	AllGaps() []dyadic.Box
+}
+
+// BoxOracle is an Oracle over an explicitly materialized box set, backed
+// by a multilevel dyadic tree for Õ(1) containment queries. It is the
+// natural oracle for BCP instances given directly as boxes (certificates,
+// Klee's measure inputs, generated hard instances).
+type BoxOracle struct {
+	depths []uint8
+	tree   *boxtree.Tree
+	boxes  []dyadic.Box
+}
+
+// NewBoxOracle builds an oracle over the given boxes. Every box must be
+// valid for the given depths.
+func NewBoxOracle(depths []uint8, boxes []dyadic.Box) (*BoxOracle, error) {
+	if len(depths) == 0 {
+		return nil, fmt.Errorf("core: oracle needs at least one dimension")
+	}
+	for _, d := range depths {
+		if d == 0 || d > dyadic.MaxDepth {
+			return nil, fmt.Errorf("core: invalid dimension depth %d", d)
+		}
+	}
+	t := boxtree.New(len(depths))
+	kept := make([]dyadic.Box, 0, len(boxes))
+	for _, b := range boxes {
+		if err := b.Check(depths); err != nil {
+			return nil, fmt.Errorf("core: invalid gap box %v: %w", b, err)
+		}
+		if t.Insert(b) {
+			kept = append(kept, b)
+		}
+	}
+	return &BoxOracle{depths: depths, tree: t, boxes: kept}, nil
+}
+
+// MustBoxOracle is NewBoxOracle that panics on error; for tests and
+// fixtures.
+func MustBoxOracle(depths []uint8, boxes []dyadic.Box) *BoxOracle {
+	o, err := NewBoxOracle(depths, boxes)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Dims implements Oracle.
+func (o *BoxOracle) Dims() int { return len(o.depths) }
+
+// Depths implements Oracle.
+func (o *BoxOracle) Depths() []uint8 { return o.depths }
+
+// GapsContaining implements Oracle.
+func (o *BoxOracle) GapsContaining(point []uint64) []dyadic.Box {
+	return o.tree.Supersets(dyadic.Point(point, o.depths))
+}
+
+// AllGaps implements Oracle.
+func (o *BoxOracle) AllGaps() []dyadic.Box { return o.boxes }
+
+// Len returns the number of distinct boxes in the oracle.
+func (o *BoxOracle) Len() int { return len(o.boxes) }

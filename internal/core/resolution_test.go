@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+func box(s string) dyadic.Box { return dyadic.MustParseBox(s) }
+
+func TestResolveFigure7(t *testing.T) {
+	// Figure 7: resolving ⟨λ,00⟩ (bottom strip) with ⟨10,01⟩ on the
+	// vertical axis yields ⟨10,0⟩.
+	got, err := Resolve(box("λ,00"), box("10,01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(box("10,0")) {
+		t.Errorf("Resolve = %s, want ⟨10,0⟩", got)
+	}
+	// Resolution is symmetric.
+	got2, err := Resolve(box("10,01"), box("λ,00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(got) {
+		t.Errorf("Resolve not symmetric: %s vs %s", got, got2)
+	}
+}
+
+func TestResolveCases(t *testing.T) {
+	cases := []struct {
+		w1, w2, want string
+	}{
+		// Pivot at full-λ elsewhere: ⟨0⟩ with ⟨1⟩ -> ⟨λ⟩ in 1D.
+		{"0", "1", "λ"},
+		// Example 4.4 resolutions.
+		{"01,10", "λ,11", "01,1"},
+		{"λ,0", "01,1", "01,λ"},
+		{"00,λ", "01,λ", "0,λ"},
+		{"11,10", "λ,11", "11,1"},
+		{"11,1", "λ,0", "11,λ"},
+		{"11,λ", "10,λ", "1,λ"},
+		{"1,λ", "0,λ", "λ,λ"},
+		// Deeper pivots keep the common prefix.
+		{"010,λ", "011,00", "01,00"},
+	}
+	for _, c := range cases {
+		got, err := Resolve(box(c.w1), box(c.w2))
+		if err != nil {
+			t.Errorf("Resolve(%s,%s): %v", c.w1, c.w2, err)
+			continue
+		}
+		if !got.Equal(box(c.want)) {
+			t.Errorf("Resolve(%s,%s) = %s, want %s", c.w1, c.w2, got, c.want)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []struct{ w1, w2 string }{
+		{"00,λ", "11,λ"}, // not siblings
+		{"0,0", "1,1"},   // two sibling dimensions
+		{"01,λ", "01,λ"}, // identical: nothing to resolve
+		{"0,00", "1,11"}, // sibling dim plus incomparable dim
+		{"λ,λ", "λ,λ"},   // no pivot
+	}
+	for _, c := range cases {
+		if _, err := Resolve(box(c.w1), box(c.w2)); err == nil {
+			t.Errorf("Resolve(%s,%s) unexpectedly succeeded", c.w1, c.w2)
+		}
+	}
+	if _, err := Resolve(box("0,λ"), box("1")); err == nil {
+		t.Error("Resolve accepted dimension mismatch")
+	}
+}
+
+// TestResolveSoundness: the resolvent is covered by the union of its two
+// inputs (the defining property of geometric resolution), checked
+// pointwise on small instances.
+func TestResolveSoundness(t *testing.T) {
+	const d = 3
+	depths := []uint8{d, d}
+	pairs := [][2]string{
+		{"λ,00", "10,01"},
+		{"0,λ", "1,01"},
+		{"010,0", "011,λ"},
+		{"01,10", "λ,11"},
+	}
+	for _, p := range pairs {
+		w1, w2 := box(p[0]), box(p[1])
+		w, err := Resolve(w1, w2)
+		if err != nil {
+			t.Fatalf("Resolve(%s,%s): %v", p[0], p[1], err)
+		}
+		for x := uint64(0); x < 1<<d; x++ {
+			for y := uint64(0); y < 1<<d; y++ {
+				pt := []uint64{x, y}
+				if w.ContainsPoint(pt, depths) &&
+					!w1.ContainsPoint(pt, depths) && !w2.ContainsPoint(pt, depths) {
+					t.Fatalf("resolvent %s of (%s,%s) covers (%d,%d) outside the union", w, w1, w2, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestIsOrderedResolution(t *testing.T) {
+	sao := []int{0, 1, 2}
+	if !IsOrderedResolution(box("0,00,λ"), box("0,01,λ"), 1, sao) {
+		t.Error("valid ordered resolution rejected")
+	}
+	if IsOrderedResolution(box("0,00,1"), box("0,01,λ"), 1, sao) {
+		t.Error("trailing non-λ accepted as ordered")
+	}
+	// With a different SAO, "after the pivot" changes.
+	if !IsOrderedResolution(box("0,00,1"), box("0,01,1"), 1, []int{2, 0, 1}) {
+		t.Error("resolution ordered under SAO (2,0,1) rejected")
+	}
+}
+
+func TestResolveOrderedPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("resolveOrdered accepted non-sibling pivot")
+		}
+	}()
+	resolveOrdered(box("00,λ"), box("11,λ"), 0)
+}

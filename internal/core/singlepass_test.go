@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSinglePassMatchesRestartMode: TetrisSkeleton2 (footnote 13) must
+// enumerate exactly the same output as the restart-based outer loop.
+func TestSinglePassMatchesRestartMode(t *testing.T) {
+	r := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(2)
+		d := uint8(2 + r.Intn(2))
+		depths := depthsOf(n, d)
+		bs := randBoxSet(r, n, d, r.Intn(12))
+		o := MustBoxOracle(depths, bs)
+		want, err := Run(o, Options{Mode: Preloaded})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(o, Options{Mode: Preloaded, SinglePass: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := want.Tuples, got.Tuples
+		sortTuples(a)
+		sortTuples(b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: single-pass %v vs restart %v", trial, b, a)
+		}
+		// No-cache single pass is also correct.
+		got, err = Run(o, Options{Mode: Preloaded, SinglePass: true, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = got.Tuples
+		sortTuples(b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: no-cache single-pass mismatch", trial)
+		}
+	}
+}
+
+// TestSinglePassAvoidsRestartAmplification: on a large-output instance
+// the single-pass variant must use far fewer skeleton calls than the
+// restart loop — the reason footnote 13 exists.
+func TestSinglePassAvoidsRestartAmplification(t *testing.T) {
+	depths := depthsOf(2, 6)
+	// No gaps: all 4096 points are outputs.
+	o := MustBoxOracle(depths, nil)
+	restart, err := Run(o, Options{Mode: Preloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(o, Options{Mode: Preloaded, SinglePass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restart.Stats.Outputs != single.Stats.Outputs {
+		t.Fatalf("output mismatch: %d vs %d", restart.Stats.Outputs, single.Stats.Outputs)
+	}
+	if single.Stats.SkeletonCalls*2 >= restart.Stats.SkeletonCalls {
+		t.Errorf("single pass used %d skeleton calls vs restart's %d — no amplification avoided",
+			single.Stats.SkeletonCalls, restart.Stats.SkeletonCalls)
+	}
+}
+
+func TestSinglePassRequiresPreloaded(t *testing.T) {
+	o := MustBoxOracle(depthsOf(2, 2), nil)
+	if _, err := Run(o, Options{Mode: Reloaded, SinglePass: true}); err == nil {
+		t.Error("single pass accepted with Reloaded mode")
+	}
+}
+
+func TestSinglePassMaxOutputAndStreaming(t *testing.T) {
+	o := MustBoxOracle(depthsOf(2, 3), nil) // 64 outputs
+	res, err := Run(o, Options{Mode: Preloaded, SinglePass: true, MaxOutput: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 7 {
+		t.Errorf("MaxOutput: got %d tuples", len(res.Tuples))
+	}
+	var seen int
+	_, err = Run(o, Options{Mode: Preloaded, SinglePass: true, OnOutput: func(tuple []uint64) bool {
+		seen++
+		return seen < 5
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Errorf("streaming stop: saw %d", seen)
+	}
+}

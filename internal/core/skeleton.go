@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+
+	"tetrisjoin/internal/boxtree"
+	"tetrisjoin/internal/dyadic"
+)
+
+// errResolutionBudget is returned (wrapped) when Options.MaxResolutions
+// is exceeded.
+var errResolutionBudget = errors.New("core: resolution budget exhausted")
+
+// skeleton is the state of Algorithm 1: the knowledge base A, the
+// splitting attribute order, and instrumentation. A single skeleton is
+// reused across the repeated invocations made by the outer loop, so the
+// knowledge base persists exactly as the paper's global A does.
+type skeleton struct {
+	kb      *boxtree.Tree
+	sao     []int
+	depths  []uint8
+	noCache bool
+	subsume bool
+
+	maxResolutions int64
+	stats          *Stats
+	onResolve      func(w1, w2, resolvent dyadic.Box, dim int)
+
+	// onUncoveredUnit, when set, turns the skeleton into TetrisSkeleton2
+	// (footnote 13): an uncovered unit box is reported as an output and
+	// treated as covered, so the full enumeration happens in one pass.
+	// It returns false to abort the search (output limit reached).
+	onUncoveredUnit func(b dyadic.Box) bool
+
+	// fromOutput marks boxes that are output boxes or output resolvents
+	// (Definition C.4), keyed by Box.Key. Nil unless provenance tracking
+	// is requested.
+	fromOutput map[string]bool
+}
+
+// errStopped signals an early stop requested by the output callback.
+var errStopped = errors.New("core: enumeration stopped by caller")
+
+func newSkeleton(n int, depths []uint8, sao []int, opts Options, stats *Stats) *skeleton {
+	s := &skeleton{
+		kb:             boxtree.New(n),
+		sao:            sao,
+		depths:         depths,
+		noCache:        opts.NoCache,
+		subsume:        !opts.DisableSubsume,
+		maxResolutions: opts.MaxResolutions,
+		stats:          stats,
+		onResolve:      opts.OnResolve,
+	}
+	if opts.TrackProvenance {
+		s.fromOutput = make(map[string]bool)
+	}
+	return s
+}
+
+// add inserts a box into the knowledge base.
+func (s *skeleton) add(b dyadic.Box) {
+	if s.subsume {
+		s.kb.InsertSubsuming(b)
+	} else {
+		s.kb.Insert(b)
+	}
+}
+
+// addOutput inserts an output (unit) box and marks its provenance.
+func (s *skeleton) addOutput(b dyadic.Box) {
+	if s.fromOutput != nil {
+		s.fromOutput[b.Key()] = true
+	}
+	s.add(b)
+}
+
+// run is TetrisSkeleton (Algorithm 1). Given a target box b it returns
+// (true, w) where w ⊇ b is covered by the union of the knowledge base, or
+// (false, p) where p ∈ b is a unit box not covered by any stored box.
+func (s *skeleton) run(b dyadic.Box) (bool, dyadic.Box, error) {
+	s.stats.SkeletonCalls++
+	// Line 1: a stored box covering b is a ready-made witness.
+	if a, ok := s.kb.ContainsSuperset(b); ok {
+		s.stats.CoverHits++
+		return true, a, nil
+	}
+	// Line 3: an uncovered unit box witnesses non-coverage — or, in
+	// single-pass mode, is an output tuple reported on the spot.
+	dim := b.FirstThick(s.sao, s.depths)
+	if dim == -1 {
+		if s.onUncoveredUnit != nil {
+			if !s.onUncoveredUnit(b) {
+				return false, nil, errStopped
+			}
+			s.addOutput(b)
+			return true, b, nil
+		}
+		return false, b, nil
+	}
+	// Line 6: Split-First-Thick-Dimension.
+	s.stats.Splits++
+	b1, b2 := b.SplitAt(dim)
+	v1, w1, err := s.run(b1)
+	if err != nil {
+		return false, nil, err
+	}
+	if !v1 {
+		return false, w1, nil
+	}
+	if w1.Contains(b) {
+		return true, w1, nil
+	}
+	v2, w2, err := s.run(b2)
+	if err != nil {
+		return false, nil, err
+	}
+	if !v2 {
+		return false, w2, nil
+	}
+	if w2.Contains(b) {
+		return true, w2, nil
+	}
+	// Line 18: geometric resolution of the two half-witnesses. By Lemma
+	// C.1 this is always an ordered resolution on dim.
+	w := resolveOrdered(w1, w2, dim)
+	s.stats.Resolutions++
+	if s.onResolve != nil {
+		s.onResolve(w1, w2, w, dim)
+	}
+	if s.maxResolutions > 0 && s.stats.Resolutions > s.maxResolutions {
+		return false, nil, errResolutionBudget
+	}
+	if s.fromOutput != nil {
+		if s.fromOutput[w1.Key()] || s.fromOutput[w2.Key()] {
+			s.fromOutput[w.Key()] = true
+			s.stats.OutputResolutions++
+		} else {
+			s.stats.GapResolutions++
+		}
+	}
+	// Line 19: cache the resolvent (skipped in Tree Ordered mode).
+	if !s.noCache {
+		s.add(w)
+	}
+	return true, w, nil
+}

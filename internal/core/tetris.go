@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+// Run executes Tetris (Algorithm 2) over the given oracle and returns all
+// output tuples of the box cover problem together with work statistics.
+// The Mode in opts selects between the Preloaded, Reloaded and
+// load-balanced variants; see the Mode documentation for the runtime
+// guarantees of each.
+func Run(o Oracle, opts Options) (*Result, error) {
+	n := o.Dims()
+	depths := o.Depths()
+	if n < 1 {
+		return nil, fmt.Errorf("core: oracle reports %d dimensions", n)
+	}
+	if len(depths) != n {
+		return nil, fmt.Errorf("core: oracle reports %d depths for %d dimensions", len(depths), n)
+	}
+	for i, d := range depths {
+		if d == 0 || d > dyadic.MaxDepth {
+			return nil, fmt.Errorf("core: dimension %d has invalid depth %d", i, d)
+		}
+	}
+	switch opts.Mode {
+	case Preloaded, Reloaded:
+		sao, err := checkSAO(opts.SAO, n)
+		if err != nil {
+			return nil, err
+		}
+		return runPlain(o, opts, sao)
+	case PreloadedLB, ReloadedLB:
+		if n < 3 {
+			// The Balance map is defined for n >= 3; below that the plain
+			// variants already meet the Õ(|C|^{n/2}) target (n-1 <= n/2
+			// fails only for n >= 3... for n <= 2, n-1 <= n/2+1/2 and the
+			// 2-dimensional bound Õ(|C|+Z) of Lemma E.9 applies).
+			plain := opts
+			if opts.Mode == PreloadedLB {
+				plain.Mode = Preloaded
+			} else {
+				plain.Mode = Reloaded
+			}
+			sao, err := checkSAO(opts.SAO, n)
+			if err != nil {
+				return nil, err
+			}
+			return runPlain(o, plain, sao)
+		}
+		return runLB(o, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", opts.Mode)
+	}
+}
+
+func checkSAO(sao []int, n int) ([]int, error) {
+	if sao == nil {
+		sao = make([]int, n)
+		for i := range sao {
+			sao[i] = i
+		}
+		return sao, nil
+	}
+	if len(sao) != n {
+		return nil, fmt.Errorf("core: SAO has %d entries for %d dimensions", len(sao), n)
+	}
+	seen := make([]bool, n)
+	for _, dim := range sao {
+		if dim < 0 || dim >= n || seen[dim] {
+			return nil, fmt.Errorf("core: SAO %v is not a permutation of 0..%d", sao, n-1)
+		}
+		seen[dim] = true
+	}
+	return sao, nil
+}
+
+// runPlain is Algorithm 2 with the Preloaded or Reloaded initialization.
+func runPlain(o Oracle, opts Options, sao []int) (*Result, error) {
+	n, depths := o.Dims(), o.Depths()
+	res := &Result{}
+	sk := newSkeleton(n, depths, sao, opts, &res.Stats)
+
+	if opts.SinglePass && opts.Mode != Preloaded {
+		return nil, fmt.Errorf("core: SinglePass requires Preloaded mode (the knowledge base must hold every gap box)")
+	}
+
+	loaded := make(map[string]bool)
+	if opts.Mode == Preloaded {
+		for _, b := range o.AllGaps() {
+			if err := b.Check(depths); err != nil {
+				return nil, fmt.Errorf("core: oracle returned invalid gap box %v: %w", b, err)
+			}
+			if !loaded[b.Key()] {
+				loaded[b.Key()] = true
+				res.Stats.BoxesLoaded++
+			}
+			sk.add(b)
+		}
+	}
+
+	if opts.SinglePass {
+		// TetrisSkeleton2 (footnote 13): one depth-first pass reporting
+		// every uncovered unit box as an output.
+		sk.onUncoveredUnit = func(b dyadic.Box) bool {
+			point := b.Values(depths)
+			res.Stats.Outputs++
+			if opts.OnOutput != nil {
+				if !opts.OnOutput(point) {
+					return false
+				}
+			} else {
+				tup := make([]uint64, len(point))
+				copy(tup, point)
+				res.Tuples = append(res.Tuples, tup)
+			}
+			return opts.MaxOutput <= 0 || res.Stats.Outputs < int64(opts.MaxOutput)
+		}
+		_, _, err := sk.run(dyadic.Universe(n))
+		if err != nil && err != errStopped {
+			return nil, err
+		}
+		res.Stats.KnowledgeBase = sk.kb.Len()
+		return res, nil
+	}
+
+	universe := dyadic.Universe(n)
+	for {
+		v, w, err := sk.run(universe)
+		if err != nil {
+			return nil, err
+		}
+		if v {
+			break
+		}
+		point := w.Values(depths)
+		res.Stats.OracleCalls++
+		gaps := o.GapsContaining(point)
+		if len(gaps) == 0 {
+			// w is an output tuple: report it and amend A with its box.
+			res.Stats.Outputs++
+			stop := false
+			if opts.OnOutput != nil {
+				stop = !opts.OnOutput(point)
+			} else {
+				tup := make([]uint64, len(point))
+				copy(tup, point)
+				res.Tuples = append(res.Tuples, tup)
+			}
+			sk.addOutput(w)
+			if stop || (opts.MaxOutput > 0 && res.Stats.Outputs >= int64(opts.MaxOutput)) {
+				break
+			}
+			continue
+		}
+		progress := false
+		containsPoint := false
+		for _, g := range gaps {
+			if err := g.Check(depths); err != nil {
+				return nil, fmt.Errorf("core: oracle returned invalid gap box %v: %w", g, err)
+			}
+			if g.ContainsPoint(point, depths) {
+				containsPoint = true
+			}
+			if !loaded[g.Key()] {
+				loaded[g.Key()] = true
+				res.Stats.BoxesLoaded++
+				progress = true
+			}
+			sk.add(g)
+		}
+		if !containsPoint {
+			return nil, fmt.Errorf("core: oracle contract violation: no returned gap box contains probe point %v", point)
+		}
+		if !progress {
+			return nil, fmt.Errorf("core: no progress: oracle returned only known gap boxes for uncovered point %v", point)
+		}
+	}
+	res.Stats.KnowledgeBase = sk.kb.Len()
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+// Tracer renders a running commentary of a Tetris execution — the style
+// of the paper's Example 4.4 walkthrough — to a writer: every geometric
+// resolution with its inputs and resolvent, and every output tuple as it
+// is discovered. Attach it to Options via Attach.
+type Tracer struct {
+	w     io.Writer
+	count int64
+}
+
+// NewTracer returns a Tracer writing to w.
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// Attach wires the tracer into the given options, chaining any callbacks
+// already present, and returns the modified options. Note that attaching
+// sets OnOutput, which switches the run to streaming: Result.Tuples stays
+// empty. Chain your own OnOutput before attaching to collect tuples while
+// tracing.
+func (t *Tracer) Attach(opts Options) Options {
+	prevResolve := opts.OnResolve
+	opts.OnResolve = func(w1, w2, res dyadic.Box, dim int) {
+		t.count++
+		fmt.Fprintf(t.w, "resolve #%d on dim %d: %v ⊕ %v → %v\n", t.count, dim, w1, w2, res)
+		if prevResolve != nil {
+			prevResolve(w1, w2, res, dim)
+		}
+	}
+	prevOutput := opts.OnOutput
+	opts.OnOutput = func(tuple []uint64) bool {
+		fmt.Fprintf(t.w, "output: %v\n", tuple)
+		if prevOutput != nil {
+			return prevOutput(tuple)
+		}
+		return true
+	}
+	return opts
+}
+
+// Resolutions returns the number of resolutions traced so far.
+func (t *Tracer) Resolutions() int64 { return t.count }

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerNarratesExample44(t *testing.T) {
+	depths := depthsOf(2, 2)
+	o := MustBoxOracle(depths, boxes("λ,0", "00,λ", "λ,11", "10,1"))
+	var sb strings.Builder
+	tracer := NewTracer(&sb)
+	var collected [][]uint64
+	opts := Options{
+		Mode: Reloaded,
+		SAO:  []int{0, 1},
+		OnOutput: func(tuple []uint64) bool {
+			collected = append(collected, append([]uint64(nil), tuple...))
+			return true
+		},
+	}
+	opts = tracer.Attach(opts)
+	if _, err := Run(o, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Both outputs narrated, in Example 4.4's order.
+	first := strings.Index(out, "output: [1 2]")
+	second := strings.Index(out, "output: [3 2]")
+	if first < 0 || second < 0 || second < first {
+		t.Fatalf("trace missing or misordered outputs:\n%s", out)
+	}
+	// Resolutions narrated and counted consistently.
+	if tracer.Resolutions() == 0 {
+		t.Error("no resolutions traced")
+	}
+	if got := strings.Count(out, "resolve #"); int64(got) != tracer.Resolutions() {
+		t.Errorf("trace lines %d, counter %d", got, tracer.Resolutions())
+	}
+	// The final resolution derives the universal box.
+	if !strings.Contains(out, "→ ⟨λ,λ⟩") {
+		t.Errorf("final resolvent ⟨λ,λ⟩ not narrated:\n%s", out)
+	}
+	// Chained callback still ran.
+	if len(collected) != 2 {
+		t.Errorf("chained OnOutput saw %d tuples", len(collected))
+	}
+}

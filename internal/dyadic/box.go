@@ -1,0 +1,299 @@
+package dyadic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Box is a dyadic box: one dyadic interval per attribute of the output
+// space (paper Definition 3.3). A Box with every component of full depth
+// is a point (a potential output tuple); a component λ is a wildcard
+// spanning that whole dimension.
+type Box []Interval
+
+// NewBox builds a box from the given intervals.
+func NewBox(ivs ...Interval) Box {
+	b := make(Box, len(ivs))
+	copy(b, ivs)
+	return b
+}
+
+// Universe returns the box ⟨λ, …, λ⟩ covering the whole n-dimensional
+// output space.
+func Universe(n int) Box { return make(Box, n) }
+
+// Point returns the unit box for the tuple of values at the given depths.
+func Point(values []uint64, depths []uint8) Box {
+	if len(values) != len(depths) {
+		panic("dyadic: Point values/depths length mismatch")
+	}
+	b := make(Box, len(values))
+	for i, v := range values {
+		b[i] = Unit(v, depths[i])
+	}
+	return b
+}
+
+// Check validates the box against the per-dimension depths.
+func (b Box) Check(depths []uint8) error {
+	if len(b) != len(depths) {
+		return fmt.Errorf("dyadic: box has %d components, want %d", len(b), len(depths))
+	}
+	for i, iv := range b {
+		if err := iv.Check(depths[i]); err != nil {
+			return fmt.Errorf("component %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the box.
+func (b Box) Clone() Box {
+	c := make(Box, len(b))
+	copy(c, b)
+	return c
+}
+
+// Equal reports componentwise equality.
+func (b Box) Equal(other Box) bool {
+	if len(b) != len(other) {
+		return false
+	}
+	for i := range b {
+		if b[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether b contains other: every component of b is a
+// prefix of the corresponding component of other.
+func (b Box) Contains(other Box) bool {
+	if len(b) != len(other) {
+		return false
+	}
+	for i := range b {
+		if !b[i].Contains(other[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two boxes share at least one point,
+// i.e. every pair of corresponding components is comparable.
+func (b Box) Intersects(other Box) bool {
+	if len(b) != len(other) {
+		return false
+	}
+	for i := range b {
+		if !b[i].Comparable(other[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Meet returns the componentwise intersection of two intersecting boxes.
+// The second result is false if they are disjoint.
+func (b Box) Meet(other Box) (Box, bool) {
+	if len(b) != len(other) {
+		return nil, false
+	}
+	m := make(Box, len(b))
+	for i := range b {
+		iv, ok := b[i].Meet(other[i])
+		if !ok {
+			return nil, false
+		}
+		m[i] = iv
+	}
+	return m, true
+}
+
+// IsUniverse reports whether every component is λ.
+func (b Box) IsUniverse() bool {
+	for _, iv := range b {
+		if !iv.IsLambda() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsUnit reports whether the box is a single point at the given depths.
+func (b Box) IsUnit(depths []uint8) bool {
+	for i, iv := range b {
+		if !iv.IsUnit(depths[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPoint reports whether the tuple of values lies inside the box.
+func (b Box) ContainsPoint(values []uint64, depths []uint8) bool {
+	for i, iv := range b {
+		if !iv.ContainsValue(values[i], depths[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Values extracts the tuple of a unit box.
+func (b Box) Values(depths []uint8) []uint64 {
+	vals := make([]uint64, len(b))
+	for i, iv := range b {
+		if !iv.IsUnit(depths[i]) {
+			panic("dyadic: Values on non-unit box")
+		}
+		vals[i] = iv.Bits
+	}
+	return vals
+}
+
+// Support returns the indices of the non-λ components (Definition 3.7).
+func (b Box) Support() []int {
+	var s []int
+	for i, iv := range b {
+		if !iv.IsLambda() {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// Project returns the projection of the box onto the attribute set given
+// by keep (Definition E.2): components outside keep become λ.
+func (b Box) Project(keep map[int]bool) Box {
+	p := make(Box, len(b))
+	for i, iv := range b {
+		if keep[i] {
+			p[i] = iv
+		}
+	}
+	return p
+}
+
+// Volume returns the number of points covered by the box at the given
+// depths. It panics if the total bit width exceeds 63 bits; use
+// LogVolume for large spaces.
+func (b Box) Volume(depths []uint8) uint64 {
+	total := 0
+	for i, iv := range b {
+		total += int(depths[i] - iv.Len)
+	}
+	if total > 63 {
+		panic("dyadic: Volume overflow; use LogVolume")
+	}
+	return 1 << uint(total)
+}
+
+// LogVolume returns log2 of the number of points covered by the box.
+func (b Box) LogVolume(depths []uint8) int {
+	total := 0
+	for i, iv := range b {
+		total += int(depths[i] - iv.Len)
+	}
+	return total
+}
+
+// FirstThick returns the index of the first component (in SAO order sao,
+// a permutation of dimension indices) that is not yet at full depth, or
+// -1 if the box is a unit box. This is the splitting dimension of
+// Split-First-Thick-Dimension (paper §4.2.3).
+func (b Box) FirstThick(sao []int, depths []uint8) int {
+	for _, dim := range sao {
+		if b[dim].Len < depths[dim] {
+			return dim
+		}
+	}
+	return -1
+}
+
+// SplitAt cuts the box into two halves along dimension dim by extending
+// that component with a 0 and a 1 bit.
+func (b Box) SplitAt(dim int) (Box, Box) {
+	b0 := b.Clone()
+	b1 := b.Clone()
+	b0[dim] = b[dim].Child(0)
+	b1[dim] = b[dim].Child(1)
+	return b0, b1
+}
+
+// Key returns a compact byte-string key identifying the box, suitable for
+// use as a map key.
+func (b Box) Key() string {
+	buf := make([]byte, 0, len(b)*9)
+	for _, iv := range b {
+		buf = append(buf, iv.Len,
+			byte(iv.Bits), byte(iv.Bits>>8), byte(iv.Bits>>16), byte(iv.Bits>>24),
+			byte(iv.Bits>>32), byte(iv.Bits>>40), byte(iv.Bits>>48), byte(iv.Bits>>56))
+	}
+	return string(buf)
+}
+
+// String renders the box as ⟨c1, c2, …⟩ with binary-prefix components.
+func (b Box) String() string {
+	parts := make([]string, len(b))
+	for i, iv := range b {
+		parts[i] = iv.String()
+	}
+	return "⟨" + strings.Join(parts, ",") + "⟩"
+}
+
+// ParseBox parses the comma-separated binary-prefix notation, e.g.
+// "01,λ,1". Spaces and the ⟨⟩ brackets are ignored.
+func ParseBox(s string) (Box, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "⟨")
+	s = strings.TrimSuffix(s, "⟩")
+	parts := strings.Split(s, ",")
+	b := make(Box, len(parts))
+	for i, p := range parts {
+		iv, err := ParseInterval(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		b[i] = iv
+	}
+	return b, nil
+}
+
+// MustParseBox is ParseBox that panics on error; for tests and fixtures.
+func MustParseBox(s string) Box {
+	b, err := ParseBox(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// IsPrefixBox reports whether p is a prefix box of b (Definition C.2):
+// p equals b on a leading run of components, has a prefix of b's next
+// component, and is λ afterwards.
+func IsPrefixBox(p, b Box) bool {
+	if len(p) != len(b) {
+		return false
+	}
+	i := 0
+	for ; i < len(p); i++ {
+		if p[i] != b[i] {
+			break
+		}
+	}
+	if i == len(p) {
+		return true
+	}
+	if !p[i].Contains(b[i]) {
+		return false
+	}
+	for j := i + 1; j < len(p); j++ {
+		if !p[j].IsLambda() {
+			return false
+		}
+	}
+	return true
+}

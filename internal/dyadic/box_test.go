@@ -1,0 +1,224 @@
+package dyadic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func depthsOf(n int, d uint8) []uint8 {
+	ds := make([]uint8, n)
+	for i := range ds {
+		ds[i] = d
+	}
+	return ds
+}
+
+func TestBoxParseString(t *testing.T) {
+	b := MustParseBox("01,λ,1")
+	if len(b) != 3 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if b.String() != "⟨01,λ,1⟩" {
+		t.Errorf("String = %s", b.String())
+	}
+	b2 := MustParseBox("⟨01, λ, 1⟩")
+	if !b.Equal(b2) {
+		t.Error("bracket/space parsing mismatch")
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"λ,λ", "01,10", true},
+		{"0,λ", "01,10", true},
+		{"0,1", "01,10", true},
+		{"0,11", "01,10", false},
+		{"01,10", "01,10", true},
+		{"01,10", "0,λ", false},
+		{"10,0", "10,01", true},
+	}
+	for _, c := range cases {
+		a, b := MustParseBox(c.a), MustParseBox(c.b)
+		if got := a.Contains(b); got != c.want {
+			t.Errorf("Contains(%s,%s)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBoxMeetIntersects(t *testing.T) {
+	a := MustParseBox("0,λ")
+	b := MustParseBox("λ,11")
+	m, ok := a.Meet(b)
+	if !ok || !m.Equal(MustParseBox("0,11")) {
+		t.Errorf("Meet = %v, %v", m, ok)
+	}
+	c := MustParseBox("1,λ")
+	if a.Intersects(c) {
+		t.Error("disjoint boxes reported intersecting")
+	}
+	if _, ok := a.Meet(c); ok {
+		t.Error("Meet of disjoint boxes succeeded")
+	}
+}
+
+func TestBoxSupportProject(t *testing.T) {
+	b := MustParseBox("01,λ,1,λ")
+	s := b.Support()
+	if len(s) != 2 || s[0] != 0 || s[1] != 2 {
+		t.Errorf("Support = %v", s)
+	}
+	p := b.Project(map[int]bool{0: true})
+	if !p.Equal(MustParseBox("01,λ,λ,λ")) {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestBoxUnitPointValues(t *testing.T) {
+	ds := depthsOf(3, 4)
+	p := Point([]uint64{3, 0, 15}, ds)
+	if !p.IsUnit(ds) {
+		t.Error("Point not unit")
+	}
+	vals := p.Values(ds)
+	if vals[0] != 3 || vals[1] != 0 || vals[2] != 15 {
+		t.Errorf("Values = %v", vals)
+	}
+	if !p.ContainsPoint([]uint64{3, 0, 15}, ds) {
+		t.Error("ContainsPoint failed on own values")
+	}
+	if p.ContainsPoint([]uint64{3, 0, 14}, ds) {
+		t.Error("ContainsPoint accepted wrong values")
+	}
+}
+
+func TestBoxSplitAndFirstThick(t *testing.T) {
+	ds := depthsOf(3, 2)
+	sao := []int{0, 1, 2}
+	b := MustParseBox("01,λ,λ")
+	if dim := b.FirstThick(sao, ds); dim != 1 {
+		t.Errorf("FirstThick = %d, want 1", dim)
+	}
+	b0, b1 := b.SplitAt(1)
+	if !b0.Equal(MustParseBox("01,0,λ")) || !b1.Equal(MustParseBox("01,1,λ")) {
+		t.Errorf("SplitAt = %v, %v", b0, b1)
+	}
+	unit := MustParseBox("01,10,11")
+	if dim := unit.FirstThick(sao, ds); dim != -1 {
+		t.Errorf("FirstThick(unit) = %d", dim)
+	}
+	// A different SAO changes the split dimension.
+	b2 := MustParseBox("λ,λ,1")
+	if dim := b2.FirstThick([]int{2, 1, 0}, ds); dim != 2 {
+		t.Errorf("FirstThick with SAO (2,1,0) = %d, want 2", dim)
+	}
+}
+
+func TestBoxVolume(t *testing.T) {
+	ds := depthsOf(2, 3)
+	if v := MustParseBox("λ,λ").Volume(ds); v != 64 {
+		t.Errorf("Volume(universe) = %d", v)
+	}
+	if v := MustParseBox("0,11").Volume(ds); v != 4*2 {
+		t.Errorf("Volume = %d", v)
+	}
+	if lv := MustParseBox("0,11").LogVolume(ds); lv != 3 {
+		t.Errorf("LogVolume = %d", lv)
+	}
+}
+
+func TestBoxKeyUnique(t *testing.T) {
+	boxes := []string{"λ,λ", "0,λ", "λ,0", "00,λ", "0,0", "1,1", "01,10"}
+	seen := map[string]string{}
+	for _, s := range boxes {
+		k := MustParseBox(s).Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("Key collision between %s and %s", prev, s)
+		}
+		seen[k] = s
+	}
+}
+
+func TestBoxCheck(t *testing.T) {
+	ds := depthsOf(2, 3)
+	if err := MustParseBox("0101,λ").Check(ds); err == nil {
+		t.Error("Check accepted component deeper than dimension")
+	}
+	if err := MustParseBox("010,λ").Check(ds); err != nil {
+		t.Errorf("Check rejected valid box: %v", err)
+	}
+	if err := MustParseBox("0,λ,1").Check(ds); err == nil {
+		t.Error("Check accepted wrong arity")
+	}
+}
+
+func TestIsPrefixBox(t *testing.T) {
+	cases := []struct {
+		p, b string
+		want bool
+	}{
+		{"λ,λ,λ", "01,10,11", true},
+		{"01,λ,λ", "01,10,11", true},
+		{"01,1,λ", "01,10,11", true},
+		{"01,10,1", "01,10,11", true},
+		{"01,10,11", "01,10,11", true},
+		{"01,λ,1", "01,10,11", false},
+		{"0,10,λ", "01,10,11", false},
+		{"11,λ,λ", "01,10,11", false},
+	}
+	for _, c := range cases {
+		if got := IsPrefixBox(MustParseBox(c.p), MustParseBox(c.b)); got != c.want {
+			t.Errorf("IsPrefixBox(%s,%s)=%v want %v", c.p, c.b, got, c.want)
+		}
+	}
+}
+
+func randBox(r *rand.Rand, n int, d uint8) Box {
+	b := make(Box, n)
+	for i := range b {
+		b[i] = randInterval(r, d)
+	}
+	return b
+}
+
+func TestQuickBoxContainsMeet(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		a, b := randBox(r, 3, 6), randBox(r, 3, 6)
+		m, ok := a.Meet(b)
+		if ok != a.Intersects(b) {
+			return false
+		}
+		if ok {
+			// The meet is contained in both and contains any common refinement.
+			if !a.Contains(m) || !b.Contains(m) {
+				return false
+			}
+		}
+		// Containment implies intersection.
+		if a.Contains(b) && !a.Intersects(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBoxContainsPointConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	ds := depthsOf(2, 5)
+	f := func() bool {
+		b := randBox(r, 2, 5)
+		v := []uint64{uint64(r.Intn(32)), uint64(r.Intn(32))}
+		want := b[0].ContainsValue(v[0], 5) && b[1].ContainsValue(v[1], 5)
+		return b.ContainsPoint(v, ds) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package dyadic
+
+import "fmt"
+
+// DecomposeRange returns the canonical decomposition of the integer range
+// [lo, hi] (inclusive) at depth d into a minimal sequence of disjoint
+// dyadic intervals, ordered left to right. The result has at most 2d
+// intervals (paper Proposition B.14). An empty result means lo > hi.
+func DecomposeRange(lo, hi uint64, d uint8) []Interval {
+	if lo > hi {
+		return nil
+	}
+	if d < 64 && hi >= 1<<d {
+		panic(fmt.Sprintf("dyadic: range end %d out of range for depth %d", hi, d))
+	}
+	var out []Interval
+	for lo <= hi {
+		// The largest aligned block starting at lo: limited both by the
+		// alignment of lo and by the remaining length of the range.
+		size := uint64(1) << d
+		if lo != 0 {
+			size = lo & (^lo + 1) // lowest set bit of lo
+		}
+		for size > hi-lo+1 {
+			size >>= 1
+		}
+		var k uint8
+		for s := size; s > 1; s >>= 1 {
+			k++
+		}
+		out = append(out, Interval{Bits: lo >> k, Len: d - k})
+		next := lo + size
+		if next <= lo { // overflow guard at domain end
+			break
+		}
+		lo = next
+	}
+	return out
+}
+
+// MaxDyadicIn returns the largest dyadic interval that contains the value
+// v and is contained in [lo, hi], at depth d. This is the maximal dyadic
+// gap box component for a probe point falling in the gap (lo, hi is the
+// open interior between two adjacent stored values). The second result is
+// false if v lies outside [lo, hi].
+func MaxDyadicIn(v, lo, hi uint64, d uint8) (Interval, bool) {
+	if v < lo || v > hi {
+		return Interval{}, false
+	}
+	iv := Unit(v, d)
+	for iv.Len > 0 {
+		p := iv.Parent()
+		if p.Lo(d) < lo || p.Hi(d) > hi {
+			break
+		}
+		iv = p
+	}
+	return iv, true
+}
+
+// DecomposeBox decomposes an arbitrary axis-aligned integer box, given as
+// inclusive [lo_i, hi_i] ranges per dimension, into disjoint dyadic boxes
+// (at most (2d)^n of them, Proposition B.14). An empty result means some
+// range is empty.
+func DecomposeBox(lo, hi []uint64, depths []uint8) []Box {
+	if len(lo) != len(hi) || len(lo) != len(depths) {
+		panic("dyadic: DecomposeBox dimension mismatch")
+	}
+	perDim := make([][]Interval, len(lo))
+	for i := range lo {
+		perDim[i] = DecomposeRange(lo[i], hi[i], depths[i])
+		if len(perDim[i]) == 0 {
+			return nil
+		}
+	}
+	out := []Box{Universe(len(lo))}
+	for i, ivs := range perDim {
+		next := make([]Box, 0, len(out)*len(ivs))
+		for _, b := range out {
+			for _, iv := range ivs {
+				nb := b.Clone()
+				nb[i] = iv
+				next = append(next, nb)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// CoverValues returns the minimal set of disjoint dyadic intervals that
+// together cover exactly the complement of the sorted, deduplicated value
+// list within [0, 2^d). This is the 1-dimensional gap decomposition used
+// by index gap enumeration. values must be sorted ascending.
+func CoverValues(values []uint64, d uint8) []Interval {
+	var out []Interval
+	var lo uint64
+	for _, v := range values {
+		if v > lo {
+			out = append(out, DecomposeRange(lo, v-1, d)...)
+		}
+		lo = v + 1
+		if lo == 0 { // v was the max uint64 value (only possible if d == 64, excluded)
+			return out
+		}
+	}
+	max := uint64(1)<<d - 1
+	if lo <= max {
+		out = append(out, DecomposeRange(lo, max, d)...)
+	}
+	return out
+}

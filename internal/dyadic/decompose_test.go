@@ -1,0 +1,221 @@
+package dyadic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposeRangeBasic(t *testing.T) {
+	const d = 4
+	cases := []struct {
+		lo, hi uint64
+		want   []string
+	}{
+		{0, 15, []string{"λ"}},
+		{0, 7, []string{"0"}},
+		{8, 15, []string{"1"}},
+		{1, 1, []string{"0001"}},
+		{5, 2, nil},
+		{1, 14, []string{"0001", "001", "01", "10", "110", "1110"}},
+		{4, 11, []string{"01", "10"}},
+		{0, 0, []string{"0000"}},
+		{15, 15, []string{"1111"}},
+	}
+	for _, c := range cases {
+		got := DecomposeRange(c.lo, c.hi, d)
+		if len(got) != len(c.want) {
+			t.Errorf("DecomposeRange(%d,%d): got %v, want %v", c.lo, c.hi, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != MustParseInterval(c.want[i]) {
+				t.Errorf("DecomposeRange(%d,%d)[%d] = %s, want %s", c.lo, c.hi, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestQuickDecomposeRangeCoversExactly(t *testing.T) {
+	const d = 8
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		lo := uint64(r.Intn(256))
+		hi := uint64(r.Intn(256))
+		ivs := DecomposeRange(lo, hi, d)
+		if lo > hi {
+			return len(ivs) == 0
+		}
+		if len(ivs) > 2*d {
+			return false
+		}
+		// Disjoint, in order, covering exactly [lo,hi].
+		covered := map[uint64]int{}
+		for _, iv := range ivs {
+			for v := iv.Lo(d); ; v++ {
+				covered[v]++
+				if v == iv.Hi(d) {
+					break
+				}
+			}
+		}
+		for v := uint64(0); v < 256; v++ {
+			want := 0
+			if v >= lo && v <= hi {
+				want = 1
+			}
+			if covered[v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDyadicIn(t *testing.T) {
+	const d = 4
+	cases := []struct {
+		v, lo, hi uint64
+		want      string
+		ok        bool
+	}{
+		{5, 0, 15, "λ", true},
+		{5, 4, 7, "01", true},
+		{5, 5, 5, "0101", true},
+		{5, 4, 6, "010", true},
+		{5, 3, 7, "01", true},
+		{5, 6, 9, "", false},
+		{0, 0, 7, "0", true},
+		{12, 9, 15, "11", true},
+	}
+	for _, c := range cases {
+		got, ok := MaxDyadicIn(c.v, c.lo, c.hi, d)
+		if ok != c.ok {
+			t.Errorf("MaxDyadicIn(%d,[%d,%d]) ok=%v want %v", c.v, c.lo, c.hi, ok, c.ok)
+			continue
+		}
+		if ok && got != MustParseInterval(c.want) {
+			t.Errorf("MaxDyadicIn(%d,[%d,%d]) = %s, want %s", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestQuickMaxDyadicInIsMaximal(t *testing.T) {
+	const d = 7
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		lo := uint64(r.Intn(128))
+		span := uint64(r.Intn(int(128 - lo)))
+		hi := lo + span
+		v := lo + uint64(r.Intn(int(span)+1))
+		iv, ok := MaxDyadicIn(v, lo, hi, d)
+		if !ok {
+			return false
+		}
+		// Contains v, fits in range.
+		if !iv.ContainsValue(v, d) || iv.Lo(d) < lo || iv.Hi(d) > hi {
+			return false
+		}
+		// Maximal: parent (if any) escapes the range.
+		if iv.Len > 0 {
+			p := iv.Parent()
+			if p.Lo(d) >= lo && p.Hi(d) <= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeBox(t *testing.T) {
+	ds := []uint8{3, 3}
+	boxes := DecomposeBox([]uint64{1, 2}, []uint64{6, 5}, ds)
+	// Verify exact cover of the rectangle [1,6]x[2,5] by counting.
+	count := map[[2]uint64]int{}
+	for _, b := range boxes {
+		for x := b[0].Lo(3); ; x++ {
+			for y := b[1].Lo(3); ; y++ {
+				count[[2]uint64{x, y}]++
+				if y == b[1].Hi(3) {
+					break
+				}
+			}
+			if x == b[0].Hi(3) {
+				break
+			}
+		}
+	}
+	for x := uint64(0); x < 8; x++ {
+		for y := uint64(0); y < 8; y++ {
+			want := 0
+			if x >= 1 && x <= 6 && y >= 2 && y <= 5 {
+				want = 1
+			}
+			if count[[2]uint64{x, y}] != want {
+				t.Fatalf("point (%d,%d) covered %d times, want %d", x, y, count[[2]uint64{x, y}], want)
+			}
+		}
+	}
+	if DecomposeBox([]uint64{5}, []uint64{3}, []uint8{3}) != nil {
+		t.Error("empty range should give nil")
+	}
+}
+
+func TestCoverValues(t *testing.T) {
+	const d = 3
+	cases := []struct {
+		values []uint64
+		want   int // number of uncovered points must equal len(values)
+	}{
+		{nil, 0},
+		{[]uint64{0}, 1},
+		{[]uint64{7}, 1},
+		{[]uint64{0, 7}, 2},
+		{[]uint64{1, 3, 5, 7}, 4},
+		{[]uint64{0, 1, 2, 3, 4, 5, 6, 7}, 8},
+		{[]uint64{3}, 1},
+	}
+	for _, c := range cases {
+		ivs := CoverValues(c.values, d)
+		covered := map[uint64]int{}
+		for _, iv := range ivs {
+			for v := iv.Lo(d); ; v++ {
+				covered[v]++
+				if v == iv.Hi(d) {
+					break
+				}
+			}
+		}
+		inSet := map[uint64]bool{}
+		for _, v := range c.values {
+			inSet[v] = true
+		}
+		for v := uint64(0); v < 8; v++ {
+			want := 0
+			if !inSet[v] {
+				want = 1
+			}
+			if covered[v] != want {
+				t.Errorf("values %v: point %d covered %d times, want %d", c.values, v, covered[v], want)
+			}
+		}
+	}
+}
+
+func TestCoverValuesEmptyDomain(t *testing.T) {
+	// Full domain as values: complement is empty.
+	if ivs := CoverValues([]uint64{0, 1}, 1); len(ivs) != 0 {
+		t.Errorf("full domain cover should be empty, got %v", ivs)
+	}
+	// No values: complement is everything.
+	ivs := CoverValues(nil, 2)
+	if len(ivs) != 1 || ivs[0] != Lambda {
+		t.Errorf("empty values should give λ, got %v", ivs)
+	}
+}

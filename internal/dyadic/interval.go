@@ -1,0 +1,233 @@
+// Package dyadic implements the bitstring geometry underlying the Tetris
+// join algorithm of Abo Khamis, Ngo, Ré and Rudra, "Joins via Geometric
+// Resolutions: Worst-case and Beyond" (PODS 2015).
+//
+// A dyadic interval over a domain {0,1}^d is a binary string of length at
+// most d (paper Definition 3.2). The string x represents every length-d
+// string having x as a prefix; equivalently, the integer range
+// [x·2^(d-|x|), (x+1)·2^(d-|x|) - 1]. The empty string λ is the whole
+// domain and a length-d string is a single point.
+//
+// A dyadic box (Definition 3.3) is a tuple of dyadic intervals, one per
+// attribute. Boxes ordered by componentwise prefix containment form the
+// poset in which geometric resolution operates.
+//
+// All operations here are constant-time word operations, realizing the
+// paper's observation that dyadic encoding reduces geometric reasoning to
+// bitstring manipulation.
+package dyadic
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxDepth is the largest supported bit depth of a dimension. Values are
+// stored in uint64 with two bits of headroom so that interval arithmetic
+// (such as computing one-past-the-end positions) cannot overflow.
+const MaxDepth = 62
+
+// Interval is a dyadic interval: the prefix Bits of length Len. The zero
+// value is λ, the interval spanning the whole domain.
+//
+// Invariant: Len <= MaxDepth and Bits < 1<<Len (in particular Bits == 0
+// when Len == 0), so intervals compare correctly with ==.
+type Interval struct {
+	Bits uint64
+	Len  uint8
+}
+
+// Lambda is the wildcard interval covering the entire domain.
+var Lambda = Interval{}
+
+// NewInterval returns the dyadic interval with the given prefix bits and
+// length. It panics if the invariant Bits < 1<<Len or Len <= MaxDepth is
+// violated; use Check for non-panicking validation of untrusted input.
+func NewInterval(bitsVal uint64, length uint8) Interval {
+	iv := Interval{Bits: bitsVal, Len: length}
+	if err := iv.Check(MaxDepth); err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// Unit returns the unit (single point) interval for value v at depth d.
+func Unit(v uint64, d uint8) Interval {
+	if d > MaxDepth {
+		panic(fmt.Sprintf("dyadic: depth %d exceeds MaxDepth", d))
+	}
+	if d < 64 && v >= 1<<d {
+		panic(fmt.Sprintf("dyadic: value %d out of range for depth %d", v, d))
+	}
+	return Interval{Bits: v, Len: d}
+}
+
+// Check reports whether the interval is well formed for dimension depth d.
+func (iv Interval) Check(d uint8) error {
+	if iv.Len > MaxDepth {
+		return fmt.Errorf("dyadic: interval length %d exceeds MaxDepth %d", iv.Len, MaxDepth)
+	}
+	if iv.Len > d {
+		return fmt.Errorf("dyadic: interval length %d exceeds dimension depth %d", iv.Len, d)
+	}
+	if iv.Len < 64 && iv.Bits >= 1<<iv.Len {
+		return fmt.Errorf("dyadic: interval bits %#x do not fit in %d bits", iv.Bits, iv.Len)
+	}
+	return nil
+}
+
+// IsLambda reports whether the interval is the wildcard λ.
+func (iv Interval) IsLambda() bool { return iv.Len == 0 }
+
+// IsUnit reports whether the interval is a single point at depth d.
+func (iv Interval) IsUnit(d uint8) bool { return iv.Len == d }
+
+// Contains reports whether iv contains other, i.e. whether iv (as a
+// string) is a prefix of other. Every interval contains itself.
+func (iv Interval) Contains(other Interval) bool {
+	if iv.Len > other.Len {
+		return false
+	}
+	return other.Bits>>(other.Len-iv.Len) == iv.Bits
+}
+
+// Comparable reports whether one of the two intervals contains the other.
+// Two dyadic intervals either nest or are disjoint; Comparable is
+// equivalent to "iv and other intersect".
+func (iv Interval) Comparable(other Interval) bool {
+	return iv.Contains(other) || other.Contains(iv)
+}
+
+// Disjoint reports whether the two intervals have no point in common.
+func (iv Interval) Disjoint(other Interval) bool { return !iv.Comparable(other) }
+
+// Meet returns the intersection of two comparable intervals — the longer
+// of the two strings (the paper's y ∩ z in the resolvent definition). The
+// second result is false if the intervals are disjoint.
+func (iv Interval) Meet(other Interval) (Interval, bool) {
+	if iv.Contains(other) {
+		return other, true
+	}
+	if other.Contains(iv) {
+		return iv, true
+	}
+	return Interval{}, false
+}
+
+// Child extends the prefix by one bit (0 or 1), halving the interval.
+func (iv Interval) Child(bit uint64) Interval {
+	if bit > 1 {
+		panic("dyadic: Child bit must be 0 or 1")
+	}
+	return Interval{Bits: iv.Bits<<1 | bit, Len: iv.Len + 1}
+}
+
+// Parent removes the final bit of the prefix, doubling the interval.
+// It panics on λ, which has no parent.
+func (iv Interval) Parent() Interval {
+	if iv.Len == 0 {
+		panic("dyadic: λ has no parent")
+	}
+	return Interval{Bits: iv.Bits >> 1, Len: iv.Len - 1}
+}
+
+// LastBit returns the final bit of the prefix. It panics on λ.
+func (iv Interval) LastBit() uint64 {
+	if iv.Len == 0 {
+		panic("dyadic: λ has no last bit")
+	}
+	return iv.Bits & 1
+}
+
+// Sibling flips the final bit of the prefix: the other half of the parent.
+func (iv Interval) Sibling() Interval {
+	if iv.Len == 0 {
+		panic("dyadic: λ has no sibling")
+	}
+	return Interval{Bits: iv.Bits ^ 1, Len: iv.Len}
+}
+
+// Lo returns the smallest domain value in the interval at depth d.
+func (iv Interval) Lo(d uint8) uint64 {
+	return iv.Bits << (d - iv.Len)
+}
+
+// Hi returns the largest domain value in the interval at depth d.
+func (iv Interval) Hi(d uint8) uint64 {
+	return iv.Bits<<(d-iv.Len) | (1<<(d-iv.Len) - 1)
+}
+
+// Size returns the number of domain values in the interval at depth d.
+func (iv Interval) Size(d uint8) uint64 { return 1 << (d - iv.Len) }
+
+// ContainsValue reports whether domain value v lies in the interval at
+// depth d.
+func (iv Interval) ContainsValue(v uint64, d uint8) bool {
+	return v>>(d-iv.Len) == iv.Bits
+}
+
+// CommonPrefix returns the longest dyadic interval containing both inputs.
+func (iv Interval) CommonPrefix(other Interval) Interval {
+	a, b := iv, other
+	if a.Len > b.Len {
+		a, b = b, a
+	}
+	// Truncate b to a's length, then strip disagreeing low bits.
+	b = Interval{Bits: b.Bits >> (b.Len - a.Len), Len: a.Len}
+	if a == b {
+		return a
+	}
+	diff := a.Bits ^ b.Bits
+	drop := uint8(bits.Len64(diff))
+	return Interval{Bits: a.Bits >> drop, Len: a.Len - drop}
+}
+
+// String renders the interval as its binary prefix, or "λ".
+func (iv Interval) String() string {
+	if iv.Len == 0 {
+		return "λ"
+	}
+	var sb strings.Builder
+	for i := int(iv.Len) - 1; i >= 0; i-- {
+		if iv.Bits>>uint(i)&1 == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// ParseInterval parses a binary-prefix string as produced by String.
+// "λ", "" and "*" all denote the wildcard interval.
+func ParseInterval(s string) (Interval, error) {
+	if s == "" || s == "λ" || s == "*" {
+		return Lambda, nil
+	}
+	if len(s) > MaxDepth {
+		return Interval{}, fmt.Errorf("dyadic: interval %q longer than MaxDepth", s)
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			v = v << 1
+		case '1':
+			v = v<<1 | 1
+		default:
+			return Interval{}, fmt.Errorf("dyadic: invalid bit %q in interval %q", s[i], s)
+		}
+	}
+	return Interval{Bits: v, Len: uint8(len(s))}, nil
+}
+
+// MustParseInterval is ParseInterval that panics on error; for tests and
+// fixtures.
+func MustParseInterval(s string) Interval {
+	iv, err := ParseInterval(s)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}

@@ -1,0 +1,263 @@
+package dyadic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Interval
+	}{
+		{"λ", Lambda},
+		{"", Lambda},
+		{"*", Lambda},
+		{"0", Interval{0, 1}},
+		{"1", Interval{1, 1}},
+		{"010", Interval{2, 3}},
+		{"1111", Interval{15, 4}},
+		{"0001", Interval{1, 4}},
+	}
+	for _, c := range cases {
+		got, err := ParseInterval(c.in)
+		if err != nil {
+			t.Fatalf("ParseInterval(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseInterval(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if MustParseInterval("0101").String() != "0101" {
+		t.Errorf("round trip failed for 0101: got %s", MustParseInterval("0101"))
+	}
+	if Lambda.String() != "λ" {
+		t.Errorf("λ String = %q", Lambda.String())
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	if _, err := ParseInterval("01a"); err == nil {
+		t.Error("ParseInterval accepted invalid bit")
+	}
+	long := make([]byte, MaxDepth+1)
+	for i := range long {
+		long[i] = '0'
+	}
+	if _, err := ParseInterval(string(long)); err == nil {
+		t.Error("ParseInterval accepted over-long interval")
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"λ", "λ", true},
+		{"λ", "0", true},
+		{"λ", "0101", true},
+		{"0", "λ", false},
+		{"0", "0", true},
+		{"0", "01", true},
+		{"0", "10", false},
+		{"01", "010", true},
+		{"01", "011", true},
+		{"01", "001", false},
+		{"010", "01", false},
+	}
+	for _, c := range cases {
+		a, b := MustParseInterval(c.a), MustParseInterval(c.b)
+		if got := a.Contains(b); got != c.want {
+			t.Errorf("Contains(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLoHiSize(t *testing.T) {
+	const d = 4
+	cases := []struct {
+		in           string
+		lo, hi, size uint64
+	}{
+		{"λ", 0, 15, 16},
+		{"0", 0, 7, 8},
+		{"1", 8, 15, 8},
+		{"01", 4, 7, 4},
+		{"1010", 10, 10, 1},
+	}
+	for _, c := range cases {
+		iv := MustParseInterval(c.in)
+		if iv.Lo(d) != c.lo || iv.Hi(d) != c.hi || iv.Size(d) != c.size {
+			t.Errorf("%s: got [%d,%d] size %d, want [%d,%d] size %d",
+				c.in, iv.Lo(d), iv.Hi(d), iv.Size(d), c.lo, c.hi, c.size)
+		}
+		for v := uint64(0); v < 16; v++ {
+			want := v >= c.lo && v <= c.hi
+			if got := iv.ContainsValue(v, d); got != want {
+				t.Errorf("%s.ContainsValue(%d) = %v, want %v", c.in, v, got, want)
+			}
+		}
+	}
+}
+
+func TestChildParentSibling(t *testing.T) {
+	iv := MustParseInterval("01")
+	if iv.Child(0) != MustParseInterval("010") {
+		t.Error("Child(0)")
+	}
+	if iv.Child(1) != MustParseInterval("011") {
+		t.Error("Child(1)")
+	}
+	if iv.Child(0).Parent() != iv {
+		t.Error("Parent of Child")
+	}
+	if iv.Sibling() != MustParseInterval("00") {
+		t.Error("Sibling")
+	}
+	if iv.Child(1).LastBit() != 1 || iv.Child(0).LastBit() != 0 {
+		t.Error("LastBit")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Parent of λ did not panic")
+		}
+	}()
+	Lambda.Parent()
+}
+
+func TestMeet(t *testing.T) {
+	cases := []struct {
+		a, b, want string
+		ok         bool
+	}{
+		{"λ", "01", "01", true},
+		{"01", "λ", "01", true},
+		{"0", "01", "01", true},
+		{"010", "01", "010", true},
+		{"00", "01", "", false},
+		{"0", "1", "", false},
+	}
+	for _, c := range cases {
+		got, ok := MustParseInterval(c.a).Meet(MustParseInterval(c.b))
+		if ok != c.ok {
+			t.Errorf("Meet(%s,%s) ok=%v want %v", c.a, c.b, ok, c.ok)
+			continue
+		}
+		if ok && got != MustParseInterval(c.want) {
+			t.Errorf("Meet(%s,%s)=%s want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"0101", "0110", "01"},
+		{"0101", "0101", "0101"},
+		{"01", "0101", "01"},
+		{"0", "1", "λ"},
+		{"λ", "111", "λ"},
+		{"1110", "111", "111"},
+	}
+	for _, c := range cases {
+		got := MustParseInterval(c.a).CommonPrefix(MustParseInterval(c.b))
+		if got != MustParseInterval(c.want) {
+			t.Errorf("CommonPrefix(%s,%s)=%s want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := (Interval{Bits: 4, Len: 2}).Check(8); err == nil {
+		t.Error("Check accepted bits exceeding length")
+	}
+	if err := (Interval{Bits: 0, Len: 9}).Check(8); err == nil {
+		t.Error("Check accepted length exceeding depth")
+	}
+	if err := (Interval{Bits: 3, Len: 2}).Check(8); err != nil {
+		t.Errorf("Check rejected valid interval: %v", err)
+	}
+}
+
+// randInterval generates a valid random interval at depth d.
+func randInterval(r *rand.Rand, d uint8) Interval {
+	l := uint8(r.Intn(int(d) + 1))
+	var b uint64
+	if l > 0 {
+		b = r.Uint64() & (1<<l - 1)
+	}
+	return Interval{Bits: b, Len: l}
+}
+
+func TestQuickContainmentIsPartialOrder(t *testing.T) {
+	const d = 12
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b, c := randInterval(r, d), randInterval(r, d), randInterval(r, d)
+		// Reflexive.
+		if !a.Contains(a) {
+			return false
+		}
+		// Antisymmetric.
+		if a.Contains(b) && b.Contains(a) && a != b {
+			return false
+		}
+		// Transitive.
+		if a.Contains(b) && b.Contains(c) && !a.Contains(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainsAgreesWithValueSemantics(t *testing.T) {
+	const d = 8
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randInterval(r, d), randInterval(r, d)
+		// a.Contains(b) iff every value in b is in a.
+		want := true
+		for v := b.Lo(d); ; v++ {
+			if !a.ContainsValue(v, d) {
+				want = false
+				break
+			}
+			if v == b.Hi(d) {
+				break
+			}
+		}
+		return a.Contains(b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDisjointOrNested(t *testing.T) {
+	const d = 10
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randInterval(r, d), randInterval(r, d)
+		overlap := a.Lo(d) <= b.Hi(d) && b.Lo(d) <= a.Hi(d)
+		return a.Comparable(b) == overlap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		iv := randInterval(r, 20)
+		back, err := ParseInterval(iv.String())
+		return err == nil && back == iv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package dyadic
+
+import "testing"
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestConstructorPanics(t *testing.T) {
+	expectPanic(t, "NewInterval over-long", func() { NewInterval(0, MaxDepth+1) })
+	expectPanic(t, "NewInterval bits overflow", func() { NewInterval(4, 2) })
+	expectPanic(t, "Unit depth", func() { Unit(0, MaxDepth+1) })
+	expectPanic(t, "Unit value", func() { Unit(8, 3) })
+	expectPanic(t, "Child bit", func() { Lambda.Child(2) })
+	if NewInterval(3, 2) != MustParseInterval("11") {
+		t.Error("NewInterval valid case")
+	}
+}
+
+func TestBoxPanics(t *testing.T) {
+	ds := []uint8{3, 3}
+	expectPanic(t, "Point mismatch", func() { Point([]uint64{1}, ds) })
+	expectPanic(t, "Values non-unit", func() { MustParseBox("0,λ").Values(ds) })
+	expectPanic(t, "Volume overflow", func() {
+		big := make([]uint8, 2)
+		big[0], big[1] = 62, 62
+		Universe(2).Volume(big)
+	})
+	expectPanic(t, "MustParseBox", func() { MustParseBox("0,x") })
+	expectPanic(t, "MustParseInterval", func() { MustParseInterval("x") })
+	expectPanic(t, "DecomposeBox mismatch", func() { DecomposeBox([]uint64{0}, []uint64{1, 2}, ds) })
+	expectPanic(t, "DecomposeRange domain", func() { DecomposeRange(0, 8, 3) })
+}
+
+func TestIntervalMiscAccessors(t *testing.T) {
+	iv := MustParseInterval("101")
+	if iv.LastBit() != 1 {
+		t.Error("LastBit")
+	}
+	if iv.Disjoint(MustParseInterval("10")) {
+		t.Error("Disjoint on nested intervals")
+	}
+	if !iv.Disjoint(MustParseInterval("00")) {
+		t.Error("Disjoint on separated intervals")
+	}
+	if Lambda.IsUnit(0) != true {
+		t.Error("λ is the unit of a zero-depth domain")
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+func TestFitExponent(t *testing.T) {
+	// y = 3x²: exponent 2 exactly.
+	xs := []float64{1, 2, 4, 8}
+	ys := []float64{3, 12, 48, 192}
+	if got := FitExponent(xs, ys); math.Abs(got-2) > 1e-9 {
+		t.Errorf("FitExponent = %g, want 2", got)
+	}
+	// Flat series: exponent 0.
+	if got := FitExponent(xs, []float64{5, 5, 5, 5}); math.Abs(got) > 1e-9 {
+		t.Errorf("flat exponent = %g", got)
+	}
+	// Degenerate inputs.
+	if !math.IsNaN(FitExponent([]float64{1}, []float64{2})) {
+		t.Error("single point should be NaN")
+	}
+	if !math.IsNaN(FitExponent(xs, ys[:2])) {
+		t.Error("mismatched lengths should be NaN")
+	}
+	if !math.IsNaN(FitExponent([]float64{2, 2}, []float64{1, 5})) {
+		t.Error("constant x should be NaN")
+	}
+}
+
+func TestTable1Treewidth1Flat(t *testing.T) {
+	e := Table1Treewidth1()
+	if e.ID != "T1-R5" || len(e.Rows) == 0 {
+		t.Fatalf("bad experiment: %+v", e)
+	}
+	// The resolution column must be flat (certificate-bound).
+	var res []int64
+	for _, row := range e.Rows {
+		v, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = append(res, v)
+	}
+	for _, v := range res {
+		if v > 8*res[0]+8 {
+			t.Errorf("resolutions not flat: %v", res)
+		}
+	}
+}
+
+func TestTable1TreewidthWBounded(t *testing.T) {
+	e := Table1TreewidthW()
+	if len(e.Rows) < 3 {
+		t.Fatal("too few rows")
+	}
+	last := e.Rows[len(e.Rows)-1]
+	v, err := strconv.ParseInt(last[2], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 1000 {
+		t.Errorf("tw-2 constant-certificate run used %d resolutions", v)
+	}
+}
+
+func TestFig2OrderedLowerQuadratic(t *testing.T) {
+	e := Fig2OrderedLower()
+	// The fitted exponent (in the findings) must be clearly above the LB
+	// exponent: ≥ 1.6 on this family.
+	if len(e.Findings) == 0 {
+		t.Fatal("no findings")
+	}
+	xs, ys := seriesFromRows(t, e.Rows, 1, 2)
+	if got := FitExponent(xs, ys); got < 1.6 {
+		t.Errorf("ordered lower-bound exponent %.2f, expected ≥ 1.6 (→ 2 asymptotically)", got)
+	}
+}
+
+func TestFig2LBBeatsOrderedOnF1(t *testing.T) {
+	e := Fig2LBUpper()
+	xs, lb := seriesFromRows(t, e.Rows, 1, 2)
+	_, plain := seriesFromRows(t, e.Rows, 1, 3)
+	slopeLB := FitExponent(xs, lb)
+	slopePlain := FitExponent(xs, plain)
+	if slopeLB >= slopePlain {
+		t.Errorf("LB exponent %.2f not below ordered exponent %.2f", slopeLB, slopePlain)
+	}
+	if slopeLB > 1.75 {
+		t.Errorf("LB exponent %.2f too far above n/2 = 1.5", slopeLB)
+	}
+}
+
+func TestFig2TreeOrderedLowerSeparates(t *testing.T) {
+	e := Fig2TreeOrderedLower()
+	xs, cached := seriesFromRows(t, e.Rows, 1, 2)
+	_, uncached := seriesFromRows(t, e.Rows, 1, 3)
+	sc := FitExponent(xs, cached)
+	sn := FitExponent(xs, uncached)
+	if sn-sc < 0.25 {
+		t.Errorf("tree-ordered separation too weak: cached %.2f vs no-cache %.2f", sc, sn)
+	}
+}
+
+// TestAllExperimentsSmoke runs the complete suite (what cmd/repro
+// prints) and checks structural well-formedness of every experiment.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite skipped in -short mode")
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Artifact == "" || e.Claim == "" {
+			t.Errorf("experiment %q lacks identity fields", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Rows) == 0 || len(e.Findings) == 0 {
+			t.Errorf("%s: no rows or findings", e.ID)
+		}
+		for _, row := range e.Rows {
+			if len(row) != len(e.Columns) {
+				t.Errorf("%s: ragged row %v for columns %v", e.ID, row, e.Columns)
+			}
+		}
+	}
+	if len(seen) < 11 {
+		t.Errorf("only %d experiments registered", len(seen))
+	}
+}
+
+func seriesFromRows(t *testing.T, rows [][]string, xcol, ycol int) ([]float64, []float64) {
+	t.Helper()
+	var xs, ys []float64
+	for _, row := range rows {
+		x, err := strconv.ParseFloat(row[xcol], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := strconv.ParseFloat(row[ycol], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, x)
+		ys = append(ys, y+1)
+	}
+	return xs, ys
+}

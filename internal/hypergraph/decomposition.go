@@ -1,0 +1,232 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Decomposition is a tree decomposition (Definition A.4): bags of
+// vertices arranged in a tree such that every hyperedge fits in some bag
+// and every vertex's bags form a connected subtree.
+type Decomposition struct {
+	Bags  [][]int
+	Edges [][2]int // tree edges between bag indices
+}
+
+// Width returns max bag size minus one.
+func (d *Decomposition) Width() int {
+	w := 0
+	for _, b := range d.Bags {
+		if len(b)-1 > w {
+			w = len(b) - 1
+		}
+	}
+	return w
+}
+
+// DecompositionFromOrder builds a tree decomposition from an elimination
+// order (order[0] eliminated first) by the standard construction: the bag
+// of v is v plus its not-yet-eliminated neighbours in the filled graph;
+// the bag of v attaches to the bag of the earliest-eliminated vertex
+// among those neighbours.
+func (h *Hypergraph) DecompositionFromOrder(order []int) (*Decomposition, error) {
+	n := h.N()
+	if len(order) != n {
+		return nil, fmt.Errorf("hypergraph: order has %d vertices, want %d", len(order), n)
+	}
+	pos := make([]int, n)
+	seen := make([]bool, n)
+	for i, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			return nil, fmt.Errorf("hypergraph: order %v is not a permutation", order)
+		}
+		seen[v] = true
+		pos[v] = i
+	}
+	adj := h.PrimalAdjacency()
+	eliminated := uint64(0)
+	bagMask := make([]uint64, n) // bag of the i-th eliminated vertex
+	for i, v := range order {
+		nb := adj[v] &^ eliminated &^ (1 << uint(v))
+		bagMask[i] = nb | 1<<uint(v)
+		for w := 0; w < n; w++ {
+			if nb>>uint(w)&1 == 1 {
+				adj[w] |= nb &^ (1 << uint(w))
+			}
+		}
+		eliminated |= 1 << uint(v)
+	}
+	d := &Decomposition{Bags: make([][]int, n)}
+	for i := range bagMask {
+		var bag []int
+		for v := 0; v < n; v++ {
+			if bagMask[i]>>uint(v)&1 == 1 {
+				bag = append(bag, v)
+			}
+		}
+		sort.Ints(bag)
+		d.Bags[i] = bag
+	}
+	var roots []int
+	for i, v := range order {
+		rest := bagMask[i] &^ (1 << uint(v))
+		if rest == 0 {
+			// A component root: its vertex has no later neighbours.
+			roots = append(roots, i)
+			continue
+		}
+		// Attach to the bag of the earliest-eliminated remaining vertex.
+		earliest := -1
+		for w := 0; w < n; w++ {
+			if rest>>uint(w)&1 == 1 && (earliest == -1 || pos[w] < pos[earliest]) {
+				earliest = w
+			}
+		}
+		d.Edges = append(d.Edges, [2]int{i, pos[earliest]})
+	}
+	// Chain component roots so the forest becomes a tree. Components
+	// share no vertices, so this cannot violate running intersection.
+	for k := 1; k < len(roots); k++ {
+		d.Edges = append(d.Edges, [2]int{roots[k-1], roots[k]})
+	}
+	return d, nil
+}
+
+// Verify checks the tree decomposition properties against the hypergraph:
+// every hyperedge inside some bag, bag tree connected and acyclic, and
+// every vertex's bags forming a connected subtree.
+func (d *Decomposition) Verify(h *Hypergraph) error {
+	nb := len(d.Bags)
+	if nb == 0 {
+		if h.N() == 0 && len(h.Edges()) == 0 {
+			return nil
+		}
+		return fmt.Errorf("hypergraph: empty decomposition for non-empty hypergraph")
+	}
+	masks := make([]uint64, nb)
+	for i, b := range d.Bags {
+		masks[i] = edgeMask(b)
+	}
+	for _, e := range h.Edges() {
+		m := edgeMask(e)
+		found := false
+		for _, bm := range masks {
+			if m&^bm == 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("hypergraph: edge %v not contained in any bag", e)
+		}
+	}
+	// Tree: nb-1 edges and connected.
+	if len(d.Edges) != nb-1 {
+		return fmt.Errorf("hypergraph: decomposition has %d tree edges for %d bags", len(d.Edges), nb)
+	}
+	adj := make([][]int, nb)
+	for _, e := range d.Edges {
+		if e[0] < 0 || e[0] >= nb || e[1] < 0 || e[1] >= nb {
+			return fmt.Errorf("hypergraph: tree edge %v out of range", e)
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	visited := make([]bool, nb)
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[u] {
+			if !visited[w] {
+				visited[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	if count != nb {
+		return fmt.Errorf("hypergraph: decomposition tree is disconnected")
+	}
+	// Running intersection: bags containing v form a connected subtree.
+	for v := 0; v < h.N(); v++ {
+		var start int = -1
+		total := 0
+		for i := range masks {
+			if masks[i]>>uint(v)&1 == 1 {
+				total++
+				if start == -1 {
+					start = i
+				}
+			}
+		}
+		if total == 0 {
+			return fmt.Errorf("hypergraph: vertex %d in no bag", v)
+		}
+		// BFS restricted to bags containing v.
+		vis := make([]bool, nb)
+		vis[start] = true
+		cnt := 1
+		st := []int{start}
+		for len(st) > 0 {
+			u := st[len(st)-1]
+			st = st[:len(st)-1]
+			for _, w := range adj[u] {
+				if !vis[w] && masks[w]>>uint(v)&1 == 1 {
+					vis[w] = true
+					cnt++
+					st = append(st, w)
+				}
+			}
+		}
+		if cnt != total {
+			return fmt.Errorf("hypergraph: bags of vertex %d are disconnected", v)
+		}
+	}
+	return nil
+}
+
+// BagMasks returns the bags as bitmasks.
+func (d *Decomposition) BagMasks() []uint64 {
+	out := make([]uint64, len(d.Bags))
+	for i, b := range d.Bags {
+		out[i] = edgeMask(b)
+	}
+	return out
+}
+
+// Root orders the decomposition's bags by a BFS from bag 0, returning for
+// each bag its parent (-1 for the root). Used by Yannakakis-style
+// processing over decompositions.
+func (d *Decomposition) Root() []int {
+	nb := len(d.Bags)
+	parent := make([]int, nb)
+	for i := range parent {
+		parent[i] = -2
+	}
+	adj := make([][]int, nb)
+	for _, e := range d.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	queue := []int{0}
+	parent[0] = -1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[u] {
+			if parent[w] == -2 {
+				parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	return parent
+}
+
+// CountBits returns the number of vertices in a bag mask. Exposed for
+// callers working with BagMasks.
+func CountBits(m uint64) int { return bits.OnesCount64(m) }

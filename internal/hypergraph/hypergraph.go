@@ -1,0 +1,207 @@
+// Package hypergraph provides the query-structure machinery of the
+// paper: hypergraphs of join queries, GYO elimination and α/β-acyclicity
+// (Definition A.3), elimination orders and induced width (Definition
+// E.5), exact and heuristic treewidth, and tree decompositions
+// (Definition A.4).
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hypergraph has vertices 0..n-1 (with optional names) and a list of
+// hyperedges, each a set of vertices.
+type Hypergraph struct {
+	names []string
+	edges [][]int
+}
+
+// New creates a hypergraph with n unnamed vertices.
+func New(n int) *Hypergraph {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%d", i+1)
+	}
+	return &Hypergraph{names: names}
+}
+
+// NewNamed creates a hypergraph with the given vertex names.
+func NewNamed(names []string) *Hypergraph {
+	return &Hypergraph{names: append([]string(nil), names...)}
+}
+
+// N returns the number of vertices.
+func (h *Hypergraph) N() int { return len(h.names) }
+
+// Names returns the vertex names.
+func (h *Hypergraph) Names() []string { return h.names }
+
+// Edges returns the hyperedges (sorted vertex lists).
+func (h *Hypergraph) Edges() [][]int { return h.edges }
+
+// AddEdge adds a hyperedge over the given vertices.
+func (h *Hypergraph) AddEdge(vertices ...int) error {
+	if len(vertices) == 0 {
+		return fmt.Errorf("hypergraph: empty edge")
+	}
+	e := append([]int(nil), vertices...)
+	sort.Ints(e)
+	for i, v := range e {
+		if v < 0 || v >= len(h.names) {
+			return fmt.Errorf("hypergraph: vertex %d out of range", v)
+		}
+		if i > 0 && e[i-1] == v {
+			return fmt.Errorf("hypergraph: repeated vertex %d in edge", v)
+		}
+	}
+	h.edges = append(h.edges, e)
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (h *Hypergraph) MustAddEdge(vertices ...int) {
+	if err := h.AddEdge(vertices...); err != nil {
+		panic(err)
+	}
+}
+
+// edgeMask returns the bitmask of an edge (requires N <= 62).
+func edgeMask(e []int) uint64 {
+	var m uint64
+	for _, v := range e {
+		m |= 1 << uint(v)
+	}
+	return m
+}
+
+// PrimalAdjacency returns the adjacency bitmasks of the primal (Gaifman)
+// graph: two vertices are adjacent when they share a hyperedge.
+func (h *Hypergraph) PrimalAdjacency() []uint64 {
+	n := h.N()
+	if n > 62 {
+		panic("hypergraph: more than 62 vertices")
+	}
+	adj := make([]uint64, n)
+	for _, e := range h.edges {
+		m := edgeMask(e)
+		for _, v := range e {
+			adj[v] |= m &^ (1 << uint(v))
+		}
+	}
+	return adj
+}
+
+// GYO runs GYO elimination (Definition A.3): repeatedly remove vertices
+// contained in at most one edge, and edges contained in other edges. It
+// returns the order in which vertices were eliminated and whether the
+// hypergraph is α-acyclic (elimination emptied it). Vertices in no edge
+// are eliminated first.
+func (h *Hypergraph) GYO() (order []int, acyclic bool) {
+	n := h.N()
+	// Working copy of edges as masks; drop duplicates.
+	var edges []uint64
+	seen := map[uint64]bool{}
+	for _, e := range h.edges {
+		m := edgeMask(e)
+		if !seen[m] {
+			seen[m] = true
+			edges = append(edges, m)
+		}
+	}
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		inAny := false
+		for _, m := range edges {
+			if m>>uint(v)&1 == 1 {
+				inAny = true
+				break
+			}
+		}
+		if !inAny {
+			order = append(order, v)
+			removed[v] = true
+		}
+	}
+	for {
+		progress := false
+		// Remove edges contained in other edges (or empty).
+		for i := 0; i < len(edges); i++ {
+			if edges[i] == 0 {
+				edges = append(edges[:i], edges[i+1:]...)
+				i--
+				progress = true
+				continue
+			}
+			for j := range edges {
+				if j != i && edges[i]&^edges[j] == 0 && (edges[i] != edges[j] || j < i) {
+					edges = append(edges[:i], edges[i+1:]...)
+					i--
+					progress = true
+					break
+				}
+			}
+		}
+		// Remove private vertices (in at most one edge).
+		for v := 0; v < n; v++ {
+			if removed[v] {
+				continue
+			}
+			count := 0
+			for _, m := range edges {
+				if m>>uint(v)&1 == 1 {
+					count++
+				}
+			}
+			if count <= 1 {
+				removed[v] = true
+				order = append(order, v)
+				for i := range edges {
+					edges[i] &^= 1 << uint(v)
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	acyclic = len(edges) == 0
+	if acyclic {
+		// Ensure every vertex appears in the order.
+		for v := 0; v < n; v++ {
+			if !removed[v] {
+				order = append(order, v)
+			}
+		}
+	}
+	return order, acyclic
+}
+
+// AlphaAcyclic reports whether the hypergraph is α-acyclic.
+func (h *Hypergraph) AlphaAcyclic() bool {
+	_, ok := h.GYO()
+	return ok
+}
+
+// BetaAcyclic reports whether every subset of edges is α-acyclic
+// (Definition A.3). Exponential in the number of edges; intended for
+// query-sized inputs.
+func (h *Hypergraph) BetaAcyclic() bool {
+	m := len(h.edges)
+	if m > 20 {
+		panic("hypergraph: BetaAcyclic limited to 20 edges")
+	}
+	for sub := uint(1); sub < 1<<uint(m); sub++ {
+		g := NewNamed(h.names)
+		for i := 0; i < m; i++ {
+			if sub>>uint(i)&1 == 1 {
+				g.MustAddEdge(h.edges[i]...)
+			}
+		}
+		if !g.AlphaAcyclic() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,316 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// triangle: edges {0,1},{1,2},{0,2}.
+func triangle() *Hypergraph {
+	h := New(3)
+	h.MustAddEdge(0, 1)
+	h.MustAddEdge(1, 2)
+	h.MustAddEdge(0, 2)
+	return h
+}
+
+// path of k vertices: edges {0,1},{1,2},...
+func path(k int) *Hypergraph {
+	h := New(k)
+	for i := 0; i+1 < k; i++ {
+		h.MustAddEdge(i, i+1)
+	}
+	return h
+}
+
+// cycle of k vertices.
+func cycle(k int) *Hypergraph {
+	h := path(k)
+	h.MustAddEdge(k-1, 0)
+	return h
+}
+
+// clique of k vertices via binary edges.
+func clique(k int) *Hypergraph {
+	h := New(k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			h.MustAddEdge(i, j)
+		}
+	}
+	return h
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	h := New(2)
+	if err := h.AddEdge(); err == nil {
+		t.Error("empty edge accepted")
+	}
+	if err := h.AddEdge(0, 2); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if err := h.AddEdge(1, 1); err == nil {
+		t.Error("repeated vertex accepted")
+	}
+	if err := h.AddEdge(1, 0); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if h.Edges()[0][0] != 0 {
+		t.Error("edge not sorted")
+	}
+}
+
+func TestGYOAcyclicity(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *Hypergraph
+		want bool
+	}{
+		{"triangle-binary", triangle(), false},
+		{"path4", path(4), true},
+		{"cycle4", cycle(4), false},
+		{"single-edge", func() *Hypergraph { h := New(3); h.MustAddEdge(0, 1, 2); return h }(), true},
+		{"triangle-plus-cover", func() *Hypergraph {
+			h := triangle()
+			h.MustAddEdge(0, 1, 2) // a covering edge makes it α-acyclic
+			return h
+		}(), true},
+		{"isolated-vertices", New(3), true},
+	}
+	for _, c := range cases {
+		order, got := c.h.GYO()
+		if got != c.want {
+			t.Errorf("%s: acyclic = %v, want %v", c.name, got, c.want)
+		}
+		if got && len(order) != c.h.N() {
+			t.Errorf("%s: GYO order %v incomplete", c.name, order)
+		}
+	}
+}
+
+func TestBetaAcyclic(t *testing.T) {
+	// α-acyclic but not β-acyclic: triangle plus covering edge.
+	h := triangle()
+	h.MustAddEdge(0, 1, 2)
+	if !h.AlphaAcyclic() {
+		t.Fatal("triangle+cover should be α-acyclic")
+	}
+	if h.BetaAcyclic() {
+		t.Error("triangle+cover should not be β-acyclic")
+	}
+	if !path(4).BetaAcyclic() {
+		t.Error("path should be β-acyclic")
+	}
+}
+
+func TestTreewidthExact(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *Hypergraph
+		want int
+	}{
+		{"single-vertex", New(1), 0},
+		{"path5", path(5), 1},
+		{"triangle", triangle(), 2},
+		{"cycle4", cycle(4), 2},
+		{"cycle6", cycle(6), 2},
+		{"clique4", clique(4), 3},
+		{"clique6", clique(6), 5},
+		{"star", func() *Hypergraph {
+			h := New(5)
+			for i := 1; i < 5; i++ {
+				h.MustAddEdge(0, i)
+			}
+			return h
+		}(), 1},
+	}
+	for _, c := range cases {
+		w, order, err := c.h.Treewidth()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if w != c.want {
+			t.Errorf("%s: treewidth = %d, want %d", c.name, w, c.want)
+		}
+		// The returned order must realize the width.
+		iw, err := c.h.InducedWidth(order)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if iw != w {
+			t.Errorf("%s: order %v has induced width %d, want %d", c.name, order, iw, w)
+		}
+	}
+}
+
+func TestInducedWidthValidation(t *testing.T) {
+	h := triangle()
+	if _, err := h.InducedWidth([]int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := h.InducedWidth([]int{0, 0, 1}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	// For the triangle every order has width 2.
+	w, err := h.InducedWidth([]int{2, 1, 0})
+	if err != nil || w != 2 {
+		t.Errorf("InducedWidth = %d, %v", w, err)
+	}
+}
+
+func TestMinFillMatchesExactOnSmallGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + r.Intn(4)
+		h := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 {
+					h.MustAddEdge(i, j)
+				}
+			}
+		}
+		exact, _, err := h.Treewidth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, heur := h.MinFillOrder()
+		if heur < exact {
+			t.Fatalf("trial %d: heuristic width %d below exact %d", trial, heur, exact)
+		}
+	}
+}
+
+func TestEliminationOrderWidthForPaths(t *testing.T) {
+	// Elimination width 1 orders exist exactly for forests (treewidth 1);
+	// Theorem 4.7 relies on this.
+	order, w := path(6).EliminationOrder()
+	if w != 1 {
+		t.Fatalf("path width = %d, want 1", w)
+	}
+	if iw, _ := path(6).InducedWidth(order); iw != 1 {
+		t.Errorf("order %v has induced width %d", order, iw)
+	}
+}
+
+func TestDecompositionFromOrder(t *testing.T) {
+	graphs := map[string]*Hypergraph{
+		"triangle": triangle(),
+		"path5":    path(5),
+		"cycle5":   cycle(5),
+		"clique4":  clique(4),
+		"bowtie": func() *Hypergraph {
+			h := New(2)
+			h.MustAddEdge(0)
+			h.MustAddEdge(0, 1)
+			h.MustAddEdge(1)
+			return h
+		}(),
+	}
+	for name, h := range graphs {
+		w, order, err := h.Treewidth()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, err := h.DecompositionFromOrder(order)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := d.Verify(h); err != nil {
+			t.Errorf("%s: invalid decomposition: %v", name, err)
+		}
+		if d.Width() != w {
+			t.Errorf("%s: decomposition width %d, treewidth %d", name, d.Width(), w)
+		}
+	}
+}
+
+func TestDecompositionVerifyCatchesBadTrees(t *testing.T) {
+	h := path(3)
+	// Edge {1,2} missing from all bags.
+	bad := &Decomposition{Bags: [][]int{{0, 1}, {2}}, Edges: [][2]int{{0, 1}}}
+	if err := bad.Verify(h); err == nil {
+		t.Error("missing-edge decomposition verified")
+	}
+	// Disconnected occurrence of vertex 1.
+	bad = &Decomposition{Bags: [][]int{{0, 1}, {1, 2}, {0}}, Edges: [][2]int{{0, 2}, {2, 1}}}
+	if err := bad.Verify(h); err == nil {
+		t.Error("running-intersection violation verified")
+	}
+	// Wrong edge count.
+	bad = &Decomposition{Bags: [][]int{{0, 1}, {1, 2}}, Edges: nil}
+	if err := bad.Verify(h); err == nil {
+		t.Error("disconnected tree verified")
+	}
+}
+
+func TestRandomDecompositionsVerify(t *testing.T) {
+	r := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(6)
+		h := New(n)
+		for e := 0; e < n; e++ {
+			size := 1 + r.Intn(3)
+			verts := r.Perm(n)[:size]
+			h.MustAddEdge(verts...)
+		}
+		for _, buildOrder := range [][]int{nil, r.Perm(n)} {
+			order := buildOrder
+			if order == nil {
+				order, _ = h.EliminationOrder()
+			}
+			d, err := h.DecompositionFromOrder(order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Verify(h); err != nil {
+				t.Fatalf("trial %d order %v: %v", trial, order, err)
+			}
+		}
+	}
+}
+
+func TestRoot(t *testing.T) {
+	h := path(4)
+	order, _ := h.EliminationOrder()
+	d, err := h.DecompositionFromOrder(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := d.Root()
+	if parent[0] != -1 {
+		t.Errorf("root parent = %d", parent[0])
+	}
+	roots := 0
+	for _, p := range parent {
+		if p == -1 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("found %d roots", roots)
+	}
+}
+
+func TestGYOOrderUsableAsSAO(t *testing.T) {
+	// For an α-acyclic query the reverse GYO order drives Theorem D.8;
+	// sanity: the order touches all vertices exactly once.
+	h := New(4)
+	h.MustAddEdge(0, 1)
+	h.MustAddEdge(1, 2)
+	h.MustAddEdge(2, 3)
+	order, ok := h.GYO()
+	if !ok {
+		t.Fatal("path not acyclic?")
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("vertex %d repeated in GYO order %v", v, order)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("GYO order %v incomplete", order)
+	}
+}

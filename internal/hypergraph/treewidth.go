@@ -1,0 +1,171 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// InducedWidth returns the induced width of an elimination order over the
+// primal graph (Definition E.5): vertices are eliminated in order, each
+// elimination connecting the vertex's remaining neighbours (fill-in); the
+// width is the maximum number of remaining neighbours at any elimination,
+// which equals max_k |support(A_k)| - 1 in the paper's notation.
+//
+// Note the direction: order[0] is eliminated first. The paper's
+// supportedness runs over a GAO (A_1..A_n) eliminated back to front, so
+// the SAO of Theorems 4.7/4.9 is the reverse of the order passed here.
+func (h *Hypergraph) InducedWidth(order []int) (int, error) {
+	n := h.N()
+	if len(order) != n {
+		return 0, fmt.Errorf("hypergraph: order has %d vertices, want %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			return 0, fmt.Errorf("hypergraph: order %v is not a permutation", order)
+		}
+		seen[v] = true
+	}
+	adj := h.PrimalAdjacency()
+	eliminated := uint64(0)
+	width := 0
+	for _, v := range order {
+		nb := adj[v] &^ eliminated &^ (1 << uint(v))
+		if c := bits.OnesCount64(nb); c > width {
+			width = c
+		}
+		// Fill-in: remaining neighbours become a clique.
+		for w := 0; w < n; w++ {
+			if nb>>uint(w)&1 == 1 {
+				adj[w] |= nb &^ (1 << uint(w))
+			}
+		}
+		eliminated |= 1 << uint(v)
+	}
+	return width, nil
+}
+
+// Treewidth computes the exact treewidth and an optimal elimination order
+// (order[0] eliminated first) using the Bodlaender–Held–Karp subset
+// dynamic program, O(2^n · n²). Limited to n ≤ 24 vertices.
+func (h *Hypergraph) Treewidth() (int, []int, error) {
+	n := h.N()
+	if n == 0 {
+		return 0, nil, nil
+	}
+	if n > 24 {
+		return 0, nil, fmt.Errorf("hypergraph: exact treewidth limited to 24 vertices, have %d", n)
+	}
+	adj := h.PrimalAdjacency()
+	full := uint64(1)<<uint(n) - 1
+
+	// q(S, v): number of vertices outside S∪{v} reachable from v through
+	// S in the primal graph — the back-degree of v if eliminated after S.
+	q := func(S uint64, v int) int {
+		visited := uint64(1) << uint(v)
+		frontier := uint64(1) << uint(v)
+		reach := uint64(0)
+		for frontier != 0 {
+			next := uint64(0)
+			for f := frontier; f != 0; {
+				u := bits.TrailingZeros64(f)
+				f &= f - 1
+				nb := adj[u] &^ visited
+				reach |= nb &^ S
+				next |= nb & S
+				visited |= nb
+			}
+			frontier = next
+		}
+		return bits.OnesCount64(reach &^ (1 << uint(v)))
+	}
+
+	// f[S] = min over elimination orders of S (eliminated first) of the
+	// max back-degree.
+	f := make([]int8, 1<<uint(n))
+	choice := make([]int8, 1<<uint(n))
+	for S := uint64(1); S <= full; S++ {
+		best := int8(127)
+		var bestV int8 = -1
+		for T := S; T != 0; {
+			v := bits.TrailingZeros64(T)
+			T &= T - 1
+			prev := S &^ (1 << uint(v))
+			cost := int8(q(prev, v))
+			if f[prev] > cost {
+				cost = f[prev]
+			}
+			if cost < best {
+				best = cost
+				bestV = int8(v)
+			}
+		}
+		f[S] = best
+		choice[S] = bestV
+	}
+	// Reconstruct: choice[S] is eliminated last among S.
+	order := make([]int, n)
+	S := full
+	for i := n - 1; i >= 0; i-- {
+		v := int(choice[S])
+		order[i] = v
+		S &^= 1 << uint(v)
+	}
+	return int(f[full]), order, nil
+}
+
+// MinFillOrder returns a min-fill heuristic elimination order and its
+// induced width; usable beyond the exact solver's size limit (n ≤ 62).
+func (h *Hypergraph) MinFillOrder() ([]int, int) {
+	n := h.N()
+	adj := h.PrimalAdjacency()
+	eliminated := uint64(0)
+	order := make([]int, 0, n)
+	width := 0
+	for len(order) < n {
+		bestV, bestFill := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if eliminated>>uint(v)&1 == 1 {
+				continue
+			}
+			nb := adj[v] &^ eliminated &^ (1 << uint(v))
+			fill := 0
+			for w := 0; w < n; w++ {
+				if nb>>uint(w)&1 == 0 {
+					continue
+				}
+				missing := nb &^ adj[w] &^ (1 << uint(w))
+				fill += bits.OnesCount64(missing)
+			}
+			if fill < bestFill {
+				bestFill = fill
+				bestV = v
+			}
+		}
+		nb := adj[bestV] &^ eliminated &^ (1 << uint(bestV))
+		if c := bits.OnesCount64(nb); c > width {
+			width = c
+		}
+		for w := 0; w < n; w++ {
+			if nb>>uint(w)&1 == 1 {
+				adj[w] |= nb &^ (1 << uint(w))
+			}
+		}
+		eliminated |= 1 << uint(bestV)
+		order = append(order, bestV)
+	}
+	return order, width
+}
+
+// EliminationOrder returns an elimination order of minimal induced width:
+// exact for n ≤ 24, min-fill heuristic beyond.
+func (h *Hypergraph) EliminationOrder() ([]int, int) {
+	if h.N() <= 24 {
+		w, order, err := h.Treewidth()
+		if err == nil {
+			return order, w
+		}
+	}
+	order, w := h.MinFillOrder()
+	return order, w
+}

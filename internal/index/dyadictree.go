@@ -1,0 +1,118 @@
+package index
+
+import (
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/relation"
+)
+
+// Dyadic is a dyadic-tree (quadtree-like) index: the attribute space is
+// recursively halved, one attribute at a time in schema order, and every
+// maximal tuple-free cell becomes a gap box. Unlike B-tree gaps, these
+// boxes can be thick in several dimensions at once, which is what makes
+// O(1)-size certificates possible on instances where every B-tree order
+// needs Ω(N) boxes (Examples B.7/B.8, Figure 3b).
+type Dyadic struct {
+	rel    *relation.Relation
+	depths []uint8
+	root   *dyNode
+}
+
+type dyNode struct {
+	region   dyadic.Box
+	gap      bool // tuple-free cell: a maximal gap box
+	children [2]*dyNode
+}
+
+// NewDyadic builds the dyadic tree over the relation's current tuples.
+func NewDyadic(rel *relation.Relation) *Dyadic {
+	d := &Dyadic{rel: rel, depths: rel.Depths()}
+	tuples := rel.Tuples()
+	d.root = d.build(dyadic.Universe(rel.Arity()), tuples)
+	return d
+}
+
+// build recursively subdivides region; tuples is the subset of the
+// relation inside region.
+func (d *Dyadic) build(region dyadic.Box, tuples []relation.Tuple) *dyNode {
+	nd := &dyNode{region: region}
+	if len(tuples) == 0 {
+		nd.gap = true
+		return nd
+	}
+	// A completely full cell contains no gaps; stop subdividing. (Tuples
+	// are deduplicated, so count equality means fullness.)
+	if lv := region.LogVolume(d.depths); lv < 63 && uint64(len(tuples)) == 1<<uint(lv) {
+		return nd
+	}
+	// Split the least-refined thick dimension, so dimensions alternate as
+	// in a quadtree and gap cells can be thick in several dimensions.
+	dim := -1
+	for i := range region {
+		if region[i].Len < d.depths[i] && (dim == -1 || region[i].Len < region[dim].Len) {
+			dim = i
+		}
+	}
+	if dim == -1 {
+		return nd // unit cell holding a tuple
+	}
+	r0, r1 := region.SplitAt(dim)
+	// Partition tuples by the deciding bit of the split dimension.
+	shift := d.depths[dim] - region[dim].Len - 1
+	var t0, t1 []relation.Tuple
+	for _, t := range tuples {
+		if t[dim]>>shift&1 == 0 {
+			t0 = append(t0, t)
+		} else {
+			t1 = append(t1, t)
+		}
+	}
+	nd.children[0] = d.build(r0, t0)
+	nd.children[1] = d.build(r1, t1)
+	return nd
+}
+
+// Relation implements Index.
+func (d *Dyadic) Relation() *relation.Relation { return d.rel }
+
+// Kind implements Index.
+func (d *Dyadic) Kind() string { return "dyadic" }
+
+// GapsAt implements Index: descend toward the probe point; the first
+// tuple-free cell on the path is the unique maximal dyadic gap box
+// containing the point.
+func (d *Dyadic) GapsAt(point []uint64) []dyadic.Box {
+	checkPoint(d.rel, point)
+	nd := d.root
+	for {
+		if nd.gap {
+			return []dyadic.Box{nd.region}
+		}
+		if nd.children[0] == nil {
+			return nil // unit cell: the point is a tuple
+		}
+		if nd.children[0].region.ContainsPoint(point, d.depths) {
+			nd = nd.children[0]
+		} else {
+			nd = nd.children[1]
+		}
+	}
+}
+
+// AllGaps implements Index: every tuple-free cell of the tree.
+func (d *Dyadic) AllGaps() []dyadic.Box {
+	var out []dyadic.Box
+	var walk func(nd *dyNode)
+	walk = func(nd *dyNode) {
+		if nd == nil {
+			return
+		}
+		if nd.gap {
+			out = append(out, nd.region)
+			return
+		}
+		walk(nd.children[0])
+		walk(nd.children[1])
+	}
+	walk(d.root)
+	return out
+}

@@ -1,0 +1,123 @@
+// Package index implements the database indices of the Tetris paper as
+// gap box generators. The paper's central abstraction (Section 3.2,
+// Appendix B) is that every index over a relation R is a collection B(R)
+// of dyadic gap boxes — regions of R's attribute space certified to
+// contain no tuple — together with an Õ(1)-time oracle returning the
+// maximal gap boxes containing a probe point.
+//
+// Four index families are provided:
+//
+//   - Sorted: a B-tree/trie in a chosen attribute order; its gaps are the
+//     GAO-consistent boxes of Definition 3.11 (Figures 1b, 3a, 12).
+//   - Dyadic: a dyadic tree (quadtree-like) subdivision; its gaps are the
+//     large multidimensional boxes of Figure 3b that B-trees cannot
+//     produce (Example B.8).
+//   - KDTree: median-split cells whose empty space is decomposed into
+//     dyadic boxes ("multidimensional index structures like KD-trees").
+//   - Union: several indices over the same relation pooled together
+//     (Section B.2: multiple indices per relation).
+package index
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/relation"
+)
+
+// Index is a gap box generator over a relation's own attribute space.
+// Boxes and probe points use the relation's schema order.
+type Index interface {
+	// Relation returns the indexed relation.
+	Relation() *relation.Relation
+	// Kind describes the index family and parameters, e.g. "btree(B,A)".
+	Kind() string
+	// GapsAt returns maximal dyadic gap boxes containing the probe point.
+	// The result is empty exactly when the point is a tuple of the
+	// relation (no gap can contain it).
+	GapsAt(point []uint64) []dyadic.Box
+	// AllGaps enumerates the index's complete gap box set; their union is
+	// exactly the complement of the relation within its attribute space.
+	AllGaps() []dyadic.Box
+}
+
+// Union pools several indices over the same relation; its gap set is the
+// union of theirs. This realizes the paper's multiple-indices-per-
+// relation setting, under which box certificates can be far smaller than
+// under any single index (Proposition B.6).
+type Union struct {
+	rel     *relation.Relation
+	indices []Index
+}
+
+// NewUnion combines indices over a common relation.
+func NewUnion(indices ...Index) (*Union, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("index: Union needs at least one index")
+	}
+	rel := indices[0].Relation()
+	for _, ix := range indices[1:] {
+		if ix.Relation() != rel {
+			return nil, fmt.Errorf("index: Union indices cover different relations")
+		}
+	}
+	return &Union{rel: rel, indices: indices}, nil
+}
+
+// Relation implements Index.
+func (u *Union) Relation() *relation.Relation { return u.rel }
+
+// Kind implements Index.
+func (u *Union) Kind() string {
+	s := "union("
+	for i, ix := range u.indices {
+		if i > 0 {
+			s += ","
+		}
+		s += ix.Kind()
+	}
+	return s + ")"
+}
+
+// GapsAt implements Index, deduplicating boxes contributed by several
+// member indices.
+func (u *Union) GapsAt(point []uint64) []dyadic.Box {
+	var out []dyadic.Box
+	seen := map[string]bool{}
+	for _, ix := range u.indices {
+		for _, b := range ix.GapsAt(point) {
+			if k := b.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// AllGaps implements Index.
+func (u *Union) AllGaps() []dyadic.Box {
+	var out []dyadic.Box
+	seen := map[string]bool{}
+	for _, ix := range u.indices {
+		for _, b := range ix.AllGaps() {
+			if k := b.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+func checkPoint(rel *relation.Relation, point []uint64) {
+	if len(point) != rel.Arity() {
+		panic(fmt.Sprintf("index: probe point arity %d, relation %s has %d", len(point), rel.Name(), rel.Arity()))
+	}
+	for i, v := range point {
+		d := rel.Depths()[i]
+		if d < 64 && v >= 1<<d {
+			panic(fmt.Sprintf("index: probe value %d out of domain of %s attribute %d", v, rel.Name(), i))
+		}
+	}
+}

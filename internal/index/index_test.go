@@ -1,0 +1,368 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/relation"
+)
+
+// figure1Relation is R(A,B) = {3}×{1,3,5,7} ∪ {1,3,5,7}×{3} at depth 3
+// (Figure 1a of the paper).
+func figure1Relation(t *testing.T) *relation.Relation {
+	t.Helper()
+	r := relation.MustNewUniform("R", []string{"A", "B"}, 3)
+	for _, b := range []uint64{1, 3, 5, 7} {
+		r.MustInsert(3, b)
+		r.MustInsert(b, 3)
+	}
+	return r
+}
+
+// checkGapInvariants verifies, by brute force over the whole (small)
+// domain, the defining properties of an index's gap boxes:
+//  1. no gap box contains a tuple of the relation;
+//  2. the union of AllGaps is exactly the complement of the relation;
+//  3. GapsAt(p) is empty iff p is a tuple, and every returned box
+//     contains p.
+func checkGapInvariants(t *testing.T, ix Index) {
+	t.Helper()
+	rel := ix.Relation()
+	depths := rel.Depths()
+	all := ix.AllGaps()
+	for _, g := range all {
+		if err := g.Check(depths); err != nil {
+			t.Fatalf("%s: invalid gap box %v: %v", ix.Kind(), g, err)
+		}
+	}
+	point := make([]uint64, rel.Arity())
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == rel.Arity() {
+			isTuple := rel.Contains(point...)
+			covered := false
+			for _, g := range all {
+				if g.ContainsPoint(point, depths) {
+					covered = true
+					if isTuple {
+						t.Fatalf("%s: gap box %v contains tuple %v", ix.Kind(), g, point)
+					}
+				}
+			}
+			if !isTuple && !covered {
+				t.Fatalf("%s: non-tuple %v not covered by AllGaps", ix.Kind(), point)
+			}
+			gaps := ix.GapsAt(point)
+			if isTuple && len(gaps) != 0 {
+				t.Fatalf("%s: GapsAt(tuple %v) = %v", ix.Kind(), point, gaps)
+			}
+			if !isTuple && len(gaps) == 0 {
+				t.Fatalf("%s: GapsAt(non-tuple %v) is empty", ix.Kind(), point)
+			}
+			for _, g := range gaps {
+				if !g.ContainsPoint(point, depths) {
+					t.Fatalf("%s: GapsAt(%v) returned %v not containing the point", ix.Kind(), point, g)
+				}
+				if err := g.Check(depths); err != nil {
+					t.Fatalf("%s: GapsAt returned invalid box: %v", ix.Kind(), err)
+				}
+				// Gap boxes must be tuple-free.
+				for _, tup := range rel.Tuples() {
+					if g.ContainsPoint(tup, depths) {
+						t.Fatalf("%s: GapsAt(%v) box %v contains tuple %v", ix.Kind(), point, g, tup)
+					}
+				}
+			}
+			return
+		}
+		for v := uint64(0); v < 1<<depths[dim]; v++ {
+			point[dim] = v
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+}
+
+func TestSortedFigure1(t *testing.T) {
+	r := figure1Relation(t)
+	for _, order := range [][]string{{"A", "B"}, {"B", "A"}} {
+		ix := MustSorted(r, order...)
+		checkGapInvariants(t, ix)
+	}
+}
+
+func TestSortedFigure4SingleTuple(t *testing.T) {
+	// Figure 4: R(A,B) with the single tuple (0,3) over a 2-bit domain.
+	// The (A,B)-ordered dyadic gaps are ⟨01,λ⟩, ⟨1,λ⟩, ⟨00,0⟩, ⟨00,10⟩.
+	r := relation.MustNewUniform("R", []string{"A", "B"}, 2)
+	r.MustInsert(0, 3)
+	ix := MustSorted(r, "A", "B")
+	got := ix.AllGaps()
+	want := map[string]bool{
+		"⟨01,λ⟩": true, "⟨1,λ⟩": true, "⟨00,0⟩": true, "⟨00,10⟩": true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("AllGaps = %v", got)
+	}
+	for _, g := range got {
+		if !want[g.String()] {
+			t.Errorf("unexpected gap box %v", g)
+		}
+	}
+	checkGapInvariants(t, ix)
+}
+
+func TestSortedGapsAtFindsMaximalBox(t *testing.T) {
+	r := figure1Relation(t)
+	ix := MustSorted(r, "A", "B")
+	// Probe (0, y): A=0 is absent; the A-gap is exactly {0} = ⟨000⟩.
+	gaps := ix.GapsAt([]uint64{0, 5})
+	if len(gaps) != 1 || gaps[0].String() != "⟨000,λ⟩" {
+		t.Errorf("GapsAt(0,5) = %v, want [⟨000,λ⟩]", gaps)
+	}
+	// Probe (3, 0): A=3 present, B=0 in the gap below 1: ⟨011,000⟩.
+	gaps = ix.GapsAt([]uint64{3, 0})
+	if len(gaps) != 1 || gaps[0].String() != "⟨011,000⟩" {
+		t.Errorf("GapsAt(3,0) = %v", gaps)
+	}
+	// Probe (3, 4): B=4 between 3 and 5 -> unit gap ⟨011,100⟩.
+	gaps = ix.GapsAt([]uint64{3, 4})
+	if len(gaps) != 1 || gaps[0].String() != "⟨011,100⟩" {
+		t.Errorf("GapsAt(3,4) = %v", gaps)
+	}
+	// Tuple probes return nothing.
+	if gaps := ix.GapsAt([]uint64{3, 3}); len(gaps) != 0 {
+		t.Errorf("GapsAt(tuple) = %v", gaps)
+	}
+}
+
+func TestSortedOrderValidation(t *testing.T) {
+	r := figure1Relation(t)
+	if _, err := NewSorted(r, "A"); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := NewSorted(r, "A", "Z"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	ix, err := NewSorted(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Kind() != "btree(A,B)" {
+		t.Errorf("Kind = %s", ix.Kind())
+	}
+}
+
+func TestDyadicFigure5MSBRelation(t *testing.T) {
+	// R(A,B) = {(a,b) : msb(a) ≠ msb(b)}: the dyadic index finds exactly
+	// the two big gap boxes ⟨0,0⟩ and ⟨1,1⟩ no matter the depth — the
+	// boxes of Figure 5a that a B-tree would shatter into ~2^d pieces.
+	for _, d := range []uint8{1, 2, 3, 4} {
+		r := relation.MustNewUniform("R", []string{"A", "B"}, d)
+		half := uint64(1) << (d - 1)
+		for a := uint64(0); a < half; a++ {
+			for b := uint64(0); b < half; b++ {
+				r.MustInsert(a, half+b)
+				r.MustInsert(half+a, b)
+			}
+		}
+		ix := NewDyadic(r)
+		got := ix.AllGaps()
+		if len(got) != 2 {
+			t.Fatalf("d=%d: AllGaps = %v, want exactly ⟨0,0⟩ and ⟨1,1⟩", d, got)
+		}
+		seen := map[string]bool{}
+		for _, g := range got {
+			seen[g.String()] = true
+		}
+		if !seen["⟨0,0⟩"] || !seen["⟨1,1⟩"] {
+			t.Errorf("d=%d: AllGaps = %v", d, got)
+		}
+		if d <= 3 {
+			checkGapInvariants(t, ix)
+		}
+	}
+}
+
+func TestDyadicVsBTreeGapCount(t *testing.T) {
+	// Footnote 9: one dyadic gap box corresponds to ~2^{d-1} B-tree gap
+	// boxes on the MSB-complement relation.
+	const d = 4
+	r := relation.MustNewUniform("R", []string{"A", "B"}, d)
+	half := uint64(1) << (d - 1)
+	for a := uint64(0); a < half; a++ {
+		for b := uint64(0); b < half; b++ {
+			r.MustInsert(a, half+b)
+			r.MustInsert(half+a, b)
+		}
+	}
+	dyCount := len(NewDyadic(r).AllGaps())
+	btCount := len(MustSorted(r, "A", "B").AllGaps())
+	if dyCount != 2 {
+		t.Errorf("dyadic gaps = %d", dyCount)
+	}
+	if btCount < int(half) {
+		t.Errorf("btree gaps = %d, expected at least %d", btCount, half)
+	}
+}
+
+func TestKDTreeInvariants(t *testing.T) {
+	r := figure1Relation(t)
+	ix := NewKDTree(r)
+	if ix.Kind() != "kdtree" {
+		t.Errorf("Kind = %s", ix.Kind())
+	}
+	checkGapInvariants(t, ix)
+}
+
+func TestKDTreeSingleTupleAndEmpty(t *testing.T) {
+	empty := relation.MustNewUniform("E", []string{"A", "B"}, 3)
+	ix := NewKDTree(empty)
+	checkGapInvariants(t, ix)
+	single := relation.MustNewUniform("S", []string{"A", "B"}, 3)
+	single.MustInsert(0, 0)
+	checkGapInvariants(t, NewKDTree(single))
+	corner := relation.MustNewUniform("C", []string{"A", "B"}, 3)
+	corner.MustInsert(7, 7)
+	checkGapInvariants(t, NewKDTree(corner))
+}
+
+func TestRandomRelationsAllIndexTypes(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		arity := 1 + r.Intn(3)
+		d := uint8(2 + r.Intn(2))
+		attrs := []string{"A", "B", "C"}[:arity]
+		rel := relation.MustNewUniform("R", attrs, d)
+		n := r.Intn(20)
+		for i := 0; i < n; i++ {
+			vals := make([]uint64, arity)
+			for j := range vals {
+				vals[j] = uint64(r.Intn(1 << d))
+			}
+			rel.MustInsert(vals...)
+		}
+		checkGapInvariants(t, MustSorted(rel))
+		checkGapInvariants(t, NewDyadic(rel))
+		checkGapInvariants(t, NewKDTree(rel))
+		if arity >= 2 {
+			rev := make([]string, arity)
+			for i := range rev {
+				rev[i] = attrs[arity-1-i]
+			}
+			checkGapInvariants(t, MustSorted(rel, rev...))
+		}
+	}
+}
+
+func TestUnionIndex(t *testing.T) {
+	r := figure1Relation(t)
+	ab := MustSorted(r, "A", "B")
+	ba := MustSorted(r, "B", "A")
+	dy := NewDyadic(r)
+	u, err := NewUnion(ab, ba, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGapInvariants(t, u)
+	if u.Kind() != "union(btree(A,B),btree(B,A),dyadic)" {
+		t.Errorf("Kind = %s", u.Kind())
+	}
+	// The union has at least as many boxes as each member (after dedup),
+	// and GapsAt merges contributions.
+	gaps := u.GapsAt([]uint64{0, 0})
+	if len(gaps) < 2 {
+		t.Errorf("union GapsAt returned %v", gaps)
+	}
+	if _, err := NewUnion(); err == nil {
+		t.Error("empty union accepted")
+	}
+	other := relation.MustNewUniform("S", []string{"A", "B"}, 3)
+	if _, err := NewUnion(ab, MustSorted(other)); err == nil {
+		t.Error("union across relations accepted")
+	}
+}
+
+func TestUnionDedupes(t *testing.T) {
+	r := figure1Relation(t)
+	ab1 := MustSorted(r, "A", "B")
+	ab2 := MustSorted(r, "A", "B")
+	u, err := NewUnion(ab1, ab2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.AllGaps()) != len(ab1.AllGaps()) {
+		t.Errorf("duplicate indices not deduplicated: %d vs %d", len(u.AllGaps()), len(ab1.AllGaps()))
+	}
+}
+
+func TestGapsAtPanicsOnBadProbe(t *testing.T) {
+	r := figure1Relation(t)
+	ix := MustSorted(r)
+	for name, probe := range map[string][]uint64{
+		"arity":  {1},
+		"domain": {8, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: bad probe accepted", name)
+				}
+			}()
+			ix.GapsAt(probe)
+		}()
+	}
+}
+
+func TestSortedGAOConsistency(t *testing.T) {
+	// Definition 3.11: every gap box of a sorted index has at most one
+	// non-trivial (non-λ, non-unit) component, and everything after it in
+	// index order is λ.
+	r := figure1Relation(t)
+	ix := MustSorted(r, "B", "A")
+	depths := r.Depths()
+	for _, g := range ix.AllGaps() {
+		nonTrivial := -1
+		for lvl, pos := range ix.Order() {
+			iv := g[pos]
+			switch {
+			case iv.IsLambda():
+				// fine anywhere
+			case iv.IsUnit(depths[pos]):
+				if nonTrivial != -1 {
+					t.Fatalf("box %v has unit after non-trivial component", g)
+				}
+			default:
+				if nonTrivial != -1 {
+					t.Fatalf("box %v has two non-trivial components", g)
+				}
+				nonTrivial = lvl
+			}
+			if nonTrivial != -1 && lvl > nonTrivial && !iv.IsLambda() {
+				t.Fatalf("box %v not λ after its non-trivial component", g)
+			}
+		}
+	}
+}
+
+func sortBoxes(bs []dyadic.Box) {
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Key() < bs[j].Key() })
+}
+
+func TestAllGapsDeterministic(t *testing.T) {
+	r := figure1Relation(t)
+	a := MustSorted(r, "A", "B").AllGaps()
+	b := MustSorted(r, "A", "B").AllGaps()
+	sortBoxes(a)
+	sortBoxes(b)
+	if len(a) != len(b) {
+		t.Fatal("AllGaps not deterministic")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("AllGaps not deterministic")
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package index
+
+import (
+	"sort"
+
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/relation"
+)
+
+// KDTree is a k-d tree index: cells are split at the median value of a
+// cycling dimension until each holds at most one tuple. Empty cells and
+// the empty space around isolated tuples are reported as gap boxes after
+// dyadic decomposition. Cell boundaries fall on arbitrary (non-dyadic)
+// values, so a single cell may decompose into up to 2d dyadic intervals
+// per dimension — the polylogarithmic overhead of Proposition B.14.
+type KDTree struct {
+	rel    *relation.Relation
+	depths []uint8
+	root   *kdNode
+}
+
+type kdNode struct {
+	lo, hi   []uint64 // inclusive cell bounds per dimension
+	tuple    relation.Tuple
+	children [2]*kdNode
+	splitDim int
+	splitVal uint64 // left: value < splitVal; right: value >= splitVal
+}
+
+// NewKDTree builds the k-d tree over the relation's current tuples.
+func NewKDTree(rel *relation.Relation) *KDTree {
+	k := &KDTree{rel: rel, depths: rel.Depths()}
+	lo := make([]uint64, rel.Arity())
+	hi := make([]uint64, rel.Arity())
+	for i, d := range rel.Depths() {
+		hi[i] = uint64(1)<<d - 1
+	}
+	tuples := append([]relation.Tuple(nil), rel.Tuples()...)
+	k.root = k.build(lo, hi, tuples, 0)
+	return k
+}
+
+func (k *KDTree) build(lo, hi []uint64, tuples []relation.Tuple, dim int) *kdNode {
+	nd := &kdNode{lo: lo, hi: hi}
+	if len(tuples) == 0 {
+		return nd
+	}
+	if len(tuples) == 1 {
+		nd.tuple = tuples[0]
+		return nd
+	}
+	n := k.rel.Arity()
+	// Find a dimension (starting from dim, cycling) where the tuples are
+	// not all equal; one exists because tuples are deduplicated.
+	splitDim := -1
+	for off := 0; off < n; off++ {
+		d := (dim + off) % n
+		first := tuples[0][d]
+		for _, t := range tuples[1:] {
+			if t[d] != first {
+				splitDim = d
+				break
+			}
+		}
+		if splitDim >= 0 {
+			break
+		}
+	}
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i][splitDim] < tuples[j][splitDim] })
+	// Median split; nudge so both sides are non-empty.
+	splitVal := tuples[len(tuples)/2][splitDim]
+	if splitVal == tuples[0][splitDim] {
+		i := sort.Search(len(tuples), func(i int) bool { return tuples[i][splitDim] > splitVal })
+		splitVal = tuples[i][splitDim]
+	}
+	cut := sort.Search(len(tuples), func(i int) bool { return tuples[i][splitDim] >= splitVal })
+	nd.splitDim = splitDim
+	nd.splitVal = splitVal
+	loL := append([]uint64(nil), lo...)
+	hiL := append([]uint64(nil), hi...)
+	hiL[splitDim] = splitVal - 1
+	loR := append([]uint64(nil), lo...)
+	hiR := append([]uint64(nil), hi...)
+	loR[splitDim] = splitVal
+	next := (splitDim + 1) % n
+	nd.children[0] = k.build(loL, hiL, tuples[:cut], next)
+	nd.children[1] = k.build(loR, hiR, tuples[cut:], next)
+	return nd
+}
+
+// Relation implements Index.
+func (k *KDTree) Relation() *relation.Relation { return k.rel }
+
+// Kind implements Index.
+func (k *KDTree) Kind() string { return "kdtree" }
+
+// GapsAt implements Index: descend to the probe point's leaf cell. An
+// empty cell yields the maximal dyadic box around the point inside the
+// cell; a one-tuple cell yields the maximal dyadic box that additionally
+// excludes the tuple along the first dimension where they differ.
+func (k *KDTree) GapsAt(point []uint64) []dyadic.Box {
+	checkPoint(k.rel, point)
+	nd := k.root
+	for nd.children[0] != nil {
+		if point[nd.splitDim] < nd.splitVal {
+			nd = nd.children[0]
+		} else {
+			nd = nd.children[1]
+		}
+	}
+	n := k.rel.Arity()
+	box := make(dyadic.Box, n)
+	if nd.tuple == nil {
+		for i := 0; i < n; i++ {
+			iv, ok := dyadic.MaxDyadicIn(point[i], nd.lo[i], nd.hi[i], k.depths[i])
+			if !ok {
+				panic("index: kd cell does not contain probe point")
+			}
+			box[i] = iv
+		}
+		return []dyadic.Box{box}
+	}
+	diff := -1
+	for i := 0; i < n; i++ {
+		if point[i] != nd.tuple[i] {
+			diff = i
+			break
+		}
+	}
+	if diff == -1 {
+		return nil // the probe point is the cell's tuple
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := nd.lo[i], nd.hi[i]
+		if i == diff {
+			// Exclude the tuple: stay on the probe's side of it.
+			if point[i] < nd.tuple[i] {
+				hi = nd.tuple[i] - 1
+			} else {
+				lo = nd.tuple[i] + 1
+			}
+		}
+		iv, ok := dyadic.MaxDyadicIn(point[i], lo, hi, k.depths[i])
+		if !ok {
+			panic("index: kd gap computation is inconsistent")
+		}
+		box[i] = iv
+	}
+	return []dyadic.Box{box}
+}
+
+// AllGaps implements Index: empty leaf cells decompose wholesale; a
+// one-tuple cell contributes the staircase decomposition of cell∖{t}.
+func (k *KDTree) AllGaps() []dyadic.Box {
+	var out []dyadic.Box
+	n := k.rel.Arity()
+	var walk func(nd *kdNode)
+	walk = func(nd *kdNode) {
+		if nd == nil {
+			return
+		}
+		if nd.children[0] != nil {
+			walk(nd.children[0])
+			walk(nd.children[1])
+			return
+		}
+		if nd.tuple == nil {
+			out = append(out, dyadic.DecomposeBox(nd.lo, nd.hi, k.depths)...)
+			return
+		}
+		// cell ∖ {t} = ⋃_j  t_0 × … × t_{j-1} × (cell_j ∖ t_j) × cell_rest
+		for j := 0; j < n; j++ {
+			for _, side := range [][2]uint64{{nd.lo[j], nd.tuple[j] - 1}, {nd.tuple[j] + 1, nd.hi[j]}} {
+				if nd.tuple[j] == 0 && side[1] == nd.tuple[j]-1 {
+					continue // underflowed empty left side
+				}
+				if side[0] > side[1] {
+					continue
+				}
+				lo := make([]uint64, n)
+				hi := make([]uint64, n)
+				for i := 0; i < n; i++ {
+					switch {
+					case i < j:
+						lo[i], hi[i] = nd.tuple[i], nd.tuple[i]
+					case i == j:
+						lo[i], hi[i] = side[0], side[1]
+					default:
+						lo[i], hi[i] = nd.lo[i], nd.hi[i]
+					}
+				}
+				out = append(out, dyadic.DecomposeBox(lo, hi, k.depths)...)
+			}
+		}
+	}
+	walk(k.root)
+	return out
+}

@@ -1,0 +1,184 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/relation"
+)
+
+// Sorted is a B-tree/trie index: the relation's tuples sorted in a chosen
+// attribute order. Its gap boxes are the GAO-consistent boxes of
+// Definition 3.11 — unit values on a leading run of attributes, one
+// non-trivial dyadic interval, then wildcards — exactly the gaps a B-tree
+// search discovers between adjacent keys (Figures 1b, 3a, 11, 12).
+type Sorted struct {
+	rel    *relation.Relation
+	order  []int   // index attribute order: positions into the schema
+	inv    []int   // inverse permutation: schema position -> index level
+	depths []uint8 // depths in index order
+	tuples []relation.Tuple
+}
+
+// NewSorted builds a sorted index using the given attribute-name order,
+// which must be a permutation of the relation's attributes. An empty
+// order means schema order.
+func NewSorted(rel *relation.Relation, attrOrder ...string) (*Sorted, error) {
+	k := rel.Arity()
+	order := make([]int, 0, k)
+	if len(attrOrder) == 0 {
+		for i := 0; i < k; i++ {
+			order = append(order, i)
+		}
+	} else {
+		if len(attrOrder) != k {
+			return nil, fmt.Errorf("index: sort order has %d attributes, relation %s has %d", len(attrOrder), rel.Name(), k)
+		}
+		for _, a := range attrOrder {
+			j := rel.AttrIndex(a)
+			if j < 0 {
+				return nil, fmt.Errorf("index: relation %s has no attribute %s", rel.Name(), a)
+			}
+			order = append(order, j)
+		}
+	}
+	tuples, err := rel.Reordered(order)
+	if err != nil {
+		return nil, err
+	}
+	inv := make([]int, k)
+	depths := make([]uint8, k)
+	for lvl, pos := range order {
+		inv[pos] = lvl
+		depths[lvl] = rel.Depths()[pos]
+	}
+	return &Sorted{rel: rel, order: order, inv: inv, depths: depths, tuples: tuples}, nil
+}
+
+// MustSorted is NewSorted that panics on error.
+func MustSorted(rel *relation.Relation, attrOrder ...string) *Sorted {
+	ix, err := NewSorted(rel, attrOrder...)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Relation implements Index.
+func (s *Sorted) Relation() *relation.Relation { return s.rel }
+
+// Kind implements Index.
+func (s *Sorted) Kind() string {
+	names := ""
+	for i, pos := range s.order {
+		if i > 0 {
+			names += ","
+		}
+		names += s.rel.Attrs()[pos]
+	}
+	return "btree(" + names + ")"
+}
+
+// Order returns the index's attribute order as schema positions.
+func (s *Sorted) Order() []int { return s.order }
+
+// toIndexOrder permutes a schema-order point into index order.
+func (s *Sorted) toIndexOrder(point []uint64) []uint64 {
+	p := make([]uint64, len(point))
+	for lvl, pos := range s.order {
+		p[lvl] = point[pos]
+	}
+	return p
+}
+
+// toSchemaOrder permutes an index-order box back into schema order.
+func (s *Sorted) toSchemaOrder(b dyadic.Box) dyadic.Box {
+	out := make(dyadic.Box, len(b))
+	for lvl, pos := range s.order {
+		out[pos] = b[lvl]
+	}
+	return out
+}
+
+// GapsAt implements Index. Walking the trie view of the sorted tuples,
+// the probe diverges from the stored keys at exactly one level; the gap
+// between the neighbouring keys at that level yields the unique maximal
+// GAO-consistent dyadic gap box containing the point.
+func (s *Sorted) GapsAt(point []uint64) []dyadic.Box {
+	checkPoint(s.rel, point)
+	p := s.toIndexOrder(point)
+	lo, hi := 0, len(s.tuples) // current key range matching the probe prefix
+	for lvl := 0; lvl < len(p); lvl++ {
+		v := p[lvl]
+		// Range of tuples with value v at this level within [lo,hi).
+		vLo := lo + sort.Search(hi-lo, func(i int) bool { return s.tuples[lo+i][lvl] >= v })
+		vHi := lo + sort.Search(hi-lo, func(i int) bool { return s.tuples[lo+i][lvl] > v })
+		if vLo < vHi {
+			lo, hi = vLo, vHi
+			continue
+		}
+		// v is absent: the gap spans (pred, succ) exclusive.
+		gapLo := uint64(0)
+		if vLo > lo {
+			gapLo = s.tuples[vLo-1][lvl] + 1
+		}
+		gapHi := uint64(1)<<s.depths[lvl] - 1
+		if vLo < hi {
+			gapHi = s.tuples[vLo][lvl] - 1
+		}
+		iv, ok := dyadic.MaxDyadicIn(v, gapLo, gapHi, s.depths[lvl])
+		if !ok {
+			panic("index: sorted gap computation is inconsistent")
+		}
+		box := make(dyadic.Box, len(p))
+		for j := 0; j < lvl; j++ {
+			box[j] = dyadic.Unit(p[j], s.depths[j])
+		}
+		box[lvl] = iv
+		return []dyadic.Box{s.toSchemaOrder(box)}
+	}
+	return nil // the probe point is a tuple
+}
+
+// AllGaps implements Index: the complete GAO-consistent gap set,
+// enumerating per trie level the dyadic decomposition of every maximal
+// run of absent values (Figure 1b rendered dyadically as in Figure 4b).
+func (s *Sorted) AllGaps() []dyadic.Box {
+	var out []dyadic.Box
+	k := len(s.depths)
+	prefix := make([]uint64, 0, k)
+	var rec func(lo, hi, lvl int)
+	rec = func(lo, hi, lvl int) {
+		if lvl == k {
+			return
+		}
+		// Distinct values at this level within [lo,hi).
+		var values []uint64
+		for i := lo; i < hi; {
+			v := s.tuples[i][lvl]
+			values = append(values, v)
+			j := i + sort.Search(hi-i, func(x int) bool { return s.tuples[i+x][lvl] > v })
+			i = j
+		}
+		for _, iv := range dyadic.CoverValues(values, s.depths[lvl]) {
+			box := make(dyadic.Box, k)
+			for j, u := range prefix {
+				box[j] = dyadic.Unit(u, s.depths[j])
+			}
+			box[lvl] = iv
+			out = append(out, s.toSchemaOrder(box))
+		}
+		// Recurse under each present value.
+		for i := lo; i < hi; {
+			v := s.tuples[i][lvl]
+			j := i + sort.Search(hi-i, func(x int) bool { return s.tuples[i+x][lvl] > v })
+			prefix = append(prefix, v)
+			rec(i, j, lvl+1)
+			prefix = prefix[:len(prefix)-1]
+			i = j
+		}
+	}
+	rec(0, len(s.tuples), 0)
+	return out
+}

@@ -1,0 +1,210 @@
+package join
+
+import (
+	"fmt"
+	"math/big"
+
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/index"
+)
+
+// SAOStrategy selects how the splitting attribute order is derived from
+// the query when not given explicitly.
+type SAOStrategy int
+
+const (
+	// SAOAuto follows the paper's prescriptions: for α-acyclic queries
+	// the reverse of a GYO elimination order (Theorem D.8); otherwise the
+	// reverse of a minimum-induced-width elimination order
+	// (Theorems 4.7 and 4.9).
+	SAOAuto SAOStrategy = iota
+	// SAONatural uses the variables' first-occurrence order.
+	SAONatural
+)
+
+// Options configures query execution.
+type Options struct {
+	// Mode selects the Tetris variant (default core.Reloaded).
+	Mode core.Mode
+	// SAOVars, when non-empty, fixes the splitting attribute order by
+	// variable name (a permutation of the query's variables).
+	SAOVars []string
+	// Strategy picks the automatic SAO derivation when SAOVars is empty.
+	Strategy SAOStrategy
+	// NoCache, SinglePass, DisableSubsume, TrackProvenance,
+	// MaxResolutions, MaxOutput and OnOutput are forwarded to the core
+	// engine; see core.Options.
+	NoCache         bool
+	SinglePass      bool
+	DisableSubsume  bool
+	TrackProvenance bool
+	MaxResolutions  int64
+	MaxOutput       int
+	OnOutput        func(tuple []uint64) bool
+}
+
+// Result is the outcome of a join: tuples over Vars (in Vars order), the
+// SAO that was used, and the core work statistics.
+type Result struct {
+	Vars   []string
+	SAO    []string
+	Tuples [][]uint64
+	Stats  core.Stats
+}
+
+// ChooseSAO returns the splitting attribute order (as variable positions)
+// that Execute would use for the query under the given options.
+func ChooseSAO(q *Query, opts Options) ([]int, error) {
+	if len(opts.SAOVars) > 0 {
+		if len(opts.SAOVars) != len(q.vars) {
+			return nil, fmt.Errorf("join: SAO has %d variables, query has %d", len(opts.SAOVars), len(q.vars))
+		}
+		sao := make([]int, len(opts.SAOVars))
+		seen := map[int]bool{}
+		for i, v := range opts.SAOVars {
+			pos := q.VarIndex(v)
+			if pos < 0 {
+				return nil, fmt.Errorf("join: SAO variable %s not in query", v)
+			}
+			if seen[pos] {
+				return nil, fmt.Errorf("join: SAO repeats variable %s", v)
+			}
+			seen[pos] = true
+			sao[i] = pos
+		}
+		return sao, nil
+	}
+	n := len(q.vars)
+	sao := make([]int, n)
+	switch opts.Strategy {
+	case SAONatural:
+		for i := range sao {
+			sao[i] = i
+		}
+	case SAOAuto:
+		h := q.Hypergraph()
+		var elim []int
+		if order, acyclic := h.GYO(); acyclic {
+			elim = order
+		} else {
+			elim, _ = h.EliminationOrder()
+		}
+		// SAO = reverse of the elimination order: the paper's GAO lists
+		// A_1..A_n with A_n eliminated first.
+		for i, v := range elim {
+			sao[n-1-i] = v
+		}
+	default:
+		return nil, fmt.Errorf("join: unknown SAO strategy %d", opts.Strategy)
+	}
+	return sao, nil
+}
+
+// BuildIndices returns one index per atom: the atom's own indices pooled
+// into a Union when provided, and otherwise a B-tree index consistent
+// with the given SAO (the GAO-consistency default of the paper).
+func BuildIndices(q *Query, sao []int) ([]index.Index, error) {
+	saoRank := make([]int, len(q.vars))
+	for r, pos := range sao {
+		saoRank[pos] = r
+	}
+	out := make([]index.Index, len(q.atoms))
+	for ai, a := range q.atoms {
+		if len(a.Indexes) == 1 {
+			out[ai] = a.Indexes[0]
+			continue
+		}
+		if len(a.Indexes) > 1 {
+			u, err := index.NewUnion(a.Indexes...)
+			if err != nil {
+				return nil, err
+			}
+			out[ai] = u
+			continue
+		}
+		// Sort the relation's attributes by SAO rank of their variables.
+		attrs := append([]string(nil), a.Relation.Attrs()...)
+		rank := func(attr string) int {
+			for i, at := range a.Relation.Attrs() {
+				if at == attr {
+					return saoRank[q.varPos[a.Vars[i]]]
+				}
+			}
+			return -1
+		}
+		for i := 1; i < len(attrs); i++ {
+			for j := i; j > 0 && rank(attrs[j]) < rank(attrs[j-1]); j-- {
+				attrs[j], attrs[j-1] = attrs[j-1], attrs[j]
+			}
+		}
+		ix, err := index.NewSorted(a.Relation, attrs...)
+		if err != nil {
+			return nil, err
+		}
+		out[ai] = ix
+	}
+	return out, nil
+}
+
+// Count returns the exact number of output tuples of the query without
+// materializing them, via the counting variant of Tetris (the memoized
+// #SAT-style skeleton over the preloaded gap box set). For queries whose
+// output is enormous this is exponentially cheaper than Execute.
+func Count(q *Query, opts Options) (*big.Int, core.Stats, error) {
+	sao, err := ChooseSAO(q, opts)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	indices, err := BuildIndices(q, sao)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	oracle := NewOracle(q, indices)
+	rep, err := core.CountUncovered(oracle.Depths(), oracle.AllGaps(), core.Options{
+		SAO:     sao,
+		NoCache: opts.NoCache,
+	})
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return rep.Uncovered, rep.Stats, nil
+}
+
+// Execute runs the join and returns its result. The reduction follows
+// Proposition 3.6: the output of the BCP over the query's gap boxes is
+// exactly the join output.
+func Execute(q *Query, opts Options) (*Result, error) {
+	sao, err := ChooseSAO(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	indices, err := BuildIndices(q, sao)
+	if err != nil {
+		return nil, err
+	}
+	oracle := NewOracle(q, indices)
+	coreRes, err := core.Run(oracle, core.Options{
+		Mode:            opts.Mode,
+		SAO:             sao,
+		NoCache:         opts.NoCache,
+		SinglePass:      opts.SinglePass,
+		DisableSubsume:  opts.DisableSubsume,
+		TrackProvenance: opts.TrackProvenance,
+		MaxResolutions:  opts.MaxResolutions,
+		MaxOutput:       opts.MaxOutput,
+		OnOutput:        opts.OnOutput,
+	})
+	if err != nil {
+		return nil, err
+	}
+	saoVars := make([]string, len(sao))
+	for i, pos := range sao {
+		saoVars[i] = q.vars[pos]
+	}
+	return &Result{
+		Vars:   q.vars,
+		SAO:    saoVars,
+		Tuples: coreRes.Tuples,
+		Stats:  coreRes.Stats,
+	}, nil
+}

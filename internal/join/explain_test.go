@@ -1,0 +1,68 @@
+package join
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tetrisjoin/internal/relation"
+)
+
+func TestExplainTriangle(t *testing.T) {
+	r := relation.MustNewUniform("R", []string{"X", "Y"}, 4)
+	for i := uint64(0); i < 9; i++ {
+		r.MustInsert(i, (i+1)%9)
+	}
+	q := MustNewQuery(
+		Atom{Relation: r, Vars: []string{"A", "B"}},
+		Atom{Relation: r, Vars: []string{"B", "C"}},
+		Atom{Relation: r, Vars: []string{"A", "C"}},
+	)
+	ex, err := Explain(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Acyclic {
+		t.Error("triangle reported acyclic")
+	}
+	if ex.Treewidth != 2 {
+		t.Errorf("treewidth = %d", ex.Treewidth)
+	}
+	if !ex.FHTWExact || math.Abs(ex.FHTW-1.5) > 1e-9 {
+		t.Errorf("fhtw = %g (exact %v)", ex.FHTW, ex.FHTWExact)
+	}
+	if math.Abs(ex.AGM-27) > 1e-6 {
+		t.Errorf("AGM = %g, want 27", ex.AGM)
+	}
+	if len(ex.SAO) != 3 || len(ex.Indices) != 3 {
+		t.Errorf("SAO %v indices %v", ex.SAO, ex.Indices)
+	}
+	s := ex.String()
+	for _, want := range []string{"treewidth: 2", "fhtw: 1.50", "AGM bound: 27.0", "Thm 4.6"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExplainAcyclicAndErrors(t *testing.T) {
+	r := relation.MustNewUniform("R", []string{"X", "Y"}, 3)
+	r.MustInsert(1, 2)
+	q := MustNewQuery(
+		Atom{Relation: r, Vars: []string{"A", "B"}},
+		Atom{Relation: r, Vars: []string{"B", "C"}},
+	)
+	ex, err := Explain(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Acyclic || ex.Treewidth != 1 {
+		t.Errorf("path query: acyclic=%v tw=%d", ex.Acyclic, ex.Treewidth)
+	}
+	if !strings.Contains(ex.Guarantee, "α-acyclic") {
+		t.Errorf("guarantee = %q", ex.Guarantee)
+	}
+	if _, err := Explain(q, Options{SAOVars: []string{"A"}}); err == nil {
+		t.Error("bad SAO accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package join
+
+import (
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/index"
+)
+
+// atomBinding pairs an index with the mapping from relation attribute
+// positions to query variable positions.
+type atomBinding struct {
+	ix     index.Index
+	relPos []int // relation position i holds query variable relPos[i]
+}
+
+// Oracle is the query-wide gap box oracle: the union over atoms of the
+// per-relation index gaps, extended with λ wildcards to the query's full
+// attribute set (the set B(Q) of Section 3.4).
+type Oracle struct {
+	depths   []uint8
+	bindings []atomBinding
+}
+
+// NewOracle assembles the oracle for a query with the given per-atom
+// indices (parallel to q.Atoms(); each entry must be non-nil).
+func NewOracle(q *Query, indices []index.Index) *Oracle {
+	o := &Oracle{depths: q.Depths()}
+	for ai, a := range q.atoms {
+		relPos := make([]int, len(a.Vars))
+		for i, v := range a.Vars {
+			relPos[i] = q.varPos[v]
+		}
+		o.bindings = append(o.bindings, atomBinding{ix: indices[ai], relPos: relPos})
+	}
+	return o
+}
+
+// Dims implements core.Oracle.
+func (o *Oracle) Dims() int { return len(o.depths) }
+
+// Depths implements core.Oracle.
+func (o *Oracle) Depths() []uint8 { return o.depths }
+
+// extend lifts a relation-space box into query space.
+func (b atomBinding) extend(n int, rb dyadic.Box) dyadic.Box {
+	out := make(dyadic.Box, n)
+	for i, pos := range b.relPos {
+		out[pos] = rb[i]
+	}
+	return out
+}
+
+// GapsContaining implements core.Oracle: each atom's index is probed with
+// the projected point; its gap boxes, extended to query space, all
+// contain the probe point. The result is empty exactly when the point's
+// projection is a tuple of every relation — i.e. the point is an output
+// tuple.
+func (o *Oracle) GapsContaining(point []uint64) []dyadic.Box {
+	var out []dyadic.Box
+	seen := map[string]bool{}
+	n := len(o.depths)
+	for _, b := range o.bindings {
+		proj := make([]uint64, len(b.relPos))
+		for i, pos := range b.relPos {
+			proj[i] = point[pos]
+		}
+		for _, g := range b.ix.GapsAt(proj) {
+			eb := b.extend(n, g)
+			if k := eb.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, eb)
+			}
+		}
+	}
+	return out
+}
+
+// AllGaps implements core.Oracle: the full set B(Q) of gap boxes from
+// every index, extended to query space.
+func (o *Oracle) AllGaps() []dyadic.Box {
+	var out []dyadic.Box
+	seen := map[string]bool{}
+	n := len(o.depths)
+	for _, b := range o.bindings {
+		for _, g := range b.ix.AllGaps() {
+			eb := b.extend(n, g)
+			if k := eb.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, eb)
+			}
+		}
+	}
+	return out
+}

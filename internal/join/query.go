@@ -1,0 +1,168 @@
+// Package join reduces natural join queries to the box cover problem and
+// runs Tetris over them (Proposition 3.6 of the paper). It assembles a
+// query-wide gap box oracle from per-relation indices (extending each gap
+// box with wildcards to the full attribute set, Section 3.3), chooses the
+// splitting attribute order prescribed by the paper's theorems, and
+// decodes the BCP output back into result tuples.
+package join
+
+import (
+	"fmt"
+	"strings"
+
+	"tetrisjoin/internal/hypergraph"
+	"tetrisjoin/internal/index"
+	"tetrisjoin/internal/relation"
+)
+
+// Atom is one occurrence of a relation in a query, binding query
+// variables to the relation's attributes positionally.
+type Atom struct {
+	// Relation is the relation instance.
+	Relation *relation.Relation
+	// Vars are the query variables bound to the relation's attributes, in
+	// schema order. They must be distinct within the atom.
+	Vars []string
+	// Indexes are the indices available on the relation for this query.
+	// When empty, the engine builds a B-tree index consistent with the
+	// chosen global attribute order (the paper's GAO-consistency default).
+	Indexes []index.Index
+}
+
+// Query is a natural join query ⨝_R atoms.
+type Query struct {
+	atoms  []Atom
+	vars   []string
+	depths []uint8
+	varPos map[string]int
+}
+
+// NewQuery validates and assembles a query. Variables shared between
+// atoms must agree on their attribute depths.
+func NewQuery(atoms ...Atom) (*Query, error) {
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("join: query has no atoms")
+	}
+	q := &Query{atoms: atoms, varPos: map[string]int{}}
+	for ai, a := range atoms {
+		if a.Relation == nil {
+			return nil, fmt.Errorf("join: atom %d has no relation", ai)
+		}
+		if len(a.Vars) != a.Relation.Arity() {
+			return nil, fmt.Errorf("join: atom %d binds %d variables, relation %s has arity %d",
+				ai, len(a.Vars), a.Relation.Name(), a.Relation.Arity())
+		}
+		seen := map[string]bool{}
+		for i, v := range a.Vars {
+			if v == "" {
+				return nil, fmt.Errorf("join: atom %d has an empty variable name", ai)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("join: atom %d repeats variable %s", ai, v)
+			}
+			seen[v] = true
+			d := a.Relation.Depths()[i]
+			if pos, ok := q.varPos[v]; ok {
+				if q.depths[pos] != d {
+					return nil, fmt.Errorf("join: variable %s has depth %d in %s but %d elsewhere",
+						v, d, a.Relation.Name(), q.depths[pos])
+				}
+			} else {
+				q.varPos[v] = len(q.vars)
+				q.vars = append(q.vars, v)
+				q.depths = append(q.depths, d)
+			}
+		}
+		for _, ix := range a.Indexes {
+			if ix.Relation() != a.Relation {
+				return nil, fmt.Errorf("join: atom %d carries an index over a different relation", ai)
+			}
+		}
+	}
+	return q, nil
+}
+
+// MustNewQuery is NewQuery that panics on error.
+func MustNewQuery(atoms ...Atom) *Query {
+	q, err := NewQuery(atoms...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Atoms returns the query's atoms.
+func (q *Query) Atoms() []Atom { return q.atoms }
+
+// Vars returns the query variables in first-occurrence order.
+func (q *Query) Vars() []string { return q.vars }
+
+// Depths returns the per-variable bit depths.
+func (q *Query) Depths() []uint8 { return q.depths }
+
+// VarIndex returns the position of a variable, or -1.
+func (q *Query) VarIndex(v string) int {
+	if pos, ok := q.varPos[v]; ok {
+		return pos
+	}
+	return -1
+}
+
+// Hypergraph returns the query hypergraph: vertices are variables, one
+// edge per atom.
+func (q *Query) Hypergraph() *hypergraph.Hypergraph {
+	h := hypergraph.NewNamed(q.vars)
+	for _, a := range q.atoms {
+		verts := make([]int, len(a.Vars))
+		for i, v := range a.Vars {
+			verts[i] = q.varPos[v]
+		}
+		h.MustAddEdge(verts...)
+	}
+	return h
+}
+
+// String renders the query as R(A,B) ⋈ S(B,C) ….
+func (q *Query) String() string {
+	parts := make([]string, len(q.atoms))
+	for i, a := range q.atoms {
+		parts[i] = a.Relation.Name() + "(" + strings.Join(a.Vars, ",") + ")"
+	}
+	return strings.Join(parts, " ⋈ ")
+}
+
+// Parse builds a query from a textual form like "R(A,B), S(B,C), T(A,C)",
+// resolving relation names through the given catalog. A relation may
+// appear several times (self-joins) with different variable bindings.
+func Parse(s string, catalog map[string]*relation.Relation) (*Query, error) {
+	var atoms []Atom
+	rest := strings.TrimSpace(s)
+	for len(rest) > 0 {
+		open := strings.IndexByte(rest, '(')
+		if open < 0 {
+			return nil, fmt.Errorf("join: expected '(' in %q", rest)
+		}
+		name := strings.TrimSpace(rest[:open])
+		closeIdx := strings.IndexByte(rest, ')')
+		if closeIdx < open {
+			return nil, fmt.Errorf("join: unbalanced parentheses in %q", rest)
+		}
+		rel, ok := catalog[name]
+		if !ok {
+			return nil, fmt.Errorf("join: unknown relation %q", name)
+		}
+		var vars []string
+		for _, v := range strings.Split(rest[open+1:closeIdx], ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return nil, fmt.Errorf("join: empty variable in atom %s", name)
+			}
+			vars = append(vars, v)
+		}
+		atoms = append(atoms, Atom{Relation: rel, Vars: vars})
+		rest = strings.TrimSpace(rest[closeIdx+1:])
+		rest = strings.TrimPrefix(rest, ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return NewQuery(atoms...)
+}

@@ -1,0 +1,128 @@
+package klee
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/workload"
+)
+
+func TestCoversSpaceFigure5(t *testing.T) {
+	inst := workload.TriangleMSBBoxes(4)
+	rep, err := CoversSpace(inst.Depths, inst.Boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Covered {
+		t.Error("Figure 5 boxes should cover the space")
+	}
+}
+
+func TestCoversSpaceFindsHole(t *testing.T) {
+	depths := []uint8{3, 3, 3}
+	boxes := []dyadic.Box{dyadic.MustParseBox("0,λ,λ"), dyadic.MustParseBox("λ,0,λ")}
+	rep, err := CoversSpace(depths, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Covered {
+		t.Fatal("half-spaces reported as covering")
+	}
+	p := rep.Uncovered
+	if p[0] < 4 || p[1] < 4 {
+		t.Errorf("witness %v is actually covered", p)
+	}
+}
+
+func TestMeasureExact(t *testing.T) {
+	depths := []uint8{3, 3}
+	cases := []struct {
+		boxes []string
+		want  uint64
+	}{
+		{nil, 0},
+		{[]string{"λ,λ"}, 64},
+		{[]string{"0,λ"}, 32},
+		{[]string{"0,λ", "1,λ"}, 64},
+		{[]string{"0,λ", "λ,0"}, 48}, // inclusion-exclusion: 32+32-16
+		{[]string{"000,000"}, 1},
+		{[]string{"000,000", "000,000"}, 1}, // duplicates
+		{[]string{"00,00", "0,0"}, 16},      // nested
+	}
+	for _, c := range cases {
+		var bs []dyadic.Box
+		for _, s := range c.boxes {
+			bs = append(bs, dyadic.MustParseBox(s))
+		}
+		got, err := Measure(depths, bs)
+		if err != nil {
+			t.Fatalf("%v: %v", c.boxes, err)
+		}
+		if got != c.want {
+			t.Errorf("Measure(%v) = %d, want %d", c.boxes, got, c.want)
+		}
+	}
+}
+
+func TestMeasureAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	depths := []uint8{3, 3, 3}
+	for trial := 0; trial < 20; trial++ {
+		inst := workload.RandomBoxes(3, 1+r.Intn(10), 3, int64(trial)+100)
+		got, err := Measure(depths, inst.Boxes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want uint64
+		for x := uint64(0); x < 8; x++ {
+			for y := uint64(0); y < 8; y++ {
+				for z := uint64(0); z < 8; z++ {
+					for _, b := range inst.Boxes {
+						if b.ContainsPoint([]uint64{x, y, z}, depths) {
+							want++
+							break
+						}
+					}
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: Measure = %d, brute force = %d", trial, got, want)
+		}
+	}
+}
+
+func TestCoversSpaceAgreesWithMeasure(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		inst := workload.RandomBoxes(3, 2+trial%12, 3, int64(trial)+500)
+		rep, err := CoversSpace(inst.Depths, inst.Boxes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Measure(inst.Depths, inst.Boxes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m == SpaceSize(inst.Depths)
+		if rep.Covered != want {
+			t.Fatalf("trial %d: Covered=%v but measure %d of %d", trial, rep.Covered, m, SpaceSize(inst.Depths))
+		}
+	}
+}
+
+func TestMeasureGuards(t *testing.T) {
+	if _, err := Measure([]uint8{3, 3, 3, 3, 3}, nil); err == nil {
+		t.Error("5 dimensions accepted")
+	}
+	big := make([]dyadic.Box, 65)
+	for i := range big {
+		big[i] = dyadic.Universe(2)
+	}
+	if _, err := Measure([]uint8{3, 3}, big); err == nil {
+		t.Error("65 boxes accepted")
+	}
+	if _, err := Measure([]uint8{3}, []dyadic.Box{dyadic.MustParseBox("0,1")}); err == nil {
+		t.Error("wrong-arity box accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package klee
+
+import (
+	"math/big"
+	"testing"
+
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/workload"
+)
+
+func TestMeasureExactAgainstCompression(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		inst := workload.RandomBoxes(3, 1+trial%12, 3, int64(trial)+900)
+		exact, err := MeasureExact(inst.Depths, inst.Boxes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compressed, err := Measure(inst.Depths, inst.Boxes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Cmp(new(big.Int).SetUint64(compressed)) != 0 {
+			t.Fatalf("trial %d: MeasureExact = %s, compression = %d", trial, exact, compressed)
+		}
+	}
+}
+
+func TestMeasureExactBeyondCompressionLimits(t *testing.T) {
+	// 6 dimensions, depth 20: far beyond Measure's n ≤ 4 limit, 2^120
+	// points. Two overlapping half-spaces measure 3/4 of the space.
+	depths := []uint8{20, 20, 20, 20, 20, 20}
+	boxes := []dyadic.Box{
+		dyadic.MustParseBox("0,λ,λ,λ,λ,λ"),
+		dyadic.MustParseBox("λ,0,λ,λ,λ,λ"),
+	}
+	got, err := MeasureExact(depths, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := new(big.Int).Lsh(big.NewInt(1), 120)
+	want := new(big.Int).Mul(space, big.NewInt(3))
+	want.Div(want, big.NewInt(4))
+	if got.Cmp(want) != 0 {
+		t.Fatalf("MeasureExact = %s, want %s", got, want)
+	}
+}
+
+func TestMeasureExactPartitionIsFull(t *testing.T) {
+	inst := workload.RandomDyadicPartition(4, 50, 6, 77)
+	got, err := MeasureExact(inst.Depths, inst.Boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := new(big.Int).Lsh(big.NewInt(1), 24)
+	if got.Cmp(space) != 0 {
+		t.Fatalf("partition measure %s of %s", got, space)
+	}
+}

@@ -1,0 +1,205 @@
+// Package lp provides a small dense linear-programming solver (two-phase
+// primal simplex with Bland's rule), sufficient for the fractional edge
+// cover programs behind the AGM bound (paper Appendix A.1). Problems have
+// at most a few dozen variables and constraints, so numerical
+// sophistication is traded for simplicity and determinism.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem is the linear program
+//
+//	minimize    c·x
+//	subject to  A x ≥ b,   x ≥ 0.
+type Problem struct {
+	C []float64   // objective coefficients, length nv
+	A [][]float64 // constraint matrix, nc × nv
+	B []float64   // right-hand sides, length nc
+}
+
+// Solution is an optimal solution of a Problem.
+type Solution struct {
+	X     []float64
+	Value float64
+}
+
+const eps = 1e-9
+
+// Solve returns an optimal solution, or an error if the problem is
+// infeasible, unbounded, or malformed.
+func Solve(p Problem) (*Solution, error) {
+	nv := len(p.C)
+	nc := len(p.A)
+	if nv == 0 {
+		return nil, fmt.Errorf("lp: no variables")
+	}
+	if len(p.B) != nc {
+		return nil, fmt.Errorf("lp: %d constraints but %d right-hand sides", nc, len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != nv {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(row), nv)
+		}
+	}
+
+	// Standard form: A x - s = b with slack (surplus) variables s ≥ 0,
+	// plus artificial variables to get an initial basis. Rows are
+	// normalized so b ≥ 0.
+	//
+	// Tableau columns: [x (nv) | s (nc) | a (nc) | rhs].
+	total := nv + 2*nc
+	tab := make([][]float64, nc+1)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+	}
+	basis := make([]int, nc)
+	for i := 0; i < nc; i++ {
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1.0
+		}
+		for j := 0; j < nv; j++ {
+			tab[i][j] = sign * p.A[i][j]
+		}
+		tab[i][nv+i] = -sign // surplus
+		tab[i][nv+nc+i] = 1  // artificial
+		tab[i][total] = sign * p.B[i]
+		basis[i] = nv + nc + i
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	obj := tab[nc]
+	for j := nv + nc; j < total; j++ {
+		obj[j] = 1
+	}
+	// Price out the artificial basis.
+	for i := 0; i < nc; i++ {
+		for j := 0; j <= total; j++ {
+			obj[j] -= tab[i][j]
+		}
+	}
+	if err := iterate(tab, basis, total); err != nil {
+		return nil, err
+	}
+	if -obj[total] > eps {
+		return nil, fmt.Errorf("lp: infeasible (phase-1 objective %g)", -obj[total])
+	}
+	// Drive any artificial variables out of the basis.
+	for i := 0; i < nc; i++ {
+		if basis[i] < nv+nc {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < nv+nc; j++ {
+			if math.Abs(tab[i][j]) > eps {
+				pivot(tab, basis, i, j, total)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant constraint row; harmless.
+			basis[i] = -1
+		}
+	}
+
+	// Phase 2: original objective. Artificial variables are out of the
+	// basis now; zeroing their columns removes them from the problem.
+	for i := 0; i <= nc; i++ {
+		for j := nv + nc; j < total; j++ {
+			tab[i][j] = 0
+		}
+	}
+	for j := 0; j <= total; j++ {
+		obj[j] = 0
+	}
+	for j := 0; j < nv; j++ {
+		obj[j] = p.C[j]
+	}
+	for i := 0; i < nc; i++ {
+		if basis[i] >= 0 && basis[i] < nv && math.Abs(p.C[basis[i]]) > eps {
+			coef := p.C[basis[i]]
+			for j := 0; j <= total; j++ {
+				obj[j] -= coef * tab[i][j]
+			}
+		}
+	}
+	if err := iterate(tab, basis, total); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, nv)
+	for i := 0; i < nc; i++ {
+		if basis[i] >= 0 && basis[i] < nv {
+			x[basis[i]] = tab[i][total]
+		}
+	}
+	val := 0.0
+	for j := 0; j < nv; j++ {
+		val += p.C[j] * x[j]
+	}
+	return &Solution{X: x, Value: val}, nil
+}
+
+// iterate runs simplex pivots with Bland's rule until optimality.
+func iterate(tab [][]float64, basis []int, total int) error {
+	nc := len(basis)
+	obj := tab[nc]
+	for step := 0; ; step++ {
+		if step > 200000 {
+			return fmt.Errorf("lp: iteration limit exceeded")
+		}
+		// Entering variable: smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < total; j++ {
+			if obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil
+		}
+		// Leaving row: minimum ratio, ties by smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < nc; i++ {
+			if tab[i][enter] > eps {
+				ratio := tab[i][total] / tab[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return fmt.Errorf("lp: unbounded")
+		}
+		pivot(tab, basis, leave, enter, total)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func pivot(tab [][]float64, basis []int, row, col, total int) {
+	pr := tab[row]
+	pv := pr[col]
+	for j := 0; j <= total; j++ {
+		pr[j] /= pv
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if math.Abs(f) < eps {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * pr[j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,207 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimple2D(t *testing.T) {
+	// minimize x+y s.t. x+2y >= 4, 3x+y >= 6  -> optimum at (8/5, 6/5), value 14/5.
+	sol, err := Solve(Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 2}, {3, 1}},
+		B: []float64{4, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 14.0/5) {
+		t.Errorf("Value = %g, want 2.8", sol.Value)
+	}
+}
+
+func TestTriangleFractionalCover(t *testing.T) {
+	// The triangle query fractional edge cover: three edges {A,B},{B,C},
+	// {A,C}; each vertex covered: optimum x = (1/2,1/2,1/2), value 3/2.
+	sol, err := Solve(Problem{
+		C: []float64{1, 1, 1},
+		A: [][]float64{
+			{1, 0, 1}, // A: edges 0 and 2
+			{1, 1, 0}, // B: edges 0 and 1
+			{0, 1, 1}, // C: edges 1 and 2
+		},
+		B: []float64{1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 1.5) {
+		t.Errorf("triangle ρ* = %g, want 1.5", sol.Value)
+	}
+}
+
+func TestWeightedCover(t *testing.T) {
+	// Same triangle but edge 0 is free: put weight on it; the optimum
+	// uses edge 0 fully (covers A,B) and one of the others for C.
+	sol, err := Solve(Problem{
+		C: []float64{0, 1, 1},
+		A: [][]float64{
+			{1, 0, 1},
+			{1, 1, 0},
+			{0, 1, 1},
+		},
+		B: []float64{1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 1.0) {
+		t.Errorf("Value = %g, want 1", sol.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x >= 1 and -x >= 0 cannot both hold with x >= 0... -x >= 0 forces x=0.
+	_, err := Solve(Problem{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{1, 0},
+	})
+	if err == nil {
+		t.Fatal("infeasible problem solved")
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// minimize -x s.t. x >= 0: unbounded below.
+	_, err := Solve(Problem{
+		C: []float64{-1},
+		A: [][]float64{{1}},
+		B: []float64{0},
+	})
+	if err == nil {
+		t.Fatal("unbounded problem solved")
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	// minimize x with x >= 0 and no constraints: optimum 0.
+	sol, err := Solve(Problem{C: []float64{1}, A: nil, B: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 0) {
+		t.Errorf("Value = %g", sol.Value)
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Error("empty problem accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Error("ragged constraint accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1}}, B: nil}); err == nil {
+		t.Error("missing rhs accepted")
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x - y >= -2, x + y >= 4, minimize x: feasible, x can be as small as
+	// 1 (x=1, y=3 satisfies both).
+	sol, err := Solve(Problem{
+		C: []float64{1, 0},
+		A: [][]float64{{1, -1}, {1, 1}},
+		B: []float64{-2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 1) {
+		t.Errorf("Value = %g, want 1", sol.Value)
+	}
+}
+
+// TestRandomCoverAgainstBruteForce compares LP optima of random small
+// covering problems with a fine grid search.
+func TestRandomCoverAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		// Random covering problem with 2 variables, integer data.
+		a := [][]float64{
+			{float64(1 + r.Intn(3)), float64(r.Intn(3))},
+			{float64(r.Intn(3)), float64(1 + r.Intn(3))},
+		}
+		b := []float64{float64(1 + r.Intn(4)), float64(1 + r.Intn(4))}
+		c := []float64{float64(1 + r.Intn(3)), float64(1 + r.Intn(3))}
+		sol, err := Solve(Problem{C: c, A: a, B: b})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		best := math.Inf(1)
+		const steps = 200
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := float64(i) * 0.05
+				y := float64(j) * 0.05
+				if a[0][0]*x+a[0][1]*y >= b[0]-1e-9 && a[1][0]*x+a[1][1]*y >= b[1]-1e-9 {
+					if v := c[0]*x + c[1]*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if sol.Value > best+1e-6 {
+			t.Errorf("trial %d: LP value %g worse than grid %g", trial, sol.Value, best)
+		}
+		if sol.Value < best-0.2 {
+			// Grid resolution is 0.05 per axis; LP can be better but not
+			// wildly so for these coefficients.
+			t.Errorf("trial %d: LP value %g suspiciously below grid %g", trial, sol.Value, best)
+		}
+	}
+}
+
+// TestSolutionFeasibility: returned X must satisfy all constraints.
+func TestSolutionFeasibility(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 60; trial++ {
+		nv := 1 + r.Intn(4)
+		nc := 1 + r.Intn(4)
+		p := Problem{C: make([]float64, nv), A: make([][]float64, nc), B: make([]float64, nc)}
+		for j := range p.C {
+			p.C[j] = float64(1 + r.Intn(5))
+		}
+		for i := range p.A {
+			p.A[i] = make([]float64, nv)
+			for j := range p.A[i] {
+				p.A[i][j] = float64(r.Intn(4))
+			}
+			p.B[i] = float64(r.Intn(5))
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			// Covering problems with a zero row and positive rhs are
+			// legitimately infeasible.
+			continue
+		}
+		for i := range p.A {
+			lhs := 0.0
+			for j := range p.A[i] {
+				lhs += p.A[i][j] * sol.X[j]
+			}
+			if lhs < p.B[i]-1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %g < %g", trial, i, lhs, p.B[i])
+			}
+		}
+		for j, x := range sol.X {
+			if x < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %g negative", trial, j, x)
+			}
+		}
+	}
+}

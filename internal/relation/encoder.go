@@ -1,0 +1,74 @@
+package relation
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Encoder maps arbitrary ordered string values onto a dense integer
+// domain [0, 2^d), preserving order, so that non-integral data can enter
+// the dyadic framework. Build one per attribute, add all values, then
+// Freeze to obtain codes.
+type Encoder struct {
+	values []string
+	codes  map[string]uint64
+	frozen bool
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{codes: map[string]uint64{}} }
+
+// Add registers a value. It panics if the encoder is frozen.
+func (e *Encoder) Add(v string) {
+	if e.frozen {
+		panic("relation: Add on frozen Encoder")
+	}
+	if _, ok := e.codes[v]; !ok {
+		e.codes[v] = 0
+		e.values = append(e.values, v)
+	}
+}
+
+// Freeze assigns order-preserving codes and returns the bit depth needed
+// to represent them.
+func (e *Encoder) Freeze() uint8 {
+	if !e.frozen {
+		sort.Strings(e.values)
+		for i, v := range e.values {
+			e.codes[v] = uint64(i)
+		}
+		e.frozen = true
+	}
+	n := len(e.values)
+	if n <= 1 {
+		return 1
+	}
+	return uint8(bits.Len(uint(n - 1)))
+}
+
+// Code returns the code of a registered value.
+func (e *Encoder) Code(v string) (uint64, error) {
+	if !e.frozen {
+		return 0, fmt.Errorf("relation: Code before Freeze")
+	}
+	c, ok := e.codes[v]
+	if !ok {
+		return 0, fmt.Errorf("relation: value %q not registered", v)
+	}
+	return c, nil
+}
+
+// Value returns the value for a code.
+func (e *Encoder) Value(code uint64) (string, error) {
+	if !e.frozen {
+		return "", fmt.Errorf("relation: Value before Freeze")
+	}
+	if code >= uint64(len(e.values)) {
+		return "", fmt.Errorf("relation: code %d out of range", code)
+	}
+	return e.values[code], nil
+}
+
+// Len returns the number of distinct registered values.
+func (e *Encoder) Len() int { return len(e.values) }

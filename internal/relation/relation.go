@@ -1,0 +1,261 @@
+// Package relation provides the relational substrate of the join engine:
+// named attributes over discrete ordered domains, tuples of uint64
+// values, and relation instances stored as sorted, deduplicated tuple
+// sets (paper Section 3.1).
+//
+// Domains are the integer ranges [0, 2^d) of the paper's dyadic framing;
+// Encoder maps arbitrary ordered values (strings, signed ints) onto them
+// for applications whose data is not already integral.
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+// Tuple is a row of attribute values in schema order.
+type Tuple []uint64
+
+// Compare orders tuples lexicographically.
+func Compare(a, b Tuple) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// Relation is an instance of a relational schema: a set of tuples over
+// named attributes, each with a bit depth bounding its domain.
+type Relation struct {
+	name   string
+	attrs  []string
+	depths []uint8
+	tuples []Tuple
+	sorted bool
+}
+
+// New creates an empty relation with the given name, attribute names and
+// per-attribute bit depths (domain sizes 2^depth).
+func New(name string, attrs []string, depths []uint8) (*Relation, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation: %s has no attributes", name)
+	}
+	if len(attrs) != len(depths) {
+		return nil, fmt.Errorf("relation: %s has %d attributes but %d depths", name, len(attrs), len(depths))
+	}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation: %s has an empty attribute name", name)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("relation: %s repeats attribute %s", name, a)
+		}
+		seen[a] = true
+	}
+	for i, d := range depths {
+		if d == 0 || d > dyadic.MaxDepth {
+			return nil, fmt.Errorf("relation: %s attribute %s has invalid depth %d", name, attrs[i], d)
+		}
+	}
+	return &Relation{
+		name:   name,
+		attrs:  append([]string(nil), attrs...),
+		depths: append([]uint8(nil), depths...),
+		sorted: true,
+	}, nil
+}
+
+// MustNew is New that panics on error; for tests and fixtures.
+func MustNew(name string, attrs []string, depths []uint8) *Relation {
+	r, err := New(name, attrs, depths)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// NewUniform is New with a single depth shared by every attribute.
+func NewUniform(name string, attrs []string, depth uint8) (*Relation, error) {
+	depths := make([]uint8, len(attrs))
+	for i := range depths {
+		depths[i] = depth
+	}
+	return New(name, attrs, depths)
+}
+
+// MustNewUniform is NewUniform that panics on error.
+func MustNewUniform(name string, attrs []string, depth uint8) *Relation {
+	r, err := NewUniform(name, attrs, depth)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Attrs returns the attribute names in schema order.
+func (r *Relation) Attrs() []string { return r.attrs }
+
+// Depths returns the per-attribute bit depths in schema order.
+func (r *Relation) Depths() []uint8 { return r.depths }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Len returns the number of tuples. The relation is deduplicated lazily,
+// so Len forces normalization.
+func (r *Relation) Len() int { r.normalize(); return len(r.tuples) }
+
+// Insert adds a tuple. Values must fit the attribute depths.
+func (r *Relation) Insert(values ...uint64) error {
+	if len(values) != len(r.attrs) {
+		return fmt.Errorf("relation: %s insert arity %d, want %d", r.name, len(values), len(r.attrs))
+	}
+	for i, v := range values {
+		if r.depths[i] < 64 && v >= 1<<r.depths[i] {
+			return fmt.Errorf("relation: %s value %d exceeds depth %d of attribute %s", r.name, v, r.depths[i], r.attrs[i])
+		}
+	}
+	t := make(Tuple, len(values))
+	copy(t, values)
+	r.tuples = append(r.tuples, t)
+	r.sorted = false
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (r *Relation) MustInsert(values ...uint64) {
+	if err := r.Insert(values...); err != nil {
+		panic(err)
+	}
+}
+
+// InsertAll adds many tuples, failing on the first invalid one.
+func (r *Relation) InsertAll(tuples ...Tuple) error {
+	for _, t := range tuples {
+		if err := r.Insert(t...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// normalize sorts and deduplicates the tuple set.
+func (r *Relation) normalize() {
+	if r.sorted {
+		return
+	}
+	sort.Slice(r.tuples, func(i, j int) bool { return Compare(r.tuples[i], r.tuples[j]) < 0 })
+	dedup := r.tuples[:0]
+	for i, t := range r.tuples {
+		if i == 0 || Compare(t, r.tuples[i-1]) != 0 {
+			dedup = append(dedup, t)
+		}
+	}
+	r.tuples = dedup
+	r.sorted = true
+}
+
+// Tuples returns the sorted, deduplicated tuples. The returned slice is
+// shared; callers must not modify it.
+func (r *Relation) Tuples() []Tuple { r.normalize(); return r.tuples }
+
+// Contains reports whether the tuple is in the relation.
+func (r *Relation) Contains(values ...uint64) bool {
+	r.normalize()
+	i := sort.Search(len(r.tuples), func(i int) bool {
+		return Compare(r.tuples[i], values) >= 0
+	})
+	return i < len(r.tuples) && Compare(r.tuples[i], values) == 0
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Project returns a new relation over the named attribute subset (a
+// permutation of a subset of this relation's attributes).
+func (r *Relation) Project(name string, attrs []string) (*Relation, error) {
+	idx := make([]int, len(attrs))
+	depths := make([]uint8, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: %s has no attribute %s", r.name, a)
+		}
+		idx[i] = j
+		depths[i] = r.depths[j]
+	}
+	out, err := New(name, attrs, depths)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range r.Tuples() {
+		vals := make([]uint64, len(idx))
+		for i, j := range idx {
+			vals[i] = t[j]
+		}
+		if err := out.Insert(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Reordered returns the tuples permuted into the given attribute order
+// and sorted lexicographically in that order. order must be a
+// permutation of the schema's attribute positions.
+func (r *Relation) Reordered(order []int) ([]Tuple, error) {
+	if len(order) != len(r.attrs) {
+		return nil, fmt.Errorf("relation: order has %d entries, want %d", len(order), len(r.attrs))
+	}
+	seen := make([]bool, len(r.attrs))
+	for _, j := range order {
+		if j < 0 || j >= len(r.attrs) || seen[j] {
+			return nil, fmt.Errorf("relation: order %v is not a permutation", order)
+		}
+		seen[j] = true
+	}
+	src := r.Tuples()
+	out := make([]Tuple, len(src))
+	for i, t := range src {
+		perm := make(Tuple, len(order))
+		for k, j := range order {
+			perm[k] = t[j]
+		}
+		out[i] = perm
+	}
+	sort.Slice(out, func(i, j int) bool { return Compare(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// Clone returns an independent deep copy with the given name.
+func (r *Relation) Clone(name string) *Relation {
+	c := MustNew(name, r.attrs, r.depths)
+	for _, t := range r.Tuples() {
+		c.MustInsert(t...)
+	}
+	return c
+}

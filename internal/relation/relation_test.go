@@ -1,0 +1,206 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		attrs  []string
+		depths []uint8
+	}{
+		{"empty", nil, nil},
+		{"mismatch", []string{"A", "B"}, []uint8{4}},
+		{"dup", []string{"A", "A"}, []uint8{4, 4}},
+		{"blank", []string{""}, []uint8{4}},
+		{"zero-depth", []string{"A"}, []uint8{0}},
+		{"too-deep", []string{"A"}, []uint8{63}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.attrs, c.depths); err == nil {
+			t.Errorf("%s: New accepted invalid schema", c.name)
+		}
+	}
+	if _, err := New("ok", []string{"A", "B"}, []uint8{4, 8}); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+}
+
+func TestInsertAndDedup(t *testing.T) {
+	r := MustNewUniform("R", []string{"A", "B"}, 4)
+	r.MustInsert(3, 1)
+	r.MustInsert(1, 2)
+	r.MustInsert(3, 1) // duplicate
+	r.MustInsert(0, 0)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	got := r.Tuples()
+	want := []Tuple{{0, 0}, {1, 2}, {3, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tuples = %v, want %v", got, want)
+	}
+	if err := r.Insert(16, 0); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	if err := r.Insert(1); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := MustNewUniform("R", []string{"A", "B"}, 4)
+	r.MustInsert(3, 1)
+	r.MustInsert(1, 2)
+	if !r.Contains(3, 1) || !r.Contains(1, 2) {
+		t.Error("Contains missed present tuples")
+	}
+	if r.Contains(3, 2) || r.Contains(0, 0) {
+		t.Error("Contains reported absent tuples")
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := MustNewUniform("R", []string{"A", "B", "C"}, 3)
+	r.MustInsert(1, 2, 3)
+	r.MustInsert(1, 2, 4)
+	r.MustInsert(5, 6, 7)
+	p, err := r.Project("P", []string{"B", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tuple{{2, 1}, {6, 5}}
+	if !reflect.DeepEqual(p.Tuples(), want) {
+		t.Errorf("Project = %v, want %v", p.Tuples(), want)
+	}
+	if _, err := r.Project("P", []string{"Z"}); err == nil {
+		t.Error("Project accepted unknown attribute")
+	}
+}
+
+func TestReordered(t *testing.T) {
+	r := MustNewUniform("R", []string{"A", "B"}, 3)
+	r.MustInsert(1, 7)
+	r.MustInsert(2, 0)
+	got, err := r.Reordered([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tuple{{0, 2}, {7, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Reordered = %v, want %v", got, want)
+	}
+	if _, err := r.Reordered([]int{0, 0}); err == nil {
+		t.Error("non-permutation order accepted")
+	}
+	if _, err := r.Reordered([]int{0}); err == nil {
+		t.Error("short order accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{Tuple{1, 2}, Tuple{1, 2}, 0},
+		{Tuple{1, 2}, Tuple{1, 3}, -1},
+		{Tuple{2, 0}, Tuple{1, 9}, 1},
+		{Tuple{1}, Tuple{1, 0}, -1},
+		{Tuple{1, 0}, Tuple{1}, 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := MustNewUniform("R", []string{"A"}, 4)
+	r.MustInsert(5)
+	c := r.Clone("C")
+	c.MustInsert(6)
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone is not independent")
+	}
+	if c.Name() != "C" {
+		t.Error("Clone name")
+	}
+}
+
+func TestQuickInsertOrderIrrelevant(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	f := func() bool {
+		var tuples []Tuple
+		for i := 0; i < 20; i++ {
+			tuples = append(tuples, Tuple{uint64(r.Intn(8)), uint64(r.Intn(8))})
+		}
+		a := MustNewUniform("A", []string{"X", "Y"}, 3)
+		b := MustNewUniform("B", []string{"X", "Y"}, 3)
+		for _, t := range tuples {
+			a.MustInsert(t...)
+		}
+		perm := r.Perm(len(tuples))
+		for _, i := range perm {
+			b.MustInsert(tuples[i]...)
+		}
+		return reflect.DeepEqual(a.Tuples(), b.Tuples())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncoder(t *testing.T) {
+	e := NewEncoder()
+	for _, v := range []string{"carol", "alice", "bob", "alice"} {
+		e.Add(v)
+	}
+	d := e.Freeze()
+	if d != 2 {
+		t.Errorf("Freeze depth = %d, want 2", d)
+	}
+	if e.Len() != 3 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	// Order preserved: alice < bob < carol.
+	a, _ := e.Code("alice")
+	b, _ := e.Code("bob")
+	c, _ := e.Code("carol")
+	if !(a < b && b < c) {
+		t.Errorf("codes not ordered: %d %d %d", a, b, c)
+	}
+	v, err := e.Value(b)
+	if err != nil || v != "bob" {
+		t.Errorf("Value(%d) = %q, %v", b, v, err)
+	}
+	if _, err := e.Code("mallory"); err == nil {
+		t.Error("unknown value encoded")
+	}
+	if _, err := e.Value(99); err == nil {
+		t.Error("out-of-range code decoded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add after Freeze did not panic")
+		}
+	}()
+	e.Add("late")
+}
+
+func TestEncoderEmptyAndSingle(t *testing.T) {
+	e := NewEncoder()
+	if d := e.Freeze(); d != 1 {
+		t.Errorf("empty encoder depth = %d, want 1", d)
+	}
+	e2 := NewEncoder()
+	e2.Add("only")
+	if d := e2.Freeze(); d != 1 {
+		t.Errorf("single-value encoder depth = %d, want 1", d)
+	}
+}

@@ -1,0 +1,289 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// bruteCount enumerates all assignments.
+func bruteCount(c CNF) uint64 {
+	var count uint64
+	for mask := uint64(0); mask < 1<<uint(c.NumVars); mask++ {
+		ok := true
+		for _, cl := range c.Clauses {
+			sat := false
+			for _, lit := range cl {
+				v := lit
+				want := uint64(1)
+				if lit < 0 {
+					v = -lit
+					want = 0
+				}
+				if mask>>uint(v-1)&1 == want {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+func TestCountSmallFormulas(t *testing.T) {
+	cases := []struct {
+		name string
+		cnf  CNF
+		want uint64
+	}{
+		{"single-var-pos", CNF{1, []Clause{{1}}}, 1},
+		{"single-var-free", CNF{2, []Clause{{1}}}, 2},
+		{"xor-ish", CNF{2, []Clause{{1, 2}, {-1, -2}}}, 2},
+		{"unsat", CNF{1, []Clause{{1}, {-1}}}, 0},
+		{"implication-chain", CNF{3, []Clause{{-1, 2}, {-2, 3}}}, 4 + 1}, // brute force below cross-checks
+		{"no-clauses", CNF{3, nil}, 8},
+	}
+	for _, c := range cases {
+		want := bruteCount(c.cnf)
+		if c.name != "implication-chain" && want != c.want {
+			t.Fatalf("%s: brute force %d disagrees with expectation %d", c.name, want, c.want)
+		}
+		res, err := Count(c.cnf, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if res.Models != want {
+			t.Errorf("%s: Count = %d, want %d", c.name, res.Models, want)
+		}
+		if uint64(len(res.Assignments)) != want {
+			t.Errorf("%s: %d assignments returned", c.name, len(res.Assignments))
+		}
+	}
+}
+
+func TestModelsSatisfyFormula(t *testing.T) {
+	c := CNF{4, []Clause{{1, -2}, {2, 3, -4}, {-1, 4}}}
+	res, err := Count(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Assignments {
+		for _, cl := range c.Clauses {
+			sat := false
+			for _, lit := range cl {
+				v, want := lit, true
+				if lit < 0 {
+					v, want = -lit, false
+				}
+				if m[v-1] == want {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				t.Fatalf("model %v falsifies clause %v", m, cl)
+			}
+		}
+	}
+	if res.Models != bruteCount(c) {
+		t.Errorf("Count = %d, brute = %d", res.Models, bruteCount(c))
+	}
+}
+
+func TestRandom3CNFAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(8) // 3..10 variables
+		m := 1 + r.Intn(4*n)
+		c := CNF{NumVars: n}
+		for i := 0; i < m; i++ {
+			perm := r.Perm(n)
+			var cl Clause
+			for k := 0; k < 3 && k < n; k++ {
+				lit := perm[k] + 1
+				if r.Intn(2) == 0 {
+					lit = -lit
+				}
+				cl = append(cl, lit)
+			}
+			c.Clauses = append(c.Clauses, cl)
+		}
+		want := bruteCount(c)
+		res, err := Count(c, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Models != want {
+			t.Fatalf("trial %d: Count = %d, brute = %d (cnf %+v)", trial, res.Models, want, c)
+		}
+		// DPLL without learning must agree.
+		res2, err := Count(c, Options{NoLearning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Models != want {
+			t.Fatalf("trial %d: no-learning Count = %d, want %d", trial, res2.Models, want)
+		}
+	}
+}
+
+func TestSolve(t *testing.T) {
+	sat, model, err := Solve(CNF{2, []Clause{{1}, {-1, 2}}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat || !model[0] || !model[1] {
+		t.Errorf("Solve = %v, %v", sat, model)
+	}
+	sat, model, err = Solve(CNF{1, []Clause{{1}, {-1}}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat || model != nil {
+		t.Error("unsat formula solved")
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n) is unsatisfiable; PHP(n, n) has n! models.
+	php := Pigeonhole(3, 2)
+	sat, _, err := Solve(php, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Error("PHP(3,2) reported satisfiable")
+	}
+	php = Pigeonhole(2, 2)
+	res, err := Count(php, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Models != 2 {
+		t.Errorf("PHP(2,2) models = %d, want 2", res.Models)
+	}
+	php = Pigeonhole(3, 3)
+	res, err = Count(php, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Models != 6 {
+		t.Errorf("PHP(3,3) models = %d, want 6", res.Models)
+	}
+}
+
+func TestClauseLearningHelpsOnPigeonhole(t *testing.T) {
+	// Clause learning (resolvent caching) must not lose to plain DPLL on
+	// PHP — the classic learning showcase.
+	php := Pigeonhole(4, 3)
+	learned, err := Count(php, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Count(php, Options{NoLearning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned.Models != 0 || plain.Models != 0 {
+		t.Fatal("PHP(4,3) must be unsatisfiable")
+	}
+	if learned.Stats.Resolutions > plain.Stats.Resolutions {
+		t.Errorf("learning used more resolutions (%d) than plain DPLL (%d)",
+			learned.Stats.Resolutions, plain.Stats.Resolutions)
+	}
+}
+
+func TestVarOrder(t *testing.T) {
+	c := CNF{3, []Clause{{1, 2}, {-2, 3}}}
+	want := bruteCount(c)
+	for _, order := range [][]int{{1, 2, 3}, {3, 2, 1}, {2, 3, 1}} {
+		res, err := Count(c, Options{VarOrder: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Models != want {
+			t.Errorf("order %v: Count = %d, want %d", order, res.Models, want)
+		}
+	}
+	if _, err := Count(c, Options{VarOrder: []int{1, 2}}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := Count(c, Options{VarOrder: []int{1, 2, 4}}); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+}
+
+func TestCheckRejectsBadFormulas(t *testing.T) {
+	cases := map[string]CNF{
+		"zero-vars": {0, nil},
+		"too-many":  {63, nil},
+		"empty-cl":  {2, []Clause{{}}},
+		"bad-lit":   {2, []Clause{{3}}},
+		"tautology": {2, []Clause{{1, -1}}},
+	}
+	for name, c := range cases {
+		if err := c.Check(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParseDIMACS(t *testing.T) {
+	input := `c example formula
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	c, err := ParseDIMACS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVars != 3 || len(c.Clauses) != 2 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c.Clauses[0][1] != -2 {
+		t.Errorf("clause = %v", c.Clauses[0])
+	}
+	res, err := Count(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Models != bruteCount(c) {
+		t.Error("parsed formula count mismatch")
+	}
+	for name, bad := range map[string]string{
+		"no-header":   "1 2 0\n",
+		"bad-header":  "p sat 3 2\n1 0\n",
+		"wrong-count": "p cnf 2 5\n1 0\n",
+		"bad-token":   "p cnf 2 1\n1 x 0\n",
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestStreamingModels(t *testing.T) {
+	c := CNF{3, nil} // 8 models
+	var seen int
+	res, err := Count(c, Options{OnModel: func(a []bool) bool {
+		seen++
+		return seen < 3
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Errorf("streamed %d models", seen)
+	}
+	if len(res.Assignments) != 0 {
+		t.Error("assignments stored while streaming")
+	}
+}

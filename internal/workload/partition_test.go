@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"testing"
+
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/klee"
+)
+
+func TestRandomDyadicPartitionIsPartition(t *testing.T) {
+	for _, m := range []int{1, 2, 17, 64} {
+		inst := RandomDyadicPartition(3, m, 5, int64(m))
+		if len(inst.Boxes) != m {
+			t.Fatalf("m=%d: got %d boxes", m, len(inst.Boxes))
+		}
+		// Disjoint...
+		for i := range inst.Boxes {
+			for j := i + 1; j < len(inst.Boxes); j++ {
+				if inst.Boxes[i].Intersects(inst.Boxes[j]) {
+					t.Fatalf("m=%d: boxes %v and %v intersect", m, inst.Boxes[i], inst.Boxes[j])
+				}
+			}
+		}
+		// ...and covering: total measure equals the space.
+		if m <= 64 {
+			got, err := klee.Measure(inst.Depths, inst.Boxes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != klee.SpaceSize(inst.Depths) {
+				t.Fatalf("m=%d: measure %d of %d", m, got, klee.SpaceSize(inst.Depths))
+			}
+		}
+		rep, err := core.Covers(inst.Depths, inst.Boxes, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Covered {
+			t.Fatalf("m=%d: partition does not cover", m)
+		}
+		// Dropping any one box must break coverage (boxes are disjoint).
+		if m > 1 {
+			rep, err = core.Covers(inst.Depths, inst.Boxes[1:], core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Covered {
+				t.Fatalf("m=%d: coverage survives dropping a partition box", m)
+			}
+		}
+	}
+}
+
+func TestRandomDyadicPartitionSaturates(t *testing.T) {
+	// Asking for more boxes than the space has points stops at the
+	// all-units partition.
+	inst := RandomDyadicPartition(2, 100, 2, 9)
+	if len(inst.Boxes) != 16 {
+		t.Errorf("saturated partition has %d boxes, want 16", len(inst.Boxes))
+	}
+}

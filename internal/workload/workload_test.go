@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"testing"
+
+	"tetrisjoin/internal/baseline"
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/index"
+	"tetrisjoin/internal/join"
+)
+
+func TestExample44(t *testing.T) {
+	inst := Example44()
+	o := core.MustBoxOracle(inst.Depths, inst.Boxes)
+	res, err := core.Run(o, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 2 {
+		t.Errorf("Example 4.4 has %d outputs, want 2", len(res.Tuples))
+	}
+}
+
+func TestTriangleMSBBoxesCover(t *testing.T) {
+	inst := TriangleMSBBoxes(5)
+	rep, err := core.Covers(inst.Depths, inst.Boxes, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Covered {
+		t.Error("Figure 5 boxes must cover the space")
+	}
+}
+
+func TestExampleF1Covers(t *testing.T) {
+	// The union of C1 ∪ C2 ∪ C3 covers the whole space (empty output).
+	for _, d := range []uint8{3, 4, 5} {
+		inst := ExampleF1(d)
+		if len(inst.Boxes) != 6*(1<<(d-2)) {
+			t.Fatalf("d=%d: |C| = %d, want %d", d, len(inst.Boxes), 6*(1<<(d-2)))
+		}
+		rep, err := core.Covers(inst.Depths, inst.Boxes, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Covered {
+			t.Errorf("d=%d: Example F.1 boxes must cover the space (uncovered: %v)", d, rep.Witness)
+		}
+	}
+}
+
+func TestExampleF1SubsetsCoverTheirThirds(t *testing.T) {
+	// Per the example: C1 covers ⟨0,λ,λ⟩, C2 covers ⟨10,λ,λ⟩, C3 covers
+	// ⟨110,λ,λ⟩ and ⟨111,λ,λ⟩; and no single part covers the whole space.
+	const d = 4
+	inst := ExampleF1(d)
+	parts := map[string][]dyadic.Box{}
+	for i, b := range inst.Boxes {
+		// The generator appends boxes in groups of six: C1,C1,C2,C2,C3,C3.
+		switch i % 6 {
+		case 0, 1:
+			parts["C1"] = append(parts["C1"], b)
+		case 2, 3:
+			parts["C2"] = append(parts["C2"], b)
+		default:
+			parts["C3"] = append(parts["C3"], b)
+		}
+	}
+	targets := map[string][]string{
+		"C1": {"0,λ,λ"},
+		"C2": {"10,λ,λ"},
+		"C3": {"110,λ,λ", "111,λ,λ"},
+	}
+	for name, bs := range parts {
+		for _, tgt := range targets[name] {
+			rep, err := core.CoversTarget(inst.Depths, bs, dyadic.MustParseBox(tgt), core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Covered {
+				t.Errorf("%s does not cover %s", name, tgt)
+			}
+		}
+		rep, err := core.Covers(inst.Depths, bs, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Covered {
+			t.Errorf("%s alone covers the whole space", name)
+		}
+	}
+}
+
+func TestTriangleAGMStarOutput(t *testing.T) {
+	const m = 8
+	q := TriangleAGMStar(m, 5)
+	res, err := join.Execute(q, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 3*m-2 {
+		t.Errorf("output = %d, want %d", len(res.Tuples), 3*m-2)
+	}
+}
+
+func TestTriangleDenseOutput(t *testing.T) {
+	const m = 4
+	q := TriangleDense(m, 3)
+	res, err := join.Execute(q, join.Options{Mode: core.Preloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != m*m*m {
+		t.Errorf("output = %d, want %d", len(res.Tuples), m*m*m)
+	}
+}
+
+func TestBowtieBlockEmptyAndFlat(t *testing.T) {
+	for _, d := range []uint8{3, 4, 5} {
+		q := BowtieBlock(d)
+		res, err := join.Execute(q, join.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != 0 {
+			t.Errorf("d=%d: output not empty", d)
+		}
+		// Certificate-flat: a handful of boxes regardless of N.
+		if res.Stats.BoxesLoaded > 12 {
+			t.Errorf("d=%d: loaded %d boxes, expected O(1)", d, res.Stats.BoxesLoaded)
+		}
+	}
+}
+
+func TestGAOSensitiveEmpty(t *testing.T) {
+	q := GAOSensitive(8, 4)
+	res, err := join.Execute(q, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Errorf("output = %v", res.Tuples)
+	}
+}
+
+func TestTreeOrderedHardIsEmptyAndTw1(t *testing.T) {
+	q := TreeOrderedHard(4)
+	if tw, _, err := q.Hypergraph().Treewidth(); err != nil || tw != 1 {
+		t.Fatalf("treewidth = %d, %v; want 1", tw, err)
+	}
+	got, err := baseline.NestedLoop(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("output should be empty, got %v", got)
+	}
+	res, err := join.Execute(q, join.Options{SAOVars: []string{"A", "B", "C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Error("tetris output should be empty")
+	}
+}
+
+func TestTreeOrderedHardSeparation(t *testing.T) {
+	// The cache-reuse mechanism: no-cache must pay strictly more, and the
+	// gap must widen with m.
+	ratios := make([]float64, 0, 2)
+	for _, m := range []uint64{4, 8} {
+		q := TreeOrderedHard(m)
+		cached, err := join.Execute(q, join.Options{SAOVars: []string{"A", "B", "C"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		uncached, err := join.Execute(q, join.Options{SAOVars: []string{"A", "B", "C"}, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uncached.Stats.Resolutions <= cached.Stats.Resolutions {
+			t.Fatalf("m=%d: no-cache %d <= cached %d", m,
+				uncached.Stats.Resolutions, cached.Stats.Resolutions)
+		}
+		ratios = append(ratios, float64(uncached.Stats.Resolutions)/float64(cached.Stats.Resolutions))
+	}
+	if ratios[1] <= ratios[0] {
+		t.Errorf("separation not widening: ratios %v", ratios)
+	}
+}
+
+func TestFourCycleBlocksEmpty(t *testing.T) {
+	for _, d := range []uint8{3, 4} {
+		q := FourCycleBlocks(d)
+		res, err := join.Execute(q, join.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != 0 {
+			t.Errorf("d=%d: output not empty", d)
+		}
+	}
+}
+
+func TestPathAndStarQueriesRun(t *testing.T) {
+	q := PathQuery(3, 10, 3, 1)
+	want, err := baseline.NestedLoop(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := join.Execute(q, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != len(want) {
+		t.Errorf("path: tetris %d vs brute %d", len(res.Tuples), len(want))
+	}
+	q = StarQuery(3, 10, 2, 2)
+	want, err = baseline.NestedLoop(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = join.Execute(q, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != len(want) {
+		t.Errorf("star: tetris %d vs brute %d", len(res.Tuples), len(want))
+	}
+}
+
+func TestDiagonalBowtieIndexPower(t *testing.T) {
+	// Example B.7/B.8 (Figure 14): on the diagonal instance every B-tree
+	// order needs Ω(N) loaded boxes while the dyadic index needs O(d).
+	for _, d := range []uint8{4, 5, 6} {
+		n := int64(1) << d
+		variants := map[string]func(q *join.Query) []index.Index{
+			"btree-both": func(q *join.Query) []index.Index {
+				s := q.Atoms()[1].Relation
+				u, err := index.NewUnion(index.MustSorted(s, "X", "Y"), index.MustSorted(s, "Y", "X"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return []index.Index{u}
+			},
+			"dyadic": func(q *join.Query) []index.Index {
+				return []index.Index{index.NewDyadic(q.Atoms()[1].Relation)}
+			},
+		}
+		loaded := map[string]int64{}
+		for name, mk := range variants {
+			q := DiagonalBowtie(d)
+			atoms := q.Atoms()
+			atoms[1].Indexes = mk(q)
+			q2 := join.MustNewQuery(atoms...)
+			res, err := join.Execute(q2, join.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Tuples) != 0 {
+				t.Fatalf("d=%d %s: output not empty", d, name)
+			}
+			loaded[name] = res.Stats.BoxesLoaded
+		}
+		if loaded["btree-both"] < n/2 {
+			t.Errorf("d=%d: btree loaded only %d boxes, expected Ω(N=%d)", d, loaded["btree-both"], n)
+		}
+		if loaded["dyadic"] > 10*int64(d) {
+			t.Errorf("d=%d: dyadic loaded %d boxes, expected O(d)", d, loaded["dyadic"])
+		}
+	}
+}
+
+func TestCliqueQueryAgainstBaseline(t *testing.T) {
+	q := CliqueQuery(3, 8, 0.5, 3, 7)
+	want, err := baseline.GenericJoin(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := join.Execute(q, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != len(want) {
+		t.Errorf("clique: tetris %d vs generic join %d", len(res.Tuples), len(want))
+	}
+}
+
+func TestGeneratorsPanicOnBadParams(t *testing.T) {
+	for name, f := range map[string]func(){
+		"f1-depth":     func() { ExampleF1(2) },
+		"agm-domain":   func() { TriangleAGMStar(8, 3) },
+		"dense-domain": func() { TriangleDense(8, 3) },
+		"gao-domain":   func() { GAOSensitive(8, 3) },
+		"hard-pow2":    func() { TreeOrderedHard(3) },
+		"clique-size":  func() { CliqueQuery(3, 8, 0.5, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: bad parameters accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

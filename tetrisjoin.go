@@ -1,0 +1,153 @@
+// Package tetrisjoin is a from-scratch implementation of the Tetris join
+// algorithm from "Joins via Geometric Resolutions: Worst-case and Beyond"
+// (Abo Khamis, Ngo, Ré, Rudra; PODS 2015).
+//
+// Tetris treats a natural join geometrically: every database index over a
+// relation is viewed as a set of dyadic "gap boxes" — axis-aligned regions
+// certified to contain no tuples — and the join output is exactly the set
+// of points of the attribute space not covered by any gap box (the box
+// cover problem). The algorithm is a backtracking search with memoization
+// whose inference step is geometric resolution: merging two adjacent boxes
+// into a larger covered box.
+//
+// Depending on how its knowledge base is initialized, the same algorithm
+// achieves the classical worst-case optimal bounds (AGM output bound,
+// Yannakakis' linear time on acyclic queries, the fractional hypertree
+// width bound) and beyond-worst-case, certificate-based bounds
+// (Õ(|C|+Z) for treewidth-1 queries, Õ(|C|^{w+1}+Z) for treewidth w, and
+// Õ(|C|^{n/2}+Z) for arbitrary queries via a load-balancing lift).
+//
+// # Quick start
+//
+//	r, _ := tetrisjoin.NewRelation("R", []string{"src", "dst"}, 16)
+//	r.MustInsert(1, 2)
+//	r.MustInsert(2, 3)
+//	r.MustInsert(1, 3)
+//	q, _ := tetrisjoin.ParseQuery("R(A,B), R(B,C), R(A,C)",
+//		map[string]*tetrisjoin.Relation{"R": r})
+//	res, _ := tetrisjoin.Join(q, tetrisjoin.Options{})
+//	// res.Tuples == [[1 2 3]]
+//
+// See the examples directory for runnable programs and DESIGN.md /
+// EXPERIMENTS.md for the mapping from the paper's results to this
+// repository's modules and benchmarks.
+package tetrisjoin
+
+import (
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/index"
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/relation"
+)
+
+// Relation is a relation instance: named attributes over power-of-two
+// integer domains, storing a sorted deduplicated set of tuples.
+type Relation = relation.Relation
+
+// Tuple is a row of attribute values.
+type Tuple = relation.Tuple
+
+// Encoder maps arbitrary ordered string values onto dense integer
+// domains, order-preserving, for data that is not already integral.
+type Encoder = relation.Encoder
+
+// NewEncoder returns an empty value encoder.
+func NewEncoder() *Encoder { return relation.NewEncoder() }
+
+// NewRelation creates an empty relation whose attributes all range over
+// [0, 2^depth).
+func NewRelation(name string, attrs []string, depth uint8) (*Relation, error) {
+	return relation.NewUniform(name, attrs, depth)
+}
+
+// NewRelationDepths creates an empty relation with per-attribute domain
+// depths.
+func NewRelationDepths(name string, attrs []string, depths []uint8) (*Relation, error) {
+	return relation.New(name, attrs, depths)
+}
+
+// Atom is one occurrence of a relation in a query; see join.Atom.
+type Atom = join.Atom
+
+// Query is a natural join query.
+type Query = join.Query
+
+// NewQuery assembles a query from atoms.
+func NewQuery(atoms ...Atom) (*Query, error) { return join.NewQuery(atoms...) }
+
+// ParseQuery parses "R(A,B), S(B,C)" notation against a relation catalog.
+func ParseQuery(s string, catalog map[string]*Relation) (*Query, error) {
+	return join.Parse(s, catalog)
+}
+
+// Mode selects the Tetris variant (knowledge-base initialization).
+type Mode = core.Mode
+
+// The four variants of Algorithm 2; see the paper sections cited on each.
+const (
+	// Reloaded: lazy loading; certificate-based guarantees (§4.4).
+	Reloaded = core.Reloaded
+	// Preloaded: full gap set preloaded; worst-case optimal (§4.3).
+	Preloaded = core.Preloaded
+	// PreloadedLB: Balance-lifted Preloaded; Õ(|B|^{n/2}+Z) (§4.5).
+	PreloadedLB = core.PreloadedLB
+	// ReloadedLB: Balance-lifted Reloaded; Õ(|C|^{n/2}+Z) (§4.5).
+	ReloadedLB = core.ReloadedLB
+)
+
+// Options configures Join; see join.Options for field documentation.
+type Options = join.Options
+
+// Result is a join result; see join.Result.
+type Result = join.Result
+
+// Stats reports the work a run performed; see core.Stats.
+type Stats = core.Stats
+
+// SAOStrategy selects automatic splitting-attribute-order derivation.
+type SAOStrategy = join.SAOStrategy
+
+// SAO strategies.
+const (
+	// SAOAuto follows the paper's prescriptions (GYO reverse for acyclic
+	// queries, minimum-elimination-width reverse otherwise).
+	SAOAuto = join.SAOAuto
+	// SAONatural uses first-occurrence variable order.
+	SAONatural = join.SAONatural
+)
+
+// Join evaluates the query with Tetris and returns its output tuples over
+// q.Vars() plus work statistics.
+func Join(q *Query, opts Options) (*Result, error) { return join.Execute(q, opts) }
+
+// Index is a gap box generator over a relation (a database index in the
+// paper's geometric view).
+type Index = index.Index
+
+// BTreeIndex builds a sorted (B-tree/trie) index in the given attribute
+// order; empty order means schema order. Its gaps are the GAO-consistent
+// boxes of Definition 3.11.
+func BTreeIndex(rel *Relation, attrOrder ...string) (Index, error) {
+	return index.NewSorted(rel, attrOrder...)
+}
+
+// DyadicIndex builds a dyadic-tree (quadtree-like) index whose gap boxes
+// can be thick in several dimensions — the index family that enables O(1)
+// certificates where B-trees need Ω(N) (Example B.8).
+func DyadicIndex(rel *Relation) Index { return index.NewDyadic(rel) }
+
+// KDTreeIndex builds a median-split k-d tree index.
+func KDTreeIndex(rel *Relation) Index { return index.NewKDTree(rel) }
+
+// UnionIndex pools several indices over the same relation.
+func UnionIndex(indices ...Index) (Index, error) { return index.NewUnion(indices...) }
+
+// Box is a dyadic box: one dyadic interval per attribute.
+type Box = dyadic.Box
+
+// Interval is a dyadic interval (a binary prefix string).
+type Interval = dyadic.Interval
+
+// ParseBox parses "01,λ,1" notation.
+func ParseBox(s string) (Box, error) { return dyadic.ParseBox(s) }

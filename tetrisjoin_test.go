@@ -1,0 +1,225 @@
+package tetrisjoin_test
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tetrisjoin"
+)
+
+func sortTuples(ts [][]uint64) {
+	sort.Slice(ts, func(i, j int) bool {
+		for k := range ts[i] {
+			if ts[i][k] != ts[j][k] {
+				return ts[i][k] < ts[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	r, err := tetrisjoin.NewRelation("R", []string{"src", "dst"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MustInsert(1, 2)
+	r.MustInsert(2, 3)
+	r.MustInsert(1, 3)
+	q, err := tetrisjoin.ParseQuery("R(A,B), R(B,C), R(A,C)",
+		map[string]*tetrisjoin.Relation{"R": r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tetrisjoin.Join(q, tetrisjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]uint64{{1, 2, 3}}
+	if !reflect.DeepEqual(res.Tuples, want) {
+		t.Errorf("Tuples = %v, want %v", res.Tuples, want)
+	}
+}
+
+func TestPublicAPIAllModes(t *testing.T) {
+	r, _ := tetrisjoin.NewRelation("R", []string{"x", "y"}, 4)
+	for i := uint64(0); i < 8; i++ {
+		r.MustInsert(i, (i+1)%8)
+	}
+	q, err := tetrisjoin.ParseQuery("R(A,B), R(B,C)", map[string]*tetrisjoin.Relation{"R": r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref [][]uint64
+	for i, mode := range []tetrisjoin.Mode{
+		tetrisjoin.Reloaded, tetrisjoin.Preloaded,
+		tetrisjoin.PreloadedLB, tetrisjoin.ReloadedLB,
+	} {
+		res, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		got := res.Tuples
+		sortTuples(got)
+		if i == 0 {
+			ref = got
+			if len(ref) != 8 {
+				t.Fatalf("path query over a cycle should give 8 tuples, got %d", len(ref))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("%v disagrees with Reloaded", mode)
+		}
+	}
+}
+
+func TestPublicAPIIndices(t *testing.T) {
+	s, _ := tetrisjoin.NewRelation("S", []string{"x", "y"}, 4)
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			s.MustInsert(a, b)
+		}
+	}
+	bt, err := tetrisjoin.BTreeIndex(s, "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy := tetrisjoin.DyadicIndex(s)
+	kd := tetrisjoin.KDTreeIndex(s)
+	u, err := tetrisjoin.UnionIndex(bt, dy, kd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tetrisjoin.NewQuery(tetrisjoin.Atom{
+		Relation: s, Vars: []string{"A", "B"},
+		Indexes: []tetrisjoin.Index{u},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tetrisjoin.Join(q, tetrisjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 64 {
+		t.Errorf("got %d tuples, want 64", len(res.Tuples))
+	}
+}
+
+func TestPublicAPIBCP(t *testing.T) {
+	depths := []uint8{2, 2}
+	var boxes []tetrisjoin.Box
+	for _, s := range []string{"λ,0", "00,λ", "λ,11", "10,1"} {
+		b, err := tetrisjoin.ParseBox(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boxes = append(boxes, b)
+	}
+	res, err := tetrisjoin.SolveBCP(depths, boxes, tetrisjoin.BCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 2 {
+		t.Errorf("BCP output = %v", res.Tuples)
+	}
+	covered, pt, err := tetrisjoin.CoversSpace(depths, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered || pt == nil {
+		t.Error("space with holes reported covered")
+	}
+	minc, err := tetrisjoin.MinimalCertificate(depths, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tetrisjoin.VerifyCertificate(depths, boxes, minc)
+	if err != nil || !ok {
+		t.Error("minimal certificate does not verify")
+	}
+}
+
+func TestPublicAPIAnalysis(t *testing.T) {
+	r, _ := tetrisjoin.NewRelation("R", []string{"x", "y"}, 4)
+	for i := uint64(0); i < 10; i++ {
+		r.MustInsert(i%8, (i*3)%8)
+	}
+	cat := map[string]*tetrisjoin.Relation{"R": r}
+	tri, _ := tetrisjoin.ParseQuery("R(A,B), R(B,C), R(A,C)", cat)
+	path, _ := tetrisjoin.ParseQuery("R(A,B), R(B,C)", cat)
+
+	if tetrisjoin.IsAcyclic(tri) {
+		t.Error("triangle reported acyclic")
+	}
+	if !tetrisjoin.IsAcyclic(path) {
+		t.Error("path reported cyclic")
+	}
+	if tw, err := tetrisjoin.Treewidth(tri); err != nil || tw != 2 {
+		t.Errorf("treewidth(triangle) = %d, %v", tw, err)
+	}
+	rho, err := tetrisjoin.FractionalEdgeCoverNumber(tri)
+	if err != nil || math.Abs(rho-1.5) > 1e-9 {
+		t.Errorf("ρ*(triangle) = %g, %v", rho, err)
+	}
+	b, err := tetrisjoin.AGMBound(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(r.Len())
+	if math.Abs(b-math.Pow(n, 1.5)) > 1e-6*b {
+		t.Errorf("AGM = %g, want %g", b, math.Pow(n, 1.5))
+	}
+	w, exact, err := tetrisjoin.FHTW(tri)
+	if err != nil || !exact || math.Abs(w-1.5) > 1e-9 {
+		t.Errorf("fhtw(triangle) = %g (exact %v), %v", w, exact, err)
+	}
+}
+
+func TestPublicAPIEncoder(t *testing.T) {
+	e := tetrisjoin.NewEncoder()
+	for _, name := range []string{"carol", "alice", "bob"} {
+		e.Add(name)
+	}
+	d := e.Freeze()
+	r, err := tetrisjoin.NewRelation("Friends", []string{"a", "b"}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := e.Code("alice")
+	b, _ := e.Code("bob")
+	r.MustInsert(a, b)
+	q, _ := tetrisjoin.ParseQuery("Friends(X,Y)", map[string]*tetrisjoin.Relation{"Friends": r})
+	res, err := tetrisjoin.Join(q, tetrisjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 {
+		t.Fatal("expected one tuple")
+	}
+	back, _ := e.Value(res.Tuples[0][0])
+	if back != "alice" {
+		t.Errorf("decoded %q", back)
+	}
+}
+
+func ExampleJoin() {
+	r, _ := tetrisjoin.NewRelation("E", []string{"u", "v"}, 8)
+	r.MustInsert(1, 2)
+	r.MustInsert(2, 3)
+	r.MustInsert(3, 1)
+	q, _ := tetrisjoin.ParseQuery("E(A,B), E(B,C), E(C,A)",
+		map[string]*tetrisjoin.Relation{"E": r})
+	res, _ := tetrisjoin.Join(q, tetrisjoin.Options{})
+	for _, t := range res.Tuples {
+		fmt.Println(t)
+	}
+	// Unordered output:
+	// [1 2 3]
+	// [2 3 1]
+	// [3 1 2]
+}
