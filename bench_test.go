@@ -3,17 +3,23 @@
 // series themselves are printed by cmd/repro and recorded in
 // EXPERIMENTS.md). Reported ns/op tracks the paper's cost measure,
 // geometric resolutions, by Lemma 4.5.
+//
+// Every benchmark reports allocs/op and feeds the benchio trajectory
+// recorder: running with the BENCH_OUT environment variable set writes
+// the measured entries to that file (see internal/benchio and cmd/bench,
+// which regenerates the committed BENCH_tetris.json).
 package tetrisjoin_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"tetrisjoin/internal/baseline"
+	"tetrisjoin/internal/benchio"
 	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/index"
 	"tetrisjoin/internal/join"
-	"tetrisjoin/internal/klee"
 	"tetrisjoin/internal/relation"
 	"tetrisjoin/internal/workload"
 )
@@ -40,18 +46,59 @@ func mustRunBCP(b *testing.B, inst workload.BCP, opts core.Options) *core.Result
 	return res
 }
 
-// BenchmarkTable1Acyclic — Table 1 row "α-acyclic: N+Z" (Thm D.8).
-func BenchmarkTable1Acyclic(b *testing.B) {
-	for _, n := range []int{250, 1000, 4000} {
-		q := workload.PathQuery(3, n, 12, int64(n))
-		b.Run(fmt.Sprintf("N=%d", 3*n), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				res := mustRun(b, q, join.Options{Mode: core.Preloaded})
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
+// benchJoin is the standard observed Execute-per-op body.
+func benchJoin(b *testing.B, q *join.Query, opts join.Options) {
+	obs := benchio.Begin(b)
+	var resolutions float64
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, q, opts)
+		resolutions = float64(res.Stats.Resolutions)
+	}
+	b.ReportMetric(resolutions, "resolutions")
+	obs.End(b, resolutions)
+}
+
+// benchSuiteGroup runs the benchio suite cases under the given name
+// prefix as sub-benchmarks, so the root benchmarks and cmd/bench measure
+// the exact same workloads (one source of truth, no drift).
+func benchSuiteGroup(b *testing.B, prefix string) {
+	matched := false
+	for _, c := range benchio.Suite() {
+		if !strings.HasPrefix(c.Name, prefix+"/") {
+			continue
+		}
+		matched = true
+		bench := c.Bench
+		b.Run(strings.TrimPrefix(c.Name, prefix+"/"), func(b *testing.B) {
+			obs := benchio.Begin(b)
+			resolutions := bench(b)
+			if resolutions > 0 {
+				b.ReportMetric(resolutions, "resolutions")
 			}
+			obs.End(b, resolutions)
 		})
 	}
+	if !matched {
+		b.Fatalf("no benchio suite cases under %q", prefix)
+	}
+}
+
+// benchBCP is benchJoin for raw box-cover instances.
+func benchBCP(b *testing.B, inst workload.BCP, opts core.Options) {
+	obs := benchio.Begin(b)
+	var resolutions float64
+	for i := 0; i < b.N; i++ {
+		res := mustRunBCP(b, inst, opts)
+		resolutions = float64(res.Stats.Resolutions)
+	}
+	b.ReportMetric(resolutions, "resolutions")
+	obs.End(b, resolutions)
+}
+
+// BenchmarkTable1Acyclic — Table 1 row "α-acyclic: N+Z" (Thm D.8).
+// Workloads defined once in benchio.Suite.
+func BenchmarkTable1Acyclic(b *testing.B) {
+	benchSuiteGroup(b, "Table1Acyclic")
 }
 
 // BenchmarkTable1AGM — Table 1 row "arbitrary: N+AGM" (Thm D.2); the
@@ -60,19 +107,13 @@ func BenchmarkTable1AGM(b *testing.B) {
 	for _, m := range []uint64{8, 16, 24} {
 		q := workload.TriangleDense(m, 10)
 		b.Run(fmt.Sprintf("dense/N=%d", m*m), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := mustRun(b, q, join.Options{Mode: core.Preloaded})
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
-			}
+			benchJoin(b, q, join.Options{Mode: core.Preloaded})
 		})
 	}
 	for _, m := range []uint64{64, 256} {
 		q := workload.TriangleAGMStar(m, 12)
 		b.Run(fmt.Sprintf("star/m=%d", m), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := mustRun(b, q, join.Options{Mode: core.Preloaded})
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
-			}
+			benchJoin(b, q, join.Options{Mode: core.Preloaded})
 		})
 	}
 }
@@ -89,10 +130,7 @@ func BenchmarkTable1FHTW(b *testing.B) {
 		q := join.MustNewQuery(append(base.Atoms(),
 			join.Atom{Relation: u, Vars: []string{"C", "D"}})...)
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := mustRun(b, q, join.Options{Mode: core.Preloaded})
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
-			}
+			benchJoin(b, q, join.Options{Mode: core.Preloaded})
 		})
 	}
 }
@@ -103,10 +141,7 @@ func BenchmarkTable1TreewidthW(b *testing.B) {
 	for _, d := range []uint8{4, 6, 8} {
 		q := workload.FourCycleBlocks(d)
 		b.Run(fmt.Sprintf("N=%d", 4<<(2*(d-1))), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := mustRun(b, q, join.Options{Mode: core.Reloaded})
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
-			}
+			benchJoin(b, q, join.Options{Mode: core.Reloaded})
 		})
 	}
 }
@@ -117,10 +152,7 @@ func BenchmarkTable1Treewidth1(b *testing.B) {
 	for _, d := range []uint8{4, 8, 12} {
 		q := workload.BowtieBlock(d)
 		b.Run(fmt.Sprintf("N=%d", 1<<(2*(d-1))), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := mustRun(b, q, join.Options{Mode: core.Reloaded})
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
-			}
+			benchJoin(b, q, join.Options{Mode: core.Reloaded})
 		})
 	}
 }
@@ -132,10 +164,7 @@ func BenchmarkFig2TreeOrderedAGM(b *testing.B) {
 	for _, m := range []uint64{8, 16} {
 		q := workload.TriangleDense(m, 10)
 		b.Run(fmt.Sprintf("N=%d", m*m), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := mustRun(b, q, join.Options{Mode: core.Preloaded, NoCache: true, SinglePass: true})
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
-			}
+			benchJoin(b, q, join.Options{Mode: core.Preloaded, NoCache: true, SinglePass: true})
 		})
 	}
 }
@@ -148,18 +177,12 @@ func BenchmarkFig2TreeOrderedLower(b *testing.B) {
 		q := workload.TreeOrderedHard(m)
 		opts := join.Options{SAOVars: []string{"A", "B", "C"}}
 		b.Run(fmt.Sprintf("cached/m=%d", m), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := mustRun(b, q, opts)
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
-			}
+			benchJoin(b, q, opts)
 		})
 		optsN := opts
 		optsN.NoCache = true
 		b.Run(fmt.Sprintf("nocache/m=%d", m), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := mustRun(b, q, optsN)
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
-			}
+			benchJoin(b, q, optsN)
 		})
 	}
 }
@@ -170,10 +193,7 @@ func BenchmarkFig2OrderedLower(b *testing.B) {
 	for _, d := range []uint8{4, 5, 6} {
 		inst := workload.ExampleF1(d)
 		b.Run(fmt.Sprintf("C=%d", len(inst.Boxes)), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := mustRunBCP(b, inst, core.Options{Mode: core.Preloaded})
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
-			}
+			benchBCP(b, inst, core.Options{Mode: core.Preloaded})
 		})
 	}
 }
@@ -184,26 +204,15 @@ func BenchmarkFig2LBUpper(b *testing.B) {
 	for _, d := range []uint8{4, 5, 6} {
 		inst := workload.ExampleF1(d)
 		b.Run(fmt.Sprintf("C=%d", len(inst.Boxes)), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := mustRunBCP(b, inst, core.Options{Mode: core.PreloadedLB})
-				b.ReportMetric(float64(res.Stats.Resolutions), "resolutions")
-			}
+			benchBCP(b, inst, core.Options{Mode: core.PreloadedLB})
 		})
 	}
 }
 
 // BenchmarkKleeBoolean — Corollary F.8: Boolean Klee's measure problem.
+// Workloads defined once in benchio.Suite.
 func BenchmarkKleeBoolean(b *testing.B) {
-	for _, m := range []int{32, 128} {
-		inst := workload.RandomBoxes(3, m, 8, int64(m))
-		b.Run(fmt.Sprintf("B=%d", m), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := klee.CoversSpace(inst.Depths, inst.Boxes); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
+	benchSuiteGroup(b, "KleeBoolean")
 }
 
 // BenchmarkCertIndexPower — Appendix B.2 / Figure 13: certificate size
@@ -220,6 +229,7 @@ func BenchmarkCertIndexPower(b *testing.B) {
 			sao = []string{"B", "A"}
 		}
 		b.Run(fmt.Sprintf("order=%s%s", order[0], order[1]), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res := mustRun(b, q2, join.Options{SAOVars: sao})
 				b.ReportMetric(float64(res.Stats.BoxesLoaded), "boxes")
@@ -230,39 +240,9 @@ func BenchmarkCertIndexPower(b *testing.B) {
 
 // BenchmarkBaselines compares the substrate join algorithms on the
 // AGM-hard star triangle (the Table 1 "who wins" comparison).
+// Workloads defined once in benchio.Suite.
 func BenchmarkBaselines(b *testing.B) {
-	q := workload.TriangleAGMStar(64, 12)
-	b.Run("tetris-preloaded", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			mustRun(b, q, join.Options{Mode: core.Preloaded})
-		}
-	})
-	b.Run("tetris-reloaded", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			mustRun(b, q, join.Options{Mode: core.Reloaded})
-		}
-	})
-	b.Run("generic-join", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := baseline.GenericJoin(q, nil); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("leapfrog", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := baseline.Leapfrog(q, nil); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("hash-join", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, _, err := baseline.HashJoin(q); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	benchSuiteGroup(b, "Baselines")
 }
 
 // BenchmarkYannakakisVsTetris compares Yannakakis and Tetris-Preloaded on
@@ -270,15 +250,15 @@ func BenchmarkBaselines(b *testing.B) {
 func BenchmarkYannakakisVsTetris(b *testing.B) {
 	q := workload.PathQuery(3, 2000, 12, 99)
 	b.Run("yannakakis", func(b *testing.B) {
+		obs := benchio.Begin(b)
 		for i := 0; i < b.N; i++ {
 			if _, err := baseline.Yannakakis(q); err != nil {
 				b.Fatal(err)
 			}
 		}
+		obs.End(b, 0)
 	})
 	b.Run("tetris-preloaded", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			mustRun(b, q, join.Options{Mode: core.Preloaded})
-		}
+		benchJoin(b, q, join.Options{Mode: core.Preloaded})
 	})
 }

@@ -1,0 +1,73 @@
+// Command bench runs the canonical benchmark suite (internal/benchio)
+// and writes the performance trajectory file BENCH_tetris.json: ns/op,
+// allocs/op, bytes/op and resolutions/op per benchmark. It is the way to
+// regenerate the committed trajectory after a performance-relevant
+// change:
+//
+//	go run ./cmd/bench -o BENCH_tetris.json
+//
+// Passing -baseline keeps a reference run in the report (the committed
+// file carries the pre-optimization go.mod-only numbers), and the tool
+// prints the current/baseline ratio for entries present in both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+
+	"tetrisjoin/internal/benchio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		benchRe  = flag.String("bench", ".", "regexp selecting suite benchmarks to run")
+		out      = flag.String("o", "BENCH_tetris.json", "output report path")
+		baseFile = flag.String("baseline", "", "previous report whose entries become the baseline section")
+	)
+	flag.Parse()
+
+	filter, err := regexp.Compile(*benchRe)
+	if err != nil {
+		log.Fatalf("bad -bench regexp: %v", err)
+	}
+
+	var baseline []benchio.Entry
+	if *baseFile != "" {
+		prev, err := benchio.ReadFile(*baseFile)
+		if err != nil {
+			log.Fatalf("reading baseline: %v", err)
+		}
+		// A report that already carries a baseline keeps it, so passing
+		// the previous BENCH_tetris.json preserves the original reference
+		// across regenerations; a plain report contributes its entries.
+		if len(prev.Baseline) > 0 {
+			baseline = prev.Baseline
+		} else {
+			baseline = prev.Entries
+		}
+	}
+
+	rep := benchio.RunSuite(filter)
+	rep.Baseline = baseline
+	if err := rep.WriteFile(*out); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+
+	base := map[string]benchio.Entry{}
+	for _, e := range baseline {
+		base[e.Name] = e
+	}
+	fmt.Fprintf(os.Stdout, "%-28s %14s %14s %12s\n", "benchmark", "ns/op", "allocs/op", "resolutions")
+	for _, e := range rep.Entries {
+		fmt.Fprintf(os.Stdout, "%-28s %14.0f %14.1f %12.0f\n", e.Name, e.NsPerOp, e.AllocsPerOp, e.ResolutionsPerOp)
+		if b, ok := base[e.Name]; ok && e.NsPerOp > 0 && e.AllocsPerOp > 0 {
+			fmt.Fprintf(os.Stdout, "%-28s %13.2fx %13.2fx\n", "  vs baseline", b.NsPerOp/e.NsPerOp, b.AllocsPerOp/e.AllocsPerOp)
+		}
+	}
+	log.Printf("wrote %s (%d entries)", *out, len(rep.Entries))
+}

@@ -1,0 +1,3 @@
+module tetrisjoin
+
+go 1.22

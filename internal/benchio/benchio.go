@@ -1,0 +1,158 @@
+// Package benchio records benchmark results as a machine-readable
+// performance trajectory. Every run writes BENCH_tetris.json — one entry
+// per benchmark with ns/op, allocs/op, bytes/op and resolutions/op (the
+// paper's cost measure, Lemma 4.5) — so CI and successive PRs can diff
+// performance instead of eyeballing test -bench output.
+//
+// Two producers feed the same format:
+//
+//   - cmd/bench runs the canonical Suite via testing.Benchmark and is the
+//     way to regenerate the committed BENCH_tetris.json;
+//   - the benchmarks in the repository root call Begin/End, so any
+//     `go test -bench=…` run with the BENCH_OUT environment variable set
+//     writes the entries it measured to that path.
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Entry is the measurement of one benchmark.
+type Entry struct {
+	// Name is the benchmark name without the "Benchmark" prefix, e.g.
+	// "Table1Acyclic/N=750".
+	Name string `json:"name"`
+	// N is the iteration count the numbers were averaged over.
+	N int `json:"n"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes allocated per operation.
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// ResolutionsPerOp is the number of geometric resolutions one
+	// operation performs, when the benchmark reports it (0 otherwise).
+	ResolutionsPerOp float64 `json:"resolutions_per_op,omitempty"`
+}
+
+// Report is the trajectory file: current entries plus, optionally, the
+// entries of a reference run to compare against (the committed file keeps
+// the go.mod-only pre-optimization numbers there).
+type Report struct {
+	GoVersion string  `json:"go_version"`
+	GoOS      string  `json:"goos"`
+	GoArch    string  `json:"goarch"`
+	Entries   []Entry `json:"entries"`
+	Baseline  []Entry `json:"baseline,omitempty"`
+}
+
+// NewReport returns an empty report stamped with the build environment.
+func NewReport() *Report {
+	return &Report{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+	}
+}
+
+// Set inserts or replaces the entry with the same name, keeping entries
+// sorted by name so the JSON diffs cleanly.
+func (r *Report) Set(e Entry) {
+	for i := range r.Entries {
+		if r.Entries[i].Name == e.Name {
+			r.Entries[i] = e
+			return
+		}
+	}
+	r.Entries = append(r.Entries, e)
+	sort.Slice(r.Entries, func(i, j int) bool { return r.Entries[i].Name < r.Entries[j].Name })
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// EnvVar names the environment variable that, when set, makes Begin/End
+// write the collected entries to the named file after every benchmark.
+const EnvVar = "BENCH_OUT"
+
+var (
+	collectMu sync.Mutex
+	collected *Report
+)
+
+// Obs is an in-flight observation of one benchmark invocation.
+type Obs struct {
+	name         string
+	startMallocs uint64
+	startBytes   uint64
+}
+
+// Begin starts observing a benchmark body. Call it first inside the
+// benchmark (it enables ReportAllocs), run the b.N loop, then call End.
+func Begin(b *testing.B) *Obs {
+	b.ReportAllocs()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &Obs{
+		name:         strings.TrimPrefix(b.Name(), "Benchmark"),
+		startMallocs: ms.Mallocs,
+		startBytes:   ms.TotalAlloc,
+	}
+}
+
+// End finishes the observation and records the entry. The testing
+// framework calls each benchmark several times with growing b.N; the
+// record for a name is simply overwritten, so the final (largest-N)
+// invocation wins. When the BENCH_OUT environment variable is set the
+// accumulated report is rewritten to that path on every End, which is
+// what lets a plain `go test -bench=… -benchtime=1x` run exercise the
+// writer end to end.
+func (o *Obs) End(b *testing.B, resolutionsPerOp float64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	n := b.N
+	e := Entry{
+		Name:             o.name,
+		N:                n,
+		NsPerOp:          float64(b.Elapsed().Nanoseconds()) / float64(n),
+		AllocsPerOp:      float64(ms.Mallocs-o.startMallocs) / float64(n),
+		BytesPerOp:       float64(ms.TotalAlloc-o.startBytes) / float64(n),
+		ResolutionsPerOp: resolutionsPerOp,
+	}
+	collectMu.Lock()
+	defer collectMu.Unlock()
+	if collected == nil {
+		collected = NewReport()
+	}
+	collected.Set(e)
+	if path := os.Getenv(EnvVar); path != "" {
+		if err := collected.WriteFile(path); err != nil {
+			b.Logf("benchio: writing %s: %v", path, err)
+		}
+	}
+}

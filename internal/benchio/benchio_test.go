@@ -1,0 +1,59 @@
+package benchio
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := NewReport()
+	rep.Set(Entry{Name: "b/two", N: 3, NsPerOp: 2.5, AllocsPerOp: 1, BytesPerOp: 64, ResolutionsPerOp: 7})
+	rep.Set(Entry{Name: "a/one", N: 1, NsPerOp: 10})
+	rep.Set(Entry{Name: "b/two", N: 6, NsPerOp: 2, AllocsPerOp: 1, BytesPerOp: 64, ResolutionsPerOp: 7})
+	rep.Baseline = []Entry{{Name: "a/one", N: 1, NsPerOp: 100}}
+
+	if len(rep.Entries) != 2 {
+		t.Fatalf("Set did not replace by name: %d entries", len(rep.Entries))
+	}
+	if rep.Entries[0].Name != "a/one" || rep.Entries[1].Name != "b/two" {
+		t.Fatalf("entries not sorted by name: %+v", rep.Entries)
+	}
+	if rep.Entries[1].N != 6 {
+		t.Fatalf("Set kept the stale entry: %+v", rep.Entries[1])
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || got.Entries[1].ResolutionsPerOp != 7 {
+		t.Fatalf("round trip lost data: %+v", got.Entries)
+	}
+	if len(got.Baseline) != 1 || got.Baseline[0].NsPerOp != 100 {
+		t.Fatalf("round trip lost baseline: %+v", got.Baseline)
+	}
+	if got.GoOS == "" || got.GoVersion == "" {
+		t.Fatalf("environment stamp missing: %+v", got)
+	}
+}
+
+// TestSuiteSmoke runs the lightest suite case once to keep the harness
+// wired end to end.
+func TestSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke is not short")
+	}
+	rep := RunSuite(regexp.MustCompile(`^KleeBoolean/B=32$`))
+	if len(rep.Entries) != 1 {
+		t.Fatalf("RunSuite matched %d entries, want 1", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if e.NsPerOp <= 0 || e.N <= 0 {
+		t.Fatalf("implausible measurement: %+v", e)
+	}
+}

@@ -1,0 +1,125 @@
+package benchio
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"tetrisjoin/internal/baseline"
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/klee"
+	"tetrisjoin/internal/workload"
+)
+
+// Case is one benchmark of the canonical suite. Bench runs the measured
+// body b.N times and returns resolutions/op (0 when not applicable).
+// Workloads are constructed when Suite is called, so Bench bodies contain
+// nothing but the measured loop.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B) float64
+}
+
+// Suite is the canonical benchmark set of the performance trajectory:
+// the Table 1 acyclic series (the worst-case-optimal workhorse), the
+// algorithm shoot-out on the AGM-hard star triangle, and the Boolean
+// Klee instances. It is the single source of truth for these workloads:
+// the identically named benchmarks in the repository root iterate this
+// suite, so numbers from cmd/bench and from `go test -bench` always
+// describe the same work.
+func Suite() []Case {
+	cases := []Case{}
+	for _, n := range []int{250, 1000, 4000} {
+		q := workload.PathQuery(3, n, 12, int64(n))
+		cases = append(cases, Case{
+			Name:  fmt.Sprintf("Table1Acyclic/N=%d", 3*n),
+			Bench: execBench(q, join.Options{Mode: core.Preloaded}),
+		})
+	}
+	star := workload.TriangleAGMStar(64, 12)
+	cases = append(cases,
+		Case{Name: "Baselines/tetris-preloaded", Bench: execBench(star, join.Options{Mode: core.Preloaded})},
+		Case{Name: "Baselines/tetris-reloaded", Bench: execBench(star, join.Options{Mode: core.Reloaded})},
+		Case{Name: "Baselines/generic-join", Bench: func(b *testing.B) float64 {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.GenericJoin(star, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return 0
+		}},
+		Case{Name: "Baselines/leapfrog", Bench: func(b *testing.B) float64 {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.Leapfrog(star, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return 0
+		}},
+		Case{Name: "Baselines/hash-join", Bench: func(b *testing.B) float64 {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := baseline.HashJoin(star); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return 0
+		}},
+	)
+	for _, m := range []int{32, 128} {
+		inst := workload.RandomBoxes(3, m, 8, int64(m))
+		cases = append(cases, Case{
+			Name: fmt.Sprintf("KleeBoolean/B=%d", m),
+			Bench: func(b *testing.B) float64 {
+				for i := 0; i < b.N; i++ {
+					if _, err := klee.CoversSpace(inst.Depths, inst.Boxes); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return 0
+			},
+		})
+	}
+	return cases
+}
+
+// execBench builds a standard Execute-per-op benchmark body.
+func execBench(q *join.Query, opts join.Options) func(b *testing.B) float64 {
+	return func(b *testing.B) float64 {
+		var resolutions float64
+		for i := 0; i < b.N; i++ {
+			res, err := join.Execute(q, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resolutions = float64(res.Stats.Resolutions)
+		}
+		return resolutions
+	}
+}
+
+// RunSuite benchmarks every case whose name matches filter (nil = all)
+// via testing.Benchmark and returns the report.
+func RunSuite(filter *regexp.Regexp) *Report {
+	rep := NewReport()
+	for _, c := range Suite() {
+		if filter != nil && !filter.MatchString(c.Name) {
+			continue
+		}
+		var resolutions float64
+		bench := c.Bench
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			resolutions = bench(b)
+		})
+		rep.Set(Entry{
+			Name:             c.Name,
+			N:                r.N,
+			NsPerOp:          float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:      float64(r.AllocsPerOp()),
+			BytesPerOp:       float64(r.AllocedBytesPerOp()),
+			ResolutionsPerOp: resolutions,
+		})
+	}
+	return rep
+}

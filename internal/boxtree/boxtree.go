@@ -8,6 +8,31 @@
 // prefix of b_i, the boxes containing b lie on the ≤ d+1 prefix paths per
 // level, giving Õ(1) superset queries; the boxes contained in a box w form
 // whole subtrees, giving cheap subsumption pruning.
+//
+// # Arena layout
+//
+// The paper's cost model (Lemma 4.5) charges Õ(1) *word operations* per
+// resolution; for the implementation to track that bound the per-operation
+// constant must not be dominated by allocator and GC traffic. The tree is
+// therefore backed by two slabs owned by the Tree value:
+//
+//   - a node slab ([]node addressed by uint32 indices, with an intrusive
+//     free-list threaded through deleted slots), so trie descent walks
+//     contiguous 24-byte records instead of chasing heap pointers, and
+//     inserts/deletes recycle slots without touching the allocator; and
+//   - an append-only interval slab holding the payload of every stored
+//     box, so Insert copies its argument with a bulk append instead of a
+//     per-box Clone.
+//
+// In steady state (slab capacity warmed up) Insert, superset probes,
+// intersection probes and subsume-deletes perform zero heap allocations.
+//
+// Boxes returned by queries (ContainsSuperset, Supersets, ContainedIn,
+// All) alias the interval slab. Because the slab is append-only — deleting
+// a box abandons its payload rather than reusing it — such aliases remain
+// valid for the lifetime of the Tree even across later inserts and
+// deletes. Only Reset invalidates them. Callers must not modify returned
+// boxes.
 package boxtree
 
 import (
@@ -16,18 +41,31 @@ import (
 	"tetrisjoin/internal/dyadic"
 )
 
+// nilNode is the null node index. Slot 0 of the node slab is reserved so
+// the zero value of links means "absent".
+const nilNode = 0
+
+// node is one trie node. The box payload reference is stored as
+// 1 + (start index into the interval slab), so the zero value means "no
+// box stored here" and freshly allocated slots need no initialization.
 type node struct {
-	children [2]*node
-	next     *node      // root of the trie for the following component
-	box      dyadic.Box // stored box (terminal nodes of the last level only)
-	count    int        // boxes stored in this subtree, including deeper levels
+	children [2]uint32 // same-level trie children (nilNode = absent)
+	next     uint32    // root of the next level's trie (nilNode = absent)
+	box      uint32    // 1 + interval-slab offset of the stored box, 0 = none
+	count    int32     // boxes stored in this subtree, including deeper levels
 }
+
+// rootNode is the slab index of the level-0 trie root.
+const rootNode = 1
 
 // Tree stores a set of n-dimensional dyadic boxes.
 type Tree struct {
-	n    int
-	root *node
-	size int
+	n     int
+	nodes []node            // nodes[0] reserved; nodes[rootNode] is the root
+	ivs   []dyadic.Interval // append-only payload slab, n intervals per stored box
+	free  uint32            // head of the node free-list (nilNode = empty)
+	size  int
+	path  []uint32 // Insert path scratch, reused across calls
 }
 
 // New returns an empty tree for n-dimensional boxes.
@@ -35,7 +73,9 @@ func New(n int) *Tree {
 	if n < 1 {
 		panic("boxtree: dimension must be positive")
 	}
-	return &Tree{n: n, root: &node{}}
+	t := &Tree{n: n}
+	t.nodes = make([]node, 2, 64)
+	return t
 }
 
 // Dims returns the dimensionality of the stored boxes.
@@ -44,40 +84,110 @@ func (t *Tree) Dims() int { return t.n }
 // Len returns the number of stored boxes.
 func (t *Tree) Len() int { return t.size }
 
+// Reset empties the tree, retaining the slab capacity for reuse. Boxes
+// previously returned by queries become invalid: their storage will be
+// overwritten by subsequent inserts.
+func (t *Tree) Reset() {
+	t.nodes = t.nodes[:2]
+	t.nodes[rootNode] = node{}
+	t.ivs = t.ivs[:0]
+	t.free = nilNode
+	t.size = 0
+}
+
+// alloc returns a fresh zeroed node slot, recycling the free-list first.
+func (t *Tree) alloc() uint32 {
+	if t.free != nilNode {
+		i := t.free
+		t.free = t.nodes[i].children[0]
+		t.nodes[i] = node{}
+		return i
+	}
+	t.nodes = append(t.nodes, node{})
+	return uint32(len(t.nodes) - 1)
+}
+
+// release pushes a single node slot onto the free-list.
+func (t *Tree) release(i uint32) {
+	t.nodes[i] = node{children: [2]uint32{t.free}}
+	t.free = i
+}
+
+// releaseSubtree returns an entire empty subtree (all counts zero) to the
+// free-list, including the deeper-level tries hanging off next links.
+// Cost is amortized against the insertions that created the nodes.
+func (t *Tree) releaseSubtree(i uint32, level int) {
+	if i == nilNode {
+		return
+	}
+	nd := t.nodes[i]
+	t.releaseSubtree(nd.children[0], level)
+	t.releaseSubtree(nd.children[1], level)
+	if level < t.n-1 {
+		t.releaseSubtree(nd.next, level+1)
+	}
+	t.release(i)
+}
+
+// storeBox appends the box payload to the interval slab and returns the
+// node.box reference (offset+1).
+func (t *Tree) storeBox(b dyadic.Box) uint32 {
+	start := len(t.ivs)
+	t.ivs = append(t.ivs, b...)
+	return uint32(start) + 1
+}
+
+// boxAt returns the stored box for a node.box reference. The result
+// aliases the slab; see the package comment for the validity guarantee.
+func (t *Tree) boxAt(ref uint32) dyadic.Box {
+	start := int(ref) - 1
+	return dyadic.Box(t.ivs[start : start+t.n : start+t.n])
+}
+
 // Insert adds the box and reports whether it was not already present.
 func (t *Tree) Insert(b dyadic.Box) bool {
 	if len(b) != t.n {
 		panic(fmt.Sprintf("boxtree: inserting %d-dimensional box into %d-dimensional tree", len(b), t.n))
 	}
-	path := make([]*node, 0, 64)
-	nd := t.root
-	path = append(path, nd)
+	// Descend, creating missing nodes, recording the path in the reused
+	// scratch buffer. If the full path already ends in a stored box,
+	// nothing was created. Counts are bumped only once the insertion is
+	// known to happen, by replaying the recorded path.
+	path := t.path[:0]
+	cur := uint32(rootNode)
+	path = append(path, cur)
 	for level := 0; level < t.n; level++ {
 		iv := b[level]
 		for i := int(iv.Len) - 1; i >= 0; i-- {
 			bit := iv.Bits >> uint(i) & 1
-			if nd.children[bit] == nil {
-				nd.children[bit] = &node{}
+			nxt := t.nodes[cur].children[bit]
+			if nxt == nilNode {
+				nxt = t.alloc()
+				t.nodes[cur].children[bit] = nxt
 			}
-			nd = nd.children[bit]
-			path = append(path, nd)
+			cur = nxt
+			path = append(path, cur)
 		}
 		if level == t.n-1 {
-			if nd.box != nil {
+			if t.nodes[cur].box != 0 {
+				t.path = path
 				return false // exact duplicate
 			}
-			nd.box = b.Clone()
+			t.nodes[cur].box = t.storeBox(b)
 		} else {
-			if nd.next == nil {
-				nd.next = &node{}
+			nxt := t.nodes[cur].next
+			if nxt == nilNode {
+				nxt = t.alloc()
+				t.nodes[cur].next = nxt
 			}
-			nd = nd.next
-			path = append(path, nd)
+			cur = nxt
+			path = append(path, cur)
 		}
 	}
-	for _, p := range path {
-		p.count++
+	for _, ni := range path {
+		t.nodes[ni].count++
 	}
+	t.path = path
 	t.size++
 	return true
 }
@@ -89,7 +199,7 @@ func (t *Tree) ContainsSuperset(b dyadic.Box) (dyadic.Box, bool) {
 	if len(b) != t.n {
 		panic("boxtree: dimension mismatch in ContainsSuperset")
 	}
-	return findSuperset(t.root, 0, t.n, b, false)
+	return t.findSuperset(rootNode, 0, b, false)
 }
 
 // ProperSuperset returns a stored box that contains b and is not equal to
@@ -98,26 +208,28 @@ func (t *Tree) ProperSuperset(b dyadic.Box) (dyadic.Box, bool) {
 	if len(b) != t.n {
 		panic("boxtree: dimension mismatch in ProperSuperset")
 	}
-	return findSuperset(t.root, 0, t.n, b, true)
+	return t.findSuperset(rootNode, 0, b, true)
 }
 
-func findSuperset(nd *node, level, n int, b dyadic.Box, proper bool) (dyadic.Box, bool) {
-	if nd == nil || nd.count == 0 {
+func (t *Tree) findSuperset(ni uint32, level int, b dyadic.Box, proper bool) (dyadic.Box, bool) {
+	if ni == nilNode || t.nodes[ni].count == 0 {
 		return nil, false
 	}
 	iv := b[level]
 	// Walk the prefixes of b's component at this level, from λ down to the
 	// full component, probing the next level at each storage point.
-	cur := nd
+	cur := ni
 	for depth := 0; ; depth++ {
-		if level == n-1 {
-			if cur.box != nil {
-				if !proper || !cur.box.Equal(b) {
-					return cur.box, true
+		nd := t.nodes[cur]
+		if level == t.n-1 {
+			if nd.box != 0 {
+				sb := t.boxAt(nd.box)
+				if !proper || !sb.Equal(b) {
+					return sb, true
 				}
 			}
-		} else if cur.next != nil {
-			if found, ok := findSuperset(cur.next, level+1, n, b, proper); ok {
+		} else if nd.next != nilNode {
+			if found, ok := t.findSuperset(nd.next, level+1, b, proper); ok {
 				return found, ok
 			}
 		}
@@ -125,8 +237,8 @@ func findSuperset(nd *node, level, n int, b dyadic.Box, proper bool) (dyadic.Box
 			return nil, false
 		}
 		bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
-		cur = cur.children[bit]
-		if cur == nil {
+		cur = nd.children[bit]
+		if cur == nilNode {
 			return nil, false
 		}
 	}
@@ -134,35 +246,41 @@ func findSuperset(nd *node, level, n int, b dyadic.Box, proper bool) (dyadic.Box
 
 // Supersets returns all stored boxes containing b.
 func (t *Tree) Supersets(b dyadic.Box) []dyadic.Box {
+	return t.SupersetsAppend(nil, b)
+}
+
+// SupersetsAppend appends all stored boxes containing b to out and returns
+// the extended slice, allocating only when out lacks capacity. The
+// appended boxes alias the slab (see the package comment).
+func (t *Tree) SupersetsAppend(out []dyadic.Box, b dyadic.Box) []dyadic.Box {
 	if len(b) != t.n {
 		panic("boxtree: dimension mismatch in Supersets")
 	}
-	var out []dyadic.Box
-	collectSupersets(t.root, 0, t.n, b, &out)
-	return out
+	return t.collectSupersets(rootNode, 0, b, out)
 }
 
-func collectSupersets(nd *node, level, n int, b dyadic.Box, out *[]dyadic.Box) {
-	if nd == nil || nd.count == 0 {
-		return
+func (t *Tree) collectSupersets(ni uint32, level int, b dyadic.Box, out []dyadic.Box) []dyadic.Box {
+	if ni == nilNode || t.nodes[ni].count == 0 {
+		return out
 	}
 	iv := b[level]
-	cur := nd
+	cur := ni
 	for depth := 0; ; depth++ {
-		if level == n-1 {
-			if cur.box != nil {
-				*out = append(*out, cur.box)
+		nd := t.nodes[cur]
+		if level == t.n-1 {
+			if nd.box != 0 {
+				out = append(out, t.boxAt(nd.box))
 			}
-		} else if cur.next != nil {
-			collectSupersets(cur.next, level+1, n, b, out)
+		} else if nd.next != nilNode {
+			out = t.collectSupersets(nd.next, level+1, b, out)
 		}
 		if depth == int(iv.Len) {
-			return
+			return out
 		}
 		bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
-		cur = cur.children[bit]
-		if cur == nil {
-			return
+		cur = nd.children[bit]
+		if cur == nilNode {
+			return out
 		}
 	}
 }
@@ -176,98 +294,108 @@ func (t *Tree) IntersectsAny(b dyadic.Box) bool {
 	if len(b) != t.n {
 		panic("boxtree: dimension mismatch in IntersectsAny")
 	}
-	return intersectsAny(t.root, 0, t.n, b)
+	return t.intersectsAny(rootNode, 0, b)
 }
 
-func intersectsAny(nd *node, level, n int, b dyadic.Box) bool {
-	if nd == nil || nd.count == 0 {
+func (t *Tree) intersectsAny(ni uint32, level int, b dyadic.Box) bool {
+	if ni == nilNode || t.nodes[ni].count == 0 {
 		return false
 	}
 	iv := b[level]
 	// Prefix path: nodes whose interval contains b's component.
-	cur := nd
+	cur := ni
 	for depth := 0; ; depth++ {
-		if level == n-1 {
-			if cur.box != nil {
+		nd := t.nodes[cur]
+		if level == t.n-1 {
+			if nd.box != 0 {
 				return true
 			}
-		} else if cur.next != nil && intersectsAny(cur.next, level+1, n, b) {
+		} else if nd.next != nilNode && t.intersectsAny(nd.next, level+1, b) {
 			return true
 		}
 		if depth == int(iv.Len) {
 			break
 		}
 		bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
-		cur = cur.children[bit]
-		if cur == nil {
+		cur = nd.children[bit]
+		if cur == nilNode {
 			return false
 		}
 	}
 	// cur spells b's component exactly; every descendant extends it and
 	// is therefore comparable. Explore the whole subtree (skipping cur
 	// itself, already handled above).
-	var walk func(v *node) bool
-	walk = func(v *node) bool {
-		if v == nil || v.count == 0 {
-			return false
-		}
-		if level == n-1 {
-			if v.box != nil {
-				return true
-			}
-		} else if v.next != nil && intersectsAny(v.next, level+1, n, b) {
+	return t.intersectsBelow(t.nodes[cur].children[0], level, b) ||
+		t.intersectsBelow(t.nodes[cur].children[1], level, b)
+}
+
+func (t *Tree) intersectsBelow(ni uint32, level int, b dyadic.Box) bool {
+	if ni == nilNode || t.nodes[ni].count == 0 {
+		return false
+	}
+	nd := t.nodes[ni]
+	if level == t.n-1 {
+		if nd.box != 0 {
 			return true
 		}
-		return walk(v.children[0]) || walk(v.children[1])
+	} else if nd.next != nilNode && t.intersectsAny(nd.next, level+1, b) {
+		return true
 	}
-	return walk(cur.children[0]) || walk(cur.children[1])
+	return t.intersectsBelow(nd.children[0], level, b) ||
+		t.intersectsBelow(nd.children[1], level, b)
 }
 
 // ContainedIn returns all stored boxes contained in w.
 func (t *Tree) ContainedIn(w dyadic.Box) []dyadic.Box {
+	return t.ContainedInAppend(nil, w)
+}
+
+// ContainedInAppend appends all stored boxes contained in w to out and
+// returns the extended slice. The appended boxes alias the slab.
+func (t *Tree) ContainedInAppend(out []dyadic.Box, w dyadic.Box) []dyadic.Box {
 	if len(w) != t.n {
 		panic("boxtree: dimension mismatch in ContainedIn")
 	}
-	var out []dyadic.Box
-	collectContained(t.root, 0, t.n, w, &out)
-	return out
+	return t.collectContained(rootNode, 0, w, out)
 }
 
-func collectContained(nd *node, level, n int, w dyadic.Box, out *[]dyadic.Box) {
-	if nd == nil || nd.count == 0 {
-		return
+func (t *Tree) collectContained(ni uint32, level int, w dyadic.Box, out []dyadic.Box) []dyadic.Box {
+	if ni == nilNode || t.nodes[ni].count == 0 {
+		return out
 	}
 	// Navigate to the node spelling w[level]; everything below it has
 	// w[level] as a prefix.
 	iv := w[level]
-	cur := nd
+	cur := ni
 	for depth := 0; depth < int(iv.Len); depth++ {
 		bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
-		cur = cur.children[bit]
-		if cur == nil {
-			return
+		cur = t.nodes[cur].children[bit]
+		if cur == nilNode {
+			return out
 		}
 	}
-	var walk func(*node)
-	walk = func(v *node) {
-		if v == nil || v.count == 0 {
-			return
-		}
-		if level == n-1 {
-			if v.box != nil {
-				*out = append(*out, v.box)
-			}
-		} else if v.next != nil {
-			collectContained(v.next, level+1, n, w, out)
-		}
-		walk(v.children[0])
-		walk(v.children[1])
+	return t.collectBelow(cur, level, w, out)
+}
+
+func (t *Tree) collectBelow(ni uint32, level int, w dyadic.Box, out []dyadic.Box) []dyadic.Box {
+	if ni == nilNode || t.nodes[ni].count == 0 {
+		return out
 	}
-	walk(cur)
+	nd := t.nodes[ni]
+	if level == t.n-1 {
+		if nd.box != 0 {
+			out = append(out, t.boxAt(nd.box))
+		}
+	} else if nd.next != nilNode {
+		out = t.collectContained(nd.next, level+1, w, out)
+	}
+	out = t.collectBelow(nd.children[0], level, w, out)
+	return t.collectBelow(nd.children[1], level, w, out)
 }
 
 // DeleteContainedIn removes every stored box that is contained in w and
-// returns the number removed. Subtrees emptied by the removal are pruned.
+// returns the number removed. Subtrees emptied by the removal are pruned
+// and their node slots recycled.
 func (t *Tree) DeleteContainedIn(w dyadic.Box) int {
 	return t.DeleteContainedInBudget(w, -1)
 }
@@ -286,66 +414,71 @@ func (t *Tree) DeleteContainedInBudget(w dyadic.Box, budget int) int {
 	if budget < 0 {
 		budget = int(^uint(0) >> 1)
 	}
-	removed := deleteContained(t.root, 0, t.n, w, &budget)
+	removed := t.deleteContained(rootNode, 0, w, &budget)
 	t.size -= removed
 	return removed
 }
 
-func deleteContained(nd *node, level, n int, w dyadic.Box, budget *int) int {
-	if nd == nil || nd.count == 0 {
+func (t *Tree) deleteContained(ni uint32, level int, w dyadic.Box, budget *int) int {
+	if ni == nilNode || t.nodes[ni].count == 0 {
 		return 0
 	}
+	// Descend along w[level] to the subtree of contained boxes.
 	iv := w[level]
-	// Descend along w[level], remembering the path so counts can be fixed.
-	path := []*node{nd}
-	cur := nd
+	cur := ni
 	for depth := 0; depth < int(iv.Len); depth++ {
 		bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
-		cur = cur.children[bit]
-		if cur == nil {
+		cur = t.nodes[cur].children[bit]
+		if cur == nilNode {
 			return 0
 		}
-		path = append(path, cur)
 	}
-	var removed int
-	var walk func(*node) int
-	walk = func(v *node) int {
-		if v == nil || v.count == 0 || *budget <= 0 {
-			return 0
+	removed := t.deleteBelow(cur, level, w, budget)
+	if removed > 0 {
+		// deleteBelow fixed cur's count; re-walk the prefix path to fix
+		// the ancestors (ni up to but excluding cur) without materializing
+		// a path slice.
+		fix := ni
+		for depth := 0; depth < int(iv.Len); depth++ {
+			t.nodes[fix].count -= int32(removed)
+			bit := iv.Bits >> uint(int(iv.Len)-1-depth) & 1
+			fix = t.nodes[fix].children[bit]
 		}
-		*budget--
-		var rem int
-		if level == n-1 {
-			if v.box != nil {
-				v.box = nil
-				rem++
-			}
-		} else if v.next != nil {
-			rem += deleteContained(v.next, level+1, n, w, budget)
-			if v.next.count == 0 {
-				v.next = nil
-			}
-		}
-		for i, c := range v.children {
-			r := walk(c)
-			rem += r
-			if c != nil && c.count == 0 {
-				v.children[i] = nil
-			}
-		}
-		v.count -= rem
-		return rem
-	}
-	removed = walk(cur)
-	// cur's count was fixed by walk; fix the ancestors.
-	for _, p := range path[:len(path)-1] {
-		p.count -= removed
-	}
-	if len(path) == 1 {
-		// walk already adjusted nd (== cur); nothing more to do.
-		_ = path
 	}
 	return removed
+}
+
+func (t *Tree) deleteBelow(ni uint32, level int, w dyadic.Box, budget *int) int {
+	if ni == nilNode || t.nodes[ni].count == 0 || *budget <= 0 {
+		return 0
+	}
+	*budget--
+	var rem int
+	if level == t.n-1 {
+		if t.nodes[ni].box != 0 {
+			t.nodes[ni].box = 0 // payload is abandoned: the slab is append-only
+			rem++
+		}
+	} else if nxt := t.nodes[ni].next; nxt != nilNode {
+		rem += t.deleteContained(nxt, level+1, w, budget)
+		if t.nodes[nxt].count == 0 {
+			t.nodes[ni].next = nilNode
+			t.releaseSubtree(nxt, level+1)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		c := t.nodes[ni].children[i]
+		if c == nilNode {
+			continue
+		}
+		rem += t.deleteBelow(c, level, w, budget)
+		if t.nodes[c].count == 0 {
+			t.nodes[ni].children[i] = nilNode
+			t.releaseSubtree(c, level)
+		}
+	}
+	t.nodes[ni].count -= int32(rem)
+	return rem
 }
 
 // subsumeBudget bounds the per-insertion compaction sweep; see
@@ -368,41 +501,41 @@ func (t *Tree) InsertSubsuming(b dyadic.Box) bool {
 // All returns every stored box.
 func (t *Tree) All() []dyadic.Box {
 	out := make([]dyadic.Box, 0, t.size)
-	var walk func(nd *node, level int)
-	walk = func(nd *node, level int) {
-		if nd == nil || nd.count == 0 {
-			return
-		}
-		if level == t.n-1 && nd.box != nil {
-			out = append(out, nd.box)
-		}
-		if nd.next != nil {
-			walk(nd.next, level+1)
-		}
-		walk(nd.children[0], level)
-		walk(nd.children[1], level)
+	return t.appendAll(rootNode, 0, out)
+}
+
+func (t *Tree) appendAll(ni uint32, level int, out []dyadic.Box) []dyadic.Box {
+	if ni == nilNode || t.nodes[ni].count == 0 {
+		return out
 	}
-	walk(t.root, 0)
-	return out
+	nd := t.nodes[ni]
+	if level == t.n-1 && nd.box != 0 {
+		out = append(out, t.boxAt(nd.box))
+	}
+	if nd.next != nilNode {
+		out = t.appendAll(nd.next, level+1, out)
+	}
+	out = t.appendAll(nd.children[0], level, out)
+	return t.appendAll(nd.children[1], level, out)
 }
 
 // Contains reports whether the exact box b is stored.
 func (t *Tree) Contains(b dyadic.Box) bool {
-	nd := t.root
+	cur := uint32(rootNode)
 	for level := 0; level < t.n; level++ {
 		iv := b[level]
 		for i := int(iv.Len) - 1; i >= 0; i-- {
 			bit := iv.Bits >> uint(i) & 1
-			nd = nd.children[bit]
-			if nd == nil {
+			cur = t.nodes[cur].children[bit]
+			if cur == nilNode {
 				return false
 			}
 		}
 		if level == t.n-1 {
-			return nd.box != nil
+			return t.nodes[cur].box != 0
 		}
-		nd = nd.next
-		if nd == nil {
+		cur = t.nodes[cur].next
+		if cur == nilNode {
 			return false
 		}
 	}

@@ -220,7 +220,7 @@ func TestRandomAgainstBruteForce(t *testing.T) {
 			if inserted {
 				ref = append(ref, b)
 			}
-		case 4, 5, 6: // superset queries
+		case 4, 5: // superset queries
 			var want []string
 			for _, x := range ref {
 				if x.Contains(b) {
@@ -243,6 +243,17 @@ func TestRandomAgainstBruteForce(t *testing.T) {
 			}
 			if _, ok := tr.ContainsSuperset(b); ok != (len(want) > 0) {
 				t.Fatalf("step %d: ContainsSuperset mismatch", step)
+			}
+		case 6: // intersection probe
+			want := false
+			for _, x := range ref {
+				if x.Intersects(b) {
+					want = true
+					break
+				}
+			}
+			if got := tr.IntersectsAny(b); got != want {
+				t.Fatalf("step %d: IntersectsAny(%s) = %v, want %v", step, b, got, want)
 			}
 		case 7, 8: // contained-in queries
 			var want []string
@@ -313,9 +324,33 @@ func BenchmarkInsert(b *testing.B) {
 	for i := range boxes {
 		boxes[i] = randBox(r, 3, 16)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	tr := New(3)
 	for i := 0; i < b.N; i++ {
+		tr.Insert(boxes[i%len(boxes)])
+	}
+}
+
+// BenchmarkInsertFresh measures steady-state insertion into a warmed-up
+// arena: the tree is Reset once its slabs have grown, so every insert is
+// genuinely stored (no duplicate short-circuit) yet allocation-free.
+func BenchmarkInsertFresh(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	boxes := make([]dyadic.Box, 4096)
+	for i := range boxes {
+		boxes[i] = randBox(r, 3, 16)
+	}
+	tr := New(3)
+	for _, bx := range boxes {
+		tr.Insert(bx) // warm the slabs
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(boxes) == 0 {
+			tr.Reset()
+		}
 		tr.Insert(boxes[i%len(boxes)])
 	}
 }
@@ -330,8 +365,48 @@ func BenchmarkContainsSuperset(b *testing.B) {
 	for i := range queries {
 		queries[i] = randBox(r, 3, 16)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.ContainsSuperset(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkIntersectsAny(b *testing.B) {
+	r := rand.New(rand.NewSource(12))
+	tr := New(3)
+	for i := 0; i < 10000; i++ {
+		tr.Insert(randBox(r, 3, 16))
+	}
+	queries := make([]dyadic.Box, 1024)
+	for i := range queries {
+		queries[i] = randBox(r, 3, 16)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.IntersectsAny(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkInsertSubsuming exercises the full knowledge-base insert path:
+// superset probe, budgeted subsume-delete, insert.
+func BenchmarkInsertSubsuming(b *testing.B) {
+	r := rand.New(rand.NewSource(13))
+	boxes := make([]dyadic.Box, 4096)
+	for i := range boxes {
+		boxes[i] = randBox(r, 3, 12)
+	}
+	tr := New(3)
+	for _, bx := range boxes {
+		tr.InsertSubsuming(bx) // warm the slabs
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(boxes) == 0 {
+			tr.Reset()
+		}
+		tr.InsertSubsuming(boxes[i%len(boxes)])
 	}
 }

@@ -40,7 +40,7 @@ func Covers(depths []uint8, boxes []dyadic.Box, opts Options) (*CoverReport, err
 		}
 		sk.add(b)
 	}
-	v, w, err := sk.run(dyadic.Universe(n))
+	v, w, err := sk.root(dyadic.Universe(n))
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +72,7 @@ func CoversTarget(depths []uint8, boxes []dyadic.Box, target dyadic.Box, opts Op
 		}
 		sk.add(b)
 	}
-	v, w, err := sk.run(target)
+	v, w, err := sk.root(target)
 	if err != nil {
 		return nil, err
 	}

@@ -120,7 +120,7 @@ func TestKnowledgeBaseMonotone(t *testing.T) {
 	for _, b := range bs {
 		sk.add(b)
 	}
-	if _, _, err := sk.run(dyadic.Universe(2)); err != nil {
+	if _, _, err := sk.root(dyadic.Universe(2)); err != nil {
 		t.Fatal(err)
 	}
 	boxes := sk.kb.All()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tetrisjoin/internal/balance"
+	"tetrisjoin/internal/boxtree"
 	"tetrisjoin/internal/dyadic"
 )
 
@@ -42,11 +43,12 @@ func runLB(o Oracle, opts Options) (*Result, error) {
 		liftSAO[i] = i
 	}
 	sk := newSkeleton(lift.Dims(), lift.Depths(), liftSAO, opts, &res.Stats)
-	loaded := make(map[string]bool)
+	// loaded is the exact-match set of base-space gap boxes seen so far;
+	// a boxtree rather than a Box.Key map keeps dedup allocation-free.
+	loaded := boxtree.New(len(depths))
 	load := func(b dyadic.Box) bool {
-		fresh := !loaded[b.Key()]
+		fresh := loaded.Insert(b)
 		if fresh {
-			loaded[b.Key()] = true
 			res.Stats.BoxesLoaded++
 		}
 		sk.add(lift.Box(b))
@@ -90,7 +92,7 @@ func runLB(o Oracle, opts Options) (*Result, error) {
 				return nil, err
 			}
 		}
-		v, w, err := sk.run(universe)
+		v, w, err := sk.root(universe)
 		if err != nil {
 			return nil, err
 		}
@@ -130,7 +132,10 @@ func runLB(o Oracle, opts Options) (*Result, error) {
 			}
 			if load(g) {
 				progress = true
-				baseBoxes = append(baseBoxes, g)
+				// Clone: gap boxes returned by GapsContaining are only
+				// valid until the next oracle call, but baseBoxes must
+				// survive until the next partition rebuild.
+				baseBoxes = append(baseBoxes, g.Clone())
 			}
 		}
 		if !containsPoint {

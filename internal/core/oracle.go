@@ -20,9 +20,13 @@ type Oracle interface {
 	Depths() []uint8
 	// GapsContaining returns the gap boxes of B that contain the given
 	// point. An empty result certifies that the point is an output tuple.
+	// Implementations may reuse the returned slice and box storage: the
+	// result is only valid until the next GapsContaining call, and
+	// callers retaining boxes across calls must Clone them.
 	GapsContaining(point []uint64) []dyadic.Box
 	// AllGaps enumerates the complete gap box set B. It is used by the
-	// Preloaded variants and may be expensive for lazy indices.
+	// Preloaded variants and may be expensive for lazy indices. Unlike
+	// GapsContaining, the result is caller-owned and stays valid.
 	AllGaps() []dyadic.Box
 }
 
@@ -34,6 +38,9 @@ type BoxOracle struct {
 	depths []uint8
 	tree   *boxtree.Tree
 	boxes  []dyadic.Box
+
+	point dyadic.Box   // probe box buffer, reused per GapsContaining call
+	out   []dyadic.Box // result buffer, reused per GapsContaining call
 }
 
 // NewBoxOracle builds an oracle over the given boxes. Every box must be
@@ -57,7 +64,12 @@ func NewBoxOracle(depths []uint8, boxes []dyadic.Box) (*BoxOracle, error) {
 			kept = append(kept, b)
 		}
 	}
-	return &BoxOracle{depths: depths, tree: t, boxes: kept}, nil
+	return &BoxOracle{
+		depths: depths,
+		tree:   t,
+		boxes:  kept,
+		point:  make(dyadic.Box, len(depths)),
+	}, nil
 }
 
 // MustBoxOracle is NewBoxOracle that panics on error; for tests and
@@ -76,9 +88,17 @@ func (o *BoxOracle) Dims() int { return len(o.depths) }
 // Depths implements Oracle.
 func (o *BoxOracle) Depths() []uint8 { return o.depths }
 
-// GapsContaining implements Oracle.
+// GapsContaining implements Oracle. The result is valid until the next
+// call.
 func (o *BoxOracle) GapsContaining(point []uint64) []dyadic.Box {
-	return o.tree.Supersets(dyadic.Point(point, o.depths))
+	if len(point) != len(o.depths) {
+		panic(fmt.Sprintf("core: probe point has %d values, oracle has %d dimensions", len(point), len(o.depths)))
+	}
+	for i, v := range point {
+		o.point[i] = dyadic.Unit(v, o.depths[i])
+	}
+	o.out = o.tree.SupersetsAppend(o.out[:0], o.point)
+	return o.out
 }
 
 // AllGaps implements Oracle.

@@ -86,6 +86,13 @@ func IsOrderedResolution(w1, w2 dyadic.Box, pivot int, sao []int) bool {
 // the skeleton rather than bad input.
 func resolveOrdered(w1, w2 dyadic.Box, dim int) dyadic.Box {
 	out := make(dyadic.Box, len(w1))
+	resolveOrderedInto(out, w1, w2, dim)
+	return out
+}
+
+// resolveOrderedInto is resolveOrdered writing into caller-provided
+// storage (the skeleton's scratch arena). out must not alias w1 or w2.
+func resolveOrderedInto(out, w1, w2 dyadic.Box, dim int) {
 	for i := range w1 {
 		if i == dim {
 			if w1[i].Len != w2[i].Len || w1[i].Len == 0 || w1[i].Bits^w2[i].Bits != 1 {
@@ -100,5 +107,4 @@ func resolveOrdered(w1, w2 dyadic.Box, dim int) dyadic.Box {
 		}
 		out[i] = m
 	}
-	return out
 }

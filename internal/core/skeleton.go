@@ -15,12 +15,42 @@ var errResolutionBudget = errors.New("core: resolution budget exhausted")
 // splitting attribute order, and instrumentation. A single skeleton is
 // reused across the repeated invocations made by the outer loop, so the
 // knowledge base persists exactly as the paper's global A does.
+//
+// # Scratch discipline
+//
+// Every box the skeleton manufactures — the two halves of each split and
+// each resolvent — lives in a single per-skeleton interval arena
+// (scratch), managed with per-frame watermarks instead of the heap:
+//
+//   - a frame that splits reserves 2n intervals at its watermark for the
+//     split halves;
+//   - the resolvent is composed above the live region, so the callback
+//     and provenance reads of w1/w2 see intact data even when a witness
+//     aliases the frame's own scratch;
+//   - on return the surviving witness is compacted down to the frame's
+//     watermark and the arena is truncated just past it, so the arena
+//     high-water mark is O(recursion depth · n) no matter how many
+//     resolutions a run performs.
+//
+// Witnesses handed back by run/root are therefore valid only until the
+// next call on the same skeleton; the outer loops (tetris.go, lb.go,
+// boolean.go) consume each witness before re-entering. Boxes that must
+// outlive the recursion — the knowledge-base contents — are copied into
+// the boxtree's own append-only slab by Insert, which is what makes the
+// aliasing safe: knowledge-base boxes returned by ContainsSuperset stay
+// valid even if a later subsume-delete drops them from the tree.
+//
+// In steady state (arena and knowledge-base slabs warmed up) the entire
+// recursion allocates nothing.
 type skeleton struct {
 	kb      *boxtree.Tree
 	sao     []int
 	depths  []uint8
+	n       int
 	noCache bool
 	subsume bool
+
+	scratch []dyadic.Interval // split/resolvent arena, watermark-managed
 
 	maxResolutions int64
 	stats          *Stats
@@ -32,10 +62,10 @@ type skeleton struct {
 	// It returns false to abort the search (output limit reached).
 	onUncoveredUnit func(b dyadic.Box) bool
 
-	// fromOutput marks boxes that are output boxes or output resolvents
-	// (Definition C.4), keyed by Box.Key. Nil unless provenance tracking
-	// is requested.
-	fromOutput map[string]bool
+	// fromOutput holds boxes that are output boxes or output resolvents
+	// (Definition C.4), as an exact-match box set. Nil unless provenance
+	// tracking is requested.
+	fromOutput *boxtree.Tree
 }
 
 // errStopped signals an early stop requested by the output callback.
@@ -46,6 +76,7 @@ func newSkeleton(n int, depths []uint8, sao []int, opts Options, stats *Stats) *
 		kb:             boxtree.New(n),
 		sao:            sao,
 		depths:         depths,
+		n:              n,
 		noCache:        opts.NoCache,
 		subsume:        !opts.DisableSubsume,
 		maxResolutions: opts.MaxResolutions,
@@ -53,7 +84,7 @@ func newSkeleton(n int, depths []uint8, sao []int, opts Options, stats *Stats) *
 		onResolve:      opts.OnResolve,
 	}
 	if opts.TrackProvenance {
-		s.fromOutput = make(map[string]bool)
+		s.fromOutput = boxtree.New(n)
 	}
 	return s
 }
@@ -70,9 +101,27 @@ func (s *skeleton) add(b dyadic.Box) {
 // addOutput inserts an output (unit) box and marks its provenance.
 func (s *skeleton) addOutput(b dyadic.Box) {
 	if s.fromOutput != nil {
-		s.fromOutput[b.Key()] = true
+		s.fromOutput.Insert(b)
 	}
 	s.add(b)
+}
+
+// root invokes run on a fresh arena. Outer loops must enter through root
+// so the arena does not grow across invocations.
+func (s *skeleton) root(b dyadic.Box) (bool, dyadic.Box, error) {
+	s.scratch = s.scratch[:0]
+	return s.run(b)
+}
+
+// settle compacts the witness into the frame's watermark slot and
+// truncates the arena just past it. The frame is guaranteed to have
+// reserved at least n intervals at mark (the split halves), and copy is a
+// memmove, so this is safe even when w already occupies [mark, mark+n).
+func (s *skeleton) settle(mark int, w dyadic.Box) dyadic.Box {
+	dst := dyadic.Box(s.scratch[mark : mark+s.n])
+	copy(dst, w)
+	s.scratch = s.scratch[:mark+s.n]
+	return dst
 }
 
 // run is TetrisSkeleton (Algorithm 1). Given a target box b it returns
@@ -98,32 +147,45 @@ func (s *skeleton) run(b dyadic.Box) (bool, dyadic.Box, error) {
 		}
 		return false, b, nil
 	}
-	// Line 6: Split-First-Thick-Dimension.
+	// Line 6: Split-First-Thick-Dimension. The two halves are carved from
+	// the arena at this frame's watermark; append copies b, so this is
+	// safe even though b itself usually lives lower in the same arena.
 	s.stats.Splits++
-	b1, b2 := b.SplitAt(dim)
+	mark := len(s.scratch)
+	s.scratch = append(s.scratch, b...)
+	s.scratch = append(s.scratch, b...)
+	b1 := dyadic.Box(s.scratch[mark : mark+s.n])
+	b2 := dyadic.Box(s.scratch[mark+s.n : mark+2*s.n])
+	b1[dim] = b[dim].Child(0)
+	b2[dim] = b[dim].Child(1)
 	v1, w1, err := s.run(b1)
 	if err != nil {
 		return false, nil, err
 	}
 	if !v1 {
-		return false, w1, nil
+		return false, s.settle(mark, w1), nil
 	}
 	if w1.Contains(b) {
-		return true, w1, nil
+		return true, s.settle(mark, w1), nil
 	}
 	v2, w2, err := s.run(b2)
 	if err != nil {
 		return false, nil, err
 	}
 	if !v2 {
-		return false, w2, nil
+		return false, s.settle(mark, w2), nil
 	}
 	if w2.Contains(b) {
-		return true, w2, nil
+		return true, s.settle(mark, w2), nil
 	}
 	// Line 18: geometric resolution of the two half-witnesses. By Lemma
-	// C.1 this is always an ordered resolution on dim.
-	w := resolveOrdered(w1, w2, dim)
+	// C.1 this is always an ordered resolution on dim. The resolvent is
+	// composed above the live region so w1 and w2 stay intact for the
+	// callback and the provenance reads below.
+	top := len(s.scratch)
+	s.scratch = append(s.scratch, b...)
+	w := dyadic.Box(s.scratch[top : top+s.n])
+	resolveOrderedInto(w, w1, w2, dim)
 	s.stats.Resolutions++
 	if s.onResolve != nil {
 		s.onResolve(w1, w2, w, dim)
@@ -132,8 +194,8 @@ func (s *skeleton) run(b dyadic.Box) (bool, dyadic.Box, error) {
 		return false, nil, errResolutionBudget
 	}
 	if s.fromOutput != nil {
-		if s.fromOutput[w1.Key()] || s.fromOutput[w2.Key()] {
-			s.fromOutput[w.Key()] = true
+		if s.fromOutput.Contains(w1) || s.fromOutput.Contains(w2) {
+			s.fromOutput.Insert(w)
 			s.stats.OutputResolutions++
 		} else {
 			s.stats.GapResolutions++
@@ -143,5 +205,5 @@ func (s *skeleton) run(b dyadic.Box) (bool, dyadic.Box, error) {
 	if !s.noCache {
 		s.add(w)
 	}
-	return true, w, nil
+	return true, s.settle(mark, w), nil
 }

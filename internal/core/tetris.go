@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tetrisjoin/internal/boxtree"
 	"tetrisjoin/internal/dyadic"
 )
 
@@ -87,14 +88,17 @@ func runPlain(o Oracle, opts Options, sao []int) (*Result, error) {
 		return nil, fmt.Errorf("core: SinglePass requires Preloaded mode (the knowledge base must hold every gap box)")
 	}
 
-	loaded := make(map[string]bool)
+	// loaded is the exact-match set of gap boxes seen so far, used both
+	// for BoxesLoaded accounting and for the no-progress check. A second
+	// boxtree rather than a map keyed by Box.Key keeps the per-box cost at
+	// word operations with zero allocation.
+	loaded := boxtree.New(n)
 	if opts.Mode == Preloaded {
 		for _, b := range o.AllGaps() {
 			if err := b.Check(depths); err != nil {
 				return nil, fmt.Errorf("core: oracle returned invalid gap box %v: %w", b, err)
 			}
-			if !loaded[b.Key()] {
-				loaded[b.Key()] = true
+			if loaded.Insert(b) {
 				res.Stats.BoxesLoaded++
 			}
 			sk.add(b)
@@ -104,8 +108,9 @@ func runPlain(o Oracle, opts Options, sao []int) (*Result, error) {
 	if opts.SinglePass {
 		// TetrisSkeleton2 (footnote 13): one depth-first pass reporting
 		// every uncovered unit box as an output.
+		point := make([]uint64, n) // reused per output; OnOutput must copy
 		sk.onUncoveredUnit = func(b dyadic.Box) bool {
-			point := b.Values(depths)
+			b.ValuesInto(point, depths)
 			res.Stats.Outputs++
 			if opts.OnOutput != nil {
 				if !opts.OnOutput(point) {
@@ -118,7 +123,7 @@ func runPlain(o Oracle, opts Options, sao []int) (*Result, error) {
 			}
 			return opts.MaxOutput <= 0 || res.Stats.Outputs < int64(opts.MaxOutput)
 		}
-		_, _, err := sk.run(dyadic.Universe(n))
+		_, _, err := sk.root(dyadic.Universe(n))
 		if err != nil && err != errStopped {
 			return nil, err
 		}
@@ -127,15 +132,16 @@ func runPlain(o Oracle, opts Options, sao []int) (*Result, error) {
 	}
 
 	universe := dyadic.Universe(n)
+	point := make([]uint64, n) // probe-point buffer, reused per iteration
 	for {
-		v, w, err := sk.run(universe)
+		v, w, err := sk.root(universe)
 		if err != nil {
 			return nil, err
 		}
 		if v {
 			break
 		}
-		point := w.Values(depths)
+		w.ValuesInto(point, depths)
 		res.Stats.OracleCalls++
 		gaps := o.GapsContaining(point)
 		if len(gaps) == 0 {
@@ -164,8 +170,7 @@ func runPlain(o Oracle, opts Options, sao []int) (*Result, error) {
 			if g.ContainsPoint(point, depths) {
 				containsPoint = true
 			}
-			if !loaded[g.Key()] {
-				loaded[g.Key()] = true
+			if loaded.Insert(g) {
 				res.Stats.BoxesLoaded++
 				progress = true
 			}

@@ -145,13 +145,19 @@ func (b Box) ContainsPoint(values []uint64, depths []uint8) bool {
 // Values extracts the tuple of a unit box.
 func (b Box) Values(depths []uint8) []uint64 {
 	vals := make([]uint64, len(b))
+	b.ValuesInto(vals, depths)
+	return vals
+}
+
+// ValuesInto extracts the tuple of a unit box into caller-provided
+// storage, for hot paths that reuse the probe-point buffer.
+func (b Box) ValuesInto(vals []uint64, depths []uint8) {
 	for i, iv := range b {
 		if !iv.IsUnit(depths[i]) {
 			panic("dyadic: Values on non-unit box")
 		}
 		vals[i] = iv.Bits
 	}
-	return vals
 }
 
 // Support returns the indices of the non-λ components (Definition 3.7).
@@ -233,6 +239,23 @@ func (b Box) Key() string {
 			byte(iv.Bits>>32), byte(iv.Bits>>40), byte(iv.Bits>>48), byte(iv.Bits>>56))
 	}
 	return string(buf)
+}
+
+// AppendLambdas appends n λ intervals to s, growing geometrically. It is
+// the allocation primitive of box arenas: callers carve an n-component
+// box out of the appended region and fill it in place. Growth
+// reallocation is safe for boxes carved earlier — their slice headers
+// keep the old backing array alive and intact.
+func AppendLambdas(s []Interval, n int) []Interval {
+	m := len(s)
+	if cap(s)-m < n {
+		grown := make([]Interval, m, 2*(m+n))
+		copy(grown, s)
+		s = grown
+	}
+	s = s[:m+n]
+	clear(s[m:])
+	return s
 }
 
 // String renders the box as ⟨c1, c2, …⟩ with binary-prefix components.

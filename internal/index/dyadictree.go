@@ -15,6 +15,8 @@ type Dyadic struct {
 	rel    *relation.Relation
 	depths []uint8
 	root   *dyNode
+
+	out []dyadic.Box // GapsAt result buffer, reused across calls
 }
 
 type dyNode struct {
@@ -79,13 +81,17 @@ func (d *Dyadic) Kind() string { return "dyadic" }
 
 // GapsAt implements Index: descend toward the probe point; the first
 // tuple-free cell on the path is the unique maximal dyadic gap box
-// containing the point.
+// containing the point. The result slice is reused across calls.
 func (d *Dyadic) GapsAt(point []uint64) []dyadic.Box {
 	checkPoint(d.rel, point)
+	if d.out == nil {
+		d.out = make([]dyadic.Box, 1)
+	}
 	nd := d.root
 	for {
 		if nd.gap {
-			return []dyadic.Box{nd.region}
+			d.out[0] = nd.region
+			return d.out
 		}
 		if nd.children[0] == nil {
 			return nil // unit cell: the point is a tuple

@@ -21,6 +21,7 @@ package index
 import (
 	"fmt"
 
+	"tetrisjoin/internal/boxtree"
 	"tetrisjoin/internal/dyadic"
 	"tetrisjoin/internal/relation"
 )
@@ -34,10 +35,13 @@ type Index interface {
 	Kind() string
 	// GapsAt returns maximal dyadic gap boxes containing the probe point.
 	// The result is empty exactly when the point is a tuple of the
-	// relation (no gap can contain it).
+	// relation (no gap can contain it). Implementations may reuse the
+	// returned slice and box storage: the result is valid only until the
+	// next GapsAt call on the same index.
 	GapsAt(point []uint64) []dyadic.Box
 	// AllGaps enumerates the index's complete gap box set; their union is
 	// exactly the complement of the relation within its attribute space.
+	// The result is caller-owned and stays valid.
 	AllGaps() []dyadic.Box
 }
 
@@ -48,6 +52,9 @@ type Index interface {
 type Union struct {
 	rel     *relation.Relation
 	indices []Index
+
+	out  []dyadic.Box  // GapsAt result buffer, reused
+	seen *boxtree.Tree // per-call dedup set, Reset each probe
 }
 
 // NewUnion combines indices over a common relation.
@@ -61,7 +68,7 @@ func NewUnion(indices ...Index) (*Union, error) {
 			return nil, fmt.Errorf("index: Union indices cover different relations")
 		}
 	}
-	return &Union{rel: rel, indices: indices}, nil
+	return &Union{rel: rel, indices: indices, seen: boxtree.New(rel.Arity())}, nil
 }
 
 // Relation implements Index.
@@ -80,29 +87,28 @@ func (u *Union) Kind() string {
 }
 
 // GapsAt implements Index, deduplicating boxes contributed by several
-// member indices.
+// member indices. The result (whose boxes may alias member scratch) is
+// valid until the next call.
 func (u *Union) GapsAt(point []uint64) []dyadic.Box {
-	var out []dyadic.Box
-	seen := map[string]bool{}
+	u.out = u.out[:0]
+	u.seen.Reset()
 	for _, ix := range u.indices {
 		for _, b := range ix.GapsAt(point) {
-			if k := b.Key(); !seen[k] {
-				seen[k] = true
-				out = append(out, b)
+			if u.seen.Insert(b) {
+				u.out = append(u.out, b)
 			}
 		}
 	}
-	return out
+	return u.out
 }
 
 // AllGaps implements Index.
 func (u *Union) AllGaps() []dyadic.Box {
 	var out []dyadic.Box
-	seen := map[string]bool{}
+	seen := boxtree.New(u.rel.Arity())
 	for _, ix := range u.indices {
 		for _, b := range ix.AllGaps() {
-			if k := b.Key(); !seen[k] {
-				seen[k] = true
+			if seen.Insert(b) {
 				out = append(out, b)
 			}
 		}

@@ -17,6 +17,9 @@ type KDTree struct {
 	rel    *relation.Relation
 	depths []uint8
 	root   *kdNode
+
+	gapBox dyadic.Box   // GapsAt scratch box, reused across calls
+	out    []dyadic.Box // GapsAt result buffer, reused across calls
 }
 
 type kdNode struct {
@@ -109,7 +112,11 @@ func (k *KDTree) GapsAt(point []uint64) []dyadic.Box {
 		}
 	}
 	n := k.rel.Arity()
-	box := make(dyadic.Box, n)
+	if k.gapBox == nil {
+		k.gapBox = make(dyadic.Box, n)
+		k.out = make([]dyadic.Box, 1)
+	}
+	box := k.gapBox
 	if nd.tuple == nil {
 		for i := 0; i < n; i++ {
 			iv, ok := dyadic.MaxDyadicIn(point[i], nd.lo[i], nd.hi[i], k.depths[i])
@@ -118,7 +125,8 @@ func (k *KDTree) GapsAt(point []uint64) []dyadic.Box {
 			}
 			box[i] = iv
 		}
-		return []dyadic.Box{box}
+		k.out[0] = box
+		return k.out
 	}
 	diff := -1
 	for i := 0; i < n; i++ {
@@ -146,7 +154,8 @@ func (k *KDTree) GapsAt(point []uint64) []dyadic.Box {
 		}
 		box[i] = iv
 	}
-	return []dyadic.Box{box}
+	k.out[0] = box
+	return k.out
 }
 
 // AllGaps implements Index: empty leaf cells decompose wholesale; a

@@ -19,6 +19,13 @@ type Sorted struct {
 	inv    []int   // inverse permutation: schema position -> index level
 	depths []uint8 // depths in index order
 	tuples []relation.Tuple
+
+	// GapsAt scratch, reused across calls: the probe in index order, the
+	// gap box (in schema order) and the one-element result slice. GapsAt
+	// results are valid until the next call.
+	probe  []uint64
+	gapBox dyadic.Box
+	out    []dyadic.Box
 }
 
 // NewSorted builds a sorted index using the given attribute-name order,
@@ -53,7 +60,12 @@ func NewSorted(rel *relation.Relation, attrOrder ...string) (*Sorted, error) {
 		inv[pos] = lvl
 		depths[lvl] = rel.Depths()[pos]
 	}
-	return &Sorted{rel: rel, order: order, inv: inv, depths: depths, tuples: tuples}, nil
+	return &Sorted{
+		rel: rel, order: order, inv: inv, depths: depths, tuples: tuples,
+		probe:  make([]uint64, k),
+		gapBox: make(dyadic.Box, k),
+		out:    make([]dyadic.Box, 1),
+	}, nil
 }
 
 // MustSorted is NewSorted that panics on error.
@@ -83,37 +95,46 @@ func (s *Sorted) Kind() string {
 // Order returns the index's attribute order as schema positions.
 func (s *Sorted) Order() []int { return s.order }
 
-// toIndexOrder permutes a schema-order point into index order.
-func (s *Sorted) toIndexOrder(point []uint64) []uint64 {
-	p := make([]uint64, len(point))
-	for lvl, pos := range s.order {
-		p[lvl] = point[pos]
+// searchLevel returns the subrange of [lo,hi) whose tuples hold value v at
+// the given level. Hand-rolled binary searches keep the per-probe cost
+// free of the closure allocations sort.Search would introduce.
+func (s *Sorted) searchLevel(lo, hi, lvl int, v uint64) (int, int) {
+	vLo, r := lo, hi
+	for vLo < r {
+		m := int(uint(vLo+r) >> 1)
+		if s.tuples[m][lvl] < v {
+			vLo = m + 1
+		} else {
+			r = m
+		}
 	}
-	return p
-}
-
-// toSchemaOrder permutes an index-order box back into schema order.
-func (s *Sorted) toSchemaOrder(b dyadic.Box) dyadic.Box {
-	out := make(dyadic.Box, len(b))
-	for lvl, pos := range s.order {
-		out[pos] = b[lvl]
+	vHi, r := vLo, hi
+	for vHi < r {
+		m := int(uint(vHi+r) >> 1)
+		if s.tuples[m][lvl] <= v {
+			vHi = m + 1
+		} else {
+			r = m
+		}
 	}
-	return out
+	return vLo, vHi
 }
 
 // GapsAt implements Index. Walking the trie view of the sorted tuples,
 // the probe diverges from the stored keys at exactly one level; the gap
 // between the neighbouring keys at that level yields the unique maximal
-// GAO-consistent dyadic gap box containing the point.
+// GAO-consistent dyadic gap box containing the point. The result is
+// valid until the next call.
 func (s *Sorted) GapsAt(point []uint64) []dyadic.Box {
 	checkPoint(s.rel, point)
-	p := s.toIndexOrder(point)
+	p := s.probe
+	for lvl, pos := range s.order {
+		p[lvl] = point[pos]
+	}
 	lo, hi := 0, len(s.tuples) // current key range matching the probe prefix
 	for lvl := 0; lvl < len(p); lvl++ {
 		v := p[lvl]
-		// Range of tuples with value v at this level within [lo,hi).
-		vLo := lo + sort.Search(hi-lo, func(i int) bool { return s.tuples[lo+i][lvl] >= v })
-		vHi := lo + sort.Search(hi-lo, func(i int) bool { return s.tuples[lo+i][lvl] > v })
+		vLo, vHi := s.searchLevel(lo, hi, lvl, v)
 		if vLo < vHi {
 			lo, hi = vLo, vHi
 			continue
@@ -131,12 +152,17 @@ func (s *Sorted) GapsAt(point []uint64) []dyadic.Box {
 		if !ok {
 			panic("index: sorted gap computation is inconsistent")
 		}
-		box := make(dyadic.Box, len(p))
-		for j := 0; j < lvl; j++ {
-			box[j] = dyadic.Unit(p[j], s.depths[j])
+		// Compose the gap box directly in schema order in the scratch box.
+		box := s.gapBox
+		for i := range box {
+			box[i] = dyadic.Lambda
 		}
-		box[lvl] = iv
-		return []dyadic.Box{s.toSchemaOrder(box)}
+		for j := 0; j < lvl; j++ {
+			box[s.order[j]] = dyadic.Unit(p[j], s.depths[j])
+		}
+		box[s.order[lvl]] = iv
+		s.out[0] = box
+		return s.out
 	}
 	return nil // the probe point is a tuple
 }
@@ -144,30 +170,37 @@ func (s *Sorted) GapsAt(point []uint64) []dyadic.Box {
 // AllGaps implements Index: the complete GAO-consistent gap set,
 // enumerating per trie level the dyadic decomposition of every maximal
 // run of absent values (Figure 1b rendered dyadically as in Figure 4b).
+// The boxes are carved from one flat arena (composed directly in schema
+// order), so the whole enumeration costs O(log) allocations beyond the
+// per-level value scratch.
 func (s *Sorted) AllGaps() []dyadic.Box {
 	var out []dyadic.Box
+	var arena []dyadic.Interval
 	k := len(s.depths)
 	prefix := make([]uint64, 0, k)
+	levelVals := make([][]uint64, k) // per-level distinct-value scratch
 	var rec func(lo, hi, lvl int)
 	rec = func(lo, hi, lvl int) {
 		if lvl == k {
 			return
 		}
 		// Distinct values at this level within [lo,hi).
-		var values []uint64
+		values := levelVals[lvl][:0]
 		for i := lo; i < hi; {
 			v := s.tuples[i][lvl]
 			values = append(values, v)
-			j := i + sort.Search(hi-i, func(x int) bool { return s.tuples[i+x][lvl] > v })
-			i = j
+			i += sort.Search(hi-i, func(x int) bool { return s.tuples[i+x][lvl] > v })
 		}
+		levelVals[lvl] = values
 		for _, iv := range dyadic.CoverValues(values, s.depths[lvl]) {
-			box := make(dyadic.Box, k)
+			mark := len(arena)
+			arena = dyadic.AppendLambdas(arena, k)
+			box := dyadic.Box(arena[mark : mark+k])
 			for j, u := range prefix {
-				box[j] = dyadic.Unit(u, s.depths[j])
+				box[s.order[j]] = dyadic.Unit(u, s.depths[j])
 			}
-			box[lvl] = iv
-			out = append(out, s.toSchemaOrder(box))
+			box[s.order[lvl]] = iv
+			out = append(out, box)
 		}
 		// Recurse under each present value.
 		for i := lo; i < hi; {

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"tetrisjoin/internal/boxtree"
 	"tetrisjoin/internal/dyadic"
 	"tetrisjoin/internal/index"
 )
@@ -15,22 +16,40 @@ type atomBinding struct {
 // Oracle is the query-wide gap box oracle: the union over atoms of the
 // per-relation index gaps, extended with λ wildcards to the query's full
 // attribute set (the set B(Q) of Section 3.4).
+//
+// GapsContaining is the oracle's hot path — it runs once per probe of the
+// outer Tetris loop — so it reuses per-Oracle scratch (projection buffer,
+// extension arena, output slice, dedup tree) and performs zero steady-
+// state allocations. Its results are valid only until the next
+// GapsContaining call; core.Run consumes them immediately, and callers
+// that retain boxes (e.g. the LB rebuild set) must Clone them. AllGaps
+// results are freshly allocated and caller-owned.
 type Oracle struct {
 	depths   []uint8
 	bindings []atomBinding
+
+	proj []uint64          // projected probe point, reused
+	ext  []dyadic.Interval // arena for extended gap boxes, reused
+	out  []dyadic.Box      // result slice, reused
+	seen *boxtree.Tree     // per-call dedup set, Reset each probe
 }
 
 // NewOracle assembles the oracle for a query with the given per-atom
 // indices (parallel to q.Atoms(); each entry must be non-nil).
 func NewOracle(q *Query, indices []index.Index) *Oracle {
-	o := &Oracle{depths: q.Depths()}
+	o := &Oracle{depths: q.Depths(), seen: boxtree.New(len(q.Depths()))}
+	maxArity := 0
 	for ai, a := range q.atoms {
 		relPos := make([]int, len(a.Vars))
 		for i, v := range a.Vars {
 			relPos[i] = q.varPos[v]
 		}
+		if len(relPos) > maxArity {
+			maxArity = len(relPos)
+		}
 		o.bindings = append(o.bindings, atomBinding{ix: indices[ai], relPos: relPos})
 	}
+	o.proj = make([]uint64, maxArity)
 	return o
 }
 
@@ -40,52 +59,63 @@ func (o *Oracle) Dims() int { return len(o.depths) }
 // Depths implements core.Oracle.
 func (o *Oracle) Depths() []uint8 { return o.depths }
 
-// extend lifts a relation-space box into query space.
-func (b atomBinding) extend(n int, rb dyadic.Box) dyadic.Box {
-	out := make(dyadic.Box, n)
+// extendInto lifts a relation-space box into the n-dimensional query-space
+// slot out (which must be zeroed to λ outside the binding's positions).
+func (b atomBinding) extendInto(out dyadic.Box, rb dyadic.Box) {
 	for i, pos := range b.relPos {
 		out[pos] = rb[i]
 	}
-	return out
 }
 
 // GapsContaining implements core.Oracle: each atom's index is probed with
 // the projected point; its gap boxes, extended to query space, all
 // contain the probe point. The result is empty exactly when the point's
 // projection is a tuple of every relation — i.e. the point is an output
-// tuple.
+// tuple. The returned boxes are valid until the next call.
 func (o *Oracle) GapsContaining(point []uint64) []dyadic.Box {
-	var out []dyadic.Box
-	seen := map[string]bool{}
 	n := len(o.depths)
+	o.ext = o.ext[:0]
+	o.out = o.out[:0]
+	o.seen.Reset()
 	for _, b := range o.bindings {
-		proj := make([]uint64, len(b.relPos))
+		proj := o.proj[:len(b.relPos)]
 		for i, pos := range b.relPos {
 			proj[i] = point[pos]
 		}
 		for _, g := range b.ix.GapsAt(proj) {
-			eb := b.extend(n, g)
-			if k := eb.Key(); !seen[k] {
-				seen[k] = true
-				out = append(out, eb)
+			mark := len(o.ext)
+			o.ext = dyadic.AppendLambdas(o.ext, n)
+			eb := dyadic.Box(o.ext[mark : mark+n])
+			b.extendInto(eb, g)
+			if o.seen.Insert(eb) {
+				o.out = append(o.out, eb)
+			} else {
+				o.ext = o.ext[:mark] // duplicate: reclaim the slot
 			}
 		}
 	}
-	return out
+	return o.out
 }
 
 // AllGaps implements core.Oracle: the full set B(Q) of gap boxes from
-// every index, extended to query space.
+// every index, extended to query space. The boxes are carved from a fresh
+// arena per call (so the whole set costs O(log) allocations) and are
+// caller-owned: they stay valid indefinitely.
 func (o *Oracle) AllGaps() []dyadic.Box {
 	var out []dyadic.Box
-	seen := map[string]bool{}
+	var arena []dyadic.Interval
 	n := len(o.depths)
+	seen := boxtree.New(n)
 	for _, b := range o.bindings {
 		for _, g := range b.ix.AllGaps() {
-			eb := b.extend(n, g)
-			if k := eb.Key(); !seen[k] {
-				seen[k] = true
+			mark := len(arena)
+			arena = dyadic.AppendLambdas(arena, n)
+			eb := dyadic.Box(arena[mark : mark+n])
+			b.extendInto(eb, g)
+			if seen.Insert(eb) {
 				out = append(out, eb)
+			} else {
+				arena = arena[:mark]
 			}
 		}
 	}

@@ -239,11 +239,16 @@ func (r *Relation) Reordered(order []int) ([]Tuple, error) {
 		seen[j] = true
 	}
 	src := r.Tuples()
+	// Carve every permuted tuple from one flat backing array: index
+	// construction runs once per query execution, so its cost should be
+	// two allocations, not one per tuple.
+	k := len(order)
+	flat := make([]uint64, len(src)*k)
 	out := make([]Tuple, len(src))
 	for i, t := range src {
-		perm := make(Tuple, len(order))
-		for k, j := range order {
-			perm[k] = t[j]
+		perm := flat[i*k : (i+1)*k : (i+1)*k]
+		for c, j := range order {
+			perm[c] = t[j]
 		}
 		out[i] = perm
 	}
