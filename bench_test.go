@@ -24,8 +24,14 @@ import (
 	"tetrisjoin/internal/workload"
 )
 
+// mustRun executes a query, pinning an unset Parallelism to 1: the paper
+// benchmarks track the sequential trajectory (the parallel series in
+// benchio.Suite sets its worker count explicitly).
 func mustRun(b *testing.B, q *join.Query, opts join.Options) *join.Result {
 	b.Helper()
+	if opts.Parallelism == 0 {
+		opts.Parallelism = 1
+	}
 	res, err := join.Execute(q, opts)
 	if err != nil {
 		b.Fatal(err)
@@ -213,6 +219,13 @@ func BenchmarkFig2LBUpper(b *testing.B) {
 // Workloads defined once in benchio.Suite.
 func BenchmarkKleeBoolean(b *testing.B) {
 	benchSuiteGroup(b, "KleeBoolean")
+}
+
+// BenchmarkParallel — the sharded executor's speedup series on the
+// largest canonical workloads across worker counts (workers=1 is the
+// plain sequential engine). Workloads defined once in benchio.Suite.
+func BenchmarkParallel(b *testing.B) {
+	benchSuiteGroup(b, "Parallel")
 }
 
 // BenchmarkCertIndexPower — Appendix B.2 / Figure 13: certificate size

@@ -38,6 +38,7 @@ func main() {
 	sao := flag.String("sao", "", "comma-separated splitting attribute order (optional)")
 	stats := flag.Bool("stats", false, "print work statistics to stderr")
 	limit := flag.Int("limit", 0, "stop after this many output tuples (0 = all)")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 or 1 = sequential streaming; >1 shards the query across workers, buffering each shard's tuples); output order is identical at any worker count, though >1 with -limit may return a different (still ordered) subset per run")
 	explain := flag.Bool("explain", false, "print the evaluation plan instead of running the query")
 	count := flag.Bool("count", false, "print the exact output cardinality instead of the tuples")
 	flag.Parse()
@@ -46,13 +47,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(rels, *query, *mode, *sao, *stats, *limit, *explain, *count); err != nil {
+	if err := run(rels, *query, *mode, *sao, *stats, *limit, *parallel, *explain, *count); err != nil {
 		fmt.Fprintln(os.Stderr, "tetris:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rels []string, query, modeName, sao string, stats bool, limit int, explain, count bool) error {
+func run(rels []string, query, modeName, sao string, stats bool, limit, parallel int, explain, count bool) error {
 	// First pass: gather attribute values per relation column so each
 	// query variable's domain can be encoded consistently. Columns are
 	// matched to variables by the query, so parse it structurally first.
@@ -124,7 +125,7 @@ func run(rels []string, query, modeName, sao string, stats bool, limit int, expl
 	if err != nil {
 		return err
 	}
-	opts := tetrisjoin.Options{MaxOutput: limit}
+	opts := tetrisjoin.Options{MaxOutput: limit, Parallelism: parallel}
 	switch modeName {
 	case "reloaded":
 		opts.Mode = core.Reloaded

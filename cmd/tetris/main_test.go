@@ -31,24 +31,24 @@ func TestReadCSV(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	edges := writeFile(t, "edges.csv", "a,b\nb,c\na,c\nc,d\n")
-	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "", true, 0, false, false); err != nil {
+	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "", true, 0, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// All modes work.
 	for _, mode := range []string{"preloaded", "reloaded-lb", "preloaded-lb"} {
-		if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", mode, "", false, 0, false, false); err != nil {
+		if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", mode, "", false, 0, 0, false, false); err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
 	}
 	// Explain and count modes.
-	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "", false, 0, true, false); err != nil {
+	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "", false, 0, 0, true, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "", false, 0, false, true); err != nil {
+	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "", false, 0, 0, false, true); err != nil {
 		t.Fatal(err)
 	}
 	// Explicit SAO.
-	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "Z,Y,X", false, 2, false, false); err != nil {
+	if err := run([]string{"E=" + edges}, "E(X,Y), E(Y,Z), E(X,Z)", "reloaded", "Z,Y,X", false, 2, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -73,7 +73,7 @@ func TestRunErrors(t *testing.T) {
 		{"bad-sao", []string{"E=" + edges}, "E(X,Y)", "reloaded", "X"},
 	}
 	for _, c := range cases {
-		if err := run(c.rels, c.query, c.mode, c.sao, false, 0, false, false); err == nil {
+		if err := run(c.rels, c.query, c.mode, c.sao, false, 0, 0, false, false); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
 	}

@@ -59,13 +59,16 @@ func main() {
 	fmt.Println("bowtie R(A) ⋈ S(A,B) ⋈ T(B), empty output, |C| = O(1)")
 	fmt.Printf("%6s %10s | %-28s | %-28s\n", "depth", "N=|S|", "tetris-reloaded", "tetris-preloaded")
 	fmt.Printf("%6s %10s | %12s %13s | %12s %13s\n", "", "", "resolutions", "boxes loaded", "resolutions", "boxes loaded")
+	// Parallelism: 1 — the printed resolution/loaded-box counts are the
+	// paper's sequential certificate accounting, which sharded execution
+	// changes by a machine-dependent constant factor.
 	for d := uint8(4); d <= 10; d++ {
 		q := buildBowtie(d)
-		re, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: tetrisjoin.Reloaded})
+		re, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: tetrisjoin.Reloaded, Parallelism: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
-		pre, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: tetrisjoin.Preloaded})
+		pre, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: tetrisjoin.Preloaded, Parallelism: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -53,11 +53,13 @@ func main() {
 		"big multidimensional boxes (Figure 3b). All three certify the same " +
 		"region: the complement of R.")
 
-	// Probe a point and show what each index reports.
+	// Probe a point and show what each index reports. Probing goes
+	// through a cursor: the index stays immutable and shareable, the
+	// cursor owns the probe scratch.
 	probe := []uint64{0, 6}
 	fmt.Printf("\nmaximal gap boxes containing probe point (%d,%d):\n", probe[0], probe[1])
 	for _, ix := range []tetrisjoin.Index{ab, ba, dy, kd} {
-		fmt.Printf("  %-12s -> %v\n", ix.Kind(), ix.GapsAt(probe))
+		fmt.Printf("  %-12s -> %v\n", ix.Kind(), ix.NewCursor().GapsAt(probe))
 	}
 }
 

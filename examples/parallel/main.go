@@ -1,0 +1,81 @@
+// Parallel: the sharded executor on an output-heavy triangle join.
+//
+// The output space is split into disjoint dyadic shards along the
+// splitting attribute order; each worker runs an independent Tetris
+// instance over its shards (sharing the immutable indices through a
+// prepared Plan), and the results merge deterministically — the tuple
+// order is identical at every worker count, so the speedup is free of
+// semantic drift.
+//
+// Run with: go run ./examples/parallel
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"tetrisjoin"
+)
+
+func main() {
+	// R = S = T = [m]×[m]: the AGM-tight dense triangle, output m³.
+	const m, depth = 32, 12
+	mk := func(name string) *tetrisjoin.Relation {
+		r, err := tetrisjoin.NewRelation(name, []string{"X", "Y"}, depth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := uint64(0); i < m; i++ {
+			for j := uint64(0); j < m; j++ {
+				r.MustInsert(i, j)
+			}
+		}
+		return r
+	}
+	q, err := tetrisjoin.ParseQuery("R(A,B), S(B,C), T(A,C)", map[string]*tetrisjoin.Relation{
+		"R": mk("R"), "S": mk("S"), "T": mk("T"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Prepare once: the plan owns the immutable indices; every execution
+	// below reuses them.
+	plan, err := tetrisjoin.NewPlan(q, tetrisjoin.Options{Mode: tetrisjoin.Preloaded})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("triangle join, m=%d (output %d tuples), GOMAXPROCS=%d\n\n",
+		m, m*m*m, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-10s %12s %12s %10s\n", "workers", "wall", "resolutions", "tuples")
+	var first [][]uint64
+	for _, workers := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		res, err := plan.Execute(tetrisjoin.Options{Mode: tetrisjoin.Preloaded, Parallelism: workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %12s %12d %10d\n", workers, time.Since(start).Round(time.Microsecond),
+			res.Stats.Resolutions, len(res.Tuples))
+		if first == nil {
+			first = res.Tuples
+			continue
+		}
+		// Determinism: every worker count yields the identical tuple
+		// sequence (shard-major = sequential enumeration order).
+		if len(first) != len(res.Tuples) {
+			log.Fatalf("worker count changed the output size: %d vs %d", len(first), len(res.Tuples))
+		}
+		for i := range first {
+			for j := range first[i] {
+				if first[i][j] != res.Tuples[i][j] {
+					log.Fatalf("worker count changed the tuple order at index %d", i)
+				}
+			}
+		}
+	}
+	fmt.Println("\nevery worker count produced the identical tuple sequence")
+}

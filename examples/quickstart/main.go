@@ -43,7 +43,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := tetrisjoin.Join(q, tetrisjoin.Options{})
+	// Parallelism: 1 — the stats printed below are the paper's sequential
+	// work accounting (the default parallel engine reports machine-
+	// dependent counts).
+	res, err := tetrisjoin.Join(q, tetrisjoin.Options{Parallelism: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -45,7 +45,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: tetrisjoin.Preloaded})
+		// Parallelism: 1 — the resolutions column is the paper's
+		// sequential work accounting.
+		res, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: tetrisjoin.Preloaded, Parallelism: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,6 +3,7 @@ package benchio
 import (
 	"fmt"
 	"regexp"
+	"sync"
 	"testing"
 
 	"tetrisjoin/internal/baseline"
@@ -14,8 +15,9 @@ import (
 
 // Case is one benchmark of the canonical suite. Bench runs the measured
 // body b.N times and returns resolutions/op (0 when not applicable).
-// Workloads are constructed when Suite is called, so Bench bodies contain
-// nothing but the measured loop.
+// Workloads are constructed when Suite is called — except the large
+// parallel-series instances, which build lazily on first use — so Bench
+// bodies contain nothing but the measured loop.
 type Case struct {
 	Name  string
 	Bench func(b *testing.B) float64
@@ -80,11 +82,39 @@ func Suite() []Case {
 			},
 		})
 	}
+	// Parallel speedup series: the sharded executor on the largest
+	// Table 1 acyclic instance and on an output-heavy dense triangle,
+	// across worker counts. workers=1 is the plain sequential engine, so
+	// the per-entry ratios are the executor's true speedup (on multi-core
+	// hardware; a GOMAXPROCS=1 machine records the sharding overhead
+	// instead). The instances are built lazily on first use — and the
+	// series sits at the end of the suite — so the other cases never pay
+	// GC pressure for these large live workloads.
+	bigPath := sync.OnceValue(func() *join.Query { return workload.PathQuery(3, 4000, 12, 4000) })
+	bigTri := sync.OnceValue(func() *join.Query { return workload.TriangleDense(40, 12) })
+	for _, workers := range []int{1, 2, 4, 8} {
+		cases = append(cases,
+			Case{
+				Name:  fmt.Sprintf("Parallel/Table1Acyclic/N=12000/workers=%d", workers),
+				Bench: lazyExecBench(bigPath, join.Options{Mode: core.Preloaded, Parallelism: workers}),
+			},
+			Case{
+				Name:  fmt.Sprintf("Parallel/TriangleDense/m=40/workers=%d", workers),
+				Bench: lazyExecBench(bigTri, join.Options{Mode: core.Preloaded, Parallelism: workers}),
+			},
+		)
+	}
 	return cases
 }
 
-// execBench builds a standard Execute-per-op benchmark body.
+// execBench builds a standard Execute-per-op benchmark body (planning
+// included, as an end-to-end query costs it too). An unset Parallelism is
+// pinned to 1: the canonical entries track the sequential trajectory, and
+// the parallel series sets its worker count explicitly.
 func execBench(q *join.Query, opts join.Options) func(b *testing.B) float64 {
+	if opts.Parallelism == 0 {
+		opts.Parallelism = 1
+	}
 	return func(b *testing.B) float64 {
 		var resolutions float64
 		for i := 0; i < b.N; i++ {
@@ -95,6 +125,16 @@ func execBench(q *join.Query, opts join.Options) func(b *testing.B) float64 {
 			resolutions = float64(res.Stats.Resolutions)
 		}
 		return resolutions
+	}
+}
+
+// lazyExecBench is execBench over a workload built on first use (the
+// timer restarts after construction, so the build is never measured).
+func lazyExecBench(mk func() *join.Query, opts join.Options) func(b *testing.B) float64 {
+	return func(b *testing.B) float64 {
+		inner := execBench(mk(), opts)
+		b.ResetTimer()
+		return inner(b)
 	}
 }
 

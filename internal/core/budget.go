@@ -1,0 +1,58 @@
+package core
+
+import "sync/atomic"
+
+// Budget is a work quota shared by every shard of a run: the
+// MaxResolutions and MaxOutput limits of Options enforced with atomic
+// counters so that concurrent shards draw from one pool instead of each
+// getting its own allowance. A nil *Budget means unlimited everywhere it
+// is consulted; sequential runs without limits never create one, keeping
+// the hot path free of atomic operations.
+type Budget struct {
+	maxResolutions int64 // 0 = unlimited
+	maxOutput      int64 // 0 = unlimited
+	resolutions    atomic.Int64
+	outputs        atomic.Int64
+}
+
+// NewBudget returns a budget enforcing the given limits (either may be 0
+// for unlimited). It returns nil when both are 0: no limit, no counter.
+func NewBudget(maxResolutions int64, maxOutput int) *Budget {
+	if maxResolutions <= 0 && maxOutput <= 0 {
+		return nil
+	}
+	return &Budget{maxResolutions: maxResolutions, maxOutput: int64(maxOutput)}
+}
+
+// AddResolution charges one resolution and reports whether the run is
+// still within budget (false: the resolution that was just performed
+// exceeded the limit and the run must abort). Safe on a nil receiver:
+// nil means unlimited.
+func (b *Budget) AddResolution() bool {
+	if b == nil || b.maxResolutions <= 0 {
+		return true
+	}
+	return b.resolutions.Add(1) <= b.maxResolutions
+}
+
+// ClaimOutput claims a slot for one output tuple. emit reports whether
+// the tuple may be reported (false: the quota was already exhausted) and
+// stop whether the claimant should halt after reporting (the claimed slot
+// was the last one). Slots are claimed atomically, so across all shards
+// exactly min(Z, MaxOutput) tuples are emitted. Safe on a nil receiver:
+// nil means unlimited.
+func (b *Budget) ClaimOutput() (emit, stop bool) {
+	if b == nil || b.maxOutput <= 0 {
+		return true, false
+	}
+	n := b.outputs.Add(1)
+	return n <= b.maxOutput, n >= b.maxOutput
+}
+
+// outputsExhausted reports whether the output quota is fully claimed.
+// Shards whose region holds no (or only late) outputs poll it between
+// outer-loop iterations so a small MaxOutput stops the whole fleet, not
+// just the shard that claimed the last slot. Safe on a nil receiver.
+func (b *Budget) outputsExhausted() bool {
+	return b != nil && b.maxOutput > 0 && b.outputs.Load() >= b.maxOutput
+}

@@ -23,6 +23,9 @@ import (
 func runLB(o Oracle, opts Options) (*Result, error) {
 	depths := o.Depths()
 	res := &Result{}
+	// Resolve the budget once so the skeletons rebuilt across partition
+	// re-adjustments keep drawing from one cumulative resolution quota.
+	opts.Budget = effectiveBudget(opts)
 
 	var baseBoxes []dyadic.Box
 	if opts.Mode == PreloadedLB {
@@ -87,6 +90,9 @@ func runLB(o Oracle, opts Options) (*Result, error) {
 
 	universe := dyadic.Universe(lift.Dims())
 	for {
+		if err := checkContext(opts); err != nil {
+			return nil, err
+		}
 		if opts.Mode == ReloadedLB && len(baseBoxes) >= 2*max(1, lastBuild) {
 			if err := rebuild(); err != nil {
 				return nil, err
@@ -105,18 +111,23 @@ func runLB(o Oracle, opts Options) (*Result, error) {
 		res.Stats.OracleCalls++
 		gaps := o.GapsContaining(point)
 		if len(gaps) == 0 {
+			emit, stop := opts.Budget.ClaimOutput()
+			if !emit {
+				break
+			}
 			res.Stats.Outputs++
 			tup := make([]uint64, len(point))
 			copy(tup, point)
 			outputs = append(outputs, tup)
-			stop := false
 			if opts.OnOutput != nil {
-				stop = !opts.OnOutput(point)
+				if !opts.OnOutput(point) {
+					stop = true
+				}
 			} else {
 				res.Tuples = append(res.Tuples, tup)
 			}
 			sk.addOutput(lift.Point(tup))
-			if stop || (opts.MaxOutput > 0 && res.Stats.Outputs >= int64(opts.MaxOutput)) {
+			if stop {
 				break
 			}
 			continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"tetrisjoin/internal/dyadic"
@@ -89,6 +90,16 @@ type Options struct {
 	// MaxOutput stops after reporting this many output tuples
 	// (0 = unlimited).
 	MaxOutput int
+	// Budget, when non-nil, replaces MaxResolutions/MaxOutput with a
+	// quota shared across several runs: the sharded executor hands the
+	// same Budget to every shard so the limits cap the combined work.
+	// When nil, the Max* fields above apply to this run alone.
+	Budget *Budget
+	// Context, when non-nil, cancels the run cooperatively: it is checked
+	// between outer-loop iterations and output reports, and the run
+	// returns the context's error. The sharded executor uses it to stop
+	// sibling shards after a failure or an early stop.
+	Context context.Context
 	// OnOutput, if non-nil, is invoked for every output tuple as it is
 	// found. Returning false stops the enumeration early. The slice is
 	// reused; callers must copy it to retain it.
@@ -135,9 +146,51 @@ type Stats struct {
 	KnowledgeBase int
 }
 
+// Merge accumulates the counters of another run into s. The sharded
+// executor uses it to combine per-shard statistics: every field is a sum
+// (KnowledgeBase becomes the total number of boxes held across shard
+// knowledge bases).
+func (s *Stats) Merge(other Stats) {
+	s.Resolutions += other.Resolutions
+	s.GapResolutions += other.GapResolutions
+	s.OutputResolutions += other.OutputResolutions
+	s.SkeletonCalls += other.SkeletonCalls
+	s.Splits += other.Splits
+	s.CoverHits += other.CoverHits
+	s.OracleCalls += other.OracleCalls
+	s.BoxesLoaded += other.BoxesLoaded
+	s.Outputs += other.Outputs
+	s.Rebuilds += other.Rebuilds
+	s.KnowledgeBase += other.KnowledgeBase
+}
+
 // Result is the outcome of a Tetris run: the output tuples of the box
 // cover problem (in dimension order) and the work statistics.
 type Result struct {
 	Tuples [][]uint64
 	Stats  Stats
+}
+
+// effectiveBudget resolves the budget a run should draw from: an
+// explicitly shared one, or a private budget carrying the run's own
+// Max* limits, or nil when the run is unlimited.
+func effectiveBudget(opts Options) *Budget {
+	if opts.Budget != nil {
+		return opts.Budget
+	}
+	return NewBudget(opts.MaxResolutions, opts.MaxOutput)
+}
+
+// checkContext reports the context's error when opts carries a cancelled
+// context, and nil otherwise.
+func checkContext(opts Options) error {
+	if opts.Context == nil {
+		return nil
+	}
+	select {
+	case <-opts.Context.Done():
+		return opts.Context.Err()
+	default:
+		return nil
+	}
 }

@@ -82,6 +82,19 @@ func MustBoxOracle(depths []uint8, boxes []dyadic.Box) *BoxOracle {
 	return o
 }
 
+// Clone returns an independent prober over the same box set: the
+// immutable containment tree and box slice are shared, the probe scratch
+// is fresh. Use one clone per worker goroutine (e.g. as RunShards'
+// oracle factory).
+func (o *BoxOracle) Clone() *BoxOracle {
+	return &BoxOracle{
+		depths: o.depths,
+		tree:   o.tree,
+		boxes:  o.boxes,
+		point:  make(dyadic.Box, len(o.depths)),
+	}
+}
+
 // Dims implements Oracle.
 func (o *BoxOracle) Dims() int { return len(o.depths) }
 

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tetrisjoin/internal/boxtree"
+	"tetrisjoin/internal/dyadic"
+)
+
+// ShardRoots partitions the output space into at least `shards` disjoint
+// dyadic boxes whose union is the universe, by repeatedly splitting every
+// box at its first thick dimension in SAO order. Because these splits are
+// exactly the top levels of TetrisSkeleton's own recursion, the returned
+// roots are in depth-first (SAO-lexicographic) order: concatenating the
+// per-root outputs in slice order reproduces the sequential enumeration
+// order. The count is rounded up to the next power of two; fewer boxes
+// are returned only when the whole space has fewer points than requested.
+func ShardRoots(depths []uint8, sao []int, shards int) []dyadic.Box {
+	roots := []dyadic.Box{dyadic.Universe(len(depths))}
+	for len(roots) < shards {
+		next := make([]dyadic.Box, 0, 2*len(roots))
+		split := false
+		for _, b := range roots {
+			dim := b.FirstThick(sao, depths)
+			if dim == -1 {
+				next = append(next, b)
+				continue
+			}
+			b0, b1 := b.SplitAt(dim)
+			next = append(next, b0, b1)
+			split = true
+		}
+		roots = next
+		if !split {
+			break // every box is a unit box; the space is exhausted
+		}
+	}
+	return roots
+}
+
+// RunShards executes Tetris sharded: the universe is partitioned into
+// disjoint dyadic root boxes along the SAO prefix (ShardRoots), each root
+// is solved by an independent per-shard run (RunBox semantics), and the
+// per-shard results are merged deterministically in shard order. Output
+// decomposition over disjoint roots is exact (Proposition 3.6), so the
+// merged tuple set — and, because shards are concatenated in depth-first
+// order, the tuple order — is identical to a sequential run's.
+//
+// newOracle must return a fresh oracle per call; each worker goroutine
+// calls it once and keeps the oracle for every shard it processes, so
+// implementations may share immutable index structures between oracles
+// but must not share probe scratch. MaxResolutions/MaxOutput are enforced
+// as budgets shared across all shards. opts.OnOutput, when set, is
+// invoked only from this goroutine (never concurrently), in deterministic
+// shard-major order, as each shard's buffered results become available;
+// returning false cancels the remaining shards. opts.Context cancels the
+// whole run.
+//
+// Only the plain Preloaded/Reloaded modes shard; callers must route the
+// LB modes through Run.
+func RunShards(newOracle func() Oracle, opts Options, parallelism, shards int) (*Result, error) {
+	if opts.Mode != Preloaded && opts.Mode != Reloaded {
+		return nil, fmt.Errorf("core: RunShards supports only the plain Preloaded/Reloaded modes, not %v", opts.Mode)
+	}
+	if parallelism < 1 {
+		return nil, fmt.Errorf("core: RunShards needs parallelism >= 1, got %d", parallelism)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("core: RunShards needs shards >= 1, got %d", shards)
+	}
+	probe := newOracle()
+	n, err := validateOracle(probe)
+	if err != nil {
+		return nil, err
+	}
+	sao, err := checkSAO(opts.SAO, n)
+	if err != nil {
+		return nil, err
+	}
+	if opts.SinglePass && opts.Mode != Preloaded {
+		return nil, fmt.Errorf("core: SinglePass requires Preloaded mode (the knowledge base must hold every gap box)")
+	}
+	depths := probe.Depths()
+	roots := ShardRoots(depths, sao, shards)
+
+	// Preloaded: build the full knowledge base ONCE and share it
+	// read-only across every shard (the skeleton never writes to it —
+	// learned resolvents go to per-shard private trees). Without this,
+	// every shard would re-insert its slice of B, and boxes thick across
+	// the shard dimension would be re-inserted by every shard.
+	var base *boxtree.Tree
+	var baseLoaded int64
+	if opts.Mode == Preloaded {
+		base = boxtree.New(n)
+		insert := func(b dyadic.Box) {
+			if opts.DisableSubsume {
+				base.Insert(b)
+			} else {
+				base.InsertSubsuming(b)
+			}
+		}
+		var err error
+		baseLoaded, err = loadGapSet(probe, nil, boxtree.New(n), insert)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Shard options: tuples buffer inside each shard's Result (the merge
+	// below replays them in order), limits move into one shared budget,
+	// and an internal cancellable context lets a failing or early-stopped
+	// shard halt its siblings.
+	parent := opts.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	budget := effectiveBudget(opts)
+
+	sopts := opts
+	sopts.SAO = sao
+	sopts.OnOutput = nil
+	sopts.Budget = budget
+	sopts.MaxResolutions = 0
+	sopts.MaxOutput = 0
+	sopts.Context = ctx
+	if opts.OnResolve != nil {
+		// Serialize the tracing callback: shards resolve concurrently, and
+		// OnResolve observers (e.g. trace recorders) are written for the
+		// sequential engine. The interleaving across shards is
+		// scheduling-dependent; per-shard order is preserved.
+		var mu sync.Mutex
+		inner := opts.OnResolve
+		sopts.OnResolve = func(w1, w2, resolvent dyadic.Box, dim int) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(w1, w2, resolvent, dim)
+		}
+	}
+
+	results := make([]*Result, len(roots))
+	errs := make([]error, len(roots))
+	done := make([]chan struct{}, len(roots))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := min(parallelism, len(roots))
+	for w := 0; w < workers; w++ {
+		oracle := probe
+		if w > 0 {
+			oracle = newOracle()
+		}
+		wg.Add(1)
+		go func(o Oracle) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(roots) {
+					return
+				}
+				results[i], errs[i] = runPlain(o, sopts, sao, roots[i], base)
+				if errs[i] != nil {
+					cancel() // stop sibling shards; the merge sorts out blame
+				}
+				close(done[i])
+			}
+		}(oracle)
+	}
+
+	// Merge in shard order as shards complete: statistics accumulate, and
+	// tuples are either appended or replayed through OnOutput serialized
+	// right here. stopped records an OnOutput early stop, after which
+	// remaining shards are cancelled and their tuples dropped — matching
+	// the sequential contract that nothing is reported past the stop.
+	res := &Result{}
+	stopped := false
+	broken := false // some shard (even a cancelled bystander) has no result
+	var delivered int64
+	var firstErr, cancelErr error
+	for i := range roots {
+		<-done[i]
+		if errs[i] != nil {
+			// A context.Canceled shard was a bystander: it stopped because
+			// a sibling failed, the merge stopped early, or the caller's
+			// context fired — never blame it over the original cause.
+			if errs[i] == context.Canceled {
+				if cancelErr == nil {
+					cancelErr = errs[i]
+				}
+			} else if firstErr == nil {
+				firstErr = errs[i]
+			}
+			broken = true
+			continue
+		}
+		// Deliver nothing past an early stop — and nothing past a shard
+		// with no result (failed or cancelled as a bystander): a
+		// sequential run would never have reached the region after the
+		// failure, and delivering shard i+1 with shard i's output missing
+		// would be a hole in the enumeration.
+		if stopped || broken {
+			continue
+		}
+		shard := results[i]
+		results[i] = nil // release the shard buffer as soon as it is merged
+		res.Stats.Merge(shard.Stats)
+		if opts.OnOutput == nil {
+			res.Tuples = append(res.Tuples, shard.Tuples...)
+			continue
+		}
+		for _, tup := range shard.Tuples {
+			delivered++
+			if !opts.OnOutput(tup) {
+				stopped = true
+				cancel()
+				break
+			}
+		}
+	}
+	wg.Wait()
+	// An OnOutput early stop is a clean result even if the caller's
+	// context fired afterwards — the sequential engine likewise breaks
+	// out on stop without rechecking the context.
+	if !stopped {
+		if err := parent.Err(); err != nil {
+			return nil, err
+		}
+		if firstErr == nil {
+			firstErr = cancelErr // defensive: cancellation with no cause recorded
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	if opts.OnOutput != nil {
+		res.Stats.Outputs = delivered
+	}
+	// The shared base counts once: shards report only their private
+	// knowledge bases.
+	if base != nil {
+		res.Stats.BoxesLoaded += baseLoaded
+		res.Stats.KnowledgeBase += base.Len()
+	}
+	return res, nil
+}

@@ -43,7 +43,13 @@ var errResolutionBudget = errors.New("core: resolution budget exhausted")
 // In steady state (arena and knowledge-base slabs warmed up) the entire
 // recursion allocates nothing.
 type skeleton struct {
-	kb      *boxtree.Tree
+	kb *boxtree.Tree
+	// base, when non-nil, is a read-only knowledge base consulted after
+	// kb: the preloaded gap box set shared by every shard of a RunShards
+	// execution. The skeleton never writes to it (learned resolvents and
+	// outputs go to the private kb), which is what makes sharing it
+	// across worker goroutines safe.
+	base    *boxtree.Tree
 	sao     []int
 	depths  []uint8
 	n       int
@@ -52,9 +58,9 @@ type skeleton struct {
 
 	scratch []dyadic.Interval // split/resolvent arena, watermark-managed
 
-	maxResolutions int64
-	stats          *Stats
-	onResolve      func(w1, w2, resolvent dyadic.Box, dim int)
+	budget    *Budget // shared resolution/output quota; nil = unlimited
+	stats     *Stats
+	onResolve func(w1, w2, resolvent dyadic.Box, dim int)
 
 	// onUncoveredUnit, when set, turns the skeleton into TetrisSkeleton2
 	// (footnote 13): an uncovered unit box is reported as an output and
@@ -73,15 +79,15 @@ var errStopped = errors.New("core: enumeration stopped by caller")
 
 func newSkeleton(n int, depths []uint8, sao []int, opts Options, stats *Stats) *skeleton {
 	s := &skeleton{
-		kb:             boxtree.New(n),
-		sao:            sao,
-		depths:         depths,
-		n:              n,
-		noCache:        opts.NoCache,
-		subsume:        !opts.DisableSubsume,
-		maxResolutions: opts.MaxResolutions,
-		stats:          stats,
-		onResolve:      opts.OnResolve,
+		kb:        boxtree.New(n),
+		sao:       sao,
+		depths:    depths,
+		n:         n,
+		noCache:   opts.NoCache,
+		subsume:   !opts.DisableSubsume,
+		budget:    effectiveBudget(opts),
+		stats:     stats,
+		onResolve: opts.OnResolve,
 	}
 	if opts.TrackProvenance {
 		s.fromOutput = boxtree.New(n)
@@ -129,10 +135,18 @@ func (s *skeleton) settle(mark int, w dyadic.Box) dyadic.Box {
 // (false, p) where p ∈ b is a unit box not covered by any stored box.
 func (s *skeleton) run(b dyadic.Box) (bool, dyadic.Box, error) {
 	s.stats.SkeletonCalls++
-	// Line 1: a stored box covering b is a ready-made witness.
+	// Line 1: a stored box covering b is a ready-made witness. The
+	// private kb (learned resolvents, outputs, lazily loaded gaps) is
+	// probed first, then the shared read-only base if the shard has one.
 	if a, ok := s.kb.ContainsSuperset(b); ok {
 		s.stats.CoverHits++
 		return true, a, nil
+	}
+	if s.base != nil {
+		if a, ok := s.base.ContainsSuperset(b); ok {
+			s.stats.CoverHits++
+			return true, a, nil
+		}
 	}
 	// Line 3: an uncovered unit box witnesses non-coverage — or, in
 	// single-pass mode, is an output tuple reported on the spot.
@@ -190,7 +204,7 @@ func (s *skeleton) run(b dyadic.Box) (bool, dyadic.Box, error) {
 	if s.onResolve != nil {
 		s.onResolve(w1, w2, w, dim)
 	}
-	if s.maxResolutions > 0 && s.stats.Resolutions > s.maxResolutions {
+	if !s.budget.AddResolution() {
 		return false, nil, errResolutionBudget
 	}
 	if s.fromOutput != nil {

@@ -13,18 +13,9 @@ import (
 // load-balanced variants; see the Mode documentation for the runtime
 // guarantees of each.
 func Run(o Oracle, opts Options) (*Result, error) {
-	n := o.Dims()
-	depths := o.Depths()
-	if n < 1 {
-		return nil, fmt.Errorf("core: oracle reports %d dimensions", n)
-	}
-	if len(depths) != n {
-		return nil, fmt.Errorf("core: oracle reports %d depths for %d dimensions", len(depths), n)
-	}
-	for i, d := range depths {
-		if d == 0 || d > dyadic.MaxDepth {
-			return nil, fmt.Errorf("core: dimension %d has invalid depth %d", i, d)
-		}
+	n, err := validateOracle(o)
+	if err != nil {
+		return nil, err
 	}
 	switch opts.Mode {
 	case Preloaded, Reloaded:
@@ -32,7 +23,7 @@ func Run(o Oracle, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return runPlain(o, opts, sao)
+		return runPlain(o, opts, sao, dyadic.Universe(n), nil)
 	case PreloadedLB, ReloadedLB:
 		if n < 3 {
 			// The Balance map is defined for n >= 3; below that the plain
@@ -49,12 +40,82 @@ func Run(o Oracle, opts Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			return runPlain(o, plain, sao)
+			return runPlain(o, plain, sao, dyadic.Universe(n), nil)
 		}
 		return runLB(o, opts)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", opts.Mode)
 	}
+}
+
+// RunBox is the re-entrant per-shard runner: Tetris restricted to the
+// given root box, reporting exactly the output tuples inside it. By the
+// decomposition of Proposition 3.6 the BCP output over any partition of
+// the space into disjoint dyadic root boxes is the disjoint union of the
+// per-root outputs, which is what makes sharded execution (RunShards)
+// correct. Only the plain Preloaded/Reloaded modes are supported — the LB
+// modes re-map the whole space through the Balance lift and have no
+// meaningful subbox restriction.
+func RunBox(o Oracle, opts Options, root dyadic.Box) (*Result, error) {
+	n, err := validateOracle(o)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Mode != Preloaded && opts.Mode != Reloaded {
+		return nil, fmt.Errorf("core: RunBox supports only the plain Preloaded/Reloaded modes, not %v", opts.Mode)
+	}
+	if err := root.Check(o.Depths()); err != nil {
+		return nil, fmt.Errorf("core: invalid root box %v: %w", root, err)
+	}
+	sao, err := checkSAO(opts.SAO, n)
+	if err != nil {
+		return nil, err
+	}
+	return runPlain(o, opts, sao, root, nil)
+}
+
+// validateOracle checks the oracle's dimension/depth report and returns
+// the dimensionality.
+func validateOracle(o Oracle) (int, error) {
+	n := o.Dims()
+	depths := o.Depths()
+	if n < 1 {
+		return 0, fmt.Errorf("core: oracle reports %d dimensions", n)
+	}
+	if len(depths) != n {
+		return 0, fmt.Errorf("core: oracle reports %d depths for %d dimensions", len(depths), n)
+	}
+	for i, d := range depths {
+		if d == 0 || d > dyadic.MaxDepth {
+			return 0, fmt.Errorf("core: dimension %d has invalid depth %d", i, d)
+		}
+	}
+	return n, nil
+}
+
+// loadGapSet is the one implementation of the Preloaded initial load,
+// shared by the sequential engine (add = skeleton insert) and RunShards
+// (add = shared-base insert): it feeds the oracle's full gap box set
+// through add, validating each box and counting distinct boxes via the
+// loaded exact-match tree. A non-nil root skips boxes disjoint from it —
+// they can never witness coverage of a subbox of the root nor take part
+// in a resolution a run restricted to it performs.
+func loadGapSet(o Oracle, root dyadic.Box, loaded *boxtree.Tree, add func(dyadic.Box)) (int64, error) {
+	depths := o.Depths()
+	var fresh int64
+	for _, b := range o.AllGaps() {
+		if err := b.Check(depths); err != nil {
+			return fresh, fmt.Errorf("core: oracle returned invalid gap box %v: %w", b, err)
+		}
+		if root != nil && !b.Intersects(root) {
+			continue
+		}
+		if loaded.Insert(b) {
+			fresh++
+		}
+		add(b)
+	}
+	return fresh, nil
 }
 
 func checkSAO(sao []int, n int) ([]int, error) {
@@ -78,11 +139,23 @@ func checkSAO(sao []int, n int) ([]int, error) {
 	return sao, nil
 }
 
-// runPlain is Algorithm 2 with the Preloaded or Reloaded initialization.
-func runPlain(o Oracle, opts Options, sao []int) (*Result, error) {
+// runPlain is Algorithm 2 with the Preloaded or Reloaded initialization,
+// enumerating the outputs inside root (the whole universe for sequential
+// runs, one disjoint subbox per shard under RunShards). base, when
+// non-nil, is a prebuilt read-only knowledge base holding the full
+// preloaded gap set: RunShards builds it once and shares it across every
+// shard, so a Preloaded shard starts with an empty private knowledge
+// base instead of re-inserting its slice of B.
+func runPlain(o Oracle, opts Options, sao []int, root dyadic.Box, base *boxtree.Tree) (*Result, error) {
 	n, depths := o.Dims(), o.Depths()
 	res := &Result{}
+	// Resolve the budget once and share it with the skeleton, so the
+	// outer loop's output claims and the recursion's resolution charges
+	// draw from the same quota.
+	opts.Budget = effectiveBudget(opts)
+	budget := opts.Budget
 	sk := newSkeleton(n, depths, sao, opts, &res.Stats)
+	sk.base = base
 
 	if opts.SinglePass && opts.Mode != Preloaded {
 		return nil, fmt.Errorf("core: SinglePass requires Preloaded mode (the knowledge base must hold every gap box)")
@@ -93,23 +166,31 @@ func runPlain(o Oracle, opts Options, sao []int) (*Result, error) {
 	// boxtree rather than a map keyed by Box.Key keeps the per-box cost at
 	// word operations with zero allocation.
 	loaded := boxtree.New(n)
-	if opts.Mode == Preloaded {
-		for _, b := range o.AllGaps() {
-			if err := b.Check(depths); err != nil {
-				return nil, fmt.Errorf("core: oracle returned invalid gap box %v: %w", b, err)
-			}
-			if loaded.Insert(b) {
-				res.Stats.BoxesLoaded++
-			}
-			sk.add(b)
+	if opts.Mode == Preloaded && base == nil {
+		filter := root
+		if root.IsUniverse() {
+			filter = nil // every box intersects the universe; skip the test
 		}
+		fresh, err := loadGapSet(o, filter, loaded, sk.add)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.BoxesLoaded += fresh
 	}
 
 	if opts.SinglePass {
 		// TetrisSkeleton2 (footnote 13): one depth-first pass reporting
 		// every uncovered unit box as an output.
 		point := make([]uint64, n) // reused per output; OnOutput must copy
+		var ctxErr error
 		sk.onUncoveredUnit = func(b dyadic.Box) bool {
+			if ctxErr = checkContext(opts); ctxErr != nil {
+				return false
+			}
+			emit, stop := budget.ClaimOutput()
+			if !emit {
+				return false
+			}
 			b.ValuesInto(point, depths)
 			res.Stats.Outputs++
 			if opts.OnOutput != nil {
@@ -121,20 +202,30 @@ func runPlain(o Oracle, opts Options, sao []int) (*Result, error) {
 				copy(tup, point)
 				res.Tuples = append(res.Tuples, tup)
 			}
-			return opts.MaxOutput <= 0 || res.Stats.Outputs < int64(opts.MaxOutput)
+			return !stop
 		}
-		_, _, err := sk.root(dyadic.Universe(n))
+		_, _, err := sk.root(root)
 		if err != nil && err != errStopped {
 			return nil, err
+		}
+		if ctxErr != nil {
+			return nil, ctxErr
 		}
 		res.Stats.KnowledgeBase = sk.kb.Len()
 		return res, nil
 	}
 
-	universe := dyadic.Universe(n)
 	point := make([]uint64, n) // probe-point buffer, reused per iteration
 	for {
-		v, w, err := sk.root(universe)
+		if err := checkContext(opts); err != nil {
+			return nil, err
+		}
+		// Once the shared output quota is fully claimed (possibly by
+		// sibling shards), further search here cannot report anything.
+		if budget.outputsExhausted() {
+			break
+		}
+		v, w, err := sk.root(root)
 		if err != nil {
 			return nil, err
 		}
@@ -146,17 +237,22 @@ func runPlain(o Oracle, opts Options, sao []int) (*Result, error) {
 		gaps := o.GapsContaining(point)
 		if len(gaps) == 0 {
 			// w is an output tuple: report it and amend A with its box.
+			emit, stop := budget.ClaimOutput()
+			if !emit {
+				break
+			}
 			res.Stats.Outputs++
-			stop := false
 			if opts.OnOutput != nil {
-				stop = !opts.OnOutput(point)
+				if !opts.OnOutput(point) {
+					stop = true
+				}
 			} else {
 				tup := make([]uint64, len(point))
 				copy(tup, point)
 				res.Tuples = append(res.Tuples, tup)
 			}
 			sk.addOutput(w)
-			if stop || (opts.MaxOutput > 0 && res.Stats.Outputs >= int64(opts.MaxOutput)) {
+			if stop {
 				break
 			}
 			continue

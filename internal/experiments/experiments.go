@@ -56,8 +56,11 @@ func FitExponent(xs, ys []float64) float64 {
 func f(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
 
 // run executes a query and returns its stats, panicking on error
-// (experiments are fixed instances; errors are bugs).
+// (experiments are fixed instances; errors are bugs). Experiments always
+// run sequentially: resolution counts reproduce the paper's sequential
+// accounting, which sharded execution alters by a constant factor.
 func run(q *join.Query, opts join.Options) core.Stats {
+	opts.Parallelism = 1
 	res, err := join.Execute(q, opts)
 	if err != nil {
 		panic(err)

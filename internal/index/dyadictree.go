@@ -10,13 +10,12 @@ import (
 // maximal tuple-free cell becomes a gap box. Unlike B-tree gaps, these
 // boxes can be thick in several dimensions at once, which is what makes
 // O(1)-size certificates possible on instances where every B-tree order
-// needs Ω(N) boxes (Examples B.7/B.8, Figure 3b).
+// needs Ω(N) boxes (Examples B.7/B.8, Figure 3b). The tree is immutable
+// after construction; probe scratch lives in the cursors it hands out.
 type Dyadic struct {
 	rel    *relation.Relation
 	depths []uint8
 	root   *dyNode
-
-	out []dyadic.Box // GapsAt result buffer, reused across calls
 }
 
 type dyNode struct {
@@ -79,19 +78,29 @@ func (d *Dyadic) Relation() *relation.Relation { return d.rel }
 // Kind implements Index.
 func (d *Dyadic) Kind() string { return "dyadic" }
 
-// GapsAt implements Index: descend toward the probe point; the first
+// dyadicCursor holds the per-worker one-element result slice; the
+// returned box aliases the (immutable) tree node's region.
+type dyadicCursor struct {
+	ix  *Dyadic
+	out []dyadic.Box
+}
+
+// NewCursor implements Index.
+func (d *Dyadic) NewCursor() Cursor {
+	return &dyadicCursor{ix: d, out: make([]dyadic.Box, 1)}
+}
+
+// GapsAt implements Cursor: descend toward the probe point; the first
 // tuple-free cell on the path is the unique maximal dyadic gap box
 // containing the point. The result slice is reused across calls.
-func (d *Dyadic) GapsAt(point []uint64) []dyadic.Box {
+func (c *dyadicCursor) GapsAt(point []uint64) []dyadic.Box {
+	d := c.ix
 	checkPoint(d.rel, point)
-	if d.out == nil {
-		d.out = make([]dyadic.Box, 1)
-	}
 	nd := d.root
 	for {
 		if nd.gap {
-			d.out[0] = nd.region
-			return d.out
+			c.out[0] = nd.region
+			return c.out
 		}
 		if nd.children[0] == nil {
 			return nil // unit cell: the point is a tuple

@@ -16,6 +16,16 @@
 //     dyadic boxes ("multidimensional index structures like KD-trees").
 //   - Union: several indices over the same relation pooled together
 //     (Section B.2: multiple indices per relation).
+//
+// # Concurrency model
+//
+// An Index is immutable once built: every method on it only reads the
+// structure, so one index can be shared by any number of goroutines.
+// The probe scratch that makes GapsAt allocation-free lives in a Cursor,
+// obtained per worker via NewCursor: cursors over the same index are
+// independent, and each cursor must be confined to one goroutine at a
+// time. AllGaps allocates fresh storage per call and is likewise safe to
+// call concurrently.
 package index
 
 import (
@@ -27,22 +37,35 @@ import (
 )
 
 // Index is a gap box generator over a relation's own attribute space.
-// Boxes and probe points use the relation's schema order.
+// Boxes and probe points use the relation's schema order. Indices are
+// immutable after construction and safe for concurrent use; per-worker
+// probe state lives in Cursors.
 type Index interface {
 	// Relation returns the indexed relation.
 	Relation() *relation.Relation
 	// Kind describes the index family and parameters, e.g. "btree(B,A)".
 	Kind() string
-	// GapsAt returns maximal dyadic gap boxes containing the probe point.
-	// The result is empty exactly when the point is a tuple of the
-	// relation (no gap can contain it). Implementations may reuse the
-	// returned slice and box storage: the result is valid only until the
-	// next GapsAt call on the same index.
-	GapsAt(point []uint64) []dyadic.Box
+	// NewCursor returns a fresh prober over the index. Each cursor owns
+	// its probe scratch: use one cursor per worker goroutine.
+	NewCursor() Cursor
 	// AllGaps enumerates the index's complete gap box set; their union is
 	// exactly the complement of the relation within its attribute space.
-	// The result is caller-owned and stays valid.
+	// The result is caller-owned, stays valid, and the call is safe to
+	// make concurrently (it only reads the index).
 	AllGaps() []dyadic.Box
+}
+
+// Cursor probes an index for the gap boxes around a point. A cursor owns
+// the mutable scratch of the probe path (the index itself stays
+// read-only), so cursors over a shared index may run in parallel while a
+// single cursor must not be used from two goroutines at once.
+type Cursor interface {
+	// GapsAt returns maximal dyadic gap boxes containing the probe point.
+	// The result is empty exactly when the point is a tuple of the
+	// relation (no gap can contain it). The returned slice and box
+	// storage are cursor scratch: the result is valid only until the next
+	// GapsAt call on the same cursor.
+	GapsAt(point []uint64) []dyadic.Box
 }
 
 // Union pools several indices over the same relation; its gap set is the
@@ -52,9 +75,6 @@ type Index interface {
 type Union struct {
 	rel     *relation.Relation
 	indices []Index
-
-	out  []dyadic.Box  // GapsAt result buffer, reused
-	seen *boxtree.Tree // per-call dedup set, Reset each probe
 }
 
 // NewUnion combines indices over a common relation.
@@ -68,7 +88,7 @@ func NewUnion(indices ...Index) (*Union, error) {
 			return nil, fmt.Errorf("index: Union indices cover different relations")
 		}
 	}
-	return &Union{rel: rel, indices: indices, seen: boxtree.New(rel.Arity())}, nil
+	return &Union{rel: rel, indices: indices}, nil
 }
 
 // Relation implements Index.
@@ -86,20 +106,39 @@ func (u *Union) Kind() string {
 	return s + ")"
 }
 
-// GapsAt implements Index, deduplicating boxes contributed by several
-// member indices. The result (whose boxes may alias member scratch) is
-// valid until the next call.
-func (u *Union) GapsAt(point []uint64) []dyadic.Box {
-	u.out = u.out[:0]
-	u.seen.Reset()
-	for _, ix := range u.indices {
-		for _, b := range ix.GapsAt(point) {
-			if u.seen.Insert(b) {
-				u.out = append(u.out, b)
+// unionCursor merges the member cursors' probe results, deduplicating
+// boxes contributed by several member indices.
+type unionCursor struct {
+	cursors []Cursor
+	out     []dyadic.Box  // result buffer, reused
+	seen    *boxtree.Tree // per-call dedup set, Reset each probe
+}
+
+// NewCursor implements Index.
+func (u *Union) NewCursor() Cursor {
+	c := &unionCursor{
+		cursors: make([]Cursor, len(u.indices)),
+		seen:    boxtree.New(u.rel.Arity()),
+	}
+	for i, ix := range u.indices {
+		c.cursors[i] = ix.NewCursor()
+	}
+	return c
+}
+
+// GapsAt implements Cursor. The result (whose boxes may alias member
+// cursor scratch) is valid until the next call.
+func (c *unionCursor) GapsAt(point []uint64) []dyadic.Box {
+	c.out = c.out[:0]
+	c.seen.Reset()
+	for _, cur := range c.cursors {
+		for _, b := range cur.GapsAt(point) {
+			if c.seen.Insert(b) {
+				c.out = append(c.out, b)
 			}
 		}
 	}
-	return u.out
+	return c.out
 }
 
 // AllGaps implements Index.

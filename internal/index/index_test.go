@@ -31,6 +31,7 @@ func checkGapInvariants(t *testing.T, ix Index) {
 	t.Helper()
 	rel := ix.Relation()
 	depths := rel.Depths()
+	cur := ix.NewCursor()
 	all := ix.AllGaps()
 	for _, g := range all {
 		if err := g.Check(depths); err != nil {
@@ -54,7 +55,7 @@ func checkGapInvariants(t *testing.T, ix Index) {
 			if !isTuple && !covered {
 				t.Fatalf("%s: non-tuple %v not covered by AllGaps", ix.Kind(), point)
 			}
-			gaps := ix.GapsAt(point)
+			gaps := cur.GapsAt(point)
 			if isTuple && len(gaps) != 0 {
 				t.Fatalf("%s: GapsAt(tuple %v) = %v", ix.Kind(), point, gaps)
 			}
@@ -116,24 +117,24 @@ func TestSortedFigure4SingleTuple(t *testing.T) {
 
 func TestSortedGapsAtFindsMaximalBox(t *testing.T) {
 	r := figure1Relation(t)
-	ix := MustSorted(r, "A", "B")
+	cur := MustSorted(r, "A", "B").NewCursor()
 	// Probe (0, y): A=0 is absent; the A-gap is exactly {0} = ⟨000⟩.
-	gaps := ix.GapsAt([]uint64{0, 5})
+	gaps := cur.GapsAt([]uint64{0, 5})
 	if len(gaps) != 1 || gaps[0].String() != "⟨000,λ⟩" {
 		t.Errorf("GapsAt(0,5) = %v, want [⟨000,λ⟩]", gaps)
 	}
 	// Probe (3, 0): A=3 present, B=0 in the gap below 1: ⟨011,000⟩.
-	gaps = ix.GapsAt([]uint64{3, 0})
+	gaps = cur.GapsAt([]uint64{3, 0})
 	if len(gaps) != 1 || gaps[0].String() != "⟨011,000⟩" {
 		t.Errorf("GapsAt(3,0) = %v", gaps)
 	}
 	// Probe (3, 4): B=4 between 3 and 5 -> unit gap ⟨011,100⟩.
-	gaps = ix.GapsAt([]uint64{3, 4})
+	gaps = cur.GapsAt([]uint64{3, 4})
 	if len(gaps) != 1 || gaps[0].String() != "⟨011,100⟩" {
 		t.Errorf("GapsAt(3,4) = %v", gaps)
 	}
 	// Tuple probes return nothing.
-	if gaps := ix.GapsAt([]uint64{3, 3}); len(gaps) != 0 {
+	if gaps := cur.GapsAt([]uint64{3, 3}); len(gaps) != 0 {
 		t.Errorf("GapsAt(tuple) = %v", gaps)
 	}
 }
@@ -272,7 +273,7 @@ func TestUnionIndex(t *testing.T) {
 	}
 	// The union has at least as many boxes as each member (after dedup),
 	// and GapsAt merges contributions.
-	gaps := u.GapsAt([]uint64{0, 0})
+	gaps := u.NewCursor().GapsAt([]uint64{0, 0})
 	if len(gaps) < 2 {
 		t.Errorf("union GapsAt returned %v", gaps)
 	}
@@ -300,7 +301,7 @@ func TestUnionDedupes(t *testing.T) {
 
 func TestGapsAtPanicsOnBadProbe(t *testing.T) {
 	r := figure1Relation(t)
-	ix := MustSorted(r)
+	cur := MustSorted(r).NewCursor()
 	for name, probe := range map[string][]uint64{
 		"arity":  {1},
 		"domain": {8, 0},
@@ -311,7 +312,7 @@ func TestGapsAtPanicsOnBadProbe(t *testing.T) {
 					t.Errorf("%s: bad probe accepted", name)
 				}
 			}()
-			ix.GapsAt(probe)
+			cur.GapsAt(probe)
 		}()
 	}
 }

@@ -12,14 +12,13 @@ import (
 // the empty space around isolated tuples are reported as gap boxes after
 // dyadic decomposition. Cell boundaries fall on arbitrary (non-dyadic)
 // values, so a single cell may decompose into up to 2d dyadic intervals
-// per dimension — the polylogarithmic overhead of Proposition B.14.
+// per dimension — the polylogarithmic overhead of Proposition B.14. The
+// tree is immutable after construction; probe scratch lives in the
+// cursors it hands out.
 type KDTree struct {
 	rel    *relation.Relation
 	depths []uint8
 	root   *kdNode
-
-	gapBox dyadic.Box   // GapsAt scratch box, reused across calls
-	out    []dyadic.Box // GapsAt result buffer, reused across calls
 }
 
 type kdNode struct {
@@ -97,11 +96,28 @@ func (k *KDTree) Relation() *relation.Relation { return k.rel }
 // Kind implements Index.
 func (k *KDTree) Kind() string { return "kdtree" }
 
-// GapsAt implements Index: descend to the probe point's leaf cell. An
+// kdCursor carries the per-worker scratch box and result slice.
+type kdCursor struct {
+	ix     *KDTree
+	gapBox dyadic.Box
+	out    []dyadic.Box
+}
+
+// NewCursor implements Index.
+func (k *KDTree) NewCursor() Cursor {
+	return &kdCursor{
+		ix:     k,
+		gapBox: make(dyadic.Box, k.rel.Arity()),
+		out:    make([]dyadic.Box, 1),
+	}
+}
+
+// GapsAt implements Cursor: descend to the probe point's leaf cell. An
 // empty cell yields the maximal dyadic box around the point inside the
 // cell; a one-tuple cell yields the maximal dyadic box that additionally
 // excludes the tuple along the first dimension where they differ.
-func (k *KDTree) GapsAt(point []uint64) []dyadic.Box {
+func (c *kdCursor) GapsAt(point []uint64) []dyadic.Box {
+	k := c.ix
 	checkPoint(k.rel, point)
 	nd := k.root
 	for nd.children[0] != nil {
@@ -112,11 +128,7 @@ func (k *KDTree) GapsAt(point []uint64) []dyadic.Box {
 		}
 	}
 	n := k.rel.Arity()
-	if k.gapBox == nil {
-		k.gapBox = make(dyadic.Box, n)
-		k.out = make([]dyadic.Box, 1)
-	}
-	box := k.gapBox
+	box := c.gapBox
 	if nd.tuple == nil {
 		for i := 0; i < n; i++ {
 			iv, ok := dyadic.MaxDyadicIn(point[i], nd.lo[i], nd.hi[i], k.depths[i])
@@ -125,8 +137,8 @@ func (k *KDTree) GapsAt(point []uint64) []dyadic.Box {
 			}
 			box[i] = iv
 		}
-		k.out[0] = box
-		return k.out
+		c.out[0] = box
+		return c.out
 	}
 	diff := -1
 	for i := 0; i < n; i++ {
@@ -154,8 +166,8 @@ func (k *KDTree) GapsAt(point []uint64) []dyadic.Box {
 		}
 		box[i] = iv
 	}
-	k.out[0] = box
-	return k.out
+	c.out[0] = box
+	return c.out
 }
 
 // AllGaps implements Index: empty leaf cells decompose wholesale; a

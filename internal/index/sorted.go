@@ -13,19 +13,14 @@ import (
 // Definition 3.11 — unit values on a leading run of attributes, one
 // non-trivial dyadic interval, then wildcards — exactly the gaps a B-tree
 // search discovers between adjacent keys (Figures 1b, 3a, 11, 12).
+// Sorted is immutable after construction; probe scratch lives in the
+// cursors it hands out, so one index serves any number of workers.
 type Sorted struct {
 	rel    *relation.Relation
 	order  []int   // index attribute order: positions into the schema
 	inv    []int   // inverse permutation: schema position -> index level
 	depths []uint8 // depths in index order
 	tuples []relation.Tuple
-
-	// GapsAt scratch, reused across calls: the probe in index order, the
-	// gap box (in schema order) and the one-element result slice. GapsAt
-	// results are valid until the next call.
-	probe  []uint64
-	gapBox dyadic.Box
-	out    []dyadic.Box
 }
 
 // NewSorted builds a sorted index using the given attribute-name order,
@@ -60,12 +55,7 @@ func NewSorted(rel *relation.Relation, attrOrder ...string) (*Sorted, error) {
 		inv[pos] = lvl
 		depths[lvl] = rel.Depths()[pos]
 	}
-	return &Sorted{
-		rel: rel, order: order, inv: inv, depths: depths, tuples: tuples,
-		probe:  make([]uint64, k),
-		gapBox: make(dyadic.Box, k),
-		out:    make([]dyadic.Box, 1),
-	}, nil
+	return &Sorted{rel: rel, order: order, inv: inv, depths: depths, tuples: tuples}, nil
 }
 
 // MustSorted is NewSorted that panics on error.
@@ -120,14 +110,35 @@ func (s *Sorted) searchLevel(lo, hi, lvl int, v uint64) (int, int) {
 	return vLo, vHi
 }
 
-// GapsAt implements Index. Walking the trie view of the sorted tuples,
+// sortedCursor carries the per-worker probe scratch: the probe in index
+// order, the gap box (in schema order) and the one-element result slice.
+type sortedCursor struct {
+	ix     *Sorted
+	probe  []uint64
+	gapBox dyadic.Box
+	out    []dyadic.Box
+}
+
+// NewCursor implements Index.
+func (s *Sorted) NewCursor() Cursor {
+	k := len(s.depths)
+	return &sortedCursor{
+		ix:     s,
+		probe:  make([]uint64, k),
+		gapBox: make(dyadic.Box, k),
+		out:    make([]dyadic.Box, 1),
+	}
+}
+
+// GapsAt implements Cursor. Walking the trie view of the sorted tuples,
 // the probe diverges from the stored keys at exactly one level; the gap
 // between the neighbouring keys at that level yields the unique maximal
 // GAO-consistent dyadic gap box containing the point. The result is
 // valid until the next call.
-func (s *Sorted) GapsAt(point []uint64) []dyadic.Box {
+func (c *sortedCursor) GapsAt(point []uint64) []dyadic.Box {
+	s := c.ix
 	checkPoint(s.rel, point)
-	p := s.probe
+	p := c.probe
 	for lvl, pos := range s.order {
 		p[lvl] = point[pos]
 	}
@@ -153,7 +164,7 @@ func (s *Sorted) GapsAt(point []uint64) []dyadic.Box {
 			panic("index: sorted gap computation is inconsistent")
 		}
 		// Compose the gap box directly in schema order in the scratch box.
-		box := s.gapBox
+		box := c.gapBox
 		for i := range box {
 			box[i] = dyadic.Lambda
 		}
@@ -161,8 +172,8 @@ func (s *Sorted) GapsAt(point []uint64) []dyadic.Box {
 			box[s.order[j]] = dyadic.Unit(p[j], s.depths[j])
 		}
 		box[s.order[lvl]] = iv
-		s.out[0] = box
-		return s.out
+		c.out[0] = box
+		return c.out
 	}
 	return nil // the probe point is a tuple
 }

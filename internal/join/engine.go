@@ -1,8 +1,12 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+	"runtime"
+	"slices"
+	"sort"
 
 	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/index"
@@ -31,16 +35,44 @@ type Options struct {
 	SAOVars []string
 	// Strategy picks the automatic SAO derivation when SAOVars is empty.
 	Strategy SAOStrategy
+	// Parallelism is the number of worker goroutines executing shards of
+	// the query. 0 means runtime.GOMAXPROCS(0) — except when MaxOutput,
+	// MaxResolutions or OnOutput is set, where 0 means sequential so that
+	// limits keep machine-independent semantics and streaming keeps O(1)
+	// tuple memory and prompt early stops. 1 selects the sequential
+	// engine. The LB modes always run sequentially. Parallel execution is
+	// deterministic: Result.Tuples come in shard-major, SAO-lexicographic
+	// order, which is exactly the sequential enumeration order — only
+	// runs with an explicit Parallelism > 1 AND MaxOutput (or stopped
+	// early via OnOutput) may differ from a sequential run in which
+	// tuples (never in what order) they report.
+	Parallelism int
+	// Shards is the number of disjoint dyadic subboxes the output space
+	// is split into along the SAO prefix (rounded up to a power of two).
+	// 0 picks a default based on Parallelism. More shards improve load
+	// balance but repeat per-shard knowledge-base setup.
+	Shards int
+	// Context, if non-nil, cancels execution cooperatively; the run
+	// returns the context's error.
+	Context context.Context
 	// NoCache, SinglePass, DisableSubsume, TrackProvenance,
 	// MaxResolutions, MaxOutput and OnOutput are forwarded to the core
-	// engine; see core.Options.
+	// engine; see core.Options. With Parallelism > 1, MaxResolutions and
+	// MaxOutput act as budgets shared across shards.
 	NoCache         bool
 	SinglePass      bool
 	DisableSubsume  bool
 	TrackProvenance bool
 	MaxResolutions  int64
 	MaxOutput       int
-	OnOutput        func(tuple []uint64) bool
+	// OnOutput, if non-nil, streams output tuples as they become
+	// available; returning false stops the enumeration. It is never
+	// invoked concurrently: parallel runs serialize the callback through
+	// the merging goroutine, delivering each shard's tuples in
+	// deterministic shard-major order as the shard completes (tuples of a
+	// shard are therefore buffered until the shard finishes). The tuple
+	// slice is reused; callers must copy it to retain it.
+	OnOutput func(tuple []uint64) bool
 }
 
 // Result is the outcome of a join: tuples over Vars (in Vars order), the
@@ -122,20 +154,20 @@ func BuildIndices(q *Query, sao []int) ([]index.Index, error) {
 			out[ai] = u
 			continue
 		}
-		// Sort the relation's attributes by SAO rank of their variables.
-		attrs := append([]string(nil), a.Relation.Attrs()...)
-		rank := func(attr string) int {
-			for i, at := range a.Relation.Attrs() {
-				if at == attr {
-					return saoRank[q.varPos[a.Vars[i]]]
-				}
-			}
-			return -1
+		// Sort the relation's attributes by SAO rank of their variables:
+		// precompute each attribute position's rank once, then order the
+		// names by it.
+		schema := a.Relation.Attrs()
+		rank := make([]int, len(schema))
+		perm := make([]int, len(schema))
+		for i := range schema {
+			rank[i] = saoRank[q.varPos[a.Vars[i]]]
+			perm[i] = i
 		}
-		for i := 1; i < len(attrs); i++ {
-			for j := i; j > 0 && rank(attrs[j]) < rank(attrs[j-1]); j-- {
-				attrs[j], attrs[j-1] = attrs[j-1], attrs[j]
-			}
+		sort.Slice(perm, func(x, y int) bool { return rank[perm[x]] < rank[perm[y]] })
+		attrs := make([]string, len(schema))
+		for i, pos := range perm {
+			attrs[i] = schema[pos]
 		}
 		ix, err := index.NewSorted(a.Relation, attrs...)
 		if err != nil {
@@ -151,17 +183,13 @@ func BuildIndices(q *Query, sao []int) ([]index.Index, error) {
 // #SAT-style skeleton over the preloaded gap box set). For queries whose
 // output is enormous this is exponentially cheaper than Execute.
 func Count(q *Query, opts Options) (*big.Int, core.Stats, error) {
-	sao, err := ChooseSAO(q, opts)
+	p, err := NewPlan(q, opts)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
-	indices, err := BuildIndices(q, sao)
-	if err != nil {
-		return nil, core.Stats{}, err
-	}
-	oracle := NewOracle(q, indices)
+	oracle := p.NewOracle()
 	rep, err := core.CountUncovered(oracle.Depths(), oracle.AllGaps(), core.Options{
-		SAO:     sao,
+		SAO:     p.sao,
 		NoCache: opts.NoCache,
 	})
 	if err != nil {
@@ -172,20 +200,21 @@ func Count(q *Query, opts Options) (*big.Int, core.Stats, error) {
 
 // Execute runs the join and returns its result. The reduction follows
 // Proposition 3.6: the output of the BCP over the query's gap boxes is
-// exactly the join output.
+// exactly the join output. For repeated executions of the same query,
+// prepare once with NewPlan and call Plan.Execute.
 func Execute(q *Query, opts Options) (*Result, error) {
-	sao, err := ChooseSAO(q, opts)
+	p, err := NewPlan(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	indices, err := BuildIndices(q, sao)
-	if err != nil {
-		return nil, err
-	}
-	oracle := NewOracle(q, indices)
-	coreRes, err := core.Run(oracle, core.Options{
+	return p.Execute(opts)
+}
+
+// coreOptions translates execution options for the core engine.
+func (p *Plan) coreOptions(opts Options) core.Options {
+	return core.Options{
 		Mode:            opts.Mode,
-		SAO:             sao,
+		SAO:             p.sao,
 		NoCache:         opts.NoCache,
 		SinglePass:      opts.SinglePass,
 		DisableSubsume:  opts.DisableSubsume,
@@ -193,17 +222,81 @@ func Execute(q *Query, opts Options) (*Result, error) {
 		MaxResolutions:  opts.MaxResolutions,
 		MaxOutput:       opts.MaxOutput,
 		OnOutput:        opts.OnOutput,
-	})
+		Context:         opts.Context,
+	}
+}
+
+// Execute runs the prepared query. The plan itself is immutable: indices
+// and SAO are reused across calls, and concurrent Execute calls on one
+// plan are safe.
+//
+// With Parallelism != 1 (default runtime.GOMAXPROCS) the output space is
+// split into disjoint dyadic shards along the SAO prefix and solved by a
+// worker pool, one independent Tetris instance per shard over per-worker
+// oracles; tuples and statistics merge deterministically in shard order,
+// reproducing the sequential enumeration order exactly. The LB modes
+// always run sequentially (the Balance lift re-maps the whole space, so
+// subbox sharding does not apply).
+func (p *Plan) Execute(opts Options) (*Result, error) {
+	// Planning-time fields are fixed at NewPlan: an explicit SAO that
+	// contradicts the plan's is a misuse, not a silent no-op (Strategy
+	// cannot be cross-checked — it already shaped p.sao — and is simply
+	// ignored here).
+	if len(opts.SAOVars) > 0 && !slices.Equal(opts.SAOVars, p.saoVars) {
+		return nil, fmt.Errorf("join: Plan.Execute cannot change the SAO (plan has %v, options ask %v); prepare a new plan",
+			p.saoVars, opts.SAOVars)
+	}
+	parallelism := opts.Parallelism
+	if parallelism == 0 {
+		if opts.MaxOutput > 0 || opts.MaxResolutions > 0 || opts.OnOutput != nil {
+			// Work limits and streaming stay sequential by default so
+			// their semantics are machine-independent: MaxOutput then
+			// always returns the first K tuples in enumeration order
+			// (parallel shards race for the shared quota and return a
+			// run-dependent subset), MaxResolutions bounds the sequential
+			// resolution count (sharding shifts totals by a core-count-
+			// dependent factor, so a sequentially calibrated bound could
+			// spuriously abort), and OnOutput keeps O(1) tuple memory and
+			// prompt early stops (parallel shards buffer their tuples
+			// until each completes, and a returned false only cancels the
+			// still-running shards). Callers who want parallel budgets or
+			// buffered parallel streaming set Parallelism explicitly.
+			parallelism = 1
+		} else {
+			parallelism = runtime.GOMAXPROCS(0)
+		}
+	}
+	if parallelism < 1 {
+		return nil, fmt.Errorf("join: Parallelism must be >= 0, got %d", opts.Parallelism)
+	}
+	shards := opts.Shards
+	if shards < 0 {
+		return nil, fmt.Errorf("join: Shards must be >= 0, got %d", opts.Shards)
+	}
+	if shards == 0 {
+		// Two shards per worker smooths load imbalance without repeating
+		// much per-shard setup; one worker keeps the sequential path.
+		shards = 1
+		if parallelism > 1 {
+			shards = 2 * parallelism
+		}
+	}
+	lb := opts.Mode == core.PreloadedLB || opts.Mode == core.ReloadedLB
+
+	var coreRes *core.Result
+	var err error
+	if lb || (parallelism == 1 && shards == 1) {
+		coreRes, err = core.Run(p.NewOracle(), p.coreOptions(opts))
+	} else {
+		coreRes, err = core.RunShards(func() core.Oracle { return p.NewOracle() },
+			p.coreOptions(opts), parallelism, shards)
+	}
 	if err != nil {
 		return nil, err
 	}
-	saoVars := make([]string, len(sao))
-	for i, pos := range sao {
-		saoVars[i] = q.vars[pos]
-	}
 	return &Result{
-		Vars:   q.vars,
-		SAO:    saoVars,
+		Vars:   p.q.vars,
+		SAO:    p.saoVars,
 		Tuples: coreRes.Tuples,
 		Stats:  coreRes.Stats,
 	}, nil

@@ -17,16 +17,24 @@ type atomBinding struct {
 // per-relation index gaps, extended with λ wildcards to the query's full
 // attribute set (the set B(Q) of Section 3.4).
 //
+// An Oracle is a per-worker prober: the indices it probes are immutable
+// and shared (between oracles of the same Plan and with every other
+// reader), while the oracle owns the mutable probe state — one index
+// cursor per atom plus projection/extension/dedup scratch. Use one oracle
+// per goroutine; Plan.NewOracle mints them cheaply.
+//
 // GapsContaining is the oracle's hot path — it runs once per probe of the
-// outer Tetris loop — so it reuses per-Oracle scratch (projection buffer,
-// extension arena, output slice, dedup tree) and performs zero steady-
-// state allocations. Its results are valid only until the next
-// GapsContaining call; core.Run consumes them immediately, and callers
-// that retain boxes (e.g. the LB rebuild set) must Clone them. AllGaps
-// results are freshly allocated and caller-owned.
+// outer Tetris loop — so it reuses that per-oracle scratch and performs
+// zero steady-state allocations. Its results are valid only until the
+// next GapsContaining call on the same oracle; the core engine consumes
+// them immediately, and callers that retain boxes (e.g. the LB rebuild
+// set) must Clone them. AllGaps results are shared and read-only for
+// plan-backed oracles, freshly allocated otherwise.
 type Oracle struct {
 	depths   []uint8
 	bindings []atomBinding
+	cursors  []index.Cursor
+	allGaps  func() []dyadic.Box
 
 	proj []uint64          // projected probe point, reused
 	ext  []dyadic.Interval // arena for extended gap boxes, reused
@@ -34,10 +42,13 @@ type Oracle struct {
 	seen *boxtree.Tree     // per-call dedup set, Reset each probe
 }
 
-// NewOracle assembles the oracle for a query with the given per-atom
-// indices (parallel to q.Atoms(); each entry must be non-nil).
+// NewOracle assembles a standalone oracle for a query with the given
+// per-atom indices (parallel to q.Atoms(); each entry must be non-nil).
+// Queries executed repeatedly or in parallel should prepare a Plan and
+// use Plan.NewOracle instead, which shares the gap box set across
+// oracles.
 func NewOracle(q *Query, indices []index.Index) *Oracle {
-	o := &Oracle{depths: q.Depths(), seen: boxtree.New(len(q.Depths()))}
+	bindings := make([]atomBinding, 0, len(q.atoms))
 	maxArity := 0
 	for ai, a := range q.atoms {
 		relPos := make([]int, len(a.Vars))
@@ -47,9 +58,25 @@ func NewOracle(q *Query, indices []index.Index) *Oracle {
 		if len(relPos) > maxArity {
 			maxArity = len(relPos)
 		}
-		o.bindings = append(o.bindings, atomBinding{ix: indices[ai], relPos: relPos})
+		bindings = append(bindings, atomBinding{ix: indices[ai], relPos: relPos})
 	}
-	o.proj = make([]uint64, maxArity)
+	return newOracle(q.Depths(), bindings, maxArity, nil)
+}
+
+// newOracle builds the per-worker prober. gaps, when non-nil, supplies a
+// shared precomputed B(Q) for AllGaps (the Plan's memoized set).
+func newOracle(depths []uint8, bindings []atomBinding, maxArity int, gaps func() []dyadic.Box) *Oracle {
+	o := &Oracle{
+		depths:   depths,
+		bindings: bindings,
+		cursors:  make([]index.Cursor, len(bindings)),
+		allGaps:  gaps,
+		proj:     make([]uint64, maxArity),
+		seen:     boxtree.New(len(depths)),
+	}
+	for i, b := range bindings {
+		o.cursors[i] = b.ix.NewCursor()
+	}
 	return o
 }
 
@@ -77,12 +104,12 @@ func (o *Oracle) GapsContaining(point []uint64) []dyadic.Box {
 	o.ext = o.ext[:0]
 	o.out = o.out[:0]
 	o.seen.Reset()
-	for _, b := range o.bindings {
+	for bi, b := range o.bindings {
 		proj := o.proj[:len(b.relPos)]
 		for i, pos := range b.relPos {
 			proj[i] = point[pos]
 		}
-		for _, g := range b.ix.GapsAt(proj) {
+		for _, g := range o.cursors[bi].GapsAt(proj) {
 			mark := len(o.ext)
 			o.ext = dyadic.AppendLambdas(o.ext, n)
 			eb := dyadic.Box(o.ext[mark : mark+n])
@@ -98,15 +125,29 @@ func (o *Oracle) GapsContaining(point []uint64) []dyadic.Box {
 }
 
 // AllGaps implements core.Oracle: the full set B(Q) of gap boxes from
-// every index, extended to query space. The boxes are carved from a fresh
-// arena per call (so the whole set costs O(log) allocations) and are
-// caller-owned: they stay valid indefinitely.
+// every index, extended to query space. Plan-backed oracles share one
+// memoized read-only set; standalone oracles compute a fresh caller-owned
+// set per call. Either way the boxes stay valid indefinitely.
 func (o *Oracle) AllGaps() []dyadic.Box {
+	if o.allGaps != nil {
+		return o.allGaps()
+	}
+	return allGapsOf(len(o.depths), o.bindings)
+}
+
+// allGaps enumerates B(Q) for a query's bindings: every index's gap set,
+// extended to query space and deduplicated. The boxes are carved from a
+// fresh arena (so the whole set costs O(log) allocations) and only read
+// afterwards.
+func allGaps(q *Query, bindings []atomBinding) []dyadic.Box {
+	return allGapsOf(len(q.Depths()), bindings)
+}
+
+func allGapsOf(n int, bindings []atomBinding) []dyadic.Box {
 	var out []dyadic.Box
 	var arena []dyadic.Interval
-	n := len(o.depths)
 	seen := boxtree.New(n)
-	for _, b := range o.bindings {
+	for _, b := range bindings {
 		for _, g := range b.ix.AllGaps() {
 			mark := len(arena)
 			arena = dyadic.AppendLambdas(arena, n)

@@ -1,0 +1,88 @@
+package join
+
+import (
+	"sync"
+
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/index"
+)
+
+// Plan is the prepared, immutable form of a query: the splitting
+// attribute order has been chosen, per-atom indices built (or validated)
+// and the variable bindings resolved. A Plan is safe to share between
+// goroutines and to execute many times — Oracles instantiated from it are
+// cheap per-worker probers over the shared index structures, which is
+// what lets one prepared query serve many concurrent executions without
+// rebuilding its indices.
+type Plan struct {
+	q        *Query
+	sao      []int
+	saoVars  []string
+	indices  []index.Index
+	bindings []atomBinding
+	maxArity int
+
+	// The full gap box set B(Q) is computed at most once per plan and
+	// shared read-only by every Preloaded shard.
+	gapsOnce sync.Once
+	gaps     []dyadic.Box
+}
+
+// NewPlan prepares a query for execution: SAO choice (opts.SAOVars or
+// opts.Strategy), index build and binding resolution. The returned plan
+// ignores the execution-time fields of opts (mode, limits, callbacks);
+// those are supplied per Execute call.
+func NewPlan(q *Query, opts Options) (*Plan, error) {
+	sao, err := ChooseSAO(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	indices, err := BuildIndices(q, sao)
+	if err != nil {
+		return nil, err
+	}
+	saoVars := make([]string, len(sao))
+	for i, pos := range sao {
+		saoVars[i] = q.vars[pos]
+	}
+	p := &Plan{q: q, sao: sao, saoVars: saoVars, indices: indices}
+	for ai, a := range q.atoms {
+		relPos := make([]int, len(a.Vars))
+		for i, v := range a.Vars {
+			relPos[i] = q.varPos[v]
+		}
+		if len(relPos) > p.maxArity {
+			p.maxArity = len(relPos)
+		}
+		p.bindings = append(p.bindings, atomBinding{ix: indices[ai], relPos: relPos})
+	}
+	return p, nil
+}
+
+// Query returns the planned query.
+func (p *Plan) Query() *Query { return p.q }
+
+// SAOVars returns the chosen splitting attribute order as variable names.
+func (p *Plan) SAOVars() []string { return p.saoVars }
+
+// SAO returns the chosen splitting attribute order as variable positions.
+func (p *Plan) SAO() []int { return p.sao }
+
+// Indices returns the per-atom indices the plan probes.
+func (p *Plan) Indices() []index.Index { return p.indices }
+
+// AllGaps returns the query's full gap box set B(Q), computed on first
+// use and shared afterwards. The slice and its boxes are read-only.
+func (p *Plan) AllGaps() []dyadic.Box {
+	p.gapsOnce.Do(func() {
+		p.gaps = allGaps(p.q, p.bindings)
+	})
+	return p.gaps
+}
+
+// NewOracle instantiates a per-worker oracle over the plan: fresh index
+// cursors and probe scratch over the shared immutable indices. Each
+// oracle must be confined to one goroutine at a time.
+func (p *Plan) NewOracle() *Oracle {
+	return newOracle(p.q.Depths(), p.bindings, p.maxArity, p.AllGaps)
+}

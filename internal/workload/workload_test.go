@@ -119,7 +119,9 @@ func TestTriangleDenseOutput(t *testing.T) {
 func TestBowtieBlockEmptyAndFlat(t *testing.T) {
 	for _, d := range []uint8{3, 4, 5} {
 		q := BowtieBlock(d)
-		res, err := join.Execute(q, join.Options{})
+		// Sequential: the O(1) loaded-box count is the sequential
+		// certificate accounting (shards would each load their own copy).
+		res, err := join.Execute(q, join.Options{Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,11 +173,13 @@ func TestTreeOrderedHardSeparation(t *testing.T) {
 	ratios := make([]float64, 0, 2)
 	for _, m := range []uint64{4, 8} {
 		q := TreeOrderedHard(m)
-		cached, err := join.Execute(q, join.Options{SAOVars: []string{"A", "B", "C"}})
+		// Sequential: the cached-vs-uncached resolution ratio is the
+		// paper's sequential accounting.
+		cached, err := join.Execute(q, join.Options{SAOVars: []string{"A", "B", "C"}, Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		uncached, err := join.Execute(q, join.Options{SAOVars: []string{"A", "B", "C"}, NoCache: true})
+		uncached, err := join.Execute(q, join.Options{SAOVars: []string{"A", "B", "C"}, NoCache: true, Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,7 +258,9 @@ func TestDiagonalBowtieIndexPower(t *testing.T) {
 			atoms := q.Atoms()
 			atoms[1].Indexes = mk(q)
 			q2 := join.MustNewQuery(atoms...)
-			res, err := join.Execute(q2, join.Options{})
+			// Sequential: loaded-box counts are the certificate-size
+			// accounting of the sequential run.
+			res, err := join.Execute(q2, join.Options{Parallelism: 1})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -119,7 +119,25 @@ const (
 
 // Join evaluates the query with Tetris and returns its output tuples over
 // q.Vars() plus work statistics.
+//
+// Execution parallelizes by default (Options.Parallelism = 0 means
+// GOMAXPROCS workers over disjoint dyadic shards of the output space —
+// except when MaxOutput, MaxResolutions or OnOutput is set, where 0
+// falls back to sequential so limits keep machine-independent semantics
+// and streaming keeps O(1) tuple memory) and stays deterministic: tuples
+// arrive in the sequential enumeration order regardless of worker count.
+// Set Parallelism to 1 for the strictly sequential engine, e.g. when
+// Stats must reproduce the paper's sequential resolution accounting.
 func Join(q *Query, opts Options) (*Result, error) { return join.Execute(q, opts) }
+
+// Plan is a prepared query: SAO chosen, indices built, bindings resolved.
+// A plan is immutable, safe to share between goroutines, and cheap to
+// execute repeatedly — the way to serve many concurrent executions of one
+// query without rebuilding its indices. See join.Plan.
+type Plan = join.Plan
+
+// NewPlan prepares a query for (repeated, possibly concurrent) execution.
+func NewPlan(q *Query, opts Options) (*Plan, error) { return join.NewPlan(q, opts) }
 
 // Index is a gap box generator over a relation (a database index in the
 // paper's geometric view).
