@@ -1,0 +1,119 @@
+// Command fuzz runs a differential fuzzing campaign offline: it
+// generates random join queries and box cover instances from a seed,
+// executes each through every engine configuration (Tetris modes × SAO
+// permutations × shard/worker settings, counting and Boolean variants,
+// plus the classical baselines), and cross-checks the results. On the
+// first discrepancy it greedily shrinks the case to a minimal repro,
+// prints it, optionally writes it into a corpus directory, and exits
+// non-zero.
+//
+// Usage:
+//
+//	fuzz -n 500 -seed 1                  # 500 cases from seed 1
+//	fuzz -n 100 -kind bcp -timeout 30s   # box cover cases only, bounded
+//	fuzz -n 50 -fault                    # self-test: inject a fault,
+//	                                     # expect it caught and shrunk
+//	fuzz -corpus internal/fuzz/testdata/corpus  # write repros there
+//
+// The same pipeline runs continuously as `go test -fuzz` targets in
+// internal/fuzz; this command is for long campaigns with a fixed case
+// budget and a wall-clock bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"tetrisjoin/internal/fuzz"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 200, "number of cases to generate and check")
+		seed    = flag.Int64("seed", 1, "base generator seed; case i uses seed+i")
+		timeout = flag.Duration("timeout", 0, "stop after this much wall-clock time (0 = no limit)")
+		kind    = flag.String("kind", "both", "case kind: query, bcp or both")
+		corpus  = flag.String("corpus", "", "directory to write shrunk repros into (default: print only)")
+		fault   = flag.Bool("fault", false, "inject the drop-largest-gap-box fault (pipeline self-test: discrepancies are expected)")
+		verbose = flag.Bool("v", false, "log every case")
+	)
+	flag.Parse()
+
+	var kinds []fuzz.Kind
+	switch *kind {
+	case "query":
+		kinds = []fuzz.Kind{fuzz.QueryKind}
+	case "bcp":
+		kinds = []fuzz.Kind{fuzz.BCPKind}
+	case "both":
+		kinds = []fuzz.Kind{fuzz.QueryKind, fuzz.BCPKind}
+	default:
+		fmt.Fprintf(os.Stderr, "fuzz: unknown -kind %q (want query, bcp or both)\n", *kind)
+		os.Exit(2)
+	}
+
+	ck := fuzz.NewChecker()
+	if *fault {
+		ck.WrapOracle = fuzz.DropLargestGap
+	}
+
+	start := time.Now()
+	checked := 0
+	for i := 0; i < *n; i++ {
+		if *timeout > 0 && time.Since(start) > *timeout {
+			fmt.Printf("fuzz: timeout after %d of %d cases\n", checked, *n)
+			break
+		}
+		for _, k := range kinds {
+			c := fuzz.GenCase(rand.New(rand.NewSource(*seed+int64(i))), k)
+			c.Name = fmt.Sprintf("%s-seed%d", c.Name, *seed+int64(i))
+			if *verbose {
+				fmt.Printf("case %d/%d %s\n", i+1, *n, c.Name)
+			}
+			d, err := ck.Check(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fuzz: generator bug: invalid case %s: %v\n%s", c.Name, err, c.Marshal())
+				os.Exit(2)
+			}
+			checked++
+			if d == nil {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "fuzz: DISCREPANCY on %s after %d cases (%v)\n  %v\n  shrinking...\n",
+				c.Name, checked, time.Since(start).Round(time.Millisecond), d)
+			shrunk := fuzz.Shrink(c, func(x fuzz.Case) bool {
+				dd, err := ck.Check(x)
+				return err == nil && dd != nil
+			})
+			dd, _ := ck.Check(shrunk)
+			fmt.Fprintf(os.Stderr, "  minimal repro (%v):\n%s", dd, shrunk.Marshal())
+			if *corpus != "" && *fault {
+				// An injected-fault repro pins nothing — the real engines
+				// agree on it — so it must never dilute the regression
+				// corpus.
+				fmt.Fprintln(os.Stderr, "  -fault repro NOT written to corpus (not a real engine bug)")
+			} else if *corpus != "" {
+				path, err := fuzz.WriteCase(*corpus, shrunk)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "fuzz: writing repro: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "  repro written to %s\n", path)
+				}
+			}
+			os.Exit(1)
+		}
+	}
+	if *fault {
+		// The self-test only passes by NOT reaching this point: a caught
+		// fault exits above with the shrunk repro. Surviving the whole
+		// campaign means the differential matrix is blind to a missing
+		// gap box — the pipeline itself is broken.
+		fmt.Fprintf(os.Stderr, "fuzz: self-test FAILED: injected fault went uncaught across %d cases\n", checked)
+		os.Exit(1)
+	}
+	fmt.Printf("fuzz: %d cases, zero discrepancies (%v, seed %d)\n",
+		checked, time.Since(start).Round(time.Millisecond), *seed)
+}

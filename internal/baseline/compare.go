@@ -1,0 +1,56 @@
+package baseline
+
+// This file is the result-set comparison API shared by the baseline
+// tests and the differential fuzzing oracle (internal/fuzz): canonical
+// ordering plus first-divergence reporting, so a failing cross-engine
+// check can point at the exact tuple where two engines part ways.
+
+// SortTuples orders tuples lexicographically in place, the canonical
+// order every evaluator in this package reports. Sorting an engine's
+// output with it makes results directly comparable across algorithms.
+func SortTuples(ts [][]uint64) { sortTuples(ts) }
+
+// Divergence locates the first difference between two sorted tuple
+// lists.
+type Divergence struct {
+	// Index is the position of the first divergent tuple.
+	Index int
+	// Got and Want are the tuples at Index (nil past the shorter list).
+	Got, Want []uint64
+}
+
+// FirstDivergence compares two sorted tuple lists and returns the first
+// position where they differ, or nil when they are equal. Inputs must
+// already be in SortTuples order.
+func FirstDivergence(got, want [][]uint64) *Divergence {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		a, b := got[i], want[i]
+		same := len(a) == len(b)
+		if same {
+			for k := range a {
+				if a[k] != b[k] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			return &Divergence{Index: i, Got: a, Want: b}
+		}
+	}
+	if len(got) != len(want) {
+		d := &Divergence{Index: n}
+		if n < len(got) {
+			d.Got = got[n]
+		}
+		if n < len(want) {
+			d.Want = want[n]
+		}
+		return d
+	}
+	return nil
+}

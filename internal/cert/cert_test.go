@@ -1,6 +1,7 @@
 package cert
 
 import (
+	"math/rand"
 	"testing"
 
 	"tetrisjoin/internal/dyadic"
@@ -126,5 +127,161 @@ func TestMinimumEdgeCases(t *testing.T) {
 	min, err = Minimum(d, boxes("0,λ", "0,λ", "0,λ"))
 	if err != nil || len(min) != 1 {
 		t.Errorf("duplicate collapse: %v %v", min, err)
+	}
+}
+
+// pointCover returns the bitset of points covered by the boxes over the
+// (small) grid of the given depths, for brute-force cross-checks.
+func pointCover(depths []uint8, bs []dyadic.Box) map[uint64]bool {
+	totalBits := 0
+	for _, d := range depths {
+		totalBits += int(d)
+	}
+	cov := map[uint64]bool{}
+	point := make([]uint64, len(depths))
+	for enc := uint64(0); enc < 1<<totalBits; enc++ {
+		v := enc
+		for i := len(depths) - 1; i >= 0; i-- {
+			point[i] = v & (1<<depths[i] - 1)
+			v >>= depths[i]
+		}
+		for _, b := range bs {
+			if b.ContainsPoint(point, depths) {
+				cov[enc] = true
+				break
+			}
+		}
+	}
+	return cov
+}
+
+func sameCover(a, b map[uint64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteMinimumSize exhaustively searches all subsets for the smallest
+// one covering the same point set as the full input — the ground truth
+// Minimum must match. Inputs are deduplicated the same way Minimum
+// dedupes (by box identity).
+func bruteMinimumSize(t *testing.T, depths []uint8, bs []dyadic.Box) int {
+	t.Helper()
+	seen := map[string]bool{}
+	var work []dyadic.Box
+	for _, b := range bs {
+		if k := b.Key(); !seen[k] {
+			seen[k] = true
+			work = append(work, b)
+		}
+	}
+	full := pointCover(depths, work)
+	best := len(work)
+	for mask := uint64(0); mask < 1<<len(work); mask++ {
+		n := 0
+		var sub []dyadic.Box
+		for i, b := range work {
+			if mask>>i&1 == 1 {
+				n++
+				sub = append(sub, b)
+			}
+		}
+		if n >= best {
+			continue
+		}
+		if sameCover(pointCover(depths, sub), full) {
+			best = n
+		}
+	}
+	return best
+}
+
+// TestMinimumMatchesBruteForce cross-checks the Tetris-based Minimum
+// search against exhaustive minimum-subcover search on small random
+// inputs (the certificate analogue of the engine differential tests).
+func TestMinimumMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(2)
+		depths := make([]uint8, n)
+		for i := range depths {
+			depths[i] = uint8(1 + r.Intn(3-n+1)) // total bits small enough to enumerate
+		}
+		m := r.Intn(9)
+		bs := make([]dyadic.Box, m)
+		for i := range bs {
+			b := make(dyadic.Box, n)
+			for j := range b {
+				l := uint8(r.Intn(int(depths[j]) + 1))
+				var bits uint64
+				if l > 0 {
+					bits = uint64(r.Intn(1 << l))
+				}
+				b[j] = dyadic.Interval{Bits: bits, Len: l}
+			}
+			bs[i] = b
+		}
+		want := bruteMinimumSize(t, depths, bs)
+		got, err := Minimum(depths, bs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: Minimum found %d boxes, brute force %d (input %v)", trial, len(got), want, bs)
+		}
+		// And Minimum must be a certificate of the input.
+		if m > 0 {
+			ok, err := Verify(depths, bs, got)
+			if err != nil || !ok {
+				t.Fatalf("trial %d: Minimum result is not a certificate: %v %v", trial, ok, err)
+			}
+		}
+	}
+}
+
+// TestMinimalIsInclusionMinimal: on random inputs Minimal must return a
+// certificate from which no single box can be dropped — checked against
+// the brute-force point cover, independently of the Tetris coverage
+// decision procedure Minimal itself uses.
+func TestMinimalIsInclusionMinimal(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		depths := []uint8{uint8(1 + r.Intn(2)), uint8(1 + r.Intn(2))}
+		m := 1 + r.Intn(8)
+		bs := make([]dyadic.Box, m)
+		for i := range bs {
+			b := make(dyadic.Box, 2)
+			for j := range b {
+				l := uint8(r.Intn(int(depths[j]) + 1))
+				var bits uint64
+				if l > 0 {
+					bits = uint64(r.Intn(1 << l))
+				}
+				b[j] = dyadic.Interval{Bits: bits, Len: l}
+			}
+			bs[i] = b
+		}
+		kept, err := Minimal(depths, bs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		full := pointCover(depths, bs)
+		if !sameCover(pointCover(depths, kept), full) {
+			t.Fatalf("trial %d: Minimal result covers a different region", trial)
+		}
+		for i := range kept {
+			rest := make([]dyadic.Box, 0, len(kept)-1)
+			rest = append(rest, kept[:i]...)
+			rest = append(rest, kept[i+1:]...)
+			if sameCover(pointCover(depths, rest), full) {
+				t.Fatalf("trial %d: box %v is redundant in Minimal result %v", trial, kept[i], kept)
+			}
+		}
 	}
 }

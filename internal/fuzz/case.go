@@ -1,0 +1,269 @@
+// Package fuzz is the differential-testing subsystem of the engine: a
+// seeded random generator of join queries and dyadic box cover
+// instances, a cross-engine oracle that executes every case through
+// Tetris in all modes × SAO permutations × shard/worker settings and
+// checks the results against the classical baselines of
+// internal/baseline, and a greedy shrinker that minimizes failing cases
+// to small repros serialized under testdata/corpus/.
+//
+// Worst-case optimal join engines diverge from theory precisely on
+// degenerate instances — skewed, empty, saturated, partition-structured
+// relations under unlucky attribute orders — which randomized
+// generation finds and hand-written tests don't. The pipeline is
+//
+//	generator → differential oracle → shrinker → corpus
+//
+// wired three ways: native go test -fuzz targets over the generator
+// seed, a deterministic corpus-replay test on every go test run, and
+// the cmd/fuzz CLI for long offline campaigns.
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/relation"
+)
+
+// Kind distinguishes the two case families the subsystem exercises.
+type Kind int
+
+const (
+	// QueryKind is a natural join query over materialized relations,
+	// cross-checked against the baseline engines.
+	QueryKind Kind = iota
+	// BCPKind is a raw box cover problem — depths plus an explicit gap
+	// box set — cross-checked against brute-force point enumeration.
+	BCPKind
+)
+
+// CaseRelation is a relation instance of a query case. Attribute names
+// are positional (c0, c1, …); per-column depths derive from the
+// variables the first referencing atom binds.
+type CaseRelation struct {
+	Name   string     `json:"name"`
+	Tuples [][]uint64 `json:"tuples"`
+}
+
+// CaseAtom is one atom of a query case: a relation reference and the
+// query variables bound to its columns. Atoms sharing Rel share one
+// relation instance (self-joins).
+type CaseAtom struct {
+	Rel  string   `json:"rel"`
+	Vars []string `json:"vars"`
+}
+
+// Case is a deterministic, serializable description of one fuzz case.
+// Exactly one of the two sections is populated: Atoms/Relations/
+// VarDepths for a query case, Depths/Boxes for a box cover case.
+type Case struct {
+	Name string `json:"name,omitempty"`
+
+	// Query section.
+	VarDepths map[string]uint8 `json:"var_depths,omitempty"`
+	Relations []CaseRelation   `json:"relations,omitempty"`
+	Atoms     []CaseAtom       `json:"atoms,omitempty"`
+
+	// BCP section. Boxes use the binary-prefix notation of
+	// dyadic.ParseBox, e.g. "⟨01,λ⟩" or "01,*". Depths is []int rather
+	// than []uint8 so corpus JSON stays human-readable (encoding/json
+	// base64-encodes byte slices).
+	Depths []int    `json:"depths,omitempty"`
+	Boxes  []string `json:"boxes,omitempty"`
+}
+
+// Kind reports which family the case belongs to.
+func (c *Case) Kind() Kind {
+	if len(c.Atoms) > 0 {
+		return QueryKind
+	}
+	return BCPKind
+}
+
+// Clone returns an independent deep copy, for shrinker candidates.
+func (c *Case) Clone() Case {
+	out := Case{Name: c.Name}
+	if c.VarDepths != nil {
+		out.VarDepths = make(map[string]uint8, len(c.VarDepths))
+		for k, v := range c.VarDepths {
+			out.VarDepths[k] = v
+		}
+	}
+	for _, r := range c.Relations {
+		tuples := make([][]uint64, len(r.Tuples))
+		for i, t := range r.Tuples {
+			tuples[i] = append([]uint64(nil), t...)
+		}
+		out.Relations = append(out.Relations, CaseRelation{Name: r.Name, Tuples: tuples})
+	}
+	for _, a := range c.Atoms {
+		out.Atoms = append(out.Atoms, CaseAtom{Rel: a.Rel, Vars: append([]string(nil), a.Vars...)})
+	}
+	out.Depths = append([]int(nil), c.Depths...)
+	out.Boxes = append([]string(nil), c.Boxes...)
+	return out
+}
+
+// relationOf returns the tuple list of the named relation, or nil.
+func (c *Case) relationOf(name string) *CaseRelation {
+	for i := range c.Relations {
+		if c.Relations[i].Name == name {
+			return &c.Relations[i]
+		}
+	}
+	return nil
+}
+
+// normalize drops relations no atom references and variable depths no
+// atom uses, so shrunk cases stay self-contained.
+func (c *Case) normalize() {
+	if c.Kind() != QueryKind {
+		return
+	}
+	usedRel := map[string]bool{}
+	usedVar := map[string]bool{}
+	for _, a := range c.Atoms {
+		usedRel[a.Rel] = true
+		for _, v := range a.Vars {
+			usedVar[v] = true
+		}
+	}
+	kept := c.Relations[:0]
+	for _, r := range c.Relations {
+		if usedRel[r.Name] {
+			kept = append(kept, r)
+		}
+	}
+	c.Relations = kept
+	for v := range c.VarDepths {
+		if !usedVar[v] {
+			delete(c.VarDepths, v)
+		}
+	}
+}
+
+// BuildQuery materializes a query case: relations are created with
+// positional attribute names and per-column depths taken from the first
+// referencing atom's variables, tuples inserted, and the query
+// assembled (join.NewQuery validates shared-variable depth agreement).
+func (c *Case) BuildQuery() (*join.Query, error) {
+	if c.Kind() != QueryKind {
+		return nil, fmt.Errorf("fuzz: case %q is not a query case", c.Name)
+	}
+	catalog := map[string]*relation.Relation{}
+	var atoms []join.Atom
+	for ai, a := range c.Atoms {
+		rel, ok := catalog[a.Rel]
+		if !ok {
+			cr := c.relationOf(a.Rel)
+			if cr == nil {
+				return nil, fmt.Errorf("fuzz: atom %d references unknown relation %q", ai, a.Rel)
+			}
+			attrs := make([]string, len(a.Vars))
+			depths := make([]uint8, len(a.Vars))
+			for i, v := range a.Vars {
+				d, ok := c.VarDepths[v]
+				if !ok {
+					return nil, fmt.Errorf("fuzz: variable %q has no depth", v)
+				}
+				attrs[i] = fmt.Sprintf("c%d", i)
+				depths[i] = d
+			}
+			var err error
+			rel, err = relation.New(a.Rel, attrs, depths)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range cr.Tuples {
+				if err := rel.Insert(t...); err != nil {
+					return nil, err
+				}
+			}
+			catalog[a.Rel] = rel
+		}
+		atoms = append(atoms, join.Atom{Relation: rel, Vars: a.Vars})
+	}
+	return join.NewQuery(atoms...)
+}
+
+// BuildBCP materializes a box cover case, validating every box against
+// the depths.
+func (c *Case) BuildBCP() ([]uint8, []dyadic.Box, error) {
+	if c.Kind() != BCPKind {
+		return nil, nil, fmt.Errorf("fuzz: case %q is not a BCP case", c.Name)
+	}
+	if len(c.Depths) == 0 {
+		return nil, nil, fmt.Errorf("fuzz: BCP case %q has no dimensions", c.Name)
+	}
+	depths := make([]uint8, len(c.Depths))
+	for i, d := range c.Depths {
+		if d <= 0 || d > dyadic.MaxDepth {
+			return nil, nil, fmt.Errorf("fuzz: dimension %d has invalid depth %d", i, d)
+		}
+		depths[i] = uint8(d)
+	}
+	boxes := make([]dyadic.Box, 0, len(c.Boxes))
+	for _, s := range c.Boxes {
+		b, err := dyadic.ParseBox(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := b.Check(depths); err != nil {
+			return nil, nil, fmt.Errorf("fuzz: box %q: %w", s, err)
+		}
+		boxes = append(boxes, b)
+	}
+	return depths, boxes, nil
+}
+
+// Size is the shrinker's progress measure: atoms + tuples + boxes +
+// total depth bits. Every accepted shrink step strictly decreases it.
+func (c *Case) Size() int {
+	s := len(c.Atoms) + len(c.Boxes)
+	for _, r := range c.Relations {
+		s += len(r.Tuples)
+	}
+	for _, d := range c.VarDepths {
+		s += int(d)
+	}
+	for _, d := range c.Depths {
+		s += int(d)
+	}
+	return s
+}
+
+// Marshal serializes the case as deterministic, human-readable JSON
+// (map keys sorted), the corpus file format.
+func (c *Case) Marshal() []byte {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		panic(err) // Case contains only marshalable fields
+	}
+	return append(data, '\n')
+}
+
+// ParseCase deserializes a corpus file.
+func ParseCase(data []byte) (Case, error) {
+	var c Case
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Case{}, err
+	}
+	if len(c.Atoms) == 0 && len(c.Depths) == 0 {
+		return Case{}, fmt.Errorf("fuzz: case has neither atoms nor depths")
+	}
+	return c, nil
+}
+
+// sortedVars returns the query case's variables in sorted order (the
+// deterministic iteration order used by the shrinker).
+func (c *Case) sortedVars() []string {
+	vars := make([]string, 0, len(c.VarDepths))
+	for v := range c.VarDepths {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}

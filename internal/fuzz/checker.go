@@ -1,0 +1,562 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"tetrisjoin/internal/baseline"
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/join"
+)
+
+// Discrepancy reports a cross-engine disagreement (or an engine failure)
+// on a case: which configuration diverged, from what reference, and the
+// first divergent tuple.
+type Discrepancy struct {
+	// Config identifies the failing engine configuration, e.g.
+	// "tetris-preloaded sao=[B A] shards=4 workers=2".
+	Config string
+	// Detail is a human-readable description of the disagreement.
+	Detail string
+	// Got and Want are the result cardinalities (engine vs reference),
+	// when cardinalities are meaningful for the failing check.
+	Got, Want int
+	// Diff points at the first divergent tuple, when tuple lists were
+	// compared.
+	Diff *baseline.Divergence
+}
+
+// String implements fmt.Stringer.
+func (d *Discrepancy) String() string {
+	s := fmt.Sprintf("[%s] %s", d.Config, d.Detail)
+	if d.Diff != nil {
+		s += fmt.Sprintf(" (first divergence at #%d: got %v, want %v)", d.Diff.Index, d.Diff.Got, d.Diff.Want)
+	}
+	return s
+}
+
+// Checker is the differential oracle. It executes a case through every
+// engine configuration and cross-checks the results; the zero
+// configuration checks nothing, use NewChecker for the default matrix.
+type Checker struct {
+	// Shards and Workers are the sharded-executor settings the matrix
+	// crosses with every mode and SAO.
+	Shards  []int
+	Workers []int
+	// MaxSAOs caps the number of splitting attribute orders tried per
+	// case (all n! permutations are tried when they fit the cap).
+	MaxSAOs int
+	// WrapOracle, when non-nil, wraps every oracle handed to the Tetris
+	// engines. Tests use it to inject faults (e.g. an oracle hiding one
+	// gap box) and assert the pipeline catches and shrinks them.
+	WrapOracle func(core.Oracle) core.Oracle
+}
+
+// NewChecker returns the default configuration: shards {2,4} × workers
+// {1,2}, at most 7 SAOs per case.
+func NewChecker() *Checker {
+	return &Checker{Shards: []int{2, 4}, Workers: []int{1, 2}, MaxSAOs: 7}
+}
+
+// Check runs the full differential matrix on one case. It returns a
+// non-nil Discrepancy when any engine disagrees with the reference (or
+// errors at runtime), and a non-nil error only when the case itself is
+// invalid — malformed tuples, inconsistent depths — and nothing could be
+// checked. Shrinker candidates that turn invalid are thereby rejected
+// rather than mistaken for failures.
+func (ck *Checker) Check(c Case) (*Discrepancy, error) {
+	if c.Kind() == QueryKind {
+		return ck.checkQuery(c)
+	}
+	return ck.checkBCP(c)
+}
+
+// wrap applies the fault-injection hook, if any.
+func (ck *Checker) wrap(o core.Oracle) core.Oracle {
+	if ck.WrapOracle != nil {
+		return ck.WrapOracle(o)
+	}
+	return o
+}
+
+// sortedCopy returns the tuples in baseline.SortTuples order without
+// disturbing the engine's enumeration-order slice.
+func sortedCopy(ts [][]uint64) [][]uint64 {
+	out := make([][]uint64, len(ts))
+	copy(out, ts)
+	baseline.SortTuples(out)
+	return out
+}
+
+// diffTuples compares an engine's (unordered) output against the sorted
+// reference.
+func diffTuples(config string, got, ref [][]uint64) *Discrepancy {
+	sorted := sortedCopy(got)
+	if d := baseline.FirstDivergence(sorted, ref); d != nil {
+		return &Discrepancy{
+			Config: config,
+			Detail: fmt.Sprintf("output disagrees with reference: %d tuples, want %d", len(got), len(ref)),
+			Got:    len(got), Want: len(ref), Diff: d,
+		}
+	}
+	return nil
+}
+
+// saoCandidates enumerates the splitting attribute orders to try: all
+// n! permutations when they fit the cap, otherwise identity, reversal
+// and rotations.
+func saoCandidates(n, cap int) [][]int {
+	total := 1
+	for i := 2; i <= n; i++ {
+		total *= i
+	}
+	var out [][]int
+	if total <= cap {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var emit func(k int)
+		emit = func(k int) {
+			if k == n {
+				out = append(out, append([]int(nil), perm...))
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				emit(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		emit(0)
+		return out
+	}
+	for r := 0; r < n && len(out) < cap-1; r++ {
+		rot := make([]int, n)
+		for i := range rot {
+			rot[i] = (i + r) % n
+		}
+		out = append(out, rot)
+	}
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = n - 1 - i
+	}
+	out = append(out, rev)
+	return out
+}
+
+// checkQuery cross-checks a query case: the baseline engines against
+// Generic Join as ground truth, then Tetris in every mode × SAO ×
+// shard/worker configuration (enumerate, count and Boolean variants)
+// against the same reference, plus budget, cancellation and accounting
+// invariants.
+func (ck *Checker) checkQuery(c Case) (*Discrepancy, error) {
+	q, err := c.BuildQuery()
+	if err != nil {
+		return nil, err
+	}
+	n := len(q.Vars())
+
+	ref, err := baseline.GenericJoin(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	refSet := map[string]bool{}
+	for _, t := range ref {
+		refSet[tupleKeyString(t)] = true
+	}
+
+	// Baselines against the reference.
+	if d := ck.checkBaselines(q, ref); d != nil {
+		return d, nil
+	}
+
+	// Tetris in every configuration. SAO candidates: every permutation
+	// (capped), plus the planner's automatic choice.
+	saos := saoCandidates(n, ck.MaxSAOs)
+	if auto, err := join.ChooseSAO(q, join.Options{}); err == nil {
+		dup := false
+		for _, s := range saos {
+			if sameInts(s, auto) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			saos = append(saos, auto)
+		}
+	}
+
+	for si, sao := range saos {
+		saoVars := make([]string, n)
+		for i, pos := range sao {
+			saoVars[i] = q.Vars()[pos]
+		}
+		plan, err := join.NewPlan(q, join.Options{SAOVars: saoVars})
+		if err != nil {
+			return nil, err
+		}
+		mk := func() core.Oracle { return ck.wrap(plan.NewOracle()) }
+		if d := ck.checkEngines(engineCase{
+			label:    fmt.Sprintf("query sao=%v", saoVars),
+			depths:   q.Depths(),
+			sao:      plan.SAO(),
+			mkOracle: mk,
+			ref:      ref,
+			refSet:   refSet,
+			probes:   si == 0, // LB/budget/cancellation probes once per case
+		}); d != nil {
+			return d, nil
+		}
+	}
+	return nil, nil
+}
+
+// checkBaselines cross-checks every classical engine against the
+// reference output.
+func (ck *Checker) checkBaselines(q *join.Query, ref [][]uint64) *Discrepancy {
+	n := len(q.Vars())
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = n - 1 - i
+	}
+	type run struct {
+		name string
+		f    func() ([][]uint64, error)
+	}
+	runs := []run{
+		{"leapfrog", func() ([][]uint64, error) { return baseline.Leapfrog(q, nil) }},
+		{"leapfrog-rev", func() ([][]uint64, error) { return baseline.Leapfrog(q, rev) }},
+		{"genericjoin-rev", func() ([][]uint64, error) { return baseline.GenericJoin(q, rev) }},
+		{"hashjoin", func() ([][]uint64, error) { out, _, err := baseline.HashJoin(q); return out, err }},
+	}
+	if _, acyclic := q.Hypergraph().GYO(); acyclic {
+		runs = append(runs, run{"yannakakis", func() ([][]uint64, error) { return baseline.Yannakakis(q) }})
+	}
+	totalBits := 0
+	for _, d := range q.Depths() {
+		totalBits += int(d)
+	}
+	if totalBits <= 16 {
+		runs = append(runs, run{"nestedloop", func() ([][]uint64, error) { return baseline.NestedLoop(q) }})
+	}
+	for _, r := range runs {
+		got, err := r.f()
+		if err != nil {
+			return &Discrepancy{Config: r.name, Detail: fmt.Sprintf("engine error: %v", err)}
+		}
+		if d := diffTuples(r.name, got, ref); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// engineCase bundles what the Tetris-side matrix needs: a per-run
+// oracle factory over one SAO, and the reference output.
+type engineCase struct {
+	label    string
+	depths   []uint8
+	sao      []int
+	mkOracle func() core.Oracle
+	ref      [][]uint64
+	refSet   map[string]bool
+	probes   bool
+}
+
+// checkEngines runs the Tetris matrix for one SAO: sequential modes and
+// variants, the sharded executor against the sequential enumeration
+// order, counting and Boolean cover consistency, and (once per case)
+// the LB modes plus budget/cancellation/determinism probes.
+func (ck *Checker) checkEngines(ec engineCase) *Discrepancy {
+	copts := func(mode core.Mode) core.Options {
+		return core.Options{Mode: mode, SAO: ec.sao}
+	}
+	// The gap set depends on the plan (default indices are built
+	// GAO-consistent, so each SAO has its own B(Q)) but not on the run:
+	// fetch it once per checkEngines call for the count/Boolean variants
+	// and the accounting invariant below.
+	gaps := ec.mkOracle().AllGaps()
+	distinct := distinctBoxes(gaps)
+
+	// Sequential plain modes; keep the enumeration order per mode for
+	// the sharded determinism check below.
+	seqOrder := map[core.Mode][][]uint64{}
+	seqStats := map[core.Mode]core.Stats{}
+	for _, mode := range []core.Mode{core.Reloaded, core.Preloaded} {
+		config := fmt.Sprintf("%v %s", mode, ec.label)
+		res, err := core.Run(ec.mkOracle(), copts(mode))
+		if err != nil {
+			return &Discrepancy{Config: config, Detail: fmt.Sprintf("engine error: %v", err)}
+		}
+		if d := diffTuples(config, res.Tuples, ec.ref); d != nil {
+			return d
+		}
+		if res.Stats.BoxesLoaded > int64(distinct) {
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("BoxesLoaded %d exceeds distinct gap boxes %d", res.Stats.BoxesLoaded, distinct),
+				Got:    int(res.Stats.BoxesLoaded), Want: distinct}
+		}
+		if mode == core.Preloaded && res.Stats.BoxesLoaded != int64(distinct) {
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("Preloaded BoxesLoaded %d != distinct gap boxes %d", res.Stats.BoxesLoaded, distinct),
+				Got:    int(res.Stats.BoxesLoaded), Want: distinct}
+		}
+		seqOrder[mode] = res.Tuples
+		seqStats[mode] = res.Stats
+	}
+
+	// Sequential variants: single-pass skeleton and cache-free (tree
+	// ordered) resolution.
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"single-pass", func() core.Options { o := copts(core.Preloaded); o.SinglePass = true; return o }()},
+		{"no-cache", func() core.Options { o := copts(core.Reloaded); o.NoCache = true; return o }()},
+		{"no-subsume", func() core.Options { o := copts(core.Reloaded); o.DisableSubsume = true; return o }()},
+	}
+	for _, v := range variants {
+		config := fmt.Sprintf("%v/%s %s", v.opts.Mode, v.name, ec.label)
+		res, err := core.Run(ec.mkOracle(), v.opts)
+		if err != nil {
+			return &Discrepancy{Config: config, Detail: fmt.Sprintf("engine error: %v", err)}
+		}
+		if d := diffTuples(config, res.Tuples, ec.ref); d != nil {
+			return d
+		}
+	}
+
+	// Sharded executor: tuple-for-tuple equal to the sequential
+	// enumeration order (the determinism contract), for every
+	// mode × shard count × worker count.
+	for _, mode := range []core.Mode{core.Reloaded, core.Preloaded} {
+		for _, shards := range ck.Shards {
+			for _, workers := range ck.Workers {
+				config := fmt.Sprintf("%v %s shards=%d workers=%d", mode, ec.label, shards, workers)
+				res, err := core.RunShards(ec.mkOracle, copts(mode), workers, shards)
+				if err != nil {
+					return &Discrepancy{Config: config, Detail: fmt.Sprintf("engine error: %v", err)}
+				}
+				// Positional comparison against the sequential run — the
+				// sharded executor's determinism contract is exact order
+				// equality, not just set equality.
+				if d := baseline.FirstDivergence(res.Tuples, seqOrder[mode]); d != nil {
+					return &Discrepancy{Config: config,
+						Detail: fmt.Sprintf("sharded tuple order differs from sequential enumeration (%d tuples, sequential %d)", len(res.Tuples), len(seqOrder[mode])),
+						Got:    len(res.Tuples), Want: len(seqOrder[mode]), Diff: d}
+				}
+				if res.Stats.Outputs != seqStats[mode].Outputs {
+					return &Discrepancy{Config: config,
+						Detail: fmt.Sprintf("merged Outputs %d != sequential %d", res.Stats.Outputs, seqStats[mode].Outputs),
+						Got:    int(res.Stats.Outputs), Want: int(seqStats[mode].Outputs)}
+				}
+			}
+		}
+	}
+
+	// Counting: the memoized #-variant must agree with the enumeration
+	// cardinality without materializing tuples.
+	for _, noCache := range []bool{false, true} {
+		config := fmt.Sprintf("count/no-cache=%v %s", noCache, ec.label)
+		rep, err := core.CountUncovered(ec.depths, gaps, core.Options{SAO: ec.sao, NoCache: noCache})
+		if err != nil {
+			return &Discrepancy{Config: config, Detail: fmt.Sprintf("engine error: %v", err)}
+		}
+		if rep.Uncovered.Cmp(big.NewInt(int64(len(ec.ref)))) != 0 {
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("count %v != reference cardinality %d", rep.Uncovered, len(ec.ref)),
+				Want:   len(ec.ref)}
+		}
+	}
+
+	// Boolean cover: covered ⇔ empty output, and a non-covered witness
+	// must be an actual output tuple.
+	{
+		config := fmt.Sprintf("boolean %s", ec.label)
+		rep, err := core.Covers(ec.depths, gaps, core.Options{SAO: ec.sao})
+		if err != nil {
+			return &Discrepancy{Config: config, Detail: fmt.Sprintf("engine error: %v", err)}
+		}
+		if rep.Covered != (len(ec.ref) == 0) {
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("Covered=%v but reference has %d tuples", rep.Covered, len(ec.ref)),
+				Want:   len(ec.ref)}
+		}
+		if !rep.Covered {
+			point := rep.Witness.Values(ec.depths)
+			if !ec.refSet[tupleKeyString(point)] {
+				return &Discrepancy{Config: config,
+					Detail: fmt.Sprintf("witness %v is not an output tuple", point)}
+			}
+		}
+	}
+
+	if !ec.probes {
+		return nil
+	}
+
+	// LB modes (sequential only; sharding does not apply to the lifted
+	// space).
+	for _, mode := range []core.Mode{core.PreloadedLB, core.ReloadedLB} {
+		config := fmt.Sprintf("%v %s", mode, ec.label)
+		res, err := core.Run(ec.mkOracle(), copts(mode))
+		if err != nil {
+			return &Discrepancy{Config: config, Detail: fmt.Sprintf("engine error: %v", err)}
+		}
+		if d := diffTuples(config, res.Tuples, ec.ref); d != nil {
+			return d
+		}
+	}
+
+	// Budget probes: a MaxOutput below the cardinality must deliver
+	// exactly the first K tuples of the sequential enumeration; a
+	// MaxResolutions equal to the measured count must not abort and must
+	// reproduce the run exactly (resolution accounting determinism).
+	if len(ec.ref) > 1 {
+		k := 1 + len(ec.ref)/2
+		opts := copts(core.Preloaded)
+		opts.MaxOutput = k
+		config := fmt.Sprintf("budget/max-output=%d %s", k, ec.label)
+		res, err := core.Run(ec.mkOracle(), opts)
+		if err != nil {
+			return &Discrepancy{Config: config, Detail: fmt.Sprintf("engine error: %v", err)}
+		}
+		if d := baseline.FirstDivergence(res.Tuples, seqOrder[core.Preloaded][:k]); d != nil {
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("MaxOutput=%d delivered %d tuples, want the first %d of the sequential enumeration", k, len(res.Tuples), k),
+				Got:    len(res.Tuples), Want: k, Diff: d}
+		}
+	}
+	if r := seqStats[core.Reloaded].Resolutions; r > 0 {
+		opts := copts(core.Reloaded)
+		opts.MaxResolutions = r
+		config := fmt.Sprintf("budget/max-resolutions=%d %s", r, ec.label)
+		res, err := core.Run(ec.mkOracle(), opts)
+		if err != nil {
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("aborted under its own measured resolution count %d: %v", r, err)}
+		}
+		if res.Stats.Resolutions != r {
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("resolution count %d not reproducible (first run: %d)", res.Stats.Resolutions, r),
+				Got:    int(res.Stats.Resolutions), Want: int(r)}
+		}
+	}
+
+	// Cancellation probe: a pre-cancelled context must abort both the
+	// sequential and the sharded engines with context.Canceled.
+	{
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		opts := copts(core.Reloaded)
+		opts.Context = ctx
+		if _, err := core.Run(ec.mkOracle(), opts); err != context.Canceled {
+			return &Discrepancy{Config: fmt.Sprintf("cancel/sequential %s", ec.label),
+				Detail: fmt.Sprintf("cancelled run returned %v, want context.Canceled", err)}
+		}
+		if _, err := core.RunShards(ec.mkOracle, opts, 2, 2); err != context.Canceled {
+			return &Discrepancy{Config: fmt.Sprintf("cancel/sharded %s", ec.label),
+				Detail: fmt.Sprintf("cancelled run returned %v, want context.Canceled", err)}
+		}
+	}
+	return nil
+}
+
+// checkBCP cross-checks a box cover case against brute-force point
+// enumeration.
+func (ck *Checker) checkBCP(c Case) (*Discrepancy, error) {
+	depths, boxes, err := c.BuildBCP()
+	if err != nil {
+		return nil, err
+	}
+	totalBits := 0
+	for _, d := range depths {
+		totalBits += int(d)
+	}
+	if totalBits > 16 {
+		return nil, fmt.Errorf("fuzz: BCP case %q has %d total bits, brute force limited to 16", c.Name, totalBits)
+	}
+
+	// Ground truth: enumerate every point of the space and keep the ones
+	// no box contains. The result is in lexicographic order, which is
+	// also baseline.SortTuples order.
+	var ref [][]uint64
+	point := make([]uint64, len(depths))
+	var walk func(dim int)
+	walk = func(dim int) {
+		if dim == len(depths) {
+			for _, b := range boxes {
+				if b.ContainsPoint(point, depths) {
+					return
+				}
+			}
+			ref = append(ref, append([]uint64(nil), point...))
+			return
+		}
+		for v := uint64(0); v < 1<<depths[dim]; v++ {
+			point[dim] = v
+			walk(dim + 1)
+		}
+	}
+	walk(0)
+	refSet := map[string]bool{}
+	for _, t := range ref {
+		refSet[tupleKeyString(t)] = true
+	}
+
+	base, err := core.NewBoxOracle(depths, boxes)
+	if err != nil {
+		return nil, err
+	}
+	mk := func() core.Oracle { return ck.wrap(base.Clone()) }
+	for si, sao := range saoCandidates(len(depths), ck.MaxSAOs) {
+		if d := ck.checkEngines(engineCase{
+			label:    fmt.Sprintf("bcp sao=%v", sao),
+			depths:   depths,
+			sao:      sao,
+			mkOracle: mk,
+			ref:      ref,
+			refSet:   refSet,
+			probes:   si == 0,
+		}); d != nil {
+			return d, nil
+		}
+	}
+	return nil, nil
+}
+
+// distinctBoxes counts distinct boxes by exact identity.
+func distinctBoxes(boxes []dyadic.Box) int {
+	seen := map[string]bool{}
+	for _, b := range boxes {
+		seen[b.Key()] = true
+	}
+	return len(seen)
+}
+
+// sameInts reports slice equality.
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleKeyString encodes a tuple for set membership.
+func tupleKeyString(t []uint64) string {
+	buf := make([]byte, 0, len(t)*8)
+	for _, v := range t {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(buf)
+}

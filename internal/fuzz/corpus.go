@@ -1,0 +1,76 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WriteCase serializes a case into dir as <name>.json (a counter suffix
+// avoids collisions) and returns the path written.
+func WriteCase(dir string, c Case) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := c.Name
+	if name == "" {
+		name = "case"
+	}
+	name = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+	path := filepath.Join(dir, name+".json")
+	for i := 2; ; i++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			break
+		}
+		path = filepath.Join(dir, fmt.Sprintf("%s-%d.json", name, i))
+	}
+	return path, os.WriteFile(path, c.Marshal(), 0o644)
+}
+
+// CorpusEntry is one committed repro: its filename and the parsed case.
+type CorpusEntry struct {
+	File string
+	Case Case
+}
+
+// LoadCorpus reads every *.json case under dir, sorted by filename so
+// replay order is deterministic (a failing replay bisects the same way
+// on every run). A missing directory is an empty corpus.
+func LoadCorpus(dir string) ([]CorpusEntry, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]CorpusEntry, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		c, err := ParseCase(data)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus file %s: %w", name, err)
+		}
+		out = append(out, CorpusEntry{File: name, Case: c})
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package fuzz
+
+import (
+	"testing"
+)
+
+// TestCorpusReplay replays every committed repro under testdata/corpus/
+// through the full differential matrix on every go test run. The corpus
+// is the regression memory of past fuzz campaigns: once a failing case
+// is shrunk and committed, no engine change may reintroduce its bug.
+func TestCorpusReplay(t *testing.T) {
+	corpus, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) < 10 {
+		t.Fatalf("corpus holds %d cases, want at least 10 (one per generator family)", len(corpus))
+	}
+	ck := NewChecker()
+	for _, e := range corpus {
+		t.Run(e.File, func(t *testing.T) {
+			d, err := ck.Check(e.Case)
+			if err != nil {
+				t.Fatalf("corpus case is invalid: %v", err)
+			}
+			if d != nil {
+				t.Fatalf("engines disagree on committed repro: %v", d)
+			}
+		})
+	}
+}
+
+// TestCorpusCoversFamilies: the committed corpus must include at least
+// one case per query shape and one per box style, so the replay
+// exercises every generator family even when fuzzing is skipped.
+func TestCorpusCoversFamilies(t *testing.T) {
+	corpus, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, e := range corpus {
+		have[e.Case.Name] = true
+	}
+	for s := Shape(0); s < numShapes; s++ {
+		if !have["query-"+s.String()] {
+			t.Errorf("corpus has no %v query case", s)
+		}
+	}
+	for s := BoxStyle(0); s < numBoxStyles; s++ {
+		if !have[s.String()] {
+			t.Errorf("corpus has no %v case", s)
+		}
+	}
+}

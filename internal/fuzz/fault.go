@@ -1,0 +1,59 @@
+package fuzz
+
+import (
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/dyadic"
+)
+
+// DropLargestGap is a fault-injection oracle wrapper: it hides the
+// largest gap box (ties broken by first position) from both
+// GapsContaining and AllGaps, simulating an engine that loses one piece
+// of knowledge — the geometric analogue of skipping a resolution. Runs
+// over the faulty oracle report the points only that box covered as
+// extra output tuples, which the differential checker must catch in
+// every mode and the shrinker must reduce to a minimal repro. Used by
+// the self-tests of this package and cmd/fuzz's -fault flag; never by
+// real checks.
+func DropLargestGap(o core.Oracle) core.Oracle {
+	f := &faultyOracle{inner: o}
+	all := o.AllGaps()
+	if len(all) == 0 {
+		return o // nothing to hide
+	}
+	depths := o.Depths()
+	best := 0
+	for i, b := range all {
+		if b.LogVolume(depths) > all[best].LogVolume(depths) {
+			best = i
+		}
+	}
+	f.dropped = all[best].Key()
+	f.gaps = make([]dyadic.Box, 0, len(all)-1)
+	for i, b := range all {
+		if i != best {
+			f.gaps = append(f.gaps, b)
+		}
+	}
+	return f
+}
+
+type faultyOracle struct {
+	inner   core.Oracle
+	dropped string // Box.Key of the hidden gap box
+	gaps    []dyadic.Box
+	out     []dyadic.Box // filtered GapsContaining buffer, reused
+}
+
+func (f *faultyOracle) Dims() int             { return f.inner.Dims() }
+func (f *faultyOracle) Depths() []uint8       { return f.inner.Depths() }
+func (f *faultyOracle) AllGaps() []dyadic.Box { return f.gaps }
+
+func (f *faultyOracle) GapsContaining(point []uint64) []dyadic.Box {
+	f.out = f.out[:0]
+	for _, b := range f.inner.GapsContaining(point) {
+		if b.Key() != f.dropped {
+			f.out = append(f.out, b)
+		}
+	}
+	return f.out
+}

@@ -1,0 +1,74 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetrisjoin/internal/join"
+)
+
+// TestInjectedFaultCaughtAndShrunk is the end-to-end self-test of the
+// pipeline (and the PR's acceptance criterion): running the engines
+// over an oracle that silently hides one gap box — the knowledge an
+// engine would lose by skipping a resolution — must be caught by the
+// differential matrix and shrunk to a repro of at most 3 atoms (query
+// cases) and at most 8 boxes (BCP cases).
+func TestInjectedFaultCaughtAndShrunk(t *testing.T) {
+	ck := NewChecker()
+	ck.WrapOracle = DropLargestGap
+	failing := failingWith(ck)
+
+	caught := map[Kind]int{}
+	for seed := int64(1); seed <= 30; seed++ {
+		for _, kind := range []Kind{QueryKind, BCPKind} {
+			if caught[kind] >= 3 {
+				continue
+			}
+			c := GenCase(rand.New(rand.NewSource(seed)), kind)
+			d, err := ck.Check(c)
+			if err != nil {
+				t.Fatalf("seed %d: invalid case: %v", seed, err)
+			}
+			if d == nil {
+				continue // the fault was invisible here (e.g. empty gap set)
+			}
+			caught[kind]++
+			s := Shrink(c, failing)
+			if !failing(s) {
+				t.Fatalf("seed %d: shrunk case no longer fails:\n%s", seed, s.Marshal())
+			}
+			if kind == QueryKind && len(s.Atoms) > 3 {
+				t.Errorf("seed %d: query repro kept %d atoms, want <= 3:\n%s", seed, len(s.Atoms), s.Marshal())
+			}
+			if kind == BCPKind && len(s.Boxes) > 8 {
+				t.Errorf("seed %d: BCP repro kept %d boxes, want <= 8:\n%s", seed, len(s.Boxes), s.Marshal())
+			}
+		}
+	}
+	if caught[QueryKind] == 0 || caught[BCPKind] == 0 {
+		t.Fatalf("injected fault went uncaught (query cases: %d, BCP cases: %d)", caught[QueryKind], caught[BCPKind])
+	}
+}
+
+// TestDropLargestGapActuallyDrops pins the fault's mechanics so the
+// test above cannot silently pass against a broken injector.
+func TestDropLargestGapActuallyDrops(t *testing.T) {
+	c := GenCase(rand.New(rand.NewSource(3)), QueryKind)
+	q, err := c.BuildQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := join.NewPlan(q, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := plan.NewOracle()
+	n := len(inner.AllGaps())
+	if n == 0 {
+		t.Skip("case has an empty gap set")
+	}
+	wrapped := DropLargestGap(plan.NewOracle())
+	if got := len(wrapped.AllGaps()); got != n-1 {
+		t.Fatalf("wrapped AllGaps has %d boxes, want %d", got, n-1)
+	}
+}

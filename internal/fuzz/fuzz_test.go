@@ -1,0 +1,116 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// failingWith returns the shrinker predicate for a checker: a candidate
+// counts as failing only when it is valid AND the checker reports a
+// discrepancy.
+func failingWith(ck *Checker) func(Case) bool {
+	return func(c Case) bool {
+		d, err := ck.Check(c)
+		return err == nil && d != nil
+	}
+}
+
+// checkSeed is the shared body of the fuzz targets: generate the case
+// for the seed, run the differential matrix, and on failure shrink to a
+// minimal repro before reporting (the repro JSON is the actionable
+// artifact — commit it under testdata/corpus/ to pin the regression).
+func checkSeed(t *testing.T, seed int64, kind Kind) {
+	t.Helper()
+	c := GenCase(rand.New(rand.NewSource(seed)), kind)
+	ck := NewChecker()
+	d, err := ck.Check(c)
+	if err != nil {
+		t.Fatalf("seed %d: generator produced an invalid case: %v\n%s", seed, err, c.Marshal())
+	}
+	if d == nil {
+		return
+	}
+	shrunk := Shrink(c, failingWith(ck))
+	t.Fatalf("seed %d: %v\nshrunk repro (add to testdata/corpus/):\n%s", seed, d, shrunk.Marshal())
+}
+
+// FuzzQueryDifferential fuzzes the generator seed for query cases:
+// every engine (baselines, Tetris modes × SAOs × shards × workers,
+// count, Boolean) must agree on every generated query.
+func FuzzQueryDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkSeed(t, seed, QueryKind)
+	})
+}
+
+// FuzzBCPDifferential fuzzes the generator seed for raw box cover
+// cases, cross-checked against brute-force point enumeration.
+func FuzzBCPDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkSeed(t, seed, BCPKind)
+	})
+}
+
+// TestGeneratorSweep is the deterministic slice of the fuzz campaign
+// run on every go test: a seed range per kind through the full matrix.
+func TestGeneratorSweep(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		checkSeed(t, seed, QueryKind)
+		checkSeed(t, seed, BCPKind)
+	}
+}
+
+// TestGeneratorCoversShapesAndFills pins the generator's coverage: over
+// a modest seed range every hypergraph shape, fill style and box style
+// must occur, and every generated case must build.
+func TestGeneratorCoversShapesAndFills(t *testing.T) {
+	shapes := map[string]bool{}
+	styles := map[string]bool{}
+	for seed := int64(1); seed <= 200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		q := GenCase(r, QueryKind)
+		shapes[q.Name] = true
+		if _, err := q.BuildQuery(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b := GenCase(r, BCPKind)
+		styles[b.Name] = true
+		if _, _, err := b.BuildBCP(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	for s := Shape(0); s < numShapes; s++ {
+		if !shapes["query-"+s.String()] {
+			t.Errorf("shape %v never generated", s)
+		}
+	}
+	for s := BoxStyle(0); s < numBoxStyles; s++ {
+		if !styles[s.String()] {
+			t.Errorf("box style %v never generated", s)
+		}
+	}
+}
+
+// TestCaseRoundTrip: Marshal/ParseCase is the corpus contract — a case
+// must survive serialization exactly.
+func TestCaseRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for _, kind := range []Kind{QueryKind, BCPKind} {
+			c := GenCase(r, kind)
+			back, err := ParseCase(c.Marshal())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if string(back.Marshal()) != string(c.Marshal()) {
+				t.Fatalf("seed %d: round trip changed the case:\n%s\nvs\n%s", seed, c.Marshal(), back.Marshal())
+			}
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/workload"
+)
+
+// Shape enumerates the hypergraph families the query generator draws
+// from: the named shapes whose join structure the paper's theorems
+// distinguish (acyclic paths and stars, cyclic cycles, self-joined
+// cliques) plus arbitrary atom/variable incidence structures.
+type Shape int
+
+const (
+	ShapePath Shape = iota
+	ShapeStar
+	ShapeCycle
+	ShapeClique
+	ShapeRandom
+	numShapes
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapePath:
+		return "path"
+	case ShapeStar:
+		return "star"
+	case ShapeCycle:
+		return "cycle"
+	case ShapeClique:
+		return "clique"
+	case ShapeRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Fill enumerates relation population styles. Skewed and saturated
+// instances are where worst-case optimal engines historically diverge
+// from theory ("Skew Strikes Back"); empty and partition-structured
+// ones exercise the short-circuit and full-cover paths.
+type Fill int
+
+const (
+	FillEmpty Fill = iota
+	FillSparse
+	FillSkewed
+	FillSaturated
+	FillDiagonal
+	FillBlock
+	numFills
+)
+
+// String implements fmt.Stringer.
+func (f Fill) String() string {
+	switch f {
+	case FillEmpty:
+		return "empty"
+	case FillSparse:
+		return "sparse"
+	case FillSkewed:
+		return "skewed"
+	case FillSaturated:
+		return "saturated"
+	case FillDiagonal:
+		return "diagonal"
+	case FillBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("Fill(%d)", int(f))
+	}
+}
+
+// BoxStyle enumerates box cover instance families.
+type BoxStyle int
+
+const (
+	BoxRandom BoxStyle = iota
+	// BoxPartition is a set of disjoint boxes covering the whole space
+	// (workload.RandomDyadicPartition): the fully-covered edge case whose
+	// proof requires merging every box back together.
+	BoxPartition
+	// BoxSparse is a small random set leaving most of the space
+	// uncovered.
+	BoxSparse
+	// BoxNone is the empty box set: every point is uncovered.
+	BoxNone
+	numBoxStyles
+)
+
+// String implements fmt.Stringer.
+func (s BoxStyle) String() string {
+	switch s {
+	case BoxRandom:
+		return "box-random"
+	case BoxPartition:
+		return "box-partition"
+	case BoxSparse:
+		return "box-sparse"
+	case BoxNone:
+		return "box-none"
+	default:
+		return fmt.Sprintf("BoxStyle(%d)", int(s))
+	}
+}
+
+var varNames = []string{"A", "B", "C", "D", "E"}
+
+// GenCase draws one random case of the given kind. All randomness comes
+// from r, so a case is reproducible from its generator seed alone.
+func GenCase(r *rand.Rand, kind Kind) Case {
+	if kind == BCPKind {
+		return GenBCPCase(r, BoxStyle(r.Intn(int(numBoxStyles))))
+	}
+	return GenQueryCase(r, Shape(r.Intn(int(numShapes))))
+}
+
+// GenQueryCase draws a random query case of the given hypergraph shape:
+// random per-variable depths, a relation per atom (one shared relation
+// for cliques), each populated by an independently drawn fill style.
+func GenQueryCase(r *rand.Rand, shape Shape) Case {
+	c := Case{
+		Name:      fmt.Sprintf("query-%s", shape),
+		VarDepths: map[string]uint8{},
+	}
+	depth := func() uint8 { return uint8(1 + r.Intn(3)) }
+	switch shape {
+	case ShapePath:
+		k := 2 + r.Intn(3) // 2..4 atoms over k+1 variables (capped below)
+		if k+1 > len(varNames) {
+			k = len(varNames) - 1
+		}
+		for i := 0; i < k; i++ {
+			c.Atoms = append(c.Atoms, CaseAtom{Rel: fmt.Sprintf("R%d", i), Vars: []string{varNames[i], varNames[i+1]}})
+		}
+	case ShapeStar:
+		k := 2 + r.Intn(3) // leaves
+		if k+1 > len(varNames) {
+			k = len(varNames) - 1
+		}
+		for i := 0; i < k; i++ {
+			c.Atoms = append(c.Atoms, CaseAtom{Rel: fmt.Sprintf("R%d", i), Vars: []string{varNames[0], varNames[i+1]}})
+		}
+	case ShapeCycle:
+		k := 3 + r.Intn(2) // triangle or four-cycle
+		for i := 0; i < k; i++ {
+			c.Atoms = append(c.Atoms, CaseAtom{Rel: fmt.Sprintf("R%d", i), Vars: []string{varNames[i], varNames[(i+1)%k]}})
+		}
+	case ShapeClique:
+		// k-clique over one self-joined edge relation; uniform depth so
+		// every binding of the shared relation is depth-consistent.
+		k := 3
+		d := depth()
+		for i := 0; i < k; i++ {
+			c.VarDepths[varNames[i]] = d
+			for j := i + 1; j < k; j++ {
+				c.Atoms = append(c.Atoms, CaseAtom{Rel: "E", Vars: []string{varNames[i], varNames[j]}})
+			}
+		}
+	case ShapeRandom:
+		// Arbitrary incidence: 1..4 atoms of arity 1..3 over 2..4
+		// variables, each atom's variables distinct within it.
+		nvars := 2 + r.Intn(3)
+		natoms := 1 + r.Intn(4)
+		for i := 0; i < natoms; i++ {
+			arity := 1 + r.Intn(min(3, nvars))
+			perm := r.Perm(nvars)[:arity]
+			vars := make([]string, arity)
+			for j, p := range perm {
+				vars[j] = varNames[p]
+			}
+			c.Atoms = append(c.Atoms, CaseAtom{Rel: fmt.Sprintf("R%d", i), Vars: vars})
+		}
+	}
+	for _, a := range c.Atoms {
+		for _, v := range a.Vars {
+			if _, ok := c.VarDepths[v]; !ok {
+				c.VarDepths[v] = depth()
+			}
+		}
+	}
+	for _, a := range c.Atoms {
+		if c.relationOf(a.Rel) != nil {
+			continue // self-join: the relation is already populated
+		}
+		depths := make([]uint8, len(a.Vars))
+		for i, v := range a.Vars {
+			depths[i] = c.VarDepths[v]
+		}
+		fill := Fill(r.Intn(int(numFills)))
+		c.Relations = append(c.Relations, CaseRelation{
+			Name:   a.Rel,
+			Tuples: genTuples(r, depths, fill),
+		})
+	}
+	return c
+}
+
+// genTuples draws a relation's tuples for the given per-column depths
+// and fill style. Duplicates are fine — relation insertion dedupes.
+func genTuples(r *rand.Rand, depths []uint8, fill Fill) [][]uint64 {
+	randVal := func(d uint8) uint64 { return uint64(r.Intn(1 << d)) }
+	randTuple := func() []uint64 {
+		t := make([]uint64, len(depths))
+		for i, d := range depths {
+			t[i] = randVal(d)
+		}
+		return t
+	}
+	var out [][]uint64
+	switch fill {
+	case FillEmpty:
+	case FillSparse:
+		for n := r.Intn(21); n > 0; n-- {
+			out = append(out, randTuple())
+		}
+	case FillSkewed:
+		// One heavy value in the first column: the skew that breaks
+		// binary plans and stresses per-value subtrees.
+		heavy := randVal(depths[0])
+		for n := 2 + r.Intn(14); n > 0; n-- {
+			t := randTuple()
+			t[0] = heavy
+			out = append(out, t)
+		}
+		for n := r.Intn(5); n > 0; n-- {
+			out = append(out, randTuple())
+		}
+	case FillSaturated:
+		// The full cross product when small (gap set empty in this
+		// relation), otherwise a dense random sample.
+		total := 1
+		for _, d := range depths {
+			total *= 1 << d
+		}
+		if total <= 64 {
+			t := make([]uint64, len(depths))
+			var emit func(i int)
+			emit = func(i int) {
+				if i == len(depths) {
+					out = append(out, append([]uint64(nil), t...))
+					return
+				}
+				for v := uint64(0); v < 1<<depths[i]; v++ {
+					t[i] = v
+					emit(i + 1)
+				}
+			}
+			emit(0)
+		} else {
+			for n := 0; n < 64; n++ {
+				out = append(out, randTuple())
+			}
+		}
+	case FillDiagonal:
+		// v,v,…,v masked per column: thin stripes whose gaps only
+		// multidimensional indices summarize well.
+		dmin := depths[0]
+		for _, d := range depths {
+			if d < dmin {
+				dmin = d
+			}
+		}
+		for v := uint64(0); v < 1<<dmin; v++ {
+			t := make([]uint64, len(depths))
+			for i, d := range depths {
+				t[i] = v & (1<<d - 1)
+			}
+			out = append(out, t)
+		}
+	case FillBlock:
+		// Values confined to the lower half of each domain: one dyadic
+		// block, so the upper halves are single gap boxes.
+		for n := 1 + r.Intn(16); n > 0; n-- {
+			t := make([]uint64, len(depths))
+			for i, d := range depths {
+				half := d - 1
+				if half == 0 {
+					t[i] = 0
+				} else {
+					t[i] = uint64(r.Intn(1 << half))
+				}
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// GenBCPCase draws a random box cover case of the given style. Total
+// bit width stays ≤ 10 — except BoxPartition, which forces a uniform
+// depth and can reach 3×4 = 12 bits — keeping every case under the
+// checker's 16-bit brute-force enumeration limit.
+func GenBCPCase(r *rand.Rand, style BoxStyle) Case {
+	n := 1 + r.Intn(3)
+	depths := make([]uint8, n)
+	budget := 10
+	for i := range depths {
+		maxd := min(4, budget-(n-1-i)) // leave ≥1 bit per remaining dim
+		depths[i] = uint8(1 + r.Intn(maxd))
+		budget -= int(depths[i])
+	}
+	c := Case{Name: style.String()}
+	switch style {
+	case BoxNone:
+	case BoxPartition:
+		// Uniform depth (the workload generator's contract); reuse its
+		// split-driven construction.
+		d := depths[0]
+		for i := range depths {
+			depths[i] = d
+		}
+		m := 1 + r.Intn(12)
+		bcp := workload.RandomDyadicPartition(n, m, d, r.Int63())
+		for _, b := range bcp.Boxes {
+			c.Boxes = append(c.Boxes, b.String())
+		}
+	case BoxRandom, BoxSparse:
+		m := 1 + r.Intn(16)
+		if style == BoxSparse {
+			m = 1 + r.Intn(4)
+		}
+		for i := 0; i < m; i++ {
+			b := make(dyadic.Box, n)
+			for j, d := range depths {
+				l := uint8(r.Intn(int(d) + 1))
+				var bits uint64
+				if l > 0 {
+					bits = uint64(r.Intn(1 << l))
+				}
+				b[j] = dyadic.Interval{Bits: bits, Len: l}
+			}
+			c.Boxes = append(c.Boxes, b.String())
+		}
+	}
+	for _, d := range depths {
+		c.Depths = append(c.Depths, int(d))
+	}
+	return c
+}

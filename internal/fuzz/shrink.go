@@ -1,0 +1,155 @@
+package fuzz
+
+import "tetrisjoin/internal/dyadic"
+
+// The greedy shrinker: given a failing case and the failure predicate,
+// repeatedly applies size-reducing transformations — drop atoms, drop
+// tuples or boxes (delta-debugging style chunk removal), coarsen
+// per-attribute depths, drop whole dimensions — keeping a candidate
+// whenever it still fails, until no transformation applies. Candidates
+// that become structurally invalid are rejected by the predicate (the
+// checker reports them as errors, not failures), so the shrinker never
+// needs to reason about validity itself.
+
+// Shrink minimizes a failing case. failing must report whether a
+// candidate still exhibits the failure; it is called many times and
+// must be deterministic. The returned case fails and is a local
+// minimum under the shrinker's transformations.
+func Shrink(c Case, failing func(Case) bool) Case {
+	if !failing(c) {
+		return c // not failing: nothing to preserve, don't touch it
+	}
+	for {
+		before := c.Size()
+		if c.Kind() == QueryKind {
+			c = shrinkQuery(c, failing)
+		} else {
+			c = shrinkBCP(c, failing)
+		}
+		if c.Size() >= before {
+			return c
+		}
+	}
+}
+
+func shrinkQuery(c Case, failing func(Case) bool) Case {
+	// Drop atoms, last first (later atoms are the ones a generator adds
+	// to grow a shape, so earlier atoms tend to carry the failure).
+	for i := len(c.Atoms) - 1; i >= 0 && len(c.Atoms) > 1; i-- {
+		cand := c.Clone()
+		cand.Atoms = append(cand.Atoms[:i], cand.Atoms[i+1:]...)
+		cand.normalize()
+		if failing(cand) {
+			c = cand
+		}
+	}
+	// Drop tuples per relation, in shrinking chunks.
+	for ri := range c.Relations {
+		c = shrinkChunks(c, failing, len(c.Relations[ri].Tuples), func(cand *Case, lo, hi int) {
+			r := &cand.Relations[ri]
+			r.Tuples = append(r.Tuples[:lo:lo], r.Tuples[hi:]...)
+		})
+	}
+	// Coarsen variable depths: halve a domain and mask the affected
+	// relation columns to fit.
+	for _, v := range c.sortedVars() {
+		for c.VarDepths[v] > 1 {
+			cand := c.Clone()
+			nd := cand.VarDepths[v] - 1
+			cand.VarDepths[v] = nd
+			mask := uint64(1)<<nd - 1
+			for _, a := range cand.Atoms {
+				for col, av := range a.Vars {
+					if av != v {
+						continue
+					}
+					r := cand.relationOf(a.Rel)
+					for _, t := range r.Tuples {
+						t[col] &= mask
+					}
+				}
+			}
+			if !failing(cand) {
+				break
+			}
+			c = cand
+		}
+	}
+	return c
+}
+
+func shrinkBCP(c Case, failing func(Case) bool) Case {
+	// Drop boxes in shrinking chunks.
+	c = shrinkChunks(c, failing, len(c.Boxes), func(cand *Case, lo, hi int) {
+		cand.Boxes = append(cand.Boxes[:lo:lo], cand.Boxes[hi:]...)
+	})
+	// Drop whole dimensions (projecting every box).
+	for dim := len(c.Depths) - 1; dim >= 0 && len(c.Depths) > 1; dim-- {
+		cand := c.Clone()
+		cand.Depths = append(cand.Depths[:dim], cand.Depths[dim+1:]...)
+		ok := true
+		for i, s := range cand.Boxes {
+			b, err := dyadic.ParseBox(s)
+			if err != nil || len(b) <= dim {
+				ok = false
+				break
+			}
+			b = append(b[:dim], b[dim+1:]...)
+			cand.Boxes[i] = b.String()
+		}
+		if ok && failing(cand) {
+			c = cand
+		}
+	}
+	// Coarsen dimension depths, truncating over-deep intervals.
+	for dim := range c.Depths {
+		for c.Depths[dim] > 1 {
+			cand := c.Clone()
+			nd := cand.Depths[dim] - 1
+			cand.Depths[dim] = nd
+			ok := true
+			for i, s := range cand.Boxes {
+				b, err := dyadic.ParseBox(s)
+				if err != nil || len(b) <= dim {
+					ok = false
+					break
+				}
+				if int(b[dim].Len) > nd {
+					drop := b[dim].Len - uint8(nd)
+					b[dim].Bits >>= drop
+					b[dim].Len = uint8(nd)
+				}
+				cand.Boxes[i] = b.String()
+			}
+			if !ok || !failing(cand) {
+				break
+			}
+			c = cand
+		}
+	}
+	return c
+}
+
+// shrinkChunks is ddmin-lite over an n-element list: try removing
+// chunks of size n/2, n/4, …, 1; remove applies the deletion of range
+// [lo,hi) to a candidate. It returns the smallest still-failing case
+// found.
+func shrinkChunks(c Case, failing func(Case) bool, n int, remove func(cand *Case, lo, hi int)) Case {
+	for chunk := (n + 1) / 2; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo < n; {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			cand := c.Clone()
+			remove(&cand, lo, hi)
+			if failing(cand) {
+				c = cand
+				n -= hi - lo
+			} else {
+				lo = hi
+			}
+		}
+	}
+	return c
+}

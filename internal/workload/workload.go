@@ -419,6 +419,39 @@ func DiagonalBowtie(d uint8) *join.Query {
 	)
 }
 
+// RandomIncidenceQuery generates a query with arbitrary atom/variable
+// incidence structure — the shapes outside the named families above:
+// natoms atoms, each of random arity in [1, maxArity] over a pool of
+// nvars variables (distinct within an atom), over independent random
+// relations with up to n tuples each at depth d. Fuzzing and coverage
+// tests use it to exercise hypergraphs no hand-picked family has.
+func RandomIncidenceQuery(nvars, natoms, maxArity, n int, d uint8, seed int64) *join.Query {
+	if nvars < 1 || natoms < 1 || maxArity < 1 {
+		panic("workload: incidence query needs at least one variable, atom and column")
+	}
+	r := rand.New(rand.NewSource(seed))
+	atoms := make([]join.Atom, natoms)
+	for i := range atoms {
+		arity := 1 + r.Intn(min(maxArity, nvars))
+		attrs := make([]string, arity)
+		vars := make([]string, arity)
+		for j, p := range r.Perm(nvars)[:arity] {
+			attrs[j] = fmt.Sprintf("X%d", j+1)
+			vars[j] = fmt.Sprintf("A%d", p+1)
+		}
+		rel := relation.MustNewUniform(fmt.Sprintf("R%d", i+1), attrs, d)
+		for t := r.Intn(n + 1); t > 0; t-- {
+			vals := make([]uint64, arity)
+			for j := range vals {
+				vals[j] = uint64(r.Intn(1 << d))
+			}
+			rel.MustInsert(vals...)
+		}
+		atoms[i] = join.Atom{Relation: rel, Vars: vars}
+	}
+	return join.MustNewQuery(atoms...)
+}
+
 // CliqueQuery builds the k-clique query over a single random graph with
 // edge probability p: one binary atom per vertex pair, all referring to
 // the same edge relation (a self-join), as in subgraph-listing workloads.
