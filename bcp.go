@@ -4,6 +4,7 @@ import (
 	"math/big"
 
 	"tetrisjoin/internal/agm"
+	"tetrisjoin/internal/catalog"
 	"tetrisjoin/internal/cert"
 	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/join"
@@ -43,9 +44,11 @@ func CoversSpace(depths []uint8, boxes []Box) (covered bool, uncovered []uint64,
 // JoinSize returns the exact number of output tuples of the query
 // without materializing them: the counting variant of Tetris sums whole
 // uncovered sub-spaces at once, so joins with astronomically many results
-// are counted cheaply.
+// are counted cheaply. Like Join it is one-shot (a throwaway catalog);
+// services should count through a long-lived Catalog's prepared
+// statements instead.
 func JoinSize(q *Query, opts Options) (*big.Int, error) {
-	count, _, err := join.Count(q, opts)
+	count, _, err := catalog.New().CountQuery(q, opts)
 	return count, err
 }
 

@@ -28,6 +28,7 @@ func main() {
 		benchRe  = flag.String("bench", ".", "regexp selecting suite benchmarks to run")
 		out      = flag.String("o", "BENCH_tetris.json", "output report path")
 		baseFile = flag.String("baseline", "", "previous report whose entries become the baseline section")
+		merge    = flag.Bool("merge", false, "keep the output file's existing entries, overwriting only the benchmarks run (for adding a filtered series without re-running the whole suite)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,18 @@ func main() {
 	}
 
 	rep := benchio.RunSuite(filter)
+	if *merge {
+		if prev, err := benchio.ReadFile(*out); err == nil {
+			if len(baseline) == 0 {
+				baseline = prev.Baseline
+			}
+			for _, e := range rep.Entries {
+				prev.Set(e)
+			}
+			prev.GoVersion, prev.GoOS, prev.GoArch = rep.GoVersion, rep.GoOS, rep.GoArch
+			rep = prev
+		}
+	}
 	rep.Baseline = baseline
 	if err := rep.WriteFile(*out); err != nil {
 		log.Fatalf("writing %s: %v", *out, err)

@@ -126,18 +126,11 @@ func run(rels []string, query, modeName, sao string, stats bool, limit, parallel
 		return err
 	}
 	opts := tetrisjoin.Options{MaxOutput: limit, Parallelism: parallel}
-	switch modeName {
-	case "reloaded":
-		opts.Mode = core.Reloaded
-	case "preloaded":
-		opts.Mode = core.Preloaded
-	case "reloaded-lb":
-		opts.Mode = core.ReloadedLB
-	case "preloaded-lb":
-		opts.Mode = core.PreloadedLB
-	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+	mode, err := core.ParseMode(modeName)
+	if err != nil {
+		return err
 	}
+	opts.Mode = mode
 	if sao != "" {
 		opts.SAOVars = strings.Split(sao, ",")
 	}

@@ -1,0 +1,72 @@
+// Command tetrisd serves the Tetris join engine over a line-oriented
+// JSON protocol: a long-lived catalog of named, versioned relations
+// with warm indexes and a prepared-plan cache, driven by load / append
+// / delete / query / prepare / exec / stats requests.
+//
+// By default it speaks the protocol on stdin/stdout (one session):
+//
+//	printf '%s\n' \
+//	  '{"op":"load","name":"R","attrs":["s","d"],"depth":4,"tuples":[[1,2],[2,3],[1,3]]}' \
+//	  '{"op":"prepare","id":"tri","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded"}' \
+//	  '{"op":"exec","id":"tri"}' \
+//	  '{"op":"stats"}' | tetrisd
+//
+// With -addr it listens on TCP, one session per connection, all
+// sessions sharing the catalog (and therefore its relations, indexes
+// and plan cache):
+//
+//	tetrisd -addr :7423
+//
+// Responses are one JSON object per line; executions stream their
+// output as {"tuple":[…]} lines before the final response. See
+// internal/server for the full protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"tetrisjoin/internal/catalog"
+	"tetrisjoin/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "TCP listen address (empty: serve one session on stdin/stdout)")
+		planCache   = flag.Int("plan-cache", 0, "prepared plans kept in the LRU (0 = default 64, negative disables)")
+		maxConc     = flag.Int("max-concurrent", 1, "engine executions admitted at once across sessions")
+		parallelism = flag.Int("parallel", 1, "engine worker goroutines per execution")
+		maxRes      = flag.Int64("session-max-resolutions", 0, "per-session geometric-resolution budget (0 = unlimited)")
+		maxOut      = flag.Int("session-max-output", 0, "per-session output-tuple budget (0 = unlimited)")
+	)
+	flag.Parse()
+
+	cat := catalog.NewWithOptions(catalog.Options{PlanCache: *planCache})
+	srv := server.New(cat, server.Config{
+		MaxConcurrent:         *maxConc,
+		Parallelism:           *parallelism,
+		SessionMaxResolutions: *maxRes,
+		SessionMaxOutput:      *maxOut,
+	})
+	defer srv.Close()
+
+	if *addr == "" {
+		if err := srv.ServeSession(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tetrisd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tetrisd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "tetrisd: listening on", l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, "tetrisd:", err)
+		os.Exit(1)
+	}
+}

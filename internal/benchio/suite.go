@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"tetrisjoin/internal/baseline"
+	"tetrisjoin/internal/catalog"
 	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/join"
 	"tetrisjoin/internal/klee"
@@ -104,6 +105,26 @@ func Suite() []Case {
 			},
 		)
 	}
+	// Prepared amortization series: Nth-execution cost of a catalog-
+	// prepared statement (warm indexes, memoized B(Q), shared Preloaded
+	// base) vs the one-shot cost that pays planning and index builds on
+	// every call. Sequential (Parallelism 1): the ratio measures
+	// amortization of per-query constant work, not thread throughput.
+	prepPath := sync.OnceValue(func() *join.Query { return workload.PathQuery(3, 1000, 12, 1000) })
+	prepStar := sync.OnceValue(func() *join.Query { return workload.TriangleAGMStar(64, 12) })
+	for _, inst := range []struct {
+		name string
+		mk   func() *join.Query
+	}{
+		{"Prepared/Table1Acyclic/N=3000", prepPath},
+		{"Prepared/TriangleStar/m=64", prepStar},
+	} {
+		opts := join.Options{Mode: core.Preloaded, Parallelism: 1}
+		cases = append(cases,
+			Case{Name: inst.name + "/oneshot", Bench: lazyExecBench(inst.mk, opts)},
+			Case{Name: inst.name + "/steady", Bench: lazyPreparedBench(inst.mk, opts)},
+		)
+	}
 	return cases
 }
 
@@ -135,6 +156,37 @@ func lazyExecBench(mk func() *join.Query, opts join.Options) func(b *testing.B) 
 		inner := execBench(mk(), opts)
 		b.ResetTimer()
 		return inner(b)
+	}
+}
+
+// lazyPreparedBench measures the steady-state cost of a catalog-
+// prepared statement: preparation and one priming execution (which
+// builds the plan's shared Preloaded base) happen outside the timer, so
+// the loop is the Nth-execution hot path — zero index builds, memoized
+// gap set, shared knowledge base.
+func lazyPreparedBench(mk func() *join.Query, opts join.Options) func(b *testing.B) float64 {
+	return func(b *testing.B) float64 {
+		cat := catalog.New()
+		p, err := cat.PrepareQuery(mk(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Execute(opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var resolutions float64
+		for i := 0; i < b.N; i++ {
+			res, err := p.Execute(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.IndexBuilds != 0 {
+				b.Fatalf("steady-state execution built %d indexes", res.Stats.IndexBuilds)
+			}
+			resolutions = float64(res.Stats.Resolutions)
+		}
+		return resolutions
 	}
 }
 

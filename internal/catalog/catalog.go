@@ -1,0 +1,310 @@
+// Package catalog is the serving-side store of the engine: named,
+// versioned relations whose gap-box indexes are built once — at ingest
+// or on first demand — and shared read-only by every subsequent query,
+// plus an LRU cache of prepared plans keyed by (query shape, relation
+// versions, SAO, mode).
+//
+// The one-shot Execute path re-ingests relations, rebuilds indexes and
+// re-derives the SAO on every call: the right shape for reproducing the
+// paper's single-instance experiments, the wrong shape for serving
+// traffic, where Tetris's Õ(#resolutions) cost model (Lemma 4.5) only
+// wins once the per-query constant work is amortized away. The catalog
+// completes the immutable-shared vs per-worker split of the parallel
+// executor vertically: immutable halves (relation snapshots, indexes,
+// memoized B(Q) gap sets, the shared Preloaded knowledge base) now live
+// across queries, not just across the workers of one query.
+//
+// # Version pinning
+//
+// Ingesting a new version of a relation (Ingest, Append, Delete) never
+// mutates the old one: versions are copy-on-write snapshots, indexes
+// cover exactly one snapshot, and a prepared plan holds references to
+// the snapshot it was planned against. Plans prepared before an update
+// therefore keep reading their pinned versions forever; plans prepared
+// after see the new version (the old plan-cache entries miss on the new
+// version key and age out of the LRU).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tetrisjoin/internal/index"
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/relation"
+)
+
+// Options configures a catalog.
+type Options struct {
+	// PlanCache is the maximum number of prepared plans kept (default
+	// 64; negative disables caching).
+	PlanCache int
+	// DefaultSpecs are index specs maintained eagerly for every ingested
+	// relation version, in addition to whatever orders queries demand on
+	// the fly. Empty means pure build-on-demand.
+	DefaultSpecs []index.Spec
+}
+
+const defaultPlanCache = 64
+
+// Catalog is a concurrency-safe store of named, versioned relations and
+// their index registries, with a prepared-plan cache on top. All stored
+// state is immutable once published: updates publish new versions,
+// readers keep whatever they pinned.
+type Catalog struct {
+	opts   Options
+	builds atomic.Int64  // total index constructions, all registries
+	gen    atomic.Uint64 // bumped on every publish; cheap staleness check
+
+	mu    sync.RWMutex
+	rels  map[string]*relation.Relation     // current version by name
+	sets  map[*relation.Relation]*index.Set // registry per pinned snapshot
+	plans *planCache
+
+	hits, misses atomic.Int64
+}
+
+// New returns an empty catalog with default options.
+func New() *Catalog { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns an empty catalog.
+func NewWithOptions(opts Options) *Catalog {
+	size := opts.PlanCache
+	if size == 0 {
+		size = defaultPlanCache
+	}
+	return &Catalog{
+		opts:  opts,
+		rels:  map[string]*relation.Relation{},
+		sets:  map[*relation.Relation]*index.Set{},
+		plans: newPlanCache(size),
+	}
+}
+
+// Ingest registers the relation under its own name, replacing any
+// current version, and eagerly builds the given index specs (plus the
+// catalog's DefaultSpecs) over it. The relation must not be mutated by
+// the caller afterwards — the catalog owns the snapshot; grow it through
+// Append/Delete, which publish fresh versions. Returns the published
+// version stamp.
+func (c *Catalog) Ingest(rel *relation.Relation, specs ...index.Spec) (uint64, error) {
+	if rel == nil {
+		return 0, fmt.Errorf("catalog: nil relation")
+	}
+	rel.Tuples() // normalize before publishing: readers must never re-sort
+	set := index.NewSet(rel, &c.builds)
+	if err := set.Ensure(append(append([]index.Spec{}, c.opts.DefaultSpecs...), specs...)...); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.rels[rel.Name()]; ok {
+		delete(c.sets, old) // outstanding plans keep their own references
+	}
+	c.rels[rel.Name()] = rel
+	c.sets[rel] = set
+	c.gen.Add(1)
+	return rel.Version(), nil
+}
+
+// Generation returns a counter that increases on every relation publish
+// (Ingest, Append, Delete). Callers holding artifacts derived from the
+// catalog's current state — e.g. a server session reusing a prepared
+// statement for repeated textual queries — compare generations to learn
+// in O(1) whether re-preparation could see different data.
+func (c *Catalog) Generation() uint64 { return c.gen.Load() }
+
+// Append publishes a new version of the named relation with the tuples
+// added, carrying the previous version's index specs forward (each is
+// rebuilt over the new snapshot). Running queries and prepared plans
+// pinned to the old version are unaffected.
+func (c *Catalog) Append(name string, tuples ...relation.Tuple) (uint64, error) {
+	return c.update(name, func(r *relation.Relation) (*relation.Relation, error) {
+		return r.WithInserted(tuples...)
+	})
+}
+
+// Delete publishes a new version of the named relation with the tuples
+// removed (absent tuples are ignored).
+func (c *Catalog) Delete(name string, tuples ...relation.Tuple) (uint64, error) {
+	return c.update(name, func(r *relation.Relation) (*relation.Relation, error) {
+		return r.WithDeleted(tuples...)
+	})
+}
+
+// update derives and publishes a new version of a named relation,
+// carrying the maintained index specs onto the new snapshot (a serving
+// catalog keeps the same access paths warm across versions instead of
+// rediscovering them query by query). Writers race optimistically: the
+// derive-and-build work happens outside the lock, and a writer that
+// loses the publish race simply retries over the new current version,
+// so concurrent appends both land instead of one failing.
+func (c *Catalog) update(name string, derive func(*relation.Relation) (*relation.Relation, error)) (uint64, error) {
+	for {
+		c.mu.RLock()
+		cur, ok := c.rels[name]
+		var specs []index.Spec
+		if ok {
+			if set, have := c.sets[cur]; have {
+				specs = set.SpecList()
+			}
+		}
+		c.mu.RUnlock()
+		if !ok {
+			return 0, fmt.Errorf("catalog: unknown relation %q", name)
+		}
+		next, err := derive(cur)
+		if err != nil {
+			return 0, err
+		}
+		next.Tuples() // normalize before publishing
+		set := index.NewSet(next, &c.builds)
+		if err := set.Ensure(specs...); err != nil {
+			return 0, err
+		}
+		c.mu.Lock()
+		if c.rels[name] != cur {
+			c.mu.Unlock()
+			continue // lost the publish race; re-derive from the winner
+		}
+		delete(c.sets, cur)
+		c.rels[name] = next
+		c.sets[next] = set
+		c.gen.Add(1)
+		c.mu.Unlock()
+		return next.Version(), nil
+	}
+}
+
+// Relation returns the current version of the named relation.
+func (c *Catalog) Relation(name string) (*relation.Relation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.rels[name]
+	return r, ok
+}
+
+// Names returns the registered relation names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// snapshot returns the current name → relation view for query parsing.
+func (c *Catalog) snapshot() map[string]*relation.Relation {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]*relation.Relation, len(c.rels))
+	for n, r := range c.rels {
+		out[n] = r
+	}
+	return out
+}
+
+// Parse parses "R(A,B), S(B,C)" notation against the catalog's current
+// relation versions. The returned query is pinned to those versions.
+func (c *Catalog) Parse(query string) (*join.Query, error) {
+	return join.Parse(query, c.snapshot())
+}
+
+// setFor returns the index registry pinned to the given relation
+// snapshot, creating one for snapshots the catalog has not seen (the
+// path taken by PrepareQuery over externally built relations).
+func (c *Catalog) setFor(rel *relation.Relation) *index.Set {
+	c.mu.RLock()
+	set, ok := c.sets[rel]
+	c.mu.RUnlock()
+	if ok {
+		return set
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if set, ok := c.sets[rel]; ok {
+		return set
+	}
+	// Normalize under the lock: two first-time preparations over the
+	// same external unsorted relation must not race in its lazy sort.
+	rel.Tuples()
+	c.evictExternalSetsLocked() // before the add, so the new set survives
+	set = index.NewSet(rel, &c.builds)
+	c.sets[rel] = set
+	return set
+}
+
+// externalSetCap bounds registries for snapshots that are not current
+// named versions (external relations planned via PrepareQuery): a
+// long-lived catalog fed per-request relations must not grow without
+// bound. Eviction only drops the cache's reference — plans keep their
+// own — at worst costing a rebuild on a later cold preparation.
+const externalSetCap = 256
+
+// evictExternalSetsLocked trims c.sets to current named versions plus
+// at most externalSetCap external snapshots. Callers hold c.mu.
+func (c *Catalog) evictExternalSetsLocked() {
+	extra := len(c.sets) - len(c.rels) - externalSetCap
+	if extra <= 0 {
+		return
+	}
+	current := make(map[*relation.Relation]bool, len(c.rels))
+	for _, r := range c.rels {
+		current[r] = true
+	}
+	for rel := range c.sets {
+		if extra <= 0 {
+			return
+		}
+		if !current[rel] {
+			delete(c.sets, rel)
+			extra--
+		}
+	}
+}
+
+// source is the catalog's join.IndexSource: ad-hoc orders resolve
+// through the per-snapshot registries with build-on-demand and caching.
+type source struct{ c *Catalog }
+
+func (s source) IndexFor(rel *relation.Relation, order []string) (index.Index, bool, error) {
+	return s.c.setFor(rel).Get(index.BTreeSpec(order...))
+}
+
+// IndexBuilds returns the total number of index constructions the
+// catalog has performed since creation (eager and on-demand).
+func (c *Catalog) IndexBuilds() int64 { return c.builds.Load() }
+
+// Stats is a point-in-time summary of the catalog.
+type Stats struct {
+	// Relations is the number of named relations currently registered.
+	Relations int
+	// IndexSets is the number of pinned snapshots with a registry
+	// (current versions plus externally planned snapshots).
+	IndexSets int
+	// IndexBuilds is the lifetime index construction count.
+	IndexBuilds int64
+	// PlansCached is the number of prepared plans in the cache.
+	PlansCached int
+	// PlanHits and PlanMisses count Prepare cache outcomes.
+	PlanHits, PlanMisses int64
+}
+
+// Stats returns a snapshot of the catalog's counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{
+		Relations:   len(c.rels),
+		IndexSets:   len(c.sets),
+		IndexBuilds: c.builds.Load(),
+		PlansCached: c.plans.Len(),
+		PlanHits:    c.hits.Load(),
+		PlanMisses:  c.misses.Load(),
+	}
+}

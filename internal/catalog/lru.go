@@ -1,0 +1,74 @@
+package catalog
+
+import (
+	"container/list"
+	"sync"
+
+	"tetrisjoin/internal/join"
+)
+
+// planCache is a small mutex-guarded LRU of prepared plans. Plans are
+// immutable and shared, so a cached plan can be handed to any number of
+// concurrent executions; eviction merely drops the cache's reference —
+// outstanding Prepared handles keep theirs.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *planEntry
+	byKey map[string]*list.Element
+}
+
+type planEntry struct {
+	key  string
+	plan *join.Plan
+}
+
+// newPlanCache returns a cache holding at most cap plans; cap < 0
+// disables caching (every Get misses, Put is a no-op).
+func newPlanCache(cap int) *planCache {
+	return &planCache{cap: cap, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// Get returns the cached plan for the key and marks it most recently
+// used.
+func (c *planCache) Get(key string) (*join.Plan, bool) {
+	if c.cap < 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*planEntry).plan, true
+}
+
+// Put inserts or refreshes the plan under the key, evicting the least
+// recently used entry when over capacity.
+func (c *planCache) Put(key string, plan *join.Plan) {
+	if c.cap < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*planEntry).plan = plan
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&planEntry{key: key, plan: plan})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*planEntry).key)
+	}
+}
+
+// Len returns the number of cached plans.
+func (c *planCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

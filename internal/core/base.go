@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/boxtree"
+	"tetrisjoin/internal/dyadic"
+)
+
+// PreparedBase is a prebuilt shared knowledge base for Preloaded runs:
+// the oracle's full gap set inserted once (with subsumption unless the
+// build options disabled it) into a read-only boxtree. The skeleton
+// never writes to it — learned resolvents go to per-run private trees —
+// so one PreparedBase can serve any number of sequential or sharded
+// executions concurrently. Prepared plans build it on first Preloaded
+// execution and reuse it afterwards, removing the gap-set re-insertion
+// from the repeated-execution hot path; RunShards has always shared an
+// equivalent base across the shards of a single run, this type extends
+// that sharing across runs.
+type PreparedBase struct {
+	tree    *boxtree.Tree
+	loaded  int64 // distinct gap boxes inserted (the BoxesLoaded charge)
+	n       int
+	subsume bool // built with subsumption (the default)
+}
+
+// BuildPreloadedBase loads the oracle's full gap set into a fresh shared
+// base. Only Mode-independent build options matter: DisableSubsume
+// selects plain insertion, everything else is ignored.
+func BuildPreloadedBase(o Oracle, opts Options) (*PreparedBase, error) {
+	n, err := validateOracle(o)
+	if err != nil {
+		return nil, err
+	}
+	tree := boxtree.New(n)
+	insert := func(b dyadic.Box) {
+		if opts.DisableSubsume {
+			tree.Insert(b)
+		} else {
+			tree.InsertSubsuming(b)
+		}
+	}
+	loaded, err := loadGapSet(o, nil, boxtree.New(n), insert)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedBase{tree: tree, loaded: loaded, n: n, subsume: !opts.DisableSubsume}, nil
+}
+
+// Loaded returns the number of distinct gap boxes the base was built
+// from (what a fresh Preloaded run would report as BoxesLoaded).
+func (b *PreparedBase) Loaded() int64 { return b.loaded }
+
+// Len returns the number of boxes the base currently holds (after
+// subsumption).
+func (b *PreparedBase) Len() int { return b.tree.Len() }
+
+// preparedBase resolves the shared base a plain run should use: nil
+// unless the options carry one and the mode is Preloaded. A base built
+// under a different subsumption setting or dimensionality is a misuse,
+// not a silent fallback.
+func (o Options) preparedBase(n int) (*boxtree.Tree, int64, error) {
+	if o.Base == nil || o.Mode != Preloaded {
+		return nil, 0, nil
+	}
+	if o.Base.n != n {
+		return nil, 0, fmt.Errorf("core: prepared base has %d dimensions, run has %d", o.Base.n, n)
+	}
+	if o.Base.subsume == o.DisableSubsume {
+		return nil, 0, fmt.Errorf("core: prepared base subsumption setting does not match the run's (base subsume=%v, DisableSubsume=%v)", o.Base.subsume, o.DisableSubsume)
+	}
+	return o.Base.tree, o.Base.loaded, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sameTuples(a, b [][]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPreparedBaseMatchesFreshRuns: a run reusing a PreparedBase must
+// report exactly the tuples (in the same order) and the same BoxesLoaded
+// as a fresh Preloaded run, sequentially and sharded, across repeated
+// executions of the same base.
+func TestPreparedBaseMatchesFreshRuns(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		depths := depthsOf(3, 4)
+		bs := randBoxSet(r, 3, 4, 25)
+		o := MustBoxOracle(depths, bs)
+		opts := Options{Mode: Preloaded}
+
+		fresh, err := Run(o, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		base, err := BuildPreloadedBase(o, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withBase := opts
+		withBase.Base = base
+
+		for run := 0; run < 2; run++ {
+			res, err := Run(o, withBase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameTuples(res.Tuples, fresh.Tuples) {
+				t.Fatalf("trial %d run %d with base: %d tuples, fresh run %d (or order differs)",
+					trial, run, len(res.Tuples), len(fresh.Tuples))
+			}
+			if res.Stats.BoxesLoaded != fresh.Stats.BoxesLoaded {
+				t.Errorf("trial %d run %d BoxesLoaded = %d, fresh run %d",
+					trial, run, res.Stats.BoxesLoaded, fresh.Stats.BoxesLoaded)
+			}
+
+			mk := func() Oracle { return o.Clone() }
+			sharded, err := RunShards(mk, withBase, 2, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameTuples(sharded.Tuples, fresh.Tuples) {
+				t.Fatalf("trial %d sharded run %d with base: %d tuples, fresh run %d (or order differs)",
+					trial, run, len(sharded.Tuples), len(fresh.Tuples))
+			}
+			if sharded.Stats.BoxesLoaded != fresh.Stats.BoxesLoaded {
+				t.Errorf("trial %d sharded run %d BoxesLoaded = %d, fresh run %d",
+					trial, run, sharded.Stats.BoxesLoaded, fresh.Stats.BoxesLoaded)
+			}
+		}
+
+		// Mode/shape misuse is an error, not a silent fallback.
+		bad := withBase
+		bad.DisableSubsume = true
+		if _, err := Run(o, bad); err == nil {
+			t.Error("subsumption mismatch accepted")
+		}
+		// Reloaded ignores the base entirely.
+		rel := withBase
+		rel.Mode = Reloaded
+		if _, err := Run(o, rel); err != nil {
+			t.Errorf("Reloaded with a (ignored) base failed: %v", err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -56,10 +57,14 @@ func CountUncovered(depths []uint8, boxes []dyadic.Box, opts Options) (*CountRep
 		sao:     sao,
 		depths:  depths,
 		noCache: opts.NoCache,
+		ctx:     opts.Context,
 		memo:    map[string]*big.Int{},
 		stats:   &rep.Stats,
 	}
 	rep.Uncovered = c.count(dyadic.Universe(n))
+	if c.ctxErr != nil {
+		return nil, c.ctxErr
+	}
 	rep.Stats.KnowledgeBase = kb.Len()
 	return rep, nil
 }
@@ -69,6 +74,8 @@ type counter struct {
 	sao     []int
 	depths  []uint8
 	noCache bool
+	ctx     context.Context // cooperative cancellation; nil = never
+	ctxErr  error           // sticky: set once cancelled, unwinds the recursion
 	memo    map[string]*big.Int
 	stats   *Stats
 }
@@ -76,9 +83,22 @@ type counter struct {
 var bigZero = big.NewInt(0)
 var bigOne = big.NewInt(1)
 
-// count returns the number of uncovered points inside target box b.
+// count returns the number of uncovered points inside target box b. On
+// cancellation it records the context error and unwinds quickly; the
+// caller discards the partial count.
 func (c *counter) count(b dyadic.Box) *big.Int {
+	if c.ctxErr != nil {
+		return bigZero
+	}
 	c.stats.SkeletonCalls++
+	if c.ctx != nil && c.stats.SkeletonCalls&1023 == 0 {
+		select {
+		case <-c.ctx.Done():
+			c.ctxErr = c.ctx.Err()
+			return bigZero
+		default:
+		}
+	}
 	if _, ok := c.kb.ContainsSuperset(b); ok {
 		c.stats.CoverHits++
 		return bigZero

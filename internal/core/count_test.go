@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
+
+	"tetrisjoin/internal/dyadic"
 )
 
 func TestCountUncoveredAgainstEnumeration(t *testing.T) {
@@ -116,5 +119,65 @@ func TestIntersectsAnyAgainstBruteForce(t *testing.T) {
 		if got != want {
 			t.Fatalf("trial %d: IntersectsAny(%v) = %v, want %v (boxes %v)", trial, q, got, want, bs)
 		}
+	}
+}
+
+// TestCountAndCoversCancellation: a cancelled context must abort the
+// counting recursion and the Boolean skeleton (both run as one giant
+// root call with no outer-loop check point). The cancellation gate
+// fires every 1024 skeleton calls, so the instance must be heavy enough
+// to cross it — asserted, so a future shortcut cannot silently turn
+// this test into a no-op.
+func TestCountAndCoversCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(603))
+	depths := depthsOf(3, 8)
+	// Unit (point) boxes force the recursion to split all the way down
+	// to each of them — random thick boxes tend to cover the universe in
+	// one ContainsSuperset hit, which would never reach the gate.
+	var bs []dyadic.Box
+	for i := 0; i < 500; i++ {
+		b := make(dyadic.Box, 3)
+		for d := range b {
+			b[d] = dyadic.Unit(r.Uint64()&255, 8)
+		}
+		bs = append(bs, b)
+	}
+
+	rep, err := CountUncovered(depths, bs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.SkeletonCalls < 2048 {
+		t.Fatalf("instance too light to exercise the cancellation gate: %d skeleton calls", rep.Stats.SkeletonCalls)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CountUncovered(depths, bs, Options{Context: ctx}); err != context.Canceled {
+		t.Errorf("cancelled CountUncovered returned %v, want context.Canceled", err)
+	}
+
+	// Covers bails out as soon as it finds an uncovered witness, so only
+	// a fully covered instance recurses deep enough to reach the gate:
+	// tile a 2-dim space completely with unit boxes.
+	cdepths := depthsOf(2, 6)
+	var cover []dyadic.Box
+	for x := uint64(0); x < 64; x++ {
+		for y := uint64(0); y < 64; y++ {
+			cover = append(cover, dyadic.Box{dyadic.Unit(x, 6), dyadic.Unit(y, 6)})
+		}
+	}
+	crep, err := Covers(cdepths, cover, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crep.Covered {
+		t.Fatal("tiled space not covered; fixture broken")
+	}
+	if crep.Stats.SkeletonCalls < 2048 {
+		t.Fatalf("cover instance too light for the gate: %d skeleton calls", crep.Stats.SkeletonCalls)
+	}
+	if _, err := Covers(cdepths, cover, Options{Context: ctx}); err != context.Canceled {
+		t.Errorf("cancelled Covers returned %v, want context.Canceled", err)
 	}
 }

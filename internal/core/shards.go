@@ -91,9 +91,11 @@ func RunShards(newOracle func() Oracle, opts Options, parallelism, shards int) (
 	// learned resolvents go to per-shard private trees). Without this,
 	// every shard would re-insert its slice of B, and boxes thick across
 	// the shard dimension would be re-inserted by every shard.
-	var base *boxtree.Tree
-	var baseLoaded int64
-	if opts.Mode == Preloaded {
+	base, baseLoaded, err := opts.preparedBase(n)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Mode == Preloaded && base == nil {
 		base = boxtree.New(n)
 		insert := func(b dyadic.Box) {
 			if opts.DisableSubsume {
@@ -102,7 +104,6 @@ func RunShards(newOracle func() Oracle, opts Options, parallelism, shards int) (
 				base.InsertSubsuming(b)
 			}
 		}
-		var err error
 		baseLoaded, err = loadGapSet(probe, nil, boxtree.New(n), insert)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"tetrisjoin/internal/boxtree"
@@ -58,7 +59,8 @@ type skeleton struct {
 
 	scratch []dyadic.Interval // split/resolvent arena, watermark-managed
 
-	budget    *Budget // shared resolution/output quota; nil = unlimited
+	budget    *Budget         // shared resolution/output quota; nil = unlimited
+	ctx       context.Context // cooperative cancellation; nil = never cancelled
 	stats     *Stats
 	onResolve func(w1, w2, resolvent dyadic.Box, dim int)
 
@@ -86,6 +88,7 @@ func newSkeleton(n int, depths []uint8, sao []int, opts Options, stats *Stats) *
 		noCache:   opts.NoCache,
 		subsume:   !opts.DisableSubsume,
 		budget:    effectiveBudget(opts),
+		ctx:       opts.Context,
 		stats:     stats,
 		onResolve: opts.OnResolve,
 	}
@@ -135,6 +138,17 @@ func (s *skeleton) settle(mark int, w dyadic.Box) dyadic.Box {
 // (false, p) where p ∈ b is a unit box not covered by any stored box.
 func (s *skeleton) run(b dyadic.Box) (bool, dyadic.Box, error) {
 	s.stats.SkeletonCalls++
+	// Cooperative cancellation for recursions whose outer loop has no
+	// natural check point (Covers and the counting variant run one giant
+	// root call). The counter gate keeps the hot path at one branch per
+	// call and one channel poll every 1024 calls.
+	if s.ctx != nil && s.stats.SkeletonCalls&1023 == 0 {
+		select {
+		case <-s.ctx.Done():
+			return false, nil, s.ctx.Err()
+		default:
+		}
+	}
 	// Line 1: a stored box covering b is a ready-made witness. The
 	// private kb (learned resolvents, outputs, lazily loaded gaps) is
 	// probed first, then the shared read-only base if the shard has one.

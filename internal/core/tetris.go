@@ -23,7 +23,7 @@ func Run(o Oracle, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return runPlain(o, opts, sao, dyadic.Universe(n), nil)
+		return runWithBase(o, opts, sao, dyadic.Universe(n))
 	case PreloadedLB, ReloadedLB:
 		if n < 3 {
 			// The Balance map is defined for n >= 3; below that the plain
@@ -71,7 +71,28 @@ func RunBox(o Oracle, opts Options, root dyadic.Box) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runPlain(o, opts, sao, root, nil)
+	return runWithBase(o, opts, sao, root)
+}
+
+// runWithBase dispatches a plain run through runPlain, resolving the
+// optional prepared base of opts.Base and, when one is used, charging
+// its accounting (the distinct boxes it was loaded from and the boxes
+// it holds) exactly once — the same convention RunShards applies to the
+// per-run base it shares across shards.
+func runWithBase(o Oracle, opts Options, sao []int, root dyadic.Box) (*Result, error) {
+	base, baseLoaded, err := opts.preparedBase(o.Dims())
+	if err != nil {
+		return nil, err
+	}
+	res, err := runPlain(o, opts, sao, root, base)
+	if err != nil {
+		return nil, err
+	}
+	if base != nil {
+		res.Stats.BoxesLoaded += baseLoaded
+		res.Stats.KnowledgeBase += base.Len()
+	}
+	return res, nil
 }
 
 // validateOracle checks the oracle's dimension/depth report and returns

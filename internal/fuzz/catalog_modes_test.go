@@ -1,0 +1,109 @@
+package fuzz
+
+import (
+	"math/big"
+	"testing"
+
+	"tetrisjoin/internal/baseline"
+	"tetrisjoin/internal/catalog"
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/join"
+)
+
+// TestCatalogPathMatchesOneShotAllFamilies is the acceptance sweep for
+// the serving lifecycle: for every workload family and each of the
+// {materialize, count, boolean} modes, the catalog-prepared path must be
+// differentially identical to the one-shot path — same tuples in the
+// same order, same cardinality, same coverage verdict — and the second
+// execution must prove amortization with IndexBuilds == 0.
+func TestCatalogPathMatchesOneShotAllFamilies(t *testing.T) {
+	for name, q := range workloadFamilies() {
+		oneShot, err := join.Execute(q, join.Options{Mode: core.Preloaded, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s: one-shot: %v", name, err)
+		}
+
+		cat := catalog.New()
+
+		// Materialize: execute the same query twice through the catalog.
+		var prev *join.Result
+		for run := 0; run < 2; run++ {
+			res, err := cat.ExecuteQuery(q, join.Options{Mode: core.Preloaded, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("%s: catalog run %d: %v", name, run, err)
+			}
+			if d := baseline.FirstDivergence(res.Tuples, oneShot.Tuples); d != nil {
+				t.Fatalf("%s: catalog run %d diverges from one-shot at #%d: got %v, want %v",
+					name, run, d.Index, d.Got, d.Want)
+			}
+			switch run {
+			case 0:
+				if res.Stats.IndexBuilds == 0 {
+					t.Errorf("%s: first catalog run built nothing", name)
+				}
+			case 1:
+				if res.Stats.IndexBuilds != 0 {
+					t.Errorf("%s: second catalog run built %d indexes, want 0", name, res.Stats.IndexBuilds)
+				}
+				if res.Stats.Outputs != prev.Stats.Outputs {
+					t.Errorf("%s: second run Outputs %d != first %d", name, res.Stats.Outputs, prev.Stats.Outputs)
+				}
+			}
+			prev = res
+		}
+
+		// Count: prepared counting agrees with one-shot counting and the
+		// enumerated cardinality.
+		oneShotCount, _, err := join.Count(q, join.Options{})
+		if err != nil {
+			t.Fatalf("%s: one-shot count: %v", name, err)
+		}
+		catCount, cstats, err := cat.CountQuery(q, join.Options{})
+		if err != nil {
+			t.Fatalf("%s: catalog count: %v", name, err)
+		}
+		if catCount.Cmp(oneShotCount) != 0 {
+			t.Errorf("%s: catalog count %v != one-shot count %v", name, catCount, oneShotCount)
+		}
+		if catCount.Cmp(big.NewInt(int64(len(oneShot.Tuples)))) != 0 {
+			t.Errorf("%s: catalog count %v != enumerated %d", name, catCount, len(oneShot.Tuples))
+		}
+		if cstats.IndexBuilds != 0 {
+			t.Errorf("%s: catalog count built %d indexes on a warm catalog, want 0", name, cstats.IndexBuilds)
+		}
+
+		// Boolean: the prepared cover verdict matches output emptiness,
+		// with a real output tuple as witness when non-empty.
+		p, err := cat.PrepareQuery(q, join.Options{})
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", name, err)
+		}
+		rep, err := p.Covers(join.Options{})
+		if err != nil {
+			t.Fatalf("%s: covers: %v", name, err)
+		}
+		if rep.Covered != (len(oneShot.Tuples) == 0) {
+			t.Errorf("%s: Covered=%v but one-shot has %d tuples", name, rep.Covered, len(oneShot.Tuples))
+		}
+		if !rep.Covered {
+			point := rep.Witness.Values(q.Depths())
+			found := false
+			for _, tup := range oneShot.Tuples {
+				match := true
+				for i := range tup {
+					if tup[i] != point[i] {
+						match = false
+						break
+					}
+				}
+				if match {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: boolean witness %v is not an output tuple", name, point)
+			}
+		}
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"strings"
 
 	"tetrisjoin/internal/baseline"
+	"tetrisjoin/internal/catalog"
 	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/dyadic"
 	"tetrisjoin/internal/join"
@@ -174,6 +176,12 @@ func (ck *Checker) checkQuery(c Case) (*Discrepancy, error) {
 		return d, nil
 	}
 
+	// The serving lifecycle: ingest → prepare → execute twice through a
+	// catalog, under the same oracle as every other engine configuration.
+	if d := ck.checkCatalogPrepared(c, ref); d != nil {
+		return d, nil
+	}
+
 	// Tetris in every configuration. SAO candidates: every permutation
 	// (capped), plus the planner's automatic choice.
 	saos := saoCandidates(n, ck.MaxSAOs)
@@ -213,6 +221,94 @@ func (ck *Checker) checkQuery(c Case) (*Discrepancy, error) {
 		}
 	}
 	return nil, nil
+}
+
+// checkCatalogPrepared is the CatalogPrepared engine configuration: the
+// case's relations are ingested into a fresh catalog, the query is
+// prepared and executed twice per plain mode, and the runs must (a)
+// agree with the reference, (b) be byte-identical to each other in
+// enumeration order, and (c) prove amortization — the first execution
+// reports the indexes it built, the second reports IndexBuilds == 0.
+// The prepared count must agree with the reference cardinality too.
+func (ck *Checker) checkCatalogPrepared(c Case, ref [][]uint64) *Discrepancy {
+	// Rebuild the case's relations so the catalog owns fresh snapshots
+	// (the caller's query keeps its own instances untouched).
+	q, err := c.BuildQuery()
+	if err != nil {
+		return &Discrepancy{Config: "catalog-prepared", Detail: fmt.Sprintf("rebuild: %v", err)}
+	}
+	cat := catalog.New()
+	ingested := map[string]bool{}
+	var atoms []string
+	for _, a := range q.Atoms() {
+		if !ingested[a.Relation.Name()] {
+			ingested[a.Relation.Name()] = true
+			if _, err := cat.Ingest(a.Relation); err != nil {
+				return &Discrepancy{Config: "catalog-prepared", Detail: fmt.Sprintf("ingest %s: %v", a.Relation.Name(), err)}
+			}
+		}
+		atoms = append(atoms, a.Relation.Name()+"("+strings.Join(a.Vars, ",")+")")
+	}
+	text := strings.Join(atoms, ", ")
+
+	for mi, mode := range []core.Mode{core.Reloaded, core.Preloaded} {
+		config := fmt.Sprintf("catalog-prepared/%v", mode)
+		opts := join.Options{Mode: mode, Parallelism: 1}
+		first, err := cat.Execute(text, opts)
+		if err != nil {
+			return &Discrepancy{Config: config, Detail: fmt.Sprintf("first execution: %v", err)}
+		}
+		if mi == 0 && first.Stats.IndexBuilds == 0 {
+			return &Discrepancy{Config: config,
+				Detail: "cold execution reported zero index builds; preparation cost unaccounted"}
+		}
+		if mi > 0 && first.Stats.IndexBuilds != 0 {
+			// A later mode is a plan-cache miss but the index registry is
+			// already warm: cross-mode index sharing must hold.
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("mode change rebuilt %d indexes; registry should have served them", first.Stats.IndexBuilds),
+				Got:    int(first.Stats.IndexBuilds), Want: 0}
+		}
+		if d := diffTuples(config+"/first", first.Tuples, ref); d != nil {
+			return d
+		}
+		second, err := cat.Execute(text, opts)
+		if err != nil {
+			return &Discrepancy{Config: config, Detail: fmt.Sprintf("second execution: %v", err)}
+		}
+		if second.Stats.IndexBuilds != 0 {
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("second execution built %d indexes, want 0 (amortization broken)", second.Stats.IndexBuilds),
+				Got:    int(second.Stats.IndexBuilds), Want: 0}
+		}
+		// Byte-identical output: exact enumeration-order equality, not
+		// just set equality.
+		if d := baseline.FirstDivergence(second.Tuples, first.Tuples); d != nil {
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("second execution order differs from first (%d tuples vs %d)", len(second.Tuples), len(first.Tuples)),
+				Got:    len(second.Tuples), Want: len(first.Tuples), Diff: d}
+		}
+		if second.Stats.Outputs != first.Stats.Outputs {
+			return &Discrepancy{Config: config,
+				Detail: fmt.Sprintf("second execution Outputs %d != first %d", second.Stats.Outputs, first.Stats.Outputs),
+				Got:    int(second.Stats.Outputs), Want: int(first.Stats.Outputs)}
+		}
+	}
+
+	count, cstats, err := cat.Count(text, join.Options{})
+	if err != nil {
+		return &Discrepancy{Config: "catalog-prepared/count", Detail: fmt.Sprintf("engine error: %v", err)}
+	}
+	if count.Cmp(big.NewInt(int64(len(ref)))) != 0 {
+		return &Discrepancy{Config: "catalog-prepared/count",
+			Detail: fmt.Sprintf("prepared count %v != reference cardinality %d", count, len(ref)),
+			Want:   len(ref)}
+	}
+	if cstats.IndexBuilds != 0 {
+		return &Discrepancy{Config: "catalog-prepared/count",
+			Detail: fmt.Sprintf("cached count built %d indexes, want 0", cstats.IndexBuilds)}
+	}
+	return nil
 }
 
 // checkBaselines cross-checks every classical engine against the

@@ -1,0 +1,199 @@
+package index
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tetrisjoin/internal/relation"
+)
+
+// Family names an index family a Spec can ask for.
+type Family int
+
+const (
+	// BTreeFamily is the Sorted (B-tree/trie) index in a chosen attribute
+	// order.
+	BTreeFamily Family = iota
+	// DyadicFamily is the dyadic-tree (quadtree-like) index.
+	DyadicFamily
+	// KDTreeFamily is the median-split k-d tree index.
+	KDTreeFamily
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case BTreeFamily:
+		return "btree"
+	case DyadicFamily:
+		return "dyadic"
+	case KDTreeFamily:
+		return "kdtree"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Spec describes an index to build or look up: the family plus, for the
+// order-sensitive B-tree family, the attribute order. A Spec is the unit
+// of the catalog's index registry — the catalog records which specs each
+// relation maintains, builds them once per relation version at ingest
+// time, and resolves ad-hoc orders through the same registry with
+// build-on-demand.
+type Spec struct {
+	// Family selects the index family.
+	Family Family
+	// Order is the attribute-name order for BTreeFamily (empty = schema
+	// order). Ignored by the order-insensitive families.
+	Order []string
+}
+
+// BTreeSpec describes a sorted index in the given attribute order.
+func BTreeSpec(order ...string) Spec { return Spec{Family: BTreeFamily, Order: order} }
+
+// DyadicSpec describes a dyadic-tree index.
+func DyadicSpec() Spec { return Spec{Family: DyadicFamily} }
+
+// KDTreeSpec describes a k-d tree index.
+func KDTreeSpec() Spec { return Spec{Family: KDTreeFamily} }
+
+// Key returns the spec's canonical identity, e.g. "btree(B,A)" or
+// "dyadic". Two specs with equal keys describe the same index over a
+// given relation.
+func (s Spec) Key() string {
+	if s.Family == BTreeFamily {
+		return "btree(" + strings.Join(s.Order, ",") + ")"
+	}
+	return s.Family.String()
+}
+
+// Build constructs the described index over the relation.
+func (s Spec) Build(rel *relation.Relation) (Index, error) {
+	switch s.Family {
+	case BTreeFamily:
+		return NewSorted(rel, s.Order...)
+	case DyadicFamily:
+		return NewDyadic(rel), nil
+	case KDTreeFamily:
+		return NewKDTree(rel), nil
+	default:
+		return nil, fmt.Errorf("index: unknown family %v", s.Family)
+	}
+}
+
+// Set is the per-relation-version index registry: a concurrency-safe
+// collection of built indexes keyed by Spec. All indexes in a set cover
+// one immutable relation snapshot; each spec is built at most once and
+// shared read-only afterwards (indexes are immutable, per-worker state
+// lives in cursors). Builds are counted through the shared counter the
+// set was created with, which is how the catalog proves that prepared
+// executions perform zero index construction.
+type Set struct {
+	rel    *relation.Relation
+	builds *atomic.Int64 // shared build counter, may be nil
+
+	mu    sync.RWMutex
+	byKey map[string]setEntry
+}
+
+// setEntry keeps the built index together with the spec that described
+// it, so SpecList can hand exact specs (not parsed-back keys) to a new
+// relation version's registry.
+type setEntry struct {
+	ix   Index
+	spec Spec
+}
+
+// NewSet returns an empty registry over the relation. builds, when
+// non-nil, is incremented once per index actually constructed (eager or
+// on-demand).
+func NewSet(rel *relation.Relation, builds *atomic.Int64) *Set {
+	return &Set{rel: rel, builds: builds, byKey: map[string]setEntry{}}
+}
+
+// Relation returns the registry's relation snapshot.
+func (s *Set) Relation() *relation.Relation { return s.rel }
+
+// canonical resolves a spec against the set's relation so equivalent
+// specs share one cache slot: an empty B-tree order means schema order,
+// and without this a maintained BTreeSpec() would never be found by a
+// query demanding the same order by explicit attribute names.
+func (s *Set) canonical(spec Spec) Spec {
+	if spec.Family == BTreeFamily && len(spec.Order) == 0 {
+		spec.Order = s.rel.Attrs()
+	}
+	return spec
+}
+
+// Get returns the index described by the spec, building and caching it
+// on first use. Concurrent Gets are safe; a spec is built at most once.
+func (s *Set) Get(spec Spec) (Index, bool, error) {
+	spec = s.canonical(spec)
+	key := spec.Key()
+	s.mu.RLock()
+	e, ok := s.byKey[key]
+	s.mu.RUnlock()
+	if ok {
+		return e.ix, false, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.byKey[key]; ok {
+		return e.ix, false, nil
+	}
+	ix, err := spec.Build(s.rel)
+	if err != nil {
+		return nil, false, err
+	}
+	s.byKey[key] = setEntry{ix: ix, spec: spec}
+	if s.builds != nil {
+		s.builds.Add(1)
+	}
+	return ix, true, nil
+}
+
+// Ensure builds every given spec that is not present yet (the eager
+// ingest-time path).
+func (s *Set) Ensure(specs ...Spec) error {
+	for _, spec := range specs {
+		if _, _, err := s.Get(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Specs returns the keys of the indexes currently held, sorted order not
+// guaranteed; for introspection and tests.
+func (s *Set) Specs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SpecList returns the exact specs of the indexes currently held — what
+// a registry over a new version of the relation should maintain. Unlike
+// Specs it never round-trips through key strings, so attribute names
+// are preserved verbatim.
+func (s *Set) SpecList() []Spec {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	specs := make([]Spec, 0, len(s.byKey))
+	for _, e := range s.byKey {
+		specs = append(specs, e.spec)
+	}
+	return specs
+}
+
+// Len returns the number of indexes held.
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byKey)
+}

@@ -1,0 +1,137 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tetrisjoin/internal/relation"
+)
+
+func TestSpecKeyAndBuild(t *testing.T) {
+	rel := relation.MustNewUniform("R", []string{"a", "b"}, 4)
+	rel.MustInsert(1, 2)
+
+	cases := []struct {
+		spec Spec
+		key  string
+		kind string
+	}{
+		{BTreeSpec("b", "a"), "btree(b,a)", "btree(b,a)"},
+		{BTreeSpec(), "btree()", "btree(a,b)"},
+		{DyadicSpec(), "dyadic", "dyadic"},
+		{KDTreeSpec(), "kdtree", "kdtree"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Key(); got != c.key {
+			t.Errorf("Key(%v) = %q, want %q", c.spec, got, c.key)
+		}
+		ix, err := c.spec.Build(rel)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", c.spec, err)
+		}
+		if ix.Kind() != c.kind {
+			t.Errorf("Build(%v).Kind() = %q, want %q", c.spec, ix.Kind(), c.kind)
+		}
+	}
+
+	if _, err := BTreeSpec("nope").Build(rel); err == nil {
+		t.Error("Build with unknown attribute succeeded")
+	}
+}
+
+func TestSetBuildsOnceAndCounts(t *testing.T) {
+	rel := relation.MustNewUniform("R", []string{"a", "b"}, 4)
+	rel.MustInsert(1, 2)
+	rel.MustInsert(2, 3)
+
+	var builds atomic.Int64
+	set := NewSet(rel, &builds)
+
+	ix1, built, err := set.Get(BTreeSpec("b", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !built {
+		t.Error("first Get did not build")
+	}
+	ix2, built, err := set.Get(BTreeSpec("b", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built {
+		t.Error("second Get rebuilt the index")
+	}
+	if ix1 != ix2 {
+		t.Error("second Get returned a different index")
+	}
+	if builds.Load() != 1 {
+		t.Errorf("builds = %d, want 1", builds.Load())
+	}
+
+	if err := set.Ensure(BTreeSpec("b", "a"), DyadicSpec(), KDTreeSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 3 {
+		t.Errorf("builds after Ensure = %d, want 3", builds.Load())
+	}
+	if set.Len() != 3 {
+		t.Errorf("set holds %d indexes, want 3", set.Len())
+	}
+}
+
+func TestSetConcurrentGet(t *testing.T) {
+	rel := relation.MustNewUniform("R", []string{"a", "b"}, 6)
+	for v := uint64(0); v < 20; v++ {
+		rel.MustInsert(v%13, (v*7)%13)
+	}
+	var builds atomic.Int64
+	set := NewSet(rel, &builds)
+
+	specs := []Spec{BTreeSpec("a", "b"), BTreeSpec("b", "a"), DyadicSpec(), KDTreeSpec()}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ix, _, err := set.Get(specs[i%len(specs)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Probe through a private cursor to exercise shared reads.
+				ix.NewCursor().GapsAt([]uint64{1, 2})
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != int64(len(specs)) {
+		t.Errorf("builds = %d, want %d (each spec exactly once)", builds.Load(), len(specs))
+	}
+}
+
+func TestBTreeSpecCanonicalizesEmptyOrder(t *testing.T) {
+	// A maintained schema-order index (BTreeSpec()) must be found by a
+	// demand that names the same order explicitly, and vice versa.
+	rel := relation.MustNewUniform("R", []string{"a", "b"}, 4)
+	rel.MustInsert(1, 2)
+	var builds atomic.Int64
+	set := NewSet(rel, &builds)
+	if _, built, err := set.Get(BTreeSpec()); err != nil || !built {
+		t.Fatalf("eager schema-order build: built=%v err=%v", built, err)
+	}
+	ix, built, err := set.Get(BTreeSpec("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built {
+		t.Error("explicit schema-order demand rebuilt the maintained index")
+	}
+	if ix.Kind() != "btree(a,b)" {
+		t.Errorf("Kind = %q", ix.Kind())
+	}
+	if builds.Load() != 1 {
+		t.Errorf("builds = %d, want 1", builds.Load())
+	}
+}

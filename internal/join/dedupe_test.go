@@ -1,0 +1,80 @@
+package join
+
+import (
+	"testing"
+
+	"tetrisjoin/internal/relation"
+)
+
+// TestSelfJoinIndexDedupe pins the (relation, attribute order) index
+// dedupe: a triangle self-join R(A,B), R(B,C), R(A,C) under the natural
+// SAO needs the same schema-order index for all three atoms, so exactly
+// one index must be built and shared, where the pre-registry planner
+// built three identical ones.
+func TestSelfJoinIndexDedupe(t *testing.T) {
+	r := relation.MustNewUniform("R", []string{"x", "y"}, 4)
+	r.MustInsert(1, 2)
+	r.MustInsert(2, 3)
+	r.MustInsert(1, 3)
+	r.MustInsert(3, 4)
+
+	q, err := NewQuery(
+		Atom{Relation: r, Vars: []string{"A", "B"}},
+		Atom{Relation: r, Vars: []string{"B", "C"}},
+		Atom{Relation: r, Vars: []string{"A", "C"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := NewPlan(q, Options{SAOVars: []string{"A", "B", "C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under SAO (A,B,C) every atom's variables are already SAO-ranked in
+	// schema order, so all three atoms need btree(x,y): one build.
+	if p.IndexBuilds() != 1 {
+		t.Errorf("IndexBuilds = %d, want 1 (three atoms share one (relation, order) index)", p.IndexBuilds())
+	}
+	ix := p.Indices()
+	if ix[0] != ix[1] || ix[0] != ix[2] {
+		t.Errorf("atoms did not share the index: %p %p %p", ix[0], ix[1], ix[2])
+	}
+
+	res, err := p.Execute(Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 || res.Tuples[0][0] != 1 || res.Tuples[0][1] != 2 || res.Tuples[0][2] != 3 {
+		t.Errorf("triangle output = %v, want [[1 2 3]]", res.Tuples)
+	}
+
+	// A mirrored self-join R(A,B), R(B,A) needs opposite orders: two
+	// distinct indexes, no false sharing.
+	q2, err := NewQuery(
+		Atom{Relation: r, Vars: []string{"A", "B"}},
+		Atom{Relation: r, Vars: []string{"B", "A"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPlan(q2, Options{SAOVars: []string{"A", "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.IndexBuilds() != 2 {
+		t.Errorf("mirrored self-join IndexBuilds = %d, want 2 (orders differ)", p2.IndexBuilds())
+	}
+	if p2.Indices()[0] == p2.Indices()[1] {
+		t.Error("mirrored self-join shared one index across different orders")
+	}
+
+	// The one-shot path charges the builds to the execution that planned.
+	res2, err := Execute(q, Options{SAOVars: []string{"A", "B", "C"}, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.IndexBuilds != 1 {
+		t.Errorf("one-shot Execute Stats.IndexBuilds = %d, want 1", res2.Stats.IndexBuilds)
+	}
+}

@@ -55,6 +55,21 @@ type Options struct {
 	// Context, if non-nil, cancels execution cooperatively; the run
 	// returns the context's error.
 	Context context.Context
+	// Budget, when non-nil, replaces MaxResolutions/MaxOutput with a
+	// work quota shared across several executions: a serving session
+	// hands the same budget to every query it runs so the limits cap the
+	// session's combined work, not each call's. Forwarded to the core
+	// engine (core.Options.Budget).
+	Budget *core.Budget
+	// SharedBase lets a Preloaded execution reuse the plan's memoized
+	// shared knowledge base (Plan.PreloadedBase) instead of re-inserting
+	// the full gap set: the amortization that makes repeated executions
+	// of one prepared plan cheap. Catalog-prepared executions set it;
+	// the one-shot path leaves it false so single executions keep the
+	// paper's sequential accounting exactly. Ignored outside Preloaded
+	// mode and under DisableSubsume (the base is built with
+	// subsumption).
+	SharedBase bool
 	// NoCache, SinglePass, DisableSubsume, TrackProvenance,
 	// MaxResolutions, MaxOutput and OnOutput are forwarded to the core
 	// engine; see core.Options. With Parallelism > 1, MaxResolutions and
@@ -134,13 +149,44 @@ func ChooseSAO(q *Query, opts Options) ([]int, error) {
 
 // BuildIndices returns one index per atom: the atom's own indices pooled
 // into a Union when provided, and otherwise a B-tree index consistent
-// with the given SAO (the GAO-consistency default of the paper).
+// with the given SAO (the GAO-consistency default of the paper). Atoms
+// referencing the same relation with the same needed attribute order
+// share one index.
 func BuildIndices(q *Query, sao []int) ([]index.Index, error) {
+	indices, _, err := buildIndices(q, sao, NewIndexBuilder())
+	return indices, err
+}
+
+// SAOIndexOrder returns the attribute order (names of the atom's
+// relation) a default index for the atom must use to stay consistent
+// with the SAO: the relation's attributes sorted by the SAO rank of the
+// variables they bind. This is the lookup key the catalog's registry
+// resolves ad-hoc orders with.
+func SAOIndexOrder(q *Query, a Atom, sao []int) []string {
 	saoRank := make([]int, len(q.vars))
 	for r, pos := range sao {
 		saoRank[pos] = r
 	}
+	schema := a.Relation.Attrs()
+	rank := make([]int, len(schema))
+	perm := make([]int, len(schema))
+	for i := range schema {
+		rank[i] = saoRank[q.varPos[a.Vars[i]]]
+		perm[i] = i
+	}
+	sort.Slice(perm, func(x, y int) bool { return rank[perm[x]] < rank[perm[y]] })
+	attrs := make([]string, len(schema))
+	for i, pos := range perm {
+		attrs[i] = schema[pos]
+	}
+	return attrs
+}
+
+// buildIndices resolves one index per atom through the given source,
+// returning how many indexes the source had to construct.
+func buildIndices(q *Query, sao []int, src IndexSource) ([]index.Index, int64, error) {
 	out := make([]index.Index, len(q.atoms))
+	var builds int64
 	for ai, a := range q.atoms {
 		if len(a.Indexes) == 1 {
 			out[ai] = a.Indexes[0]
@@ -149,33 +195,21 @@ func BuildIndices(q *Query, sao []int) ([]index.Index, error) {
 		if len(a.Indexes) > 1 {
 			u, err := index.NewUnion(a.Indexes...)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			out[ai] = u
 			continue
 		}
-		// Sort the relation's attributes by SAO rank of their variables:
-		// precompute each attribute position's rank once, then order the
-		// names by it.
-		schema := a.Relation.Attrs()
-		rank := make([]int, len(schema))
-		perm := make([]int, len(schema))
-		for i := range schema {
-			rank[i] = saoRank[q.varPos[a.Vars[i]]]
-			perm[i] = i
-		}
-		sort.Slice(perm, func(x, y int) bool { return rank[perm[x]] < rank[perm[y]] })
-		attrs := make([]string, len(schema))
-		for i, pos := range perm {
-			attrs[i] = schema[pos]
-		}
-		ix, err := index.NewSorted(a.Relation, attrs...)
+		ix, built, err := src.IndexFor(a.Relation, SAOIndexOrder(q, a, sao))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
+		}
+		if built {
+			builds++
 		}
 		out[ai] = ix
 	}
-	return out, nil
+	return out, builds, nil
 }
 
 // Count returns the exact number of output tuples of the query without
@@ -187,15 +221,43 @@ func Count(q *Query, opts Options) (*big.Int, core.Stats, error) {
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
-	oracle := p.NewOracle()
-	rep, err := core.CountUncovered(oracle.Depths(), oracle.AllGaps(), core.Options{
+	count, stats, err := p.Count(opts)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	stats.IndexBuilds = p.builds
+	return count, stats, nil
+}
+
+// Count runs the counting variant over the prepared plan, reusing its
+// indices and memoized gap set; no index is built. opts.Context cancels
+// the count cooperatively. The counting skeleton performs no geometric
+// resolutions, so MaxResolutions/Budget do not apply to it.
+func (p *Plan) Count(opts Options) (*big.Int, core.Stats, error) {
+	rep, err := core.CountUncovered(p.q.Depths(), p.AllGaps(), core.Options{
 		SAO:     p.sao,
 		NoCache: opts.NoCache,
+		Context: opts.Context,
 	})
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
 	return rep.Uncovered, rep.Stats, nil
+}
+
+// Covers runs the Boolean variant over the prepared plan: whether the
+// query's gap set covers the whole space (empty join output), with a
+// witness output tuple when it does not. opts.Context cancels the
+// search cooperatively and its resolutions charge opts.Budget (or
+// MaxResolutions) like any other run.
+func (p *Plan) Covers(opts Options) (*core.CoverReport, error) {
+	return core.Covers(p.q.Depths(), p.AllGaps(), core.Options{
+		SAO:            p.sao,
+		NoCache:        opts.NoCache,
+		MaxResolutions: opts.MaxResolutions,
+		Budget:         opts.Budget,
+		Context:        opts.Context,
+	})
 }
 
 // Execute runs the join and returns its result. The reduction follows
@@ -207,7 +269,16 @@ func Execute(q *Query, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.Execute(opts)
+	res, err := p.Execute(opts)
+	if err != nil {
+		return nil, err
+	}
+	// The one-shot path built the plan inside this call, so its index
+	// constructions are charged to this execution. Prepared plans report
+	// their build cost at preparation (Plan.IndexBuilds); their
+	// executions report 0 here.
+	res.Stats.IndexBuilds = p.builds
+	return res, nil
 }
 
 // coreOptions translates execution options for the core engine.
@@ -221,6 +292,7 @@ func (p *Plan) coreOptions(opts Options) core.Options {
 		TrackProvenance: opts.TrackProvenance,
 		MaxResolutions:  opts.MaxResolutions,
 		MaxOutput:       opts.MaxOutput,
+		Budget:          opts.Budget,
 		OnOutput:        opts.OnOutput,
 		Context:         opts.Context,
 	}
@@ -248,7 +320,7 @@ func (p *Plan) Execute(opts Options) (*Result, error) {
 	}
 	parallelism := opts.Parallelism
 	if parallelism == 0 {
-		if opts.MaxOutput > 0 || opts.MaxResolutions > 0 || opts.OnOutput != nil {
+		if opts.MaxOutput > 0 || opts.MaxResolutions > 0 || opts.Budget != nil || opts.OnOutput != nil {
 			// Work limits and streaming stay sequential by default so
 			// their semantics are machine-independent: MaxOutput then
 			// always returns the first K tuples in enumeration order
@@ -283,13 +355,21 @@ func (p *Plan) Execute(opts Options) (*Result, error) {
 	}
 	lb := opts.Mode == core.PreloadedLB || opts.Mode == core.ReloadedLB
 
+	copts := p.coreOptions(opts)
+	if opts.SharedBase && opts.Mode == core.Preloaded && !opts.DisableSubsume {
+		base, err := p.PreloadedBase()
+		if err != nil {
+			return nil, err
+		}
+		copts.Base = base
+	}
 	var coreRes *core.Result
 	var err error
 	if lb || (parallelism == 1 && shards == 1) {
-		coreRes, err = core.Run(p.NewOracle(), p.coreOptions(opts))
+		coreRes, err = core.Run(p.NewOracle(), copts)
 	} else {
 		coreRes, err = core.RunShards(func() core.Oracle { return p.NewOracle() },
-			p.coreOptions(opts), parallelism, shards)
+			copts, parallelism, shards)
 	}
 	if err != nil {
 		return nil, err

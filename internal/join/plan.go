@@ -3,9 +3,60 @@ package join
 import (
 	"sync"
 
+	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/dyadic"
 	"tetrisjoin/internal/index"
+	"tetrisjoin/internal/relation"
 )
+
+// IndexSource supplies the per-atom indexes a plan probes. IndexFor
+// returns an index over rel whose gap boxes suit the given attribute
+// order (the GAO-consistency requirement for default B-tree indexes),
+// and reports whether the call had to construct a new index — the
+// charge behind Stats.IndexBuilds.
+//
+// Two implementations exist: the self-contained builder used by NewPlan
+// (fresh indexes per plan, deduplicated within the plan so self-joins
+// sharing an attribute order share one index) and the catalog's
+// registry-backed source, which reuses indexes across queries and
+// relation versions so prepared executions build nothing at all.
+type IndexSource interface {
+	IndexFor(rel *relation.Relation, order []string) (ix index.Index, built bool, err error)
+}
+
+// builderKey identifies one (relation instance, attribute order) index
+// within a self-contained plan preparation.
+type builderKey struct {
+	rel   *relation.Relation
+	order string
+}
+
+// indexBuilder is the self-contained IndexSource: it builds a sorted
+// index per distinct (relation, order) pair and caches it for the
+// duration of one preparation, so a query referencing the same relation
+// with the same needed order twice — a self-join under an SAO that
+// ranks both atoms' variables alike — builds one index, not two.
+type indexBuilder struct {
+	cache map[builderKey]index.Index
+}
+
+// NewIndexBuilder returns the default self-contained index source.
+func NewIndexBuilder() IndexSource {
+	return &indexBuilder{cache: map[builderKey]index.Index{}}
+}
+
+func (b *indexBuilder) IndexFor(rel *relation.Relation, order []string) (index.Index, bool, error) {
+	key := builderKey{rel: rel, order: index.BTreeSpec(order...).Key()}
+	if ix, ok := b.cache[key]; ok {
+		return ix, false, nil
+	}
+	ix, err := index.NewSorted(rel, order...)
+	if err != nil {
+		return nil, false, err
+	}
+	b.cache[key] = ix
+	return ix, true, nil
+}
 
 // Plan is the prepared, immutable form of a query: the splitting
 // attribute order has been chosen, per-atom indices built (or validated)
@@ -21,23 +72,44 @@ type Plan struct {
 	indices  []index.Index
 	bindings []atomBinding
 	maxArity int
+	builds   int64 // indexes constructed during preparation
 
 	// The full gap box set B(Q) is computed at most once per plan and
 	// shared read-only by every Preloaded shard.
 	gapsOnce sync.Once
 	gaps     []dyadic.Box
+
+	// The shared Preloaded knowledge base (the gap set pre-inserted into
+	// a read-only boxtree) is likewise built at most once and reused by
+	// every subsequent Preloaded execution of the plan.
+	baseOnce sync.Once
+	base     *core.PreparedBase
+	baseErr  error
 }
 
 // NewPlan prepares a query for execution: SAO choice (opts.SAOVars or
 // opts.Strategy), index build and binding resolution. The returned plan
 // ignores the execution-time fields of opts (mode, limits, callbacks);
-// those are supplied per Execute call.
+// those are supplied per Execute call. Indexes are built fresh, one per
+// distinct (relation, attribute order) pair; long-lived callers that
+// want index construction amortized across queries prepare through a
+// catalog instead (PreparePlan with the catalog's IndexSource).
 func NewPlan(q *Query, opts Options) (*Plan, error) {
+	return PreparePlan(q, opts, NewIndexBuilder())
+}
+
+// PreparePlan is NewPlan with an explicit index source: the catalog-
+// backed preparation path. No index is constructed beyond what the
+// source decides to build; the plan records how many constructions the
+// preparation caused (Plan.IndexBuilds), and executions of the returned
+// plan never build — the hot path is free of index construction by
+// construction.
+func PreparePlan(q *Query, opts Options, src IndexSource) (*Plan, error) {
 	sao, err := ChooseSAO(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	indices, err := BuildIndices(q, sao)
+	indices, builds, err := buildIndices(q, sao, src)
 	if err != nil {
 		return nil, err
 	}
@@ -45,7 +117,7 @@ func NewPlan(q *Query, opts Options) (*Plan, error) {
 	for i, pos := range sao {
 		saoVars[i] = q.vars[pos]
 	}
-	p := &Plan{q: q, sao: sao, saoVars: saoVars, indices: indices}
+	p := &Plan{q: q, sao: sao, saoVars: saoVars, indices: indices, builds: builds}
 	for ai, a := range q.atoms {
 		relPos := make([]int, len(a.Vars))
 		for i, v := range a.Vars {
@@ -68,8 +140,14 @@ func (p *Plan) SAOVars() []string { return p.saoVars }
 // SAO returns the chosen splitting attribute order as variable positions.
 func (p *Plan) SAO() []int { return p.sao }
 
-// Indices returns the per-atom indices the plan probes.
+// Indices returns the per-atom indices the plan probes. Atoms may share
+// an entry (self-joins over one attribute order share one index).
 func (p *Plan) Indices() []index.Index { return p.indices }
+
+// IndexBuilds returns the number of indexes constructed while preparing
+// this plan: 0 when every index came from a warm source (the catalog's
+// registry), the distinct (relation, order) count when built fresh.
+func (p *Plan) IndexBuilds() int64 { return p.builds }
 
 // AllGaps returns the query's full gap box set B(Q), computed on first
 // use and shared afterwards. The slice and its boxes are read-only.
@@ -78,6 +156,17 @@ func (p *Plan) AllGaps() []dyadic.Box {
 		p.gaps = allGaps(p.q, p.bindings)
 	})
 	return p.gaps
+}
+
+// PreloadedBase returns the plan's shared Preloaded knowledge base,
+// built on first use from the memoized gap set and reused read-only by
+// every later Preloaded execution. It is always built with subsumption;
+// DisableSubsume runs must not use it (Plan.Execute skips it for them).
+func (p *Plan) PreloadedBase() (*core.PreparedBase, error) {
+	p.baseOnce.Do(func() {
+		p.base, p.baseErr = core.BuildPreloadedBase(p.NewOracle(), core.Options{Mode: core.Preloaded})
+	})
+	return p.base, p.baseErr
 }
 
 // NewOracle instantiates a per-worker oracle over the plan: fresh index

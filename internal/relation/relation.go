@@ -11,6 +11,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"tetrisjoin/internal/dyadic"
 )
@@ -37,14 +38,32 @@ func Compare(a, b Tuple) int {
 	return 0
 }
 
+// idCounter and stateCounter are the process-wide sources of relation
+// identity and version stamps. Both only ever increase, so an (ID,
+// Version) pair names exactly one observable tuple-set state.
+var (
+	idCounter    atomic.Uint64
+	stateCounter atomic.Uint64
+)
+
 // Relation is an instance of a relational schema: a set of tuples over
 // named attributes, each with a bit depth bounding its domain.
+//
+// Every relation carries a stable identity (ID, assigned at creation and
+// inherited by versions derived via WithInserted/WithDeleted) and a
+// version stamp (Version, bumped on every mutation or derivation). The
+// stamps let long-lived callers — the catalog's prepared-plan cache in
+// particular — key immutable artifacts by the exact tuple-set state they
+// were built against: no two distinct states in a process ever share an
+// (ID, Version) pair.
 type Relation struct {
-	name   string
-	attrs  []string
-	depths []uint8
-	tuples []Tuple
-	sorted bool
+	name    string
+	id      uint64
+	version uint64
+	attrs   []string
+	depths  []uint8
+	tuples  []Tuple
+	sorted  bool
 }
 
 // New creates an empty relation with the given name, attribute names and
@@ -72,10 +91,12 @@ func New(name string, attrs []string, depths []uint8) (*Relation, error) {
 		}
 	}
 	return &Relation{
-		name:   name,
-		attrs:  append([]string(nil), attrs...),
-		depths: append([]uint8(nil), depths...),
-		sorted: true,
+		name:    name,
+		id:      idCounter.Add(1),
+		version: stateCounter.Add(1),
+		attrs:   append([]string(nil), attrs...),
+		depths:  append([]uint8(nil), depths...),
+		sorted:  true,
 	}, nil
 }
 
@@ -109,6 +130,17 @@ func MustNewUniform(name string, attrs []string, depth uint8) *Relation {
 // Name returns the relation's name.
 func (r *Relation) Name() string { return r.name }
 
+// ID returns the relation's stable identity: assigned at creation,
+// shared by every version derived through WithInserted/WithDeleted, and
+// never reused within a process.
+func (r *Relation) ID() uint64 { return r.id }
+
+// Version returns the relation's modification stamp. It increases with
+// every Insert and every derived version; distinct tuple-set states of
+// any relation in the process never share a stamp, so (ID, Version) is
+// a sound cache key for artifacts built against this exact state.
+func (r *Relation) Version() uint64 { return r.version }
+
 // Attrs returns the attribute names in schema order.
 func (r *Relation) Attrs() []string { return r.attrs }
 
@@ -136,6 +168,7 @@ func (r *Relation) Insert(values ...uint64) error {
 	copy(t, values)
 	r.tuples = append(r.tuples, t)
 	r.sorted = false
+	r.version = stateCounter.Add(1)
 	return nil
 }
 
@@ -263,4 +296,65 @@ func (r *Relation) Clone(name string) *Relation {
 		c.MustInsert(t...)
 	}
 	return c
+}
+
+// derive returns a new version of the relation: same name, schema and
+// identity, a fresh version stamp, and its own tuple slice (the Tuple
+// values themselves are shared — they are never mutated in place). The
+// receiver is normalized first so published versions stay safe for
+// concurrent readers: a derived version never re-sorts its parent.
+func (r *Relation) derive(extra int) *Relation {
+	r.normalize()
+	tuples := make([]Tuple, len(r.tuples), len(r.tuples)+extra)
+	copy(tuples, r.tuples)
+	return &Relation{
+		name:    r.name,
+		id:      r.id,
+		version: stateCounter.Add(1),
+		attrs:   r.attrs,
+		depths:  r.depths,
+		tuples:  tuples,
+		sorted:  true,
+	}
+}
+
+// WithInserted returns a new version of the relation with the tuples
+// appended (deduplicated as usual). The receiver is unchanged, so
+// readers holding it — index structures, running queries — keep seeing
+// the old state: this is the append half of the catalog's copy-on-write
+// ingest.
+func (r *Relation) WithInserted(tuples ...Tuple) (*Relation, error) {
+	next := r.derive(len(tuples))
+	for _, t := range tuples {
+		if err := next.Insert(t...); err != nil {
+			return nil, err
+		}
+	}
+	next.normalize()
+	return next, nil
+}
+
+// WithDeleted returns a new version of the relation with the given
+// tuples removed (tuples not present are ignored). The receiver is
+// unchanged; this is the delete half of copy-on-write ingest.
+func (r *Relation) WithDeleted(tuples ...Tuple) (*Relation, error) {
+	drop := make([]Tuple, len(tuples))
+	for i, t := range tuples {
+		if len(t) != len(r.attrs) {
+			return nil, fmt.Errorf("relation: %s delete arity %d, want %d", r.name, len(t), len(r.attrs))
+		}
+		drop[i] = t
+	}
+	sort.Slice(drop, func(i, j int) bool { return Compare(drop[i], drop[j]) < 0 })
+	next := r.derive(0)
+	kept := next.tuples[:0]
+	for _, t := range next.tuples {
+		i := sort.Search(len(drop), func(i int) bool { return Compare(drop[i], t) >= 0 })
+		if i < len(drop) && Compare(drop[i], t) == 0 {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	next.tuples = kept
+	return next, nil
 }

@@ -204,3 +204,58 @@ func TestEncoderEmptyAndSingle(t *testing.T) {
 		t.Errorf("single-value encoder depth = %d, want 1", d)
 	}
 }
+
+func TestVersioningAndIngest(t *testing.T) {
+	r := MustNewUniform("R", []string{"a", "b"}, 4)
+	if r.ID() == 0 || r.Version() == 0 {
+		t.Fatalf("fresh relation has zero identity: id=%d version=%d", r.ID(), r.Version())
+	}
+	r2 := MustNewUniform("R", []string{"a", "b"}, 4)
+	if r2.ID() == r.ID() {
+		t.Fatalf("two relations share ID %d", r.ID())
+	}
+
+	v0 := r.Version()
+	r.MustInsert(1, 2)
+	if r.Version() == v0 {
+		t.Error("Insert did not bump the version stamp")
+	}
+
+	base := r
+	v1, err := base.WithInserted(Tuple{2, 3}, Tuple{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.ID() != base.ID() {
+		t.Errorf("derived version changed identity: %d vs %d", v1.ID(), base.ID())
+	}
+	if v1.Version() == base.Version() {
+		t.Error("derived version shares the parent's stamp")
+	}
+	if base.Len() != 1 || v1.Len() != 2 {
+		t.Errorf("copy-on-write violated: base has %d tuples, derived %d (want 1, 2)", base.Len(), v1.Len())
+	}
+
+	v2, err := v1.WithDeleted(Tuple{1, 2}, Tuple{9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Len() != 2 || v2.Len() != 1 {
+		t.Errorf("delete mutated parent: parent %d tuples, derived %d (want 2, 1)", v1.Len(), v2.Len())
+	}
+	if !v2.Contains(2, 3) || v2.Contains(1, 2) {
+		t.Errorf("WithDeleted kept the wrong tuples: %v", v2.Tuples())
+	}
+
+	// Error paths: bad arity and out-of-domain values must not produce a
+	// version.
+	if _, err := v1.WithInserted(Tuple{1}); err == nil {
+		t.Error("WithInserted accepted a short tuple")
+	}
+	if _, err := v1.WithInserted(Tuple{1 << 10, 0}); err == nil {
+		t.Error("WithInserted accepted an out-of-domain value")
+	}
+	if _, err := v1.WithDeleted(Tuple{1}); err == nil {
+		t.Error("WithDeleted accepted a short tuple")
+	}
+}

@@ -1,0 +1,186 @@
+// Package server runs the engine as a long-lived service: sessions
+// speak a line-oriented JSON protocol (load / append / delete / query /
+// prepare / exec / stats) against a shared catalog, executions pass
+// through an admission queue bounding concurrent engine work, and every
+// session carries its own cancellation context and — optionally — a
+// work budget (the atomic core.Budget) shared by all of its queries.
+//
+// The server owns no engine state of its own: relations, indexes and
+// prepared plans live in the catalog, immutable and shared, which is
+// what makes any number of concurrent sessions safe. Results stream
+// over the engine's existing OnOutput contract, one JSON line per
+// tuple, so a session's memory stays O(1) in the output size.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"tetrisjoin/internal/catalog"
+	"tetrisjoin/internal/core"
+)
+
+// Config tunes the server.
+type Config struct {
+	// MaxConcurrent bounds engine executions running at once across all
+	// sessions (the admission queue depth). 0 means 1: strictly serial
+	// admission, the safe default on small hosts.
+	MaxConcurrent int
+	// SessionMaxResolutions, when > 0, caps the total geometric
+	// resolutions one session may spend across all of its executions
+	// (a shared core.Budget). Exhaustion fails the session's queries.
+	SessionMaxResolutions int64
+	// SessionMaxOutput, when > 0, caps the total output tuples one
+	// session may receive across all of its executions.
+	SessionMaxOutput int
+	// Parallelism is the engine parallelism for executions that do not
+	// ask otherwise. 0 means 1 (sequential), the right default for a
+	// server multiplexing sessions onto the admission queue.
+	Parallelism int
+}
+
+// Server dispatches protocol sessions against one shared catalog.
+type Server struct {
+	cat   *catalog.Catalog
+	cfg   Config
+	admit chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	sessions atomic.Int64 // lifetime session count
+	queries  atomic.Int64 // lifetime executions (query/exec/count)
+	mu       sync.Mutex
+	open     int // currently open sessions
+}
+
+// New returns a server over the catalog.
+func New(cat *catalog.Catalog, cfg Config) *Server {
+	slots := cfg.MaxConcurrent
+	if slots <= 0 {
+		slots = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cat:    cat,
+		cfg:    cfg,
+		admit:  make(chan struct{}, slots),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+}
+
+// Catalog returns the shared catalog.
+func (s *Server) Catalog() *catalog.Catalog { return s.cat }
+
+// Close cancels every session (running executions stop cooperatively
+// through their contexts).
+func (s *Server) Close() { s.cancel() }
+
+// admitExec blocks until an execution slot is free or the session is
+// cancelled; the returned release must be called when the engine work
+// is done.
+func (s *Server) admitExec(ctx context.Context) (release func(), err error) {
+	select {
+	case s.admit <- struct{}{}:
+		return func() { <-s.admit }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Serve accepts connections until the listener fails or the server is
+// closed, running one session per connection.
+func (s *Server) Serve(l net.Listener) error {
+	go func() {
+		<-s.ctx.Done()
+		l.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			// Close must also unblock sessions parked in a connection
+			// read (the session context only cancels cooperative engine
+			// work): closing the conn fails the pending Scan, so Serve's
+			// wg.Wait cannot hang on idle clients after shutdown.
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				select {
+				case <-s.ctx.Done():
+					conn.Close()
+				case <-done:
+				}
+			}()
+			s.ServeSession(conn, conn)
+		}()
+	}
+}
+
+// serverStats is the stats-op payload.
+type serverStats struct {
+	Sessions     int64 `json:"sessions"`
+	OpenSessions int   `json:"open_sessions"`
+	Queries      int64 `json:"queries"`
+
+	Relations   int   `json:"relations"`
+	IndexBuilds int64 `json:"index_builds"`
+	PlansCached int   `json:"plans_cached"`
+	PlanHits    int64 `json:"plan_hits"`
+	PlanMisses  int64 `json:"plan_misses"`
+}
+
+func (s *Server) stats() serverStats {
+	cs := s.cat.Stats()
+	s.mu.Lock()
+	open := s.open
+	s.mu.Unlock()
+	return serverStats{
+		Sessions:     s.sessions.Load(),
+		OpenSessions: open,
+		Queries:      s.queries.Load(),
+		Relations:    cs.Relations,
+		IndexBuilds:  cs.IndexBuilds,
+		PlansCached:  cs.PlansCached,
+		PlanHits:     cs.PlanHits,
+		PlanMisses:   cs.PlanMisses,
+	}
+}
+
+// sessionBudget mints the per-session work quota, or nil when the
+// config sets no limits.
+func (s *Server) sessionBudget() *core.Budget {
+	return core.NewBudget(s.cfg.SessionMaxResolutions, s.cfg.SessionMaxOutput)
+}
+
+func (s *Server) defaultParallelism() int {
+	if s.cfg.Parallelism > 0 {
+		return s.cfg.Parallelism
+	}
+	return 1
+}
+
+func (s *Server) trackSession(delta int) {
+	s.mu.Lock()
+	s.open += delta
+	s.mu.Unlock()
+	if delta > 0 {
+		s.sessions.Add(1)
+	}
+}
+
+var errClosed = fmt.Errorf("server: closed")

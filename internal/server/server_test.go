@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tetrisjoin/internal/catalog"
+)
+
+// drive runs one session over the given request lines and returns the
+// response/tuple lines.
+func drive(t *testing.T, srv *Server, reqs ...string) []map[string]any {
+	t.Helper()
+	var out bytes.Buffer
+	in := strings.NewReader(strings.Join(reqs, "\n") + "\n")
+	if err := srv.ServeSession(in, &out); err != nil {
+		t.Fatalf("session error: %v", err)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad response line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	return lines
+}
+
+func num(m map[string]any, key string) float64 {
+	v, _ := m[key].(float64)
+	return v
+}
+
+const loadTriangle = `{"op":"load","name":"R","attrs":["s","d"],"depth":4,"tuples":[[1,2],[2,3],[1,3],[3,4]]}`
+
+func TestSessionLifecycle(t *testing.T) {
+	srv := New(catalog.New(), Config{})
+	defer srv.Close()
+
+	lines := drive(t, srv,
+		loadTriangle,
+		`{"op":"prepare","id":"tri","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded"}`,
+		`{"op":"exec","id":"tri"}`,
+		`{"op":"exec","id":"tri"}`,
+		`{"op":"exec","id":"tri","count":true}`,
+		`{"op":"stats"}`,
+		`{"op":"close"}`,
+	)
+	if len(lines) != 9 { // 7 responses + 2 streamed tuples
+		t.Fatalf("got %d lines, want 9: %v", len(lines), lines)
+	}
+	for i, m := range lines {
+		if _, streamed := m["tuple"]; streamed {
+			continue
+		}
+		if ok, _ := m["ok"].(bool); !ok {
+			t.Fatalf("line %d not ok: %v", i, m)
+		}
+	}
+	prep := lines[1]
+	if num(prep, "index_builds") == 0 {
+		t.Error("cold prepare reported zero index builds")
+	}
+	// Both execs stream exactly the triangle tuple and build nothing.
+	for _, i := range []int{2, 4} {
+		if fmt.Sprint(lines[i]["tuple"]) != "[1 2 3]" {
+			t.Errorf("streamed tuple line %d = %v, want [1 2 3]", i, lines[i]["tuple"])
+		}
+		final := lines[i+1]
+		if num(final, "index_builds") != 0 || num(final, "outputs") != 1 {
+			t.Errorf("exec response %d: %v", i+1, final)
+		}
+	}
+	if c, _ := lines[6]["count"].(string); c != "1" {
+		t.Errorf("count = %q, want 1", c)
+	}
+	stats, _ := lines[7]["stats"].(map[string]any)
+	if stats == nil || num(stats, "queries") != 3 || num(stats, "plan_misses") == 0 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestSessionAppendRepreparesAndLimit(t *testing.T) {
+	srv := New(catalog.New(), Config{})
+	defer srv.Close()
+
+	lines := drive(t, srv,
+		loadTriangle,
+		`{"op":"query","query":"R(A,B), R(B,C)","buffer":true}`,
+		`{"op":"append","name":"R","tuples":[[4,1]]}`,
+		`{"op":"query","query":"R(A,B), R(B,C)","buffer":true}`,
+		`{"op":"query","query":"R(A,B), R(B,C)","buffer":true,"limit":2}`,
+		`{"op":"delete","name":"R","tuples":[[4,1]]}`,
+		`{"op":"query","query":"R(A,B), R(B,C)","buffer":true}`,
+	)
+	count := func(i int) int {
+		ts, _ := lines[i]["tuples"].([]any)
+		return len(ts)
+	}
+	before, after, limited, restored := count(1), count(3), count(4), count(6)
+	if after <= before {
+		t.Errorf("append invisible: %d paths before, %d after", before, after)
+	}
+	if limited != 2 {
+		t.Errorf("limit=2 returned %d tuples", limited)
+	}
+	if restored != before {
+		t.Errorf("delete did not restore: %d paths, want %d", restored, before)
+	}
+	// The re-prepared query against the new version is a cache miss but
+	// the registry keeps the orders warm: no new index builds.
+	if num(lines[3], "index_builds") != 0 {
+		t.Errorf("post-append query rebuilt %v indexes; registry should carry orders forward", lines[3]["index_builds"])
+	}
+}
+
+func TestSessionBudgetSharedAcrossExecutions(t *testing.T) {
+	// The triangle under Preloaded costs a fixed number of resolutions
+	// (deterministic sequential accounting); measure it, then grant a
+	// session 1.5× that: the first execution fits, the second must
+	// exhaust the SHARED session budget — while a fresh session, with a
+	// fresh budget, runs fine.
+	probe := New(catalog.New(), Config{})
+	lines := drive(t, probe,
+		loadTriangle,
+		`{"op":"query","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded","buffer":true}`,
+	)
+	cost := int64(num(lines[1], "resolutions"))
+	if cost == 0 {
+		t.Fatalf("probe run reported zero resolutions: %v", lines[1])
+	}
+	probe.Close()
+
+	srv := New(catalog.New(), Config{SessionMaxResolutions: cost + cost/2})
+	defer srv.Close()
+	q := `{"op":"query","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded","buffer":true}`
+	lines = drive(t, srv, loadTriangle, q, q)
+	if ok, _ := lines[1]["ok"].(bool); !ok {
+		t.Fatalf("first execution within budget failed: %v", lines[1])
+	}
+	last := lines[2]
+	if ok, _ := last["ok"].(bool); ok {
+		t.Fatalf("second execution did not exhaust the shared session budget: %v", last)
+	}
+	if msg, _ := last["error"].(string); !strings.Contains(msg, "resolution") {
+		t.Errorf("error %q does not mention the resolution budget", msg)
+	}
+
+	// A fresh session gets a fresh budget.
+	lines = drive(t, srv, q)
+	if ok, _ := lines[len(lines)-1]["ok"].(bool); !ok {
+		t.Errorf("fresh session inherited the exhausted budget: %v", lines[len(lines)-1])
+	}
+}
+
+func TestServeTCPConcurrentSessions(t *testing.T) {
+	srv := New(catalog.New(), Config{MaxConcurrent: 2})
+	defer srv.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	// One session loads; the others query concurrently through the
+	// shared catalog.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(conn, loadTriangle)
+	if !bufio.NewScanner(conn).Scan() {
+		t.Fatal("no load response")
+	}
+	conn.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			fmt.Fprintln(conn, `{"op":"query","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded","buffer":true}`)
+			sc := bufio.NewScanner(conn)
+			if !sc.Scan() {
+				errs <- fmt.Errorf("worker %d: no response", w)
+				return
+			}
+			var m map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+				errs <- fmt.Errorf("worker %d: %v", w, err)
+				return
+			}
+			if ok, _ := m["ok"].(bool); !ok {
+				errs <- fmt.Errorf("worker %d: %v", w, m)
+				return
+			}
+			if num(m, "outputs") != 1 {
+				errs <- fmt.Errorf("worker %d: outputs = %v, want 1", w, m["outputs"])
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	srv.Close()
+	if err := <-done; err != nil {
+		t.Errorf("Serve returned %v", err)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	srv := New(catalog.New(), Config{})
+	defer srv.Close()
+
+	lines := drive(t, srv,
+		`not json`,
+		`{"op":"frobnicate"}`,
+		`{"op":"exec","id":"nope"}`,
+		`{"op":"query","query":"Missing(A,B)"}`,
+		`{"op":"load","name":"R","attrs":["a"]}`,
+		`{"op":"append","name":"ghost","tuples":[[1]]}`,
+	)
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6", len(lines))
+	}
+	for i, m := range lines {
+		if ok, _ := m["ok"].(bool); ok {
+			t.Errorf("line %d unexpectedly ok: %v", i, m)
+		}
+		if msg, _ := m["error"].(string); msg == "" {
+			t.Errorf("line %d has no error: %v", i, m)
+		}
+	}
+}
+
+// TestCloseUnblocksIdleSessions: Serve must return from Close even while
+// a client connection sits idle mid-session (the blocking read must be
+// broken, not waited out).
+func TestCloseUnblocksIdleSessions(t *testing.T) {
+	srv := New(catalog.New(), Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, loadTriangle)
+	if !bufio.NewScanner(conn).Scan() {
+		t.Fatal("no load response")
+	}
+	// The session now idles in its read loop. Close must still win.
+	srv.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return within 5s of Close with an idle session open")
+	}
+}
+
+// TestBufferedLimitSpendsOnlyDeliveredBudget: a buffered request with a
+// limit must stop the engine at the limit, spending only the delivered
+// tuples from the shared session output budget — not the full result.
+func TestBufferedLimitSpendsOnlyDeliveredBudget(t *testing.T) {
+	srv := New(catalog.New(), Config{SessionMaxOutput: 4})
+	defer srv.Close()
+
+	// R(A,B) alone has 4 tuples; with a 4-output session budget, two
+	// limit=2 queries must each deliver exactly 2.
+	q := `{"op":"query","query":"R(A,B)","buffer":true,"limit":2}`
+	lines := drive(t, srv, loadTriangle, q, q)
+	for _, i := range []int{1, 2} {
+		if ok, _ := lines[i]["ok"].(bool); !ok {
+			t.Fatalf("query %d failed: %v", i, lines[i])
+		}
+		if ts, _ := lines[i]["tuples"].([]any); len(ts) != 2 {
+			t.Errorf("query %d delivered %d tuples, want 2 (budget drained by undelivered output?)", i, len(ts))
+		}
+	}
+}

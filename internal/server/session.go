@@ -1,0 +1,432 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"tetrisjoin/internal/catalog"
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/relation"
+)
+
+// Request is one line of the protocol. Op selects the action; the other
+// fields are op-specific.
+type Request struct {
+	// Op is one of load, append, delete, query, prepare, exec, stats,
+	// close.
+	Op string `json:"op"`
+
+	// Name is the relation name for load/append/delete.
+	Name string `json:"name,omitempty"`
+	// Attrs and Depth/Depths define the schema for load: attribute names
+	// plus either one uniform bit depth or per-attribute depths.
+	Attrs  []string `json:"attrs,omitempty"`
+	Depth  uint8    `json:"depth,omitempty"`
+	Depths []uint8  `json:"depths,omitempty"`
+	// Tuples carries rows for load/append/delete.
+	Tuples [][]uint64 `json:"tuples,omitempty"`
+
+	// ID names a prepared statement (prepare assigns, exec runs).
+	ID string `json:"id,omitempty"`
+	// Query is the query text for query/prepare, e.g. "R(A,B), S(B,C)".
+	Query string `json:"query,omitempty"`
+	// Mode selects the Tetris variant: reloaded (default), preloaded,
+	// reloaded-lb, preloaded-lb.
+	Mode string `json:"mode,omitempty"`
+	// SAO optionally fixes the splitting attribute order.
+	SAO []string `json:"sao,omitempty"`
+	// Limit stops an execution after this many tuples (0 = all).
+	Limit int `json:"limit,omitempty"`
+	// Count asks for the output cardinality instead of the tuples.
+	Count bool `json:"count,omitempty"`
+	// Buffer returns tuples inside the response instead of streaming
+	// them as individual {"tuple": …} lines.
+	Buffer bool `json:"buffer,omitempty"`
+}
+
+// Response is the final line answering a request. Executions with
+// streaming enabled emit {"tuple": […]} lines before it.
+type Response struct {
+	OK  bool   `json:"ok"`
+	Op  string `json:"op,omitempty"`
+	Err string `json:"error,omitempty"`
+
+	// Version is the published relation version for load/append/delete.
+	Version uint64 `json:"version,omitempty"`
+
+	// ID echoes the statement id for prepare/exec.
+	ID string `json:"id,omitempty"`
+	// CacheHit reports whether prepare was served from the plan cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// IndexBuilds is the number of indexes constructed on behalf of this
+	// request: >0 on a cold prepare or one-shot query, always 0 for exec
+	// of a prepared statement — the protocol-visible witness of
+	// amortization.
+	IndexBuilds int64 `json:"index_builds"`
+
+	// Vars and SAO describe an execution's output schema and order.
+	Vars []string `json:"vars,omitempty"`
+	SAO  []string `json:"sao,omitempty"`
+	// Tuples holds the output when Buffer was set.
+	Tuples [][]uint64 `json:"tuples,omitempty"`
+	// Count is the decimal output cardinality for count requests.
+	Count string `json:"count,omitempty"`
+	// Outputs and Resolutions summarize the engine work.
+	Outputs     int64 `json:"outputs"`
+	Resolutions int64 `json:"resolutions"`
+
+	// Stats is the server/catalog summary for the stats op.
+	Stats *serverStats `json:"stats,omitempty"`
+}
+
+// tupleLine is one streamed output row.
+type tupleLine struct {
+	Tuple []uint64 `json:"tuple"`
+}
+
+// session is the per-connection state: prepared statements, the session
+// work budget, and the cancellation context.
+type session struct {
+	srv    *Server
+	ctx    context.Context
+	budget *core.Budget
+	stmts  map[string]*catalog.Prepared
+
+	// qcache memoizes preparations for repeated textual "query" requests
+	// so the hot path skips parse + SAO derivation on every call. It is
+	// dropped wholesale whenever the catalog generation moves (any
+	// relation publish) — the statements pin old versions, and a stale
+	// hit would silently serve pre-update data.
+	qcache map[string]*catalog.Prepared
+	qgen   uint64
+
+	out *bufio.Writer
+	enc *json.Encoder
+}
+
+// qcacheCap bounds the per-session textual-statement cache; a client
+// sending unbounded distinct query texts must not grow session memory
+// without bound (overflow entries are simply re-prepared each time).
+const qcacheCap = 64
+
+// ServeSession runs one protocol session over the reader/writer pair
+// until EOF, a close op, or server shutdown. Each line of r is one JSON
+// request; each request produces exactly one JSON response line,
+// preceded by zero or more {"tuple": …} lines for streamed executions.
+func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
+	s.trackSession(1)
+	defer s.trackSession(-1)
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+
+	sess := &session{
+		srv:    s,
+		ctx:    ctx,
+		budget: s.sessionBudget(),
+		stmts:  map[string]*catalog.Prepared{},
+		out:    bufio.NewWriter(w),
+	}
+	sess.enc = json.NewEncoder(sess.out)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := s.ctx.Err(); err != nil {
+			return errClosed
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			if err := sess.respond(Response{Op: "?", Err: fmt.Sprintf("bad request: %v", err)}); err != nil {
+				return err
+			}
+			continue
+		}
+		if req.Op == "close" {
+			return sess.respond(Response{OK: true, Op: "close"})
+		}
+		resp := sess.handle(req)
+		resp.Op = req.Op
+		if err := sess.respond(resp); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// respond writes one response line and flushes it to the peer.
+func (sess *session) respond(r Response) error {
+	if err := sess.enc.Encode(r); err != nil {
+		return err
+	}
+	return sess.out.Flush()
+}
+
+// fail formats an error response.
+func fail(err error) Response { return Response{Err: err.Error()} }
+
+// handle dispatches one request.
+func (sess *session) handle(req Request) Response {
+	switch req.Op {
+	case "load":
+		return sess.load(req)
+	case "append", "delete":
+		return sess.ingest(req)
+	case "query":
+		return sess.query(req)
+	case "prepare":
+		return sess.prepare(req)
+	case "exec":
+		return sess.exec(req)
+	case "stats":
+		st := sess.srv.stats()
+		return Response{OK: true, Stats: &st}
+	default:
+		return fail(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+func (sess *session) load(req Request) Response {
+	if req.Name == "" || len(req.Attrs) == 0 {
+		return fail(fmt.Errorf("load needs name and attrs"))
+	}
+	var rel *relation.Relation
+	var err error
+	switch {
+	case len(req.Depths) > 0:
+		rel, err = relation.New(req.Name, req.Attrs, req.Depths)
+	case req.Depth > 0:
+		rel, err = relation.NewUniform(req.Name, req.Attrs, req.Depth)
+	default:
+		return fail(fmt.Errorf("load needs depth or depths"))
+	}
+	if err != nil {
+		return fail(err)
+	}
+	for _, t := range req.Tuples {
+		if err := rel.Insert(t...); err != nil {
+			return fail(err)
+		}
+	}
+	version, err := sess.srv.cat.Ingest(rel)
+	if err != nil {
+		return fail(err)
+	}
+	return Response{OK: true, Version: version}
+}
+
+func (sess *session) ingest(req Request) Response {
+	if req.Name == "" {
+		return fail(fmt.Errorf("%s needs name", req.Op))
+	}
+	tuples := make([]relation.Tuple, len(req.Tuples))
+	for i, t := range req.Tuples {
+		tuples[i] = t
+	}
+	var version uint64
+	var err error
+	if req.Op == "append" {
+		version, err = sess.srv.cat.Append(req.Name, tuples...)
+	} else {
+		version, err = sess.srv.cat.Delete(req.Name, tuples...)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	return Response{OK: true, Version: version}
+}
+
+func (sess *session) prepare(req Request) Response {
+	if req.ID == "" || req.Query == "" {
+		return fail(fmt.Errorf("prepare needs id and query"))
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		return fail(err)
+	}
+	// Cold preparation builds indexes over whole relations — engine work
+	// the admission queue exists to bound, so it runs admitted like any
+	// execution.
+	release, err := sess.srv.admitExec(sess.ctx)
+	if err != nil {
+		return fail(err)
+	}
+	p, err := sess.srv.cat.Prepare(req.Query, join.Options{Mode: mode, SAOVars: req.SAO})
+	release()
+	if err != nil {
+		return fail(err)
+	}
+	sess.stmts[req.ID] = p
+	return Response{
+		OK:          true,
+		ID:          req.ID,
+		CacheHit:    p.CacheHit(),
+		IndexBuilds: p.IndexBuilds(),
+		Vars:        p.Plan().Query().Vars(),
+		SAO:         p.Plan().SAOVars(),
+	}
+}
+
+func (sess *session) exec(req Request) Response {
+	p, ok := sess.stmts[req.ID]
+	if !ok {
+		return fail(fmt.Errorf("unknown statement %q", req.ID))
+	}
+	return sess.run(req, func(opts join.Options) (*join.Result, error) {
+		return p.Execute(opts)
+	}, func(opts join.Options) (Response, error) {
+		count, stats, err := p.Count(opts)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{OK: true, ID: req.ID, Count: count.String(), Resolutions: stats.Resolutions}, nil
+	})
+}
+
+// queryStatement resolves the prepared statement for a textual query
+// request, reusing the session's memoized preparation when the catalog
+// has not changed. builds is the index-construction charge for THIS
+// request: the preparation cost on a cold resolve, 0 on reuse.
+func (sess *session) queryStatement(req Request) (p *catalog.Prepared, builds int64, err error) {
+	key := req.Query + "\x00" + req.Mode + "\x00" + strings.Join(req.SAO, ",")
+	if gen := sess.srv.cat.Generation(); gen != sess.qgen || sess.qcache == nil {
+		sess.qcache, sess.qgen = map[string]*catalog.Prepared{}, gen
+	}
+	if p, ok := sess.qcache[key]; ok {
+		return p, 0, nil
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err = sess.srv.cat.Prepare(req.Query, join.Options{Mode: mode, SAOVars: req.SAO})
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(sess.qcache) < qcacheCap {
+		sess.qcache[key] = p
+	}
+	return p, p.IndexBuilds(), nil
+}
+
+func (sess *session) query(req Request) Response {
+	if req.Query == "" {
+		return fail(fmt.Errorf("query needs query text"))
+	}
+	// Statement resolution is lazy so a cold preparation (index builds
+	// over whole relations) happens inside run's admitted region, under
+	// the same MaxConcurrent bound as the execution itself.
+	var p *catalog.Prepared
+	var builds int64
+	resolve := func() error {
+		if p != nil {
+			return nil
+		}
+		var err error
+		p, builds, err = sess.queryStatement(req)
+		return err
+	}
+	resp := sess.run(req, func(opts join.Options) (*join.Result, error) {
+		if err := resolve(); err != nil {
+			return nil, err
+		}
+		return p.Execute(opts)
+	}, func(opts join.Options) (Response, error) {
+		if err := resolve(); err != nil {
+			return Response{}, err
+		}
+		count, stats, err := p.Count(opts)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{OK: true, Count: count.String(), Resolutions: stats.Resolutions}, nil
+	})
+	if resp.OK {
+		resp.IndexBuilds = builds
+	}
+	return resp
+}
+
+// run performs one admitted engine execution: enumeration (streamed or
+// buffered) or counting. The request's limit is enforced at delivery so
+// it composes with a session budget.
+func (sess *session) run(req Request,
+	exec func(join.Options) (*join.Result, error),
+	count func(join.Options) (Response, error)) Response {
+
+	release, err := sess.srv.admitExec(sess.ctx)
+	if err != nil {
+		return fail(err)
+	}
+	defer release()
+	sess.srv.queries.Add(1)
+
+	opts := join.Options{
+		Parallelism: sess.srv.defaultParallelism(),
+		Budget:      sess.budget,
+		Context:     sess.ctx,
+	}
+	if req.Count {
+		resp, err := count(opts)
+		if err != nil {
+			return fail(err)
+		}
+		return resp
+	}
+
+	// The request limit is enforced at delivery through OnOutput in both
+	// modes: the engine stops at the limit, so a limited request spends
+	// only what it delivers from the shared session budget instead of
+	// running to completion and draining it.
+	delivered := 0
+	var buffered [][]uint64
+	var streamErr error
+	if !req.Buffer {
+		opts.OnOutput = func(tuple []uint64) bool {
+			if streamErr = sess.enc.Encode(tupleLine{Tuple: tuple}); streamErr != nil {
+				return false
+			}
+			delivered++
+			return req.Limit <= 0 || delivered < req.Limit
+		}
+	} else if req.Limit > 0 {
+		opts.OnOutput = func(tuple []uint64) bool {
+			buffered = append(buffered, append([]uint64(nil), tuple...))
+			return len(buffered) < req.Limit
+		}
+	}
+
+	res, err := exec(opts)
+	if err != nil {
+		return fail(err)
+	}
+	if streamErr != nil {
+		return fail(streamErr)
+	}
+	resp := Response{
+		OK:          true,
+		ID:          req.ID,
+		Vars:        res.Vars,
+		SAO:         res.SAO,
+		Outputs:     res.Stats.Outputs,
+		Resolutions: res.Stats.Resolutions,
+		IndexBuilds: res.Stats.IndexBuilds,
+	}
+	if req.Buffer {
+		if req.Limit > 0 {
+			resp.Tuples = buffered
+		} else {
+			resp.Tuples = res.Tuples
+		}
+	}
+	return resp
+}

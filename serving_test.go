@@ -1,0 +1,90 @@
+package tetrisjoin_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tetrisjoin"
+)
+
+// TestFacadePreparedLifecycle drives the serving API end to end through
+// the public facade: ingest, prepare, execute repeatedly, update, and
+// check the one-shot wrapper agrees with the catalog path.
+func TestFacadePreparedLifecycle(t *testing.T) {
+	cat := tetrisjoin.OpenCatalog()
+
+	r, err := tetrisjoin.NewRelation("R", []string{"src", "dst"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MustInsert(1, 2)
+	r.MustInsert(2, 3)
+	r.MustInsert(1, 3)
+	r.MustInsert(3, 4)
+	if _, err := cat.Ingest(r, tetrisjoin.DyadicSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	const text = "R(A,B), R(B,C), R(A,C)"
+	p, err := cat.Prepare(text, tetrisjoin.Options{Mode: tetrisjoin.Preloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IndexBuilds() == 0 {
+		t.Error("cold prepare built nothing")
+	}
+
+	want := [][]uint64{{1, 2, 3}}
+	for i := 0; i < 3; i++ {
+		res, err := p.Execute(tetrisjoin.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Tuples, want) {
+			t.Fatalf("execution %d: %v, want %v", i, res.Tuples, want)
+		}
+		if res.Stats.IndexBuilds != 0 {
+			t.Errorf("execution %d built %d indexes", i, res.Stats.IndexBuilds)
+		}
+	}
+
+	// One-shot facade agrees with the catalog path.
+	q, err := cat.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := tetrisjoin.Join(q, tetrisjoin.Options{Mode: tetrisjoin.Preloaded, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oneShot.Tuples, want) {
+		t.Errorf("one-shot = %v, want %v", oneShot.Tuples, want)
+	}
+	if oneShot.Stats.IndexBuilds == 0 {
+		t.Error("one-shot reported zero index builds; it must pay preparation")
+	}
+
+	// Appending publishes a new version; the old prepared statement
+	// keeps its pinned snapshot while a new preparation sees the update.
+	if _, err := cat.Append("R", tetrisjoin.Tuple{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute(tetrisjoin.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tuples, want) {
+		t.Errorf("pinned statement saw the append: %v", res.Tuples)
+	}
+	p2, err := cat.Prepare(text, tetrisjoin.Options{Mode: tetrisjoin.Preloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p2.Execute(tetrisjoin.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Tuples) != 2 {
+		t.Errorf("fresh statement after append: %v, want 2 triangles", res2.Tuples)
+	}
+}

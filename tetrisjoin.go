@@ -34,6 +34,7 @@
 package tetrisjoin
 
 import (
+	"tetrisjoin/internal/catalog"
 	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/dyadic"
 	"tetrisjoin/internal/index"
@@ -128,7 +129,51 @@ const (
 // arrive in the sequential enumeration order regardless of worker count.
 // Set Parallelism to 1 for the strictly sequential engine, e.g. when
 // Stats must reproduce the paper's sequential resolution accounting.
-func Join(q *Query, opts Options) (*Result, error) { return join.Execute(q, opts) }
+//
+// Join is the one-shot API: a thin wrapper over a throwaway catalog, so
+// every call pays index construction and planning (Stats.IndexBuilds
+// reports it). Services executing queries repeatedly should keep a
+// long-lived catalog (OpenCatalog) and run through prepared statements,
+// which amortize that work away.
+func Join(q *Query, opts Options) (*Result, error) {
+	return catalog.New().ExecuteQuery(q, opts)
+}
+
+// Catalog is a concurrency-safe store of named, versioned relations
+// whose indexes are built at ingest (or on first demand) and shared by
+// every subsequent query, with an LRU cache of prepared plans on top.
+// It is the serving-side entry point: ingest once, prepare once,
+// execute many times. See internal/catalog.
+type Catalog = catalog.Catalog
+
+// CatalogOptions configures OpenCatalogOptions.
+type CatalogOptions = catalog.Options
+
+// Prepared is an executable prepared statement over a catalog: its
+// executions reuse the plan's indexes, memoized gap set and (in
+// Preloaded mode) shared knowledge base, performing zero index builds.
+type Prepared = catalog.Prepared
+
+// OpenCatalog returns an empty catalog with default options.
+func OpenCatalog() *Catalog { return catalog.New() }
+
+// OpenCatalogOptions returns an empty catalog with the given options.
+func OpenCatalogOptions(opts CatalogOptions) *Catalog {
+	return catalog.NewWithOptions(opts)
+}
+
+// IndexSpec describes an index for a catalog to maintain on a relation
+// (family plus, for B-trees, attribute order); see index.Spec.
+type IndexSpec = index.Spec
+
+// BTreeSpec, DyadicSpec and KDTreeSpec build catalog index specs.
+func BTreeSpec(order ...string) IndexSpec { return index.BTreeSpec(order...) }
+
+// DyadicSpec describes a dyadic-tree index for catalog maintenance.
+func DyadicSpec() IndexSpec { return index.DyadicSpec() }
+
+// KDTreeSpec describes a k-d tree index for catalog maintenance.
+func KDTreeSpec() IndexSpec { return index.KDTreeSpec() }
 
 // Plan is a prepared query: SAO chosen, indices built, bindings resolved.
 // A plan is immutable, safe to share between goroutines, and cheap to
