@@ -1,7 +1,7 @@
 // Command tetrisd serves the Tetris join engine over a line-oriented
 // JSON protocol: a long-lived catalog of named, versioned relations
 // with warm indexes and a prepared-plan cache, driven by load / append
-// / delete / query / prepare / exec / stats requests.
+// / delete / query / prepare / maintain / exec / stats requests.
 //
 // By default it speaks the protocol on stdin/stdout (one session):
 //
@@ -10,6 +10,13 @@
 //	  '{"op":"prepare","id":"tri","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded"}' \
 //	  '{"op":"exec","id":"tri"}' \
 //	  '{"op":"stats"}' | tetrisd
+//
+// A maintained statement ({"op":"maintain","id":…,"query":…}) keeps
+// its materialized result alive across appends and deletes: exec after
+// a write patches the result from the delta (the response reports
+// "refresh":"patched" and delta-sized index_builds) instead of
+// re-executing — the steady-state serving mode under a trickle of
+// writes.
 //
 // With -addr it listens on TCP, one session per connection, all
 // sessions sharing the catalog (and therefore its relations, indexes

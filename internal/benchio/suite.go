@@ -2,7 +2,9 @@ package benchio
 
 import (
 	"fmt"
+	"math/rand"
 	"regexp"
+	"strings"
 	"sync"
 	"testing"
 
@@ -11,6 +13,7 @@ import (
 	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/join"
 	"tetrisjoin/internal/klee"
+	"tetrisjoin/internal/relation"
 	"tetrisjoin/internal/workload"
 )
 
@@ -125,7 +128,97 @@ func Suite() []Case {
 			Case{Name: inst.name + "/steady", Bench: lazyPreparedBench(inst.mk, opts)},
 		)
 	}
+	// Incremental maintenance series: per-iteration cost of a 1-tuple
+	// Append followed by Execute on the Table 1 acyclic workhorse. The
+	// patched entry serves the query from a maintained statement (delta
+	// passes over the prior result, O(k) index layers); the recompute
+	// entry re-runs the query from scratch after every write — the two
+	// ends of the maintained-vs-recompute trade EXPERIMENTS.md tabulates.
+	cases = append(cases,
+		Case{Name: "Maintained/Table1Acyclic/N=3000/patched", Bench: maintainedBench(1000, true)},
+		Case{Name: "Maintained/Table1Acyclic/N=3000/recompute", Bench: maintainedBench(1000, false)},
+	)
 	return cases
+}
+
+// maintainedBench measures one (1-tuple Append → Execute) iteration
+// against a catalog holding the Table1Acyclic relations. With patched
+// set, executions go through a maintained statement primed outside the
+// timer (so the loop is the steady-state refresh path and must never
+// fall back to recompute); otherwise every iteration re-executes from
+// scratch over the current versions, fresh indexes included.
+func maintainedBench(n int, patched bool) func(b *testing.B) float64 {
+	return func(b *testing.B) float64 {
+		q := workload.PathQuery(3, n, 12, int64(n))
+		cat := catalog.New()
+		var atomTexts []string
+		for _, a := range q.Atoms() {
+			if _, err := cat.Ingest(a.Relation); err != nil {
+				b.Fatal(err)
+			}
+			atomTexts = append(atomTexts, a.Relation.Name()+"("+strings.Join(a.Vars, ",")+")")
+		}
+		text := strings.Join(atomTexts, ", ")
+		opts := join.Options{Mode: core.Preloaded, Parallelism: 1}
+
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		freshTuple := func() relation.Tuple {
+			rel, _ := cat.Relation("R2")
+			for {
+				t := relation.Tuple{uint64(rng.Intn(1 << 12)), uint64(rng.Intn(1 << 12))}
+				if !rel.Contains(t...) {
+					return t
+				}
+			}
+		}
+
+		var m *catalog.Maintained
+		if patched {
+			var err error
+			m, err = cat.Maintain(text, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Prime one refresh so the unchanged-atom knowledge base and
+			// the first delta layer exist before the timer starts.
+			if _, err := cat.Append("R2", freshTuple()); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Execute(join.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		b.ResetTimer()
+		var resolutions float64
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.Append("R2", freshTuple()); err != nil {
+				b.Fatal(err)
+			}
+			if patched {
+				res, err := m.Execute(join.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				resolutions = float64(res.Stats.Resolutions)
+				continue
+			}
+			cur, err := cat.Parse(text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := join.Execute(cur, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resolutions = float64(res.Stats.Resolutions)
+		}
+		b.StopTimer()
+		if patched && m.Recomputes() != 0 {
+			b.Fatalf("maintained loop fell back to %d recomputes", m.Recomputes())
+		}
+		return resolutions
+	}
 }
 
 // execBench builds a standard Execute-per-op benchmark body (planning

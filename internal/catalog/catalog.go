@@ -54,9 +54,10 @@ const defaultPlanCache = 64
 // state is immutable once published: updates publish new versions,
 // readers keep whatever they pinned.
 type Catalog struct {
-	opts   Options
-	builds atomic.Int64  // total index constructions, all registries
-	gen    atomic.Uint64 // bumped on every publish; cheap staleness check
+	opts    Options
+	builds  atomic.Int64  // total index constructions, all registries
+	layered atomic.Int64  // of builds: O(k) delta-layer constructions
+	gen     atomic.Uint64 // bumped on every publish; cheap staleness check
 
 	mu    sync.RWMutex
 	rels  map[string]*relation.Relation     // current version by name
@@ -137,19 +138,21 @@ func (c *Catalog) Delete(name string, tuples ...relation.Tuple) (uint64, error) 
 // update derives and publishes a new version of a named relation,
 // carrying the maintained index specs onto the new snapshot (a serving
 // catalog keeps the same access paths warm across versions instead of
-// rediscovering them query by query). Writers race optimistically: the
-// derive-and-build work happens outside the lock, and a writer that
+// rediscovering them query by query). The carried specs are realized by
+// delta layering (index.Set.Derive): a k-tuple append or delete costs
+// O(k) per spec — a small layer composed over the prior version's
+// immutable build — not a full O(N) rebuild, which is what makes a
+// 1-tuple write to a large relation cheap. Writers race optimistically:
+// the derive-and-build work happens outside the lock, and a writer that
 // loses the publish race simply retries over the new current version,
 // so concurrent appends both land instead of one failing.
 func (c *Catalog) update(name string, derive func(*relation.Relation) (*relation.Relation, error)) (uint64, error) {
 	for {
 		c.mu.RLock()
 		cur, ok := c.rels[name]
-		var specs []index.Spec
+		var prevSet *index.Set
 		if ok {
-			if set, have := c.sets[cur]; have {
-				specs = set.SpecList()
-			}
+			prevSet = c.sets[cur]
 		}
 		c.mu.RUnlock()
 		if !ok {
@@ -160,9 +163,26 @@ func (c *Catalog) update(name string, derive func(*relation.Relation) (*relation
 			return 0, err
 		}
 		next.Tuples() // normalize before publishing
-		set := index.NewSet(next, &c.builds)
-		if err := set.Ensure(specs...); err != nil {
-			return 0, err
+		var set *index.Set
+		if prevSet != nil {
+			if d, ok := next.DeltaSince(cur.Version()); ok {
+				derived, layered, _, err := prevSet.Derive(next, d)
+				if err != nil {
+					return 0, err
+				}
+				set = derived
+				c.layered.Add(int64(layered))
+			}
+		}
+		if set == nil {
+			// No prior registry or no reconstructible delta: rebuild the
+			// carried specs in full over the new snapshot.
+			set = index.NewSet(next, &c.builds)
+			if prevSet != nil {
+				if err := set.Ensure(prevSet.SpecList()...); err != nil {
+					return 0, err
+				}
+			}
 		}
 		c.mu.Lock()
 		if c.rels[name] != cur {
@@ -277,8 +297,13 @@ func (s source) IndexFor(rel *relation.Relation, order []string) (index.Index, b
 }
 
 // IndexBuilds returns the total number of index constructions the
-// catalog has performed since creation (eager and on-demand).
+// catalog has performed since creation (eager, on-demand, and delta
+// layers).
 func (c *Catalog) IndexBuilds() int64 { return c.builds.Load() }
+
+// DeltaIndexBuilds returns how many of those constructions were O(k)
+// delta layers rather than full builds.
+func (c *Catalog) DeltaIndexBuilds() int64 { return c.layered.Load() }
 
 // Stats is a point-in-time summary of the catalog.
 type Stats struct {
@@ -289,6 +314,13 @@ type Stats struct {
 	IndexSets int
 	// IndexBuilds is the lifetime index construction count.
 	IndexBuilds int64
+	// DeltaIndexBuilds is the portion of IndexBuilds that were O(k)
+	// delta layers composed over a prior version's build (Append/Delete
+	// carrying maintained specs forward) rather than full O(N)
+	// constructions. IndexBuilds − DeltaIndexBuilds is therefore the
+	// full-build count — the quantity incremental maintenance keeps flat
+	// under a trickle of writes.
+	DeltaIndexBuilds int64
 	// PlansCached is the number of prepared plans in the cache.
 	PlansCached int
 	// PlanHits and PlanMisses count Prepare cache outcomes.
@@ -300,11 +332,12 @@ func (c *Catalog) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return Stats{
-		Relations:   len(c.rels),
-		IndexSets:   len(c.sets),
-		IndexBuilds: c.builds.Load(),
-		PlansCached: c.plans.Len(),
-		PlanHits:    c.hits.Load(),
-		PlanMisses:  c.misses.Load(),
+		Relations:        len(c.rels),
+		IndexSets:        len(c.sets),
+		IndexBuilds:      c.builds.Load(),
+		DeltaIndexBuilds: c.layered.Load(),
+		PlansCached:      c.plans.Len(),
+		PlanHits:         c.hits.Load(),
+		PlanMisses:       c.misses.Load(),
 	}
 }

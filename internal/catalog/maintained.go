@@ -1,0 +1,537 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/index"
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/relation"
+)
+
+// Maintained is a prepared query whose materialized result survives
+// catalog writes: Append/Delete on its relations do not force a
+// re-execution — Execute patches the cached result from the deltas via
+// the standard delta-query decomposition, one Tetris pass per atom of
+// each changed relation with that atom's relation replaced by its
+// delta. Work per refresh scales with the delta's certificate, not the
+// size of the unchanged data: the delta passes run Reloaded over the
+// tiny delta index plus the already-built indexes of the other atoms,
+// with the unchanged atoms' gap set handed in as a prebuilt shared
+// knowledge base.
+//
+// The patch rule is exact for pure per-step deltas (a span of appends,
+// or a span of deletes, per relation): staggered old/new atom versions
+// make the insert terms disjoint additions, and delete-pass outputs are
+// exactly the result tuples that lost an atom membership (natural join
+// membership is per-atom-projection, so there is no lost-witness
+// subtlety). Anything the rule cannot certify cheaply — a mixed
+// insert+delete span, an unreconstructible lineage, a delta comparable
+// to the relation itself — falls back to a full recompute, which is
+// always exact.
+//
+// A Maintained statement serializes its own refreshes (one mutex); the
+// catalog underneath stays fully concurrent.
+type Maintained struct {
+	c    *Catalog
+	text string
+	opts join.Options // preparation options; Mode fixed at Maintain
+
+	mu                  sync.Mutex
+	plan                *join.Plan                    // over the pinned versions
+	pinned              map[string]*relation.Relation // snapshot the result reflects
+	result              [][]uint64                    // enumeration (SAO-lex) order
+	gen                 uint64                        // catalog generation at last sync
+	bases               map[string]*maintBase         // changed-relation → shared knowledge
+	last                Refresh
+	patches, recomputes int64
+}
+
+// maintBase caches the prebuilt knowledge base for deltas of one
+// relation: the gap set of every atom NOT referencing it, valid as long
+// as the other relations' versions stay what they were at build time.
+type maintBase struct {
+	base *core.PreparedBase
+	deps map[string]uint64
+}
+
+// Refresh describes what one Execute call did to bring the result up to
+// date.
+type Refresh struct {
+	// Kind is "none" (nothing changed), "patched" (delta passes), or
+	// "recomputed" (exact fallback; also the initial materialization).
+	Kind string
+	// Passes is the number of delta Tetris passes run (patched only).
+	Passes int
+	// Added and Removed count the tuples the patch applied.
+	Added, Removed int
+	// Stats aggregates the engine work of the refresh (delta passes or
+	// the full recompute), including its index builds.
+	Stats core.Stats
+}
+
+// maintPatchFactor mirrors index.Set's layering heuristic: a delta
+// bigger than a quarter of the new snapshot is not worth patching.
+const maintPatchFactor = 4
+
+// Maintain prepares the query, executes it once in full, and returns a
+// statement that keeps the materialized result in sync with the
+// catalog's relations across Append/Delete. The mode and SAO are fixed
+// at preparation like any prepared statement; refresh passes always run
+// sequentially so the maintained enumeration order is exactly the
+// engine's sequential order. The initial materialization — the most
+// expensive step of the lifecycle — honors opts.Context and opts.Budget
+// like every later refresh.
+func (c *Catalog) Maintain(query string, opts join.Options) (*Maintained, error) {
+	gen := c.Generation()
+	p, err := c.Prepare(query, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.executeCharged(join.Options{
+		Parallelism: 1,
+		Context:     opts.Context,
+		Budget:      opts.Budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The statement outlives the call: keep only the preparation-time
+	// fields, not the caller's execution context/budget — refreshes take
+	// those per Execute.
+	opts.Context, opts.Budget = nil, nil
+	m := &Maintained{
+		c:      c,
+		text:   query,
+		opts:   opts,
+		plan:   p.Plan(),
+		result: res.Tuples,
+		gen:    gen,
+		bases:  map[string]*maintBase{},
+		last: Refresh{
+			Kind:  "recomputed",
+			Stats: res.Stats,
+		},
+	}
+	m.pinFromPlan()
+	return m, nil
+}
+
+// pinFromPlan records the relation snapshots the current plan (and
+// therefore the current result) was computed against.
+func (m *Maintained) pinFromPlan() {
+	m.pinned = map[string]*relation.Relation{}
+	for _, a := range m.plan.Query().Atoms() {
+		m.pinned[a.Relation.Name()] = a.Relation
+	}
+}
+
+// Result returns the materialized output tuples, shared and read-only,
+// as of the last Execute/Refresh. Callers wanting the freshest state
+// call Execute.
+func (m *Maintained) Result() [][]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.result
+}
+
+// LastRefresh reports what the most recent Execute did.
+func (m *Maintained) LastRefresh() Refresh {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.last
+}
+
+// Patches and Recomputes count how refreshes were served since
+// Maintain (the initial materialization counts as neither).
+func (m *Maintained) Patches() int64    { m.mu.Lock(); defer m.mu.Unlock(); return m.patches }
+func (m *Maintained) Recomputes() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.recomputes }
+
+// Plan returns the plan over the currently pinned versions.
+func (m *Maintained) Plan() *join.Plan { m.mu.Lock(); defer m.mu.Unlock(); return m.plan }
+
+// Text returns the maintained query text.
+func (m *Maintained) Text() string { return m.text }
+
+// Execute brings the materialized result up to date with the catalog's
+// current relation versions and returns it. Only Context and Budget are
+// honored from opts — the mode, SAO and sequential execution are fixed
+// by the statement. The returned tuples are shared and read-only.
+//
+// Stats reporting: IndexBuilds is the number of indexes this refresh
+// constructed (delta indexes over the changed tuples — bounded by the
+// changed atoms — or a full rebuild's worth on fallback; 0 when nothing
+// changed), Resolutions the refresh's geometric resolutions, Outputs
+// the result cardinality.
+func (m *Maintained) Execute(opts join.Options) (*join.Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	gen := m.c.Generation()
+	if gen == m.gen {
+		return m.serve(Refresh{Kind: "none"}), nil
+	}
+
+	current, deltas, reason := m.assess()
+	if len(deltas) == 0 && reason == "" {
+		// Versions moved without touching this query's relations (or
+		// only with effectively empty deltas): re-pin and serve.
+		if err := m.repin(current); err != nil {
+			return nil, err
+		}
+		m.gen = gen
+		return m.serve(Refresh{Kind: "none"}), nil
+	}
+	if reason != "" {
+		res, err := m.recompute(opts)
+		if err != nil {
+			return nil, err
+		}
+		m.gen = gen
+		return res, nil
+	}
+	res, err := m.patch(opts, current, deltas)
+	if err != nil {
+		return nil, err
+	}
+	m.gen = gen
+	return res, nil
+}
+
+// Refresh is Execute without returning the result: it reports what was
+// done.
+func (m *Maintained) Refresh(opts join.Options) (Refresh, error) {
+	if _, err := m.Execute(opts); err != nil {
+		return Refresh{}, err
+	}
+	return m.LastRefresh(), nil
+}
+
+// serve packages the cached result with the given refresh record.
+func (m *Maintained) serve(r Refresh) *join.Result {
+	r.Stats.Outputs = int64(len(m.result))
+	m.last = r
+	return &join.Result{
+		Vars:   m.plan.Query().Vars(),
+		SAO:    m.plan.SAOVars(),
+		Tuples: m.result,
+		Stats:  r.Stats,
+	}
+}
+
+// assess snapshots the current versions of the maintained relations and
+// computes per-relation deltas against the pinned versions. A non-empty
+// reason means the patch rule does not apply and the caller must fall
+// back to a full recompute.
+func (m *Maintained) assess() (current map[string]*relation.Relation, deltas map[string]relation.Delta, reason string) {
+	current = map[string]*relation.Relation{}
+	deltas = map[string]relation.Delta{}
+	for name, pinned := range m.pinned {
+		cur, ok := m.c.Relation(name)
+		if !ok {
+			return nil, nil, fmt.Sprintf("relation %q no longer in catalog", name)
+		}
+		current[name] = cur
+		if cur.Version() == pinned.Version() {
+			continue
+		}
+		d, ok := cur.DeltaSince(pinned.Version())
+		switch {
+		case !ok:
+			return current, nil, fmt.Sprintf("delta for %q not reconstructible", name)
+		case d.Empty():
+			continue // version moved, tuple set did not
+		case d.Mixed():
+			return current, nil, fmt.Sprintf("mixed insert+delete span on %q", name)
+		case d.Len()*maintPatchFactor > cur.Len():
+			return current, nil, fmt.Sprintf("delta on %q too large to patch (%d of %d tuples)", name, d.Len(), cur.Len())
+		}
+		deltas[name] = d
+	}
+	return current, deltas, ""
+}
+
+// repin re-prepares the plan over the given snapshots (warm indexes: no
+// builds expected) and records them as the result's versions.
+func (m *Maintained) repin(current map[string]*relation.Relation) error {
+	atoms := make([]join.Atom, 0, len(m.plan.Query().Atoms()))
+	for _, a := range m.plan.Query().Atoms() {
+		atoms = append(atoms, join.Atom{Relation: current[a.Relation.Name()], Vars: a.Vars})
+	}
+	q, err := join.NewQuery(atoms...)
+	if err != nil {
+		return err
+	}
+	p, err := m.c.PrepareQuery(q, m.opts)
+	if err != nil {
+		return err
+	}
+	m.plan = p.Plan()
+	m.pinFromPlan()
+	return nil
+}
+
+// recompute is the exact fallback: one full execution over the current
+// versions, replacing the materialized result.
+func (m *Maintained) recompute(opts join.Options) (*join.Result, error) {
+	gen := m.c.Generation()
+	p, err := m.c.Prepare(m.text, m.opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.executeCharged(join.Options{
+		Parallelism: 1,
+		Context:     opts.Context,
+		Budget:      opts.Budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.plan = p.Plan()
+	m.pinFromPlan()
+	m.result = res.Tuples
+	m.gen = gen
+	m.recomputes++
+	return m.serve(Refresh{Kind: "recomputed", Stats: res.Stats}), nil
+}
+
+// patch runs the delta decomposition and applies it to the cached
+// result. current/deltas come from assess: every delta is pure (insert-
+// only or delete-only) and reconstructible.
+func (m *Maintained) patch(opts join.Options, current map[string]*relation.Relation, deltas map[string]relation.Delta) (*join.Result, error) {
+	q := m.plan.Query()
+	refresh := Refresh{Kind: "patched"}
+
+	changed := make([]string, 0, len(deltas))
+	for name := range deltas {
+		changed = append(changed, name)
+	}
+	sort.Strings(changed)
+
+	var additions [][]uint64
+	removals := map[string]bool{}
+	processed := map[string]bool{}
+
+	for _, name := range changed {
+		d := deltas[name]
+		side := d.Inserted
+		if len(d.Deleted) > 0 {
+			side = d.Deleted
+		}
+		pinnedRel := m.pinned[name]
+		deltaRel, err := relation.New(name+"+delta", pinnedRel.Attrs(), pinnedRel.Depths())
+		if err != nil {
+			return nil, err
+		}
+		if err := deltaRel.InsertAll(side...); err != nil {
+			return nil, err
+		}
+		deltaRel.Tuples()
+
+		base := m.sharedBase(name, changed)
+
+		for ai, a := range q.Atoms() {
+			if a.Relation.Name() != name {
+				continue
+			}
+			passQ, err := m.passQuery(q, ai, name, deltaRel, current, processed)
+			if err != nil {
+				return nil, err
+			}
+			passOpts := join.Options{
+				Mode:        core.Reloaded,
+				Parallelism: 1,
+				SAOVars:     m.plan.SAOVars(),
+				Base:        base,
+				Context:     opts.Context,
+				Budget:      opts.Budget,
+			}
+			pp, err := join.PreparePlan(passQ, passOpts, source{m.c})
+			if err != nil {
+				return nil, err
+			}
+			res, err := pp.Execute(passOpts)
+			if err != nil {
+				return nil, err
+			}
+			refresh.Passes++
+			refresh.Stats.Merge(res.Stats)
+			refresh.Stats.IndexBuilds += pp.IndexBuilds()
+			if len(d.Inserted) > 0 {
+				additions = append(additions, res.Tuples...)
+			} else {
+				for _, t := range res.Tuples {
+					removals[tupleKeyString(t)] = true
+				}
+			}
+		}
+		processed[name] = true
+	}
+
+	m.applyPatch(additions, removals, &refresh)
+	if err := m.repin(current); err != nil {
+		return nil, err
+	}
+	m.patches++
+	return m.serve(refresh), nil
+}
+
+// sharedBase resolves the prebuilt knowledge base for deltas of the
+// named relation: the gap set of every atom not referencing it, built
+// once from the pinned plan and reused for as long as the OTHER
+// relations' versions hold still. Only a single-relation change can use
+// it — with two relations changing, the base would carry stale gaps of
+// the other changed relation — and a change touching every atom (a
+// self-join over the changed relation) has no unchanged atoms to share.
+func (m *Maintained) sharedBase(name string, changed []string) *core.PreparedBase {
+	if len(changed) != 1 {
+		return nil
+	}
+	q := m.plan.Query()
+	others := 0
+	deps := map[string]uint64{}
+	for _, a := range q.Atoms() {
+		if a.Relation.Name() != name {
+			others++
+			deps[a.Relation.Name()] = a.Relation.Version()
+		}
+	}
+	if others == 0 {
+		return nil
+	}
+	if mb, ok := m.bases[name]; ok && depsEqual(mb.deps, deps) {
+		return mb.base
+	}
+	po := m.plan.PartialOracle(func(ai int) bool {
+		return q.Atoms()[ai].Relation.Name() != name
+	})
+	base, err := core.BuildPreloadedBase(po, core.Options{})
+	if err != nil {
+		// The base is an optimization; the pass is exact without it.
+		return nil
+	}
+	m.bases[name] = &maintBase{base: base, deps: deps}
+	return base
+}
+
+func depsEqual(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// passQuery assembles the delta-decomposition pass for atom ai of the
+// changed relation: that atom becomes the delta, earlier atoms of the
+// same relation take the new version, later ones keep the pinned old
+// version (the staggering that makes insert terms disjoint), unchanged
+// and already-processed relations take the version their step order
+// dictates. Old-version atoms carry the pinned plan's index explicitly
+// — the catalog may have dropped the old snapshot's registry — while
+// new/current versions resolve through the catalog's registries, where
+// the maintained specs are already layered (no builds).
+func (m *Maintained) passQuery(q *join.Query, ai int, name string, deltaRel *relation.Relation,
+	current map[string]*relation.Relation, processed map[string]bool) (*join.Query, error) {
+
+	indices := m.plan.Indices()
+	atoms := make([]join.Atom, len(q.Atoms()))
+	for j, a := range q.Atoms() {
+		switch {
+		case j == ai:
+			atoms[j] = join.Atom{Relation: deltaRel, Vars: a.Vars}
+		case a.Relation.Name() == name && j < ai:
+			atoms[j] = join.Atom{Relation: current[name], Vars: a.Vars}
+		case a.Relation.Name() == name: // j > ai: pinned old version
+			atoms[j] = join.Atom{Relation: a.Relation, Vars: a.Vars, Indexes: []index.Index{indices[j]}}
+		case processed[a.Relation.Name()]:
+			atoms[j] = join.Atom{Relation: current[a.Relation.Name()], Vars: a.Vars}
+		default:
+			// Unchanged or not-yet-processed: the pinned snapshot with its
+			// already-built index.
+			atoms[j] = join.Atom{Relation: a.Relation, Vars: a.Vars, Indexes: []index.Index{indices[j]}}
+		}
+	}
+	return join.NewQuery(atoms...)
+}
+
+// applyPatch merges additions and filters removals into the cached
+// result, preserving the engine's sequential enumeration order (tuples
+// lexicographic in SAO dimension order). Additions are disjoint from
+// the result and from each other by the staggering argument; equal
+// tuples are deduplicated anyway for safety.
+func (m *Maintained) applyPatch(additions [][]uint64, removals map[string]bool, refresh *Refresh) {
+	sao := m.plan.SAO()
+	less := func(a, b []uint64) bool {
+		for _, pos := range sao {
+			if a[pos] != b[pos] {
+				return a[pos] < b[pos]
+			}
+		}
+		return false
+	}
+	// A later relation's delete step may target a tuple an earlier
+	// relation's insert step just produced (the earlier pass ran against
+	// the pre-delete state): removals must filter additions exactly like
+	// they filter the prior result. The reverse interaction cannot
+	// occur — a pass after a delete step sees the deleted-from version,
+	// so its additions never collide with earlier removals.
+	if len(removals) > 0 {
+		kept := additions[:0]
+		for _, t := range additions {
+			if removals[tupleKeyString(t)] {
+				continue
+			}
+			kept = append(kept, t)
+		}
+		additions = kept
+	}
+	sort.Slice(additions, func(i, j int) bool { return less(additions[i], additions[j]) })
+
+	merged := make([][]uint64, 0, len(m.result)+len(additions))
+	i, j := 0, 0
+	for i < len(m.result) || j < len(additions) {
+		if i < len(m.result) && removals[tupleKeyString(m.result[i])] {
+			i++
+			refresh.Removed++
+			continue
+		}
+		switch {
+		case j >= len(additions):
+			merged = append(merged, m.result[i])
+			i++
+		case i >= len(m.result):
+			merged = append(merged, additions[j])
+			refresh.Added++
+			j++
+		case less(additions[j], m.result[i]):
+			merged = append(merged, additions[j])
+			refresh.Added++
+			j++
+		case less(m.result[i], additions[j]):
+			merged = append(merged, m.result[i])
+			i++
+		default: // equal: keep one (should not happen for exact passes)
+			merged = append(merged, m.result[i])
+			i++
+			j++
+		}
+	}
+	m.result = merged
+}
+
+// tupleKeyString encodes a tuple for set membership in the patch.
+func tupleKeyString(t []uint64) string {
+	buf := make([]byte, 0, len(t)*8)
+	for _, v := range t {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(buf)
+}

@@ -56,11 +56,16 @@ func (b *PreparedBase) Loaded() int64 { return b.loaded }
 func (b *PreparedBase) Len() int { return b.tree.Len() }
 
 // preparedBase resolves the shared base a plain run should use: nil
-// unless the options carry one and the mode is Preloaded. A base built
-// under a different subsumption setting or dimensionality is a misuse,
-// not a silent fallback.
+// unless the options carry one and the mode is plain Preloaded or
+// Reloaded. Under Preloaded the base stands in for the full gap-set
+// load; under Reloaded it is prior knowledge — boxes already known to
+// contain no output — consulted read-only while the run still loads
+// lazily from the oracle, which is the delta-execution shape: the
+// unchanged atoms' gaps come prebuilt, only the delta's certificate is
+// discovered. A base built under a different subsumption setting or
+// dimensionality is a misuse, not a silent fallback.
 func (o Options) preparedBase(n int) (*boxtree.Tree, int64, error) {
-	if o.Base == nil || o.Mode != Preloaded {
+	if o.Base == nil || (o.Mode != Preloaded && o.Mode != Reloaded) {
 		return nil, 0, nil
 	}
 	if o.Base.n != n {

@@ -114,12 +114,17 @@ type Options struct {
 	// same Budget to every shard so the limits cap the combined work.
 	// When nil, the Max* fields above apply to this run alone.
 	Budget *Budget
-	// Base, when non-nil, is a prebuilt shared Preloaded knowledge base
-	// (BuildPreloadedBase) reused instead of re-inserting the full gap
-	// set: prepared plans build it once and hand it to every subsequent
-	// execution, which is what amortizes the Preloaded setup cost across
-	// repeated runs of one query. Only the plain Preloaded mode consults
-	// it; other modes ignore it.
+	// Base, when non-nil, is a prebuilt shared knowledge base
+	// (BuildPreloadedBase) consulted read-only during the run. Under
+	// Preloaded it stands in for re-inserting the full gap set: prepared
+	// plans build it once and hand it to every subsequent execution,
+	// which is what amortizes the Preloaded setup cost across repeated
+	// runs of one query. Under Reloaded it is prior knowledge — boxes
+	// the caller certifies to contain no output of THIS run's box cover
+	// problem — and the run still loads lazily from the oracle on top of
+	// it; the catalog's incremental maintenance uses this to hand each
+	// delta pass the unchanged atoms' gap set prebuilt, so the pass only
+	// discovers the delta's certificate. The LB modes ignore it.
 	Base *PreparedBase
 	// Context, when non-nil, cancels the run cooperatively: it is checked
 	// between outer-loop iterations and output reports, and the run

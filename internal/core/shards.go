@@ -243,8 +243,11 @@ func RunShards(newOracle func() Oracle, opts Options, parallelism, shards int) (
 		res.Stats.Outputs = delivered
 	}
 	// The shared base counts once: shards report only their private
-	// knowledge bases.
-	if base != nil {
+	// knowledge bases. Prior knowledge handed to a Reloaded run is not
+	// charged at all (runWithBase applies the same convention): its cost
+	// belongs to whoever built it, and BoxesLoaded keeps measuring what
+	// this run pulled lazily.
+	if base != nil && opts.Mode == Preloaded {
 		res.Stats.BoxesLoaded += baseLoaded
 		res.Stats.KnowledgeBase += base.Len()
 	}

@@ -75,10 +75,14 @@ func RunBox(o Oracle, opts Options, root dyadic.Box) (*Result, error) {
 }
 
 // runWithBase dispatches a plain run through runPlain, resolving the
-// optional prepared base of opts.Base and, when one is used, charging
-// its accounting (the distinct boxes it was loaded from and the boxes
-// it holds) exactly once — the same convention RunShards applies to the
-// per-run base it shares across shards.
+// optional prepared base of opts.Base. A Preloaded run with a base
+// charges the base's accounting (the distinct boxes it was loaded from
+// and the boxes it holds) exactly once — the same convention RunShards
+// applies to the per-run base it shares across shards — so a based run
+// reports identically to a fresh one. A Reloaded run with a base does
+// NOT: there the base is prior knowledge paid for by whoever built it,
+// and BoxesLoaded keeps meaning what this run itself pulled from the
+// oracle — the delta run's certificate-size witness.
 func runWithBase(o Oracle, opts Options, sao []int, root dyadic.Box) (*Result, error) {
 	base, baseLoaded, err := opts.preparedBase(o.Dims())
 	if err != nil {
@@ -88,7 +92,7 @@ func runWithBase(o Oracle, opts Options, sao []int, root dyadic.Box) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	if base != nil {
+	if base != nil && opts.Mode == Preloaded {
 		res.Stats.BoxesLoaded += baseLoaded
 		res.Stats.KnowledgeBase += base.Len()
 	}

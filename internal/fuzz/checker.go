@@ -182,6 +182,13 @@ func (ck *Checker) checkQuery(c Case) (*Discrepancy, error) {
 		return d, nil
 	}
 
+	// Incremental maintenance: a maintained statement driven through a
+	// deterministic append/delete script, byte-identical to scratch
+	// recomputes after every write.
+	if d := ck.checkIncrementalMaintained(c); d != nil {
+		return d, nil
+	}
+
 	// Tetris in every configuration. SAO candidates: every permutation
 	// (capped), plus the planner's automatic choice.
 	saos := saoCandidates(n, ck.MaxSAOs)

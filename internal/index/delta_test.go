@@ -1,0 +1,342 @@
+package index
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"tetrisjoin/internal/dyadic"
+	"tetrisjoin/internal/relation"
+)
+
+// randomRelation builds a relation over a small 2-attribute domain so
+// tests can enumerate every point.
+func randomRelation(t *testing.T, name string, n int, d uint8, seed int64) *relation.Relation {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rel := relation.MustNewUniform(name, []string{"A", "B"}, d)
+	for i := 0; i < n; i++ {
+		rel.MustInsert(uint64(r.Intn(1<<d)), uint64(r.Intn(1<<d)))
+	}
+	rel.Tuples()
+	return rel
+}
+
+// checkIndexContract exhaustively verifies the oracle contract of ix
+// against its relation over the full (small) domain: GapsAt(p) is empty
+// iff p is a tuple; every returned gap box contains p and no tuple; and
+// AllGaps covers exactly the complement.
+func checkIndexContract(t *testing.T, label string, ix Index) {
+	t.Helper()
+	rel := ix.Relation()
+	depths := rel.Depths()
+	all := ix.AllGaps()
+	for _, b := range all {
+		if err := b.Check(depths); err != nil {
+			t.Fatalf("%s: AllGaps returned invalid box %v: %v", label, b, err)
+		}
+	}
+	cur := ix.NewCursor()
+	point := make([]uint64, rel.Arity())
+	var walk func(dim int)
+	walk = func(dim int) {
+		if dim < rel.Arity() {
+			for v := uint64(0); v < 1<<depths[dim]; v++ {
+				point[dim] = v
+				walk(dim + 1)
+			}
+			return
+		}
+		isTuple := rel.Contains(point...)
+		gaps := cur.GapsAt(point)
+		if isTuple && len(gaps) != 0 {
+			t.Fatalf("%s: GapsAt(%v) returned %d boxes for a tuple", label, point, len(gaps))
+		}
+		if !isTuple && len(gaps) == 0 {
+			t.Fatalf("%s: GapsAt(%v) empty for a non-tuple", label, point)
+		}
+		for _, g := range gaps {
+			if err := g.Check(depths); err != nil {
+				t.Fatalf("%s: GapsAt(%v) invalid box %v: %v", label, point, g, err)
+			}
+			if !g.ContainsPoint(point, depths) {
+				t.Fatalf("%s: GapsAt(%v) box %v does not contain the probe", label, point, g)
+			}
+		}
+		covered := false
+		for _, b := range all {
+			if b.ContainsPoint(point, depths) {
+				covered = true
+				if isTuple {
+					t.Fatalf("%s: AllGaps box %v covers tuple %v", label, b, point)
+				}
+			}
+		}
+		if !isTuple && !covered {
+			t.Fatalf("%s: AllGaps does not cover non-tuple %v", label, point)
+		}
+	}
+	walk(0)
+	// Gap validity for probed boxes: no gap box may contain any tuple.
+	for _, tup := range rel.Tuples() {
+		for _, b := range all {
+			if b.ContainsPoint(tup, depths) {
+				t.Fatalf("%s: gap box %v contains tuple %v", label, b, tup)
+			}
+		}
+	}
+}
+
+// layeredOverSpecs builds each index family fresh over the base version
+// and layers the delta, then checks the composite against the new
+// version's contract.
+func TestDeltaLayersMatchFreshBuilds(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		base := randomRelation(t, "R", 20, 4, seed)
+		rng := rand.New(rand.NewSource(seed + 100))
+
+		// Inserted tuples disjoint from base; deleted tuples from base.
+		var ins []relation.Tuple
+		for len(ins) < 3 {
+			cand := relation.Tuple{uint64(rng.Intn(16)), uint64(rng.Intn(16))}
+			if !base.Contains(cand...) {
+				ins = append(ins, cand)
+			}
+		}
+		del := []relation.Tuple{base.Tuples()[0], base.Tuples()[len(base.Tuples())/2]}
+
+		for _, spec := range []Spec{BTreeSpec(), BTreeSpec("B", "A"), DyadicSpec(), KDTreeSpec()} {
+			baseIx, err := spec.Build(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Delete layer.
+			afterDel, err := base.WithDeleted(del...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delIx, err := NewDeleted(afterDel, baseIx, del)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkIndexContract(t, spec.Key()+"/deleted seed="+string(rune('0'+seed)), delIx)
+			if LayerDepth(delIx) != 1 {
+				t.Fatalf("deleted layer depth %d, want 1", LayerDepth(delIx))
+			}
+
+			// Append layer.
+			afterIns, err := base.WithInserted(ins...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			deltaRel := relation.MustNewUniform("dR", []string{"A", "B"}, 4)
+			if err := deltaRel.InsertAll(ins...); err != nil {
+				t.Fatal(err)
+			}
+			deltaIx, err := spec.Build(deltaRel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			appIx, err := NewAppended(afterIns, baseIx, deltaIx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkIndexContract(t, spec.Key()+"/appended", appIx)
+			if LayerDepth(appIx) != 1 {
+				t.Fatalf("appended layer depth %d, want 1", LayerDepth(appIx))
+			}
+
+			// Chained: append over the delete layer.
+			chained, err := afterDel.WithInserted(ins...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chainIx, err := NewAppended(chained, delIx, deltaIx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkIndexContract(t, spec.Key()+"/chained", chainIx)
+			if LayerDepth(chainIx) != 2 {
+				t.Fatalf("chained layer depth %d, want 2", LayerDepth(chainIx))
+			}
+		}
+	}
+}
+
+func TestSetDeriveLayersAndCounts(t *testing.T) {
+	base := randomRelation(t, "R", 30, 4, 7)
+	var builds atomic.Int64
+	set := NewSet(base, &builds)
+	if err := set.Ensure(BTreeSpec(), BTreeSpec("B", "A"), DyadicSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 3 {
+		t.Fatalf("eager builds = %d, want 3", builds.Load())
+	}
+
+	// A 1-tuple append layers every carried spec: 3 O(1)-sized
+	// constructions, zero full rebuilds.
+	var ins relation.Tuple
+	for v := uint64(0); ; v++ {
+		if !base.Contains(v%16, v/16) {
+			ins = relation.Tuple{v % 16, v / 16}
+			break
+		}
+	}
+	next, err := base.WithInserted(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := next.DeltaSince(base.Version())
+	if !ok {
+		t.Fatal("delta unavailable")
+	}
+	derived, layered, full, err := set.Derive(next, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layered != 3 || full != 0 {
+		t.Fatalf("layered=%d full=%d, want 3/0", layered, full)
+	}
+	if builds.Load() != 6 {
+		t.Fatalf("builds after derive = %d, want 6 (3 eager + 3 layers)", builds.Load())
+	}
+	if derived.Len() != 3 {
+		t.Fatalf("derived set holds %d specs, want 3", derived.Len())
+	}
+	ix, built, err := derived.Get(BTreeSpec())
+	if err != nil || built {
+		t.Fatalf("derived Get rebuilt (built=%v err=%v)", built, err)
+	}
+	if LayerDepth(ix) != 1 {
+		t.Fatalf("derived index depth %d, want 1: %s", LayerDepth(ix), ix.Kind())
+	}
+	checkIndexContract(t, "derived/btree", ix)
+
+	// An empty delta (duplicate append) rebases without charging builds.
+	dup, err := next.WithInserted(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, ok := dup.DeltaSince(next.Version())
+	if !ok || !dd.Empty() {
+		t.Fatalf("duplicate append delta: %+v ok=%v", dd, ok)
+	}
+	before := builds.Load()
+	rebasedSet, layered, full, err := derived.Derive(dup, dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layered != 0 || full != 0 || builds.Load() != before {
+		t.Fatalf("empty delta charged work: layered=%d full=%d builds+=%d", layered, full, builds.Load()-before)
+	}
+	ix, _, err = rebasedSet.Get(BTreeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Relation() != dup {
+		t.Fatal("rebased index must report the new snapshot")
+	}
+
+	// A delta comparable to the relation size triggers the full-rebuild
+	// fallback.
+	var bulk []relation.Tuple
+	for v := uint64(0); len(bulk) < 12; v++ {
+		cand := relation.Tuple{v % 16, (v / 16) % 16}
+		if !dup.Contains(cand...) {
+			bulk = append(bulk, cand)
+		}
+	}
+	big, err := dup.WithInserted(bulk...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, _ := big.DeltaSince(dup.Version())
+	_, layered, full, err = rebasedSet.Derive(big, bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 3 || layered != 0 {
+		t.Fatalf("bulk delta: layered=%d full=%d, want 0/3", layered, full)
+	}
+}
+
+// The layer-depth cap: deriving past maxLayerDepth falls back to full
+// rebuilds even for tiny deltas.
+func TestSetDeriveDepthCap(t *testing.T) {
+	cur := randomRelation(t, "R", 40, 5, 11)
+	var builds atomic.Int64
+	set := NewSet(cur, &builds)
+	if err := set.Ensure(BTreeSpec()); err != nil {
+		t.Fatal(err)
+	}
+	sawFull := false
+	for i := 0; i < maxLayerDepth+2; i++ {
+		var ins relation.Tuple
+		for v := uint64(0); ; v++ {
+			if !cur.Contains(v%32, v/32) {
+				ins = relation.Tuple{v % 32, v / 32}
+				break
+			}
+		}
+		next, err := cur.WithInserted(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, ok := next.DeltaSince(cur.Version())
+		if !ok {
+			t.Fatal("delta unavailable")
+		}
+		var full int
+		set, _, full, err = set.Derive(next, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full > 0 {
+			sawFull = true
+			ix, _, _ := set.Get(BTreeSpec())
+			if LayerDepth(ix) != 0 {
+				t.Fatalf("full rebuild still layered: depth %d", LayerDepth(ix))
+			}
+		}
+		cur = next
+	}
+	if !sawFull {
+		t.Fatalf("no full rebuild within %d derivations; depth cap inert", maxLayerDepth+2)
+	}
+	ix, _, err := set.Get(BTreeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIndexContract(t, "deep-chain", ix)
+}
+
+// A box probed out of a layered index must never be wider than the
+// relation complement allows — cross-checked by the exhaustive contract
+// above — and Union/Tombstones alone must satisfy the documented probe
+// semantics.
+func TestTombstonesProbe(t *testing.T) {
+	base := randomRelation(t, "R", 10, 3, 3)
+	del := []relation.Tuple{base.Tuples()[1]}
+	next, err := base.WithDeleted(del...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tomb := NewTombstones(next, del)
+	cur := tomb.NewCursor()
+	g := cur.GapsAt(del[0])
+	if len(g) != 1 {
+		t.Fatalf("tombstone probe returned %d boxes, want 1", len(g))
+	}
+	want := dyadic.Point(del[0], next.Depths())
+	if !g[0].Equal(want) {
+		t.Fatalf("tombstone gap %v, want %v", g[0], want)
+	}
+	if got := cur.GapsAt(next.Tuples()[0]); len(got) != 0 {
+		t.Fatalf("tombstone probe on live tuple returned %v", got)
+	}
+	if len(tomb.AllGaps()) != 1 {
+		t.Fatalf("tombstone AllGaps %v, want 1 box", tomb.AllGaps())
+	}
+}

@@ -165,6 +165,98 @@ func (s *Set) Ensure(specs ...Spec) error {
 	return nil
 }
 
+// maxLayerDepth caps how many delta layers Derive stacks before falling
+// back to a full rebuild: probe cost grows with the chain (each append
+// layer multiplies probe results, each delete layer adds a member
+// probe), so past this depth a fresh O(N) build is the cheaper steady
+// state.
+const maxLayerDepth = 16
+
+// Derive builds the index registry for the next version of this set's
+// relation from the delta between the two versions. Every spec held
+// here is carried to the new set; each is realized as a delta layer
+// over the existing immutable build — O(k) construction for a k-tuple
+// delta — unless the delta is too large relative to the snapshot or the
+// layer chain too deep, in which case that spec is rebuilt in full.
+// Returns the new set plus how many specs took each path; layered
+// constructions charge the shared build counter once each (they are
+// real, if small, index constructions), full rebuilds charge through
+// the normal Get path.
+func (s *Set) Derive(next *relation.Relation, d relation.Delta) (set *Set, layered, full int, err error) {
+	s.mu.RLock()
+	entries := make([]setEntry, 0, len(s.byKey))
+	for _, e := range s.byKey {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+
+	out := NewSet(next, s.builds)
+	if len(entries) == 0 {
+		return out, 0, 0, nil
+	}
+
+	// One shared relation over the inserted tuples; each spec builds its
+	// own small index over it (a B-tree spec needs its own order).
+	var deltaRel *relation.Relation
+	if len(d.Inserted) > 0 {
+		deltaRel, err = relation.New(next.Name()+"+delta", next.Attrs(), next.Depths())
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if err := deltaRel.InsertAll(d.Inserted...); err != nil {
+			return nil, 0, 0, err
+		}
+		deltaRel.Tuples() // normalize: shared read-only once published
+	}
+
+	for _, e := range entries {
+		switch {
+		case d.Empty():
+			// The tuple set is unchanged (e.g. an append of duplicates):
+			// the old build is valid verbatim, only its snapshot pointer
+			// moves. No construction, no charge.
+			out.put(e.spec, rebased{Index: e.ix, rel: next})
+		case LayerDepth(e.ix) >= maxLayerDepth || d.Len()*4 > next.Len():
+			if _, _, err := out.Get(e.spec); err != nil {
+				return nil, 0, 0, err
+			}
+			full++
+		default:
+			cur := e.ix
+			if len(d.Deleted) > 0 {
+				cur, err = NewDeleted(next, cur, d.Deleted)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+			}
+			if len(d.Inserted) > 0 {
+				deltaIx, err := e.spec.Build(deltaRel)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				cur, err = NewAppended(next, cur, deltaIx)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+			}
+			out.put(e.spec, cur)
+			layered++
+			if s.builds != nil {
+				s.builds.Add(1)
+			}
+		}
+	}
+	return out, layered, full, nil
+}
+
+// put stores a pre-built index under its spec (the Derive path; Get
+// remains the build-on-demand path).
+func (s *Set) put(spec Spec, ix Index) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byKey[spec.Key()] = setEntry{ix: ix, spec: spec}
+}
+
 // Specs returns the keys of the indexes currently held, sorted order not
 // guaranteed; for introspection and tests.
 func (s *Set) Specs() []string {

@@ -70,6 +70,15 @@ type Options struct {
 	// mode and under DisableSubsume (the base is built with
 	// subsumption).
 	SharedBase bool
+	// Base, when non-nil, is an externally prepared read-only knowledge
+	// base handed to the core engine (core.Options.Base): every box in
+	// it must be a certified-empty region of THIS query's output space.
+	// The catalog's maintenance layer builds such bases from the
+	// unchanged atoms of a maintained query (Plan.PartialOracle +
+	// core.BuildPreloadedBase) and hands them to delta passes, which
+	// then run Reloaded and only discover the delta's certificate.
+	// Mutually exclusive with SharedBase (the plan's own base).
+	Base *core.PreparedBase
 	// NoCache, SinglePass, DisableSubsume, TrackProvenance,
 	// MaxResolutions, MaxOutput and OnOutput are forwarded to the core
 	// engine; see core.Options. With Parallelism > 1, MaxResolutions and
@@ -284,6 +293,7 @@ func Execute(q *Query, opts Options) (*Result, error) {
 // coreOptions translates execution options for the core engine.
 func (p *Plan) coreOptions(opts Options) core.Options {
 	return core.Options{
+		Base:            opts.Base,
 		Mode:            opts.Mode,
 		SAO:             p.sao,
 		NoCache:         opts.NoCache,
@@ -355,6 +365,9 @@ func (p *Plan) Execute(opts Options) (*Result, error) {
 	}
 	lb := opts.Mode == core.PreloadedLB || opts.Mode == core.ReloadedLB
 
+	if opts.SharedBase && opts.Base != nil {
+		return nil, fmt.Errorf("join: SharedBase and an explicit Base are mutually exclusive")
+	}
 	copts := p.coreOptions(opts)
 	if opts.SharedBase && opts.Mode == core.Preloaded && !opts.DisableSubsume {
 		base, err := p.PreloadedBase()

@@ -1,0 +1,145 @@
+package relation
+
+import "sort"
+
+// Delta is the symmetric difference between two versions of one
+// relation lineage: the tuples present in the newer version but not the
+// older (Inserted) and vice versa (Deleted). Both slices are sorted in
+// Compare order, deduplicated, and disjoint; tuples are shared with the
+// versions they came from and must not be mutated.
+//
+// Deltas are *effective*: a WithInserted of a tuple already present, or
+// a WithDeleted of a tuple already absent, contributes nothing. The
+// incremental-maintenance pipeline depends on this — a delta index layer
+// built from Inserted/Deleted must describe exactly the tuples whose
+// membership changed, or its gap certificates would be wrong.
+type Delta struct {
+	Inserted []Tuple
+	Deleted  []Tuple
+}
+
+// Empty reports whether the delta changes nothing.
+func (d Delta) Empty() bool { return len(d.Inserted) == 0 && len(d.Deleted) == 0 }
+
+// Len returns the total number of changed tuples.
+func (d Delta) Len() int { return len(d.Inserted) + len(d.Deleted) }
+
+// Mixed reports whether the delta carries both insertions and
+// deletions. The catalog's maintenance patch rule handles pure deltas
+// per step; a mixed one (an append and a delete folded into one
+// DeltaSince span) triggers its exact fallback to full recomputation.
+func (d Delta) Mixed() bool { return len(d.Inserted) > 0 && len(d.Deleted) > 0 }
+
+// lineageStep records one derivation edge of a relation's version
+// history: the version it was derived from and the effective tuple
+// changes of that step. Steps carry no pointer to the parent relation,
+// so old versions stay garbage-collectable; a derived relation keeps a
+// bounded suffix of its ancestry's steps (maxLineage), beyond which
+// DeltaSince reports the span as unavailable and callers fall back to
+// treating the relation as wholly new.
+type lineageStep struct {
+	from, to uint64
+	ins, del []Tuple
+}
+
+// maxLineage bounds how many derivation steps a relation retains. The
+// cap trades DeltaSince reach against memory: each retained step holds
+// only its changed tuples, and versions older than the window simply
+// stop being delta-reachable (the catalog then recomputes rather than
+// patches). 64 comfortably covers any realistic refresh cadence.
+const maxLineage = 64
+
+// DeltaSince returns the effective tuple changes from the given older
+// version of this relation's lineage to the receiver, composing the
+// recorded derivation steps. The second result is false when the span
+// is not reconstructible: version is not an ancestor within the
+// retained lineage window, or the lineage was severed by an in-place
+// Insert.
+func (r *Relation) DeltaSince(version uint64) (Delta, bool) {
+	if version == r.version {
+		return Delta{}, true
+	}
+	start := -1
+	for i := len(r.lineage) - 1; i >= 0; i-- {
+		if r.lineage[i].from == version {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return Delta{}, false
+	}
+	// Compose the steps oldest-first. state maps a tuple key to its net
+	// membership change relative to the base version: +1 inserted, -1
+	// deleted; cancelling changes drop out. Each step's deltas are
+	// effective relative to its immediate parent, which is what makes
+	// the composition sound: a step can only insert a tuple its parent
+	// lacked (so either base-absent → net insert, or previously deleted
+	// → cancellation) and only delete a tuple its parent had.
+	state := map[string]int{}
+	byKey := map[string]Tuple{}
+	for _, step := range r.lineage[start:] {
+		for _, t := range step.ins {
+			k := tupleKey(t)
+			byKey[k] = t
+			if state[k] < 0 {
+				delete(state, k)
+			} else {
+				state[k] = 1
+			}
+		}
+		for _, t := range step.del {
+			k := tupleKey(t)
+			byKey[k] = t
+			if state[k] > 0 {
+				delete(state, k)
+			} else {
+				state[k] = -1
+			}
+		}
+	}
+	var d Delta
+	for k, s := range state {
+		if s > 0 {
+			d.Inserted = append(d.Inserted, byKey[k])
+		} else {
+			d.Deleted = append(d.Deleted, byKey[k])
+		}
+	}
+	sortTuples(d.Inserted)
+	sortTuples(d.Deleted)
+	return d, true
+}
+
+// appendLineage records a derivation step on a freshly derived version,
+// inheriting the parent's retained steps up to the window cap. The
+// parent's slice is copied, never aliased: two versions derived from
+// one parent must not race appending into shared backing storage.
+func (r *Relation) appendLineage(parent *Relation, ins, del []Tuple) {
+	keep := parent.lineage
+	if len(keep) >= maxLineage {
+		keep = keep[len(keep)-maxLineage+1:]
+	}
+	lineage := make([]lineageStep, 0, len(keep)+1)
+	lineage = append(lineage, keep...)
+	r.lineage = append(lineage, lineageStep{
+		from: parent.version,
+		to:   r.version,
+		ins:  ins,
+		del:  del,
+	})
+}
+
+// tupleKey encodes a tuple's values as a byte string for map keys.
+func tupleKey(t Tuple) string {
+	buf := make([]byte, 0, len(t)*8)
+	for _, v := range t {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(buf)
+}
+
+func sortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return Compare(ts[i], ts[j]) < 0 })
+}

@@ -64,6 +64,11 @@ type Relation struct {
 	depths  []uint8
 	tuples  []Tuple
 	sorted  bool
+	// lineage retains a bounded window of derivation steps (parent
+	// version + effective tuple changes), the substrate of DeltaSince.
+	// Pointer-free by design: old versions are not kept alive by new
+	// ones. Severed (nil) after an in-place Insert.
+	lineage []lineageStep
 }
 
 // New creates an empty relation with the given name, attribute names and
@@ -169,6 +174,10 @@ func (r *Relation) Insert(values ...uint64) error {
 	r.tuples = append(r.tuples, t)
 	r.sorted = false
 	r.version = stateCounter.Add(1)
+	// An in-place mutation changes the tuple set without recording a
+	// derivation step, so any retained lineage no longer describes how
+	// this state arose: sever it rather than let DeltaSince lie.
+	r.lineage = nil
 	return nil
 }
 
@@ -322,15 +331,27 @@ func (r *Relation) derive(extra int) *Relation {
 // appended (deduplicated as usual). The receiver is unchanged, so
 // readers holding it — index structures, running queries — keep seeing
 // the old state: this is the append half of the catalog's copy-on-write
-// ingest.
+// ingest. The derivation is recorded in the new version's lineage with
+// its effective delta (tuples actually added), which is what DeltaSince
+// reconstructs.
 func (r *Relation) WithInserted(tuples ...Tuple) (*Relation, error) {
 	next := r.derive(len(tuples))
+	seen := map[string]bool{}
+	var ins []Tuple
 	for _, t := range tuples {
 		if err := next.Insert(t...); err != nil {
 			return nil, err
 		}
+		// Insert severed the lineage field of next, but next has none yet;
+		// record the effective insertions against the parent's state.
+		if k := tupleKey(t); !r.Contains(t...) && !seen[k] {
+			seen[k] = true
+			ins = append(ins, next.tuples[len(next.tuples)-1])
+		}
 	}
 	next.normalize()
+	sortTuples(ins)
+	next.appendLineage(r, ins, nil)
 	return next, nil
 }
 
@@ -348,13 +369,16 @@ func (r *Relation) WithDeleted(tuples ...Tuple) (*Relation, error) {
 	sort.Slice(drop, func(i, j int) bool { return Compare(drop[i], drop[j]) < 0 })
 	next := r.derive(0)
 	kept := next.tuples[:0]
+	var del []Tuple
 	for _, t := range next.tuples {
 		i := sort.Search(len(drop), func(i int) bool { return Compare(drop[i], t) >= 0 })
 		if i < len(drop) && Compare(drop[i], t) == 0 {
+			del = append(del, t) // effective: present and asked to go
 			continue
 		}
 		kept = append(kept, t)
 	}
 	next.tuples = kept
+	next.appendLineage(r, nil, del)
 	return next, nil
 }

@@ -139,9 +139,13 @@ type serverStats struct {
 
 	Relations   int   `json:"relations"`
 	IndexBuilds int64 `json:"index_builds"`
-	PlansCached int   `json:"plans_cached"`
-	PlanHits    int64 `json:"plan_hits"`
-	PlanMisses  int64 `json:"plan_misses"`
+	// DeltaIndexBuilds is the portion of IndexBuilds that were O(k)
+	// delta layers over prior versions (incremental maintenance), not
+	// full constructions.
+	DeltaIndexBuilds int64 `json:"delta_index_builds"`
+	PlansCached      int   `json:"plans_cached"`
+	PlanHits         int64 `json:"plan_hits"`
+	PlanMisses       int64 `json:"plan_misses"`
 }
 
 func (s *Server) stats() serverStats {
@@ -150,14 +154,15 @@ func (s *Server) stats() serverStats {
 	open := s.open
 	s.mu.Unlock()
 	return serverStats{
-		Sessions:     s.sessions.Load(),
-		OpenSessions: open,
-		Queries:      s.queries.Load(),
-		Relations:    cs.Relations,
-		IndexBuilds:  cs.IndexBuilds,
-		PlansCached:  cs.PlansCached,
-		PlanHits:     cs.PlanHits,
-		PlanMisses:   cs.PlanMisses,
+		Sessions:         s.sessions.Load(),
+		OpenSessions:     open,
+		Queries:          s.queries.Load(),
+		Relations:        cs.Relations,
+		IndexBuilds:      cs.IndexBuilds,
+		DeltaIndexBuilds: cs.DeltaIndexBuilds,
+		PlansCached:      cs.PlansCached,
+		PlanHits:         cs.PlanHits,
+		PlanMisses:       cs.PlanMisses,
 	}
 }
 

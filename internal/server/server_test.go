@@ -307,3 +307,93 @@ func TestBufferedLimitSpendsOnlyDeliveredBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionMaintainLifecycle drives the steady-state serving story
+// the protocol exists to demonstrate: maintain → exec (no change) →
+// append → exec. The post-append exec must report a patched refresh
+// with delta-sized index builds — not a re-preparation — and deliver
+// the updated result.
+func TestSessionMaintainLifecycle(t *testing.T) {
+	srv := New(catalog.New(), Config{})
+	defer srv.Close()
+
+	lines := drive(t, srv,
+		loadTriangle,
+		`{"op":"maintain","id":"mt","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded"}`,
+		`{"op":"exec","id":"mt"}`,
+		`{"op":"append","name":"R","tuples":[[2,4]]}`,
+		`{"op":"exec","id":"mt"}`,
+		`{"op":"exec","id":"mt","count":true}`,
+		`{"op":"close"}`,
+	)
+	// load, maintain, exec(+1 tuple), append, exec(+2 tuples), count, close.
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10: %v", len(lines), lines)
+	}
+	maintainResp := lines[1]
+	if ok, _ := maintainResp["ok"].(bool); !ok || num(maintainResp, "index_builds") == 0 {
+		t.Fatalf("maintain response wrong (cold materialization must build): %v", maintainResp)
+	}
+	// First exec: nothing changed since maintain.
+	exec1 := lines[3]
+	if exec1["refresh"] != "none" || num(exec1, "index_builds") != 0 || num(exec1, "outputs") != 1 {
+		t.Fatalf("idle exec response wrong: %v", exec1)
+	}
+	// Post-append exec: patched, delta-sized builds, both triangles.
+	exec2 := lines[7]
+	if exec2["refresh"] != "patched" {
+		t.Fatalf("post-append exec refresh %v, want patched: %v", exec2["refresh"], exec2)
+	}
+	if b := num(exec2, "index_builds"); b < 1 || b > 3 {
+		t.Fatalf("post-append exec built %v indexes, want delta-sized (1..3): %v", b, exec2)
+	}
+	if num(exec2, "outputs") != 2 {
+		t.Fatalf("post-append exec outputs %v, want 2: %v", num(exec2, "outputs"), exec2)
+	}
+	var streamed []string
+	for _, i := range []int{5, 6} {
+		b, _ := json.Marshal(lines[i]["tuple"])
+		streamed = append(streamed, string(b))
+	}
+	want := []string{"[1,2,3]", "[2,3,4]"}
+	for i := range want {
+		if streamed[i] != want[i] {
+			t.Fatalf("streamed tuples %v, want %v", streamed, want)
+		}
+	}
+	count := lines[8]
+	if count["count"] != "2" || count["refresh"] != "none" {
+		t.Fatalf("maintained count response wrong: %v", count)
+	}
+}
+
+// One id names one statement: re-preparing an id that was maintained
+// (or vice versa) must replace it, never leave exec serving the old
+// statement from the other map.
+func TestSessionStatementIDReplacement(t *testing.T) {
+	srv := New(catalog.New(), Config{})
+	defer srv.Close()
+
+	lines := drive(t, srv,
+		loadTriangle,
+		`{"op":"maintain","id":"q","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded"}`,
+		`{"op":"prepare","id":"q","query":"R(A,B)","mode":"preloaded"}`,
+		`{"op":"exec","id":"q","buffer":true}`,
+		`{"op":"maintain","id":"q","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded"}`,
+		`{"op":"exec","id":"q","buffer":true}`,
+		`{"op":"close"}`,
+	)
+	// exec after re-prepare must serve R(A,B): 4 tuples, no refresh field.
+	exec1 := lines[3]
+	if ts, _ := exec1["tuples"].([]any); len(ts) != 4 {
+		t.Fatalf("exec after re-prepare served %d tuples, want 4 (stale maintained statement?): %v", len(ts), exec1)
+	}
+	if _, hasRefresh := exec1["refresh"]; hasRefresh {
+		t.Fatalf("exec after re-prepare still maintained: %v", exec1)
+	}
+	// exec after re-maintain must serve the triangle again.
+	exec2 := lines[5]
+	if exec2["refresh"] != "none" || num(exec2, "outputs") != 1 {
+		t.Fatalf("exec after re-maintain wrong: %v", exec2)
+	}
+}

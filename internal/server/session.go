@@ -18,8 +18,8 @@ import (
 // Request is one line of the protocol. Op selects the action; the other
 // fields are op-specific.
 type Request struct {
-	// Op is one of load, append, delete, query, prepare, exec, stats,
-	// close.
+	// Op is one of load, append, delete, query, prepare, maintain, exec,
+	// stats, close.
 	Op string `json:"op"`
 
 	// Name is the relation name for load/append/delete.
@@ -60,8 +60,13 @@ type Response struct {
 	// Version is the published relation version for load/append/delete.
 	Version uint64 `json:"version,omitempty"`
 
-	// ID echoes the statement id for prepare/exec.
+	// ID echoes the statement id for prepare/maintain/exec.
 	ID string `json:"id,omitempty"`
+	// Refresh reports how an exec of a maintained statement brought its
+	// result up to date: "none" (no writes since), "patched" (delta
+	// passes) or "recomputed" (exact fallback). Empty for plain
+	// statements.
+	Refresh string `json:"refresh,omitempty"`
 	// CacheHit reports whether prepare was served from the plan cache.
 	CacheHit bool `json:"cache_hit,omitempty"`
 	// IndexBuilds is the number of indexes constructed on behalf of this
@@ -97,6 +102,7 @@ type session struct {
 	ctx    context.Context
 	budget *core.Budget
 	stmts  map[string]*catalog.Prepared
+	maint  map[string]*catalog.Maintained
 
 	// qcache memoizes preparations for repeated textual "query" requests
 	// so the hot path skips parse + SAO derivation on every call. It is
@@ -130,6 +136,7 @@ func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
 		ctx:    ctx,
 		budget: s.sessionBudget(),
 		stmts:  map[string]*catalog.Prepared{},
+		maint:  map[string]*catalog.Maintained{},
 		out:    bufio.NewWriter(w),
 	}
 	sess.enc = json.NewEncoder(sess.out)
@@ -185,6 +192,8 @@ func (sess *session) handle(req Request) Response {
 		return sess.query(req)
 	case "prepare":
 		return sess.prepare(req)
+	case "maintain":
+		return sess.maintain(req)
 	case "exec":
 		return sess.exec(req)
 	case "stats":
@@ -265,6 +274,7 @@ func (sess *session) prepare(req Request) Response {
 	if err != nil {
 		return fail(err)
 	}
+	delete(sess.maint, req.ID) // the id now names this plain statement
 	sess.stmts[req.ID] = p
 	return Response{
 		OK:          true,
@@ -276,7 +286,101 @@ func (sess *session) prepare(req Request) Response {
 	}
 }
 
+// maintain creates a maintained statement: prepared like any other,
+// plus a materialized result the catalog keeps patchable across
+// append/delete. The initial full materialization is engine work and
+// runs admitted.
+func (sess *session) maintain(req Request) Response {
+	if req.ID == "" || req.Query == "" {
+		return fail(fmt.Errorf("maintain needs id and query"))
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		return fail(err)
+	}
+	release, err := sess.srv.admitExec(sess.ctx)
+	if err != nil {
+		return fail(err)
+	}
+	m, err := sess.srv.cat.Maintain(req.Query, join.Options{
+		Mode:    mode,
+		SAOVars: req.SAO,
+		Budget:  sess.budget,
+		Context: sess.ctx,
+	})
+	release()
+	if err != nil {
+		return fail(err)
+	}
+	// One id names one statement: a maintained statement replaces any
+	// plain prepared statement under the same id (and vice versa in
+	// prepare), so exec's resolution order can never serve a stale one.
+	delete(sess.stmts, req.ID)
+	sess.maint[req.ID] = m
+	last := m.LastRefresh()
+	return Response{
+		OK:          true,
+		ID:          req.ID,
+		IndexBuilds: last.Stats.IndexBuilds,
+		Outputs:     last.Stats.Outputs,
+		Resolutions: last.Stats.Resolutions,
+		Vars:        m.Plan().Query().Vars(),
+		SAO:         m.Plan().SAOVars(),
+	}
+}
+
+// execMaintained refreshes a maintained statement (delta passes or
+// recompute, under the session budget and context) and delivers its
+// materialized result. The reported index_builds/resolutions are the
+// refresh's own work — delta-sized under a trickle of writes, zero when
+// nothing changed.
+func (sess *session) execMaintained(req Request, m *catalog.Maintained) Response {
+	release, err := sess.srv.admitExec(sess.ctx)
+	if err != nil {
+		return fail(err)
+	}
+	defer release()
+	sess.srv.queries.Add(1)
+
+	res, err := m.Execute(join.Options{Budget: sess.budget, Context: sess.ctx})
+	if err != nil {
+		return fail(err)
+	}
+	last := m.LastRefresh()
+	resp := Response{
+		OK:          true,
+		ID:          req.ID,
+		Refresh:     last.Kind,
+		Vars:        res.Vars,
+		SAO:         res.SAO,
+		Outputs:     res.Stats.Outputs,
+		Resolutions: res.Stats.Resolutions,
+		IndexBuilds: res.Stats.IndexBuilds,
+	}
+	tuples := res.Tuples
+	if req.Limit > 0 && req.Limit < len(tuples) {
+		tuples = tuples[:req.Limit]
+	}
+	if req.Count {
+		resp.Count = fmt.Sprintf("%d", len(res.Tuples))
+		return resp
+	}
+	if req.Buffer {
+		resp.Tuples = tuples
+		return resp
+	}
+	for _, tup := range tuples {
+		if err := sess.enc.Encode(tupleLine{Tuple: tup}); err != nil {
+			return fail(err)
+		}
+	}
+	return resp
+}
+
 func (sess *session) exec(req Request) Response {
+	if m, ok := sess.maint[req.ID]; ok {
+		return sess.execMaintained(req, m)
+	}
 	p, ok := sess.stmts[req.ID]
 	if !ok {
 		return fail(fmt.Errorf("unknown statement %q", req.ID))

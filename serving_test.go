@@ -88,3 +88,62 @@ func TestFacadePreparedLifecycle(t *testing.T) {
 		t.Errorf("fresh statement after append: %v, want 2 triangles", res2.Tuples)
 	}
 }
+
+// TestFacadeMaintainedLifecycle drives incremental maintenance through
+// the public facade: maintain, write, execute — the post-write
+// execution must be a delta patch, not a re-execution, and exact.
+func TestFacadeMaintainedLifecycle(t *testing.T) {
+	cat := tetrisjoin.OpenCatalog()
+	r, err := tetrisjoin.NewRelation("R", []string{"src", "dst"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MustInsert(1, 2)
+	r.MustInsert(2, 3)
+	r.MustInsert(1, 3)
+	r.MustInsert(3, 4)
+	if _, err := cat.Ingest(r); err != nil {
+		t.Fatal(err)
+	}
+
+	const text = "R(A,B), R(B,C), R(A,C)"
+	m, err := cat.Maintain(text, tetrisjoin.Options{Mode: tetrisjoin.Preloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Execute(tetrisjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tuples, [][]uint64{{1, 2, 3}}) {
+		t.Fatalf("initial result %v", res.Tuples)
+	}
+
+	if _, err := cat.Append("R", tetrisjoin.Tuple{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.Execute(tetrisjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LastRefresh(); got.Kind != "patched" || got.Added != 1 {
+		t.Fatalf("refresh after append: %+v, want a 1-tuple patch", got)
+	}
+	if !reflect.DeepEqual(res.Tuples, [][]uint64{{1, 2, 3}, {2, 3, 4}}) {
+		t.Fatalf("patched result %v", res.Tuples)
+	}
+
+	if _, err := cat.Delete("R", tetrisjoin.Tuple{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.Execute(tetrisjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LastRefresh(); got.Kind != "patched" || got.Removed != 2 {
+		t.Fatalf("refresh after delete: %+v, want a 2-tuple removal patch", got)
+	}
+	if len(res.Tuples) != 0 {
+		t.Fatalf("post-delete result %v, want empty", res.Tuples)
+	}
+}

@@ -154,6 +154,18 @@ type CatalogOptions = catalog.Options
 // Preloaded mode) shared knowledge base, performing zero index builds.
 type Prepared = catalog.Prepared
 
+// Maintained is a prepared statement whose materialized result
+// survives catalog writes: Execute after an Append/Delete patches the
+// result from the delta (one Tetris pass per changed atom over the
+// delta relation, reusing prior indexes and shared knowledge) instead
+// of re-executing, with exact fallback to full recomputation when the
+// patch rule does not apply. Obtain one with Catalog.Maintain.
+type Maintained = catalog.Maintained
+
+// MaintainedRefresh describes what a maintained execution did: "none",
+// "patched" (with pass/add/remove counts) or "recomputed".
+type MaintainedRefresh = catalog.Refresh
+
 // OpenCatalog returns an empty catalog with default options.
 func OpenCatalog() *Catalog { return catalog.New() }
 
