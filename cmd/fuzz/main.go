@@ -11,6 +11,7 @@
 //
 //	fuzz -n 500 -seed 1                  # 500 cases from seed 1
 //	fuzz -n 100 -kind bcp -timeout 30s   # box cover cases only, bounded
+//	fuzz -n 500 -kind crash              # WAL crash-recovery campaign
 //	fuzz -n 50 -fault                    # self-test: inject a fault,
 //	                                     # expect it caught and shrunk
 //	fuzz -corpus internal/fuzz/testdata/corpus  # write repros there
@@ -35,7 +36,7 @@ func main() {
 		n       = flag.Int("n", 200, "number of cases to generate and check")
 		seed    = flag.Int64("seed", 1, "base generator seed; case i uses seed+i")
 		timeout = flag.Duration("timeout", 0, "stop after this much wall-clock time (0 = no limit)")
-		kind    = flag.String("kind", "both", "case kind: query, bcp or both")
+		kind    = flag.String("kind", "both", "case kind: query, bcp, both, or crash (WAL crash-recovery only)")
 		corpus  = flag.String("corpus", "", "directory to write shrunk repros into (default: print only)")
 		fault   = flag.Bool("fault", false, "inject the drop-largest-gap-box fault (pipeline self-test: discrepancies are expected)")
 		verbose = flag.Bool("v", false, "log every case")
@@ -43,6 +44,7 @@ func main() {
 	flag.Parse()
 
 	var kinds []fuzz.Kind
+	crashOnly := false
 	switch *kind {
 	case "query":
 		kinds = []fuzz.Kind{fuzz.QueryKind}
@@ -50,12 +52,19 @@ func main() {
 		kinds = []fuzz.Kind{fuzz.BCPKind}
 	case "both":
 		kinds = []fuzz.Kind{fuzz.QueryKind, fuzz.BCPKind}
+	case "crash":
+		// Crash-recovery campaign: query cases driven through a
+		// WAL-backed catalog with truncation/corruption/failed-sync
+		// crashes, checked against the durably-acknowledged oracle.
+		kinds = []fuzz.Kind{fuzz.QueryKind}
+		crashOnly = true
 	default:
-		fmt.Fprintf(os.Stderr, "fuzz: unknown -kind %q (want query, bcp or both)\n", *kind)
+		fmt.Fprintf(os.Stderr, "fuzz: unknown -kind %q (want query, bcp, both or crash)\n", *kind)
 		os.Exit(2)
 	}
 
 	ck := fuzz.NewChecker()
+	ck.CrashOnly = crashOnly
 	if *fault {
 		ck.WrapOracle = fuzz.DropLargestGap
 	}

@@ -24,43 +24,104 @@
 //
 //	tetrisd -addr :7423
 //
+// With -data-dir the catalog is durable: every acknowledged mutation is
+// write-ahead logged and fsynced before its response, checkpoints bound
+// replay cost, and a restart recovers relations, indexes and maintained
+// statements exactly as acknowledged. SIGINT/SIGTERM trigger a graceful
+// drain (bounded by -drain-timeout) before the process exits.
+//
 // Responses are one JSON object per line; executions stream their
 // output as {"tuple":[…]} lines before the final response. See
 // internal/server for the full protocol.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"tetrisjoin/internal/catalog"
+	"tetrisjoin/internal/durable"
 	"tetrisjoin/internal/server"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", "", "TCP listen address (empty: serve one session on stdin/stdout)")
-		planCache   = flag.Int("plan-cache", 0, "prepared plans kept in the LRU (0 = default 64, negative disables)")
-		maxConc     = flag.Int("max-concurrent", 1, "engine executions admitted at once across sessions")
-		parallelism = flag.Int("parallel", 1, "engine worker goroutines per execution")
-		maxRes      = flag.Int64("session-max-resolutions", 0, "per-session geometric-resolution budget (0 = unlimited)")
-		maxOut      = flag.Int("session-max-output", 0, "per-session output-tuple budget (0 = unlimited)")
+		addr         = flag.String("addr", "", "TCP listen address (empty: serve one session on stdin/stdout)")
+		dataDir      = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty: in-memory only)")
+		planCache    = flag.Int("plan-cache", 0, "prepared plans kept in the LRU (0 = default 64, negative disables)")
+		maxConc      = flag.Int("max-concurrent", 1, "engine executions admitted at once across sessions")
+		parallelism  = flag.Int("parallel", 1, "engine worker goroutines per execution")
+		maxRes       = flag.Int64("session-max-resolutions", 0, "per-session geometric-resolution budget (0 = unlimited)")
+		maxOut       = flag.Int("session-max-output", 0, "per-session output-tuple budget (0 = unlimited)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "WAL records between checkpoints (0 = default 256, negative disables)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections silent for this long (0 = never)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	flag.Parse()
 
-	cat := catalog.NewWithOptions(catalog.Options{PlanCache: *planCache})
-	srv := server.New(cat, server.Config{
+	catOpts := catalog.Options{PlanCache: *planCache}
+	cfg := server.Config{
 		MaxConcurrent:         *maxConc,
 		Parallelism:           *parallelism,
 		SessionMaxResolutions: *maxRes,
 		SessionMaxOutput:      *maxOut,
-	})
+		IdleTimeout:           *idleTimeout,
+	}
+
+	var srv *server.Server
+	var dur *durable.Catalog
+	if *dataDir != "" {
+		var err error
+		dur, err = durable.Open(*dataDir, durable.Options{
+			Catalog:         catOpts,
+			CheckpointEvery: *ckptEvery,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "tetrisd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tetrisd:", err)
+			os.Exit(1)
+		}
+		srv = server.NewDurable(dur, cfg)
+	} else {
+		srv = server.New(catalog.NewWithOptions(catOpts), cfg)
+	}
 	defer srv.Close()
 
+	// Graceful drain on SIGINT/SIGTERM: stop accepting, let in-flight
+	// requests finish (acknowledged mutations are already synced — the
+	// ack happens inside the request), then close the durable catalog.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	drained := make(chan struct{})
+	var sigSeen atomic.Bool
+	go func() {
+		sig, ok := <-sigs
+		if !ok {
+			return
+		}
+		sigSeen.Store(true)
+		fmt.Fprintf(os.Stderr, "tetrisd: %v: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "tetrisd: drain cut short:", err)
+		}
+		close(drained)
+	}()
+
 	if *addr == "" {
-		if err := srv.ServeSession(os.Stdin, os.Stdout); err != nil {
+		err := srv.ServeSession(os.Stdin, os.Stdout)
+		closeDurable(dur)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "tetrisd:", err)
 			os.Exit(1)
 		}
@@ -72,8 +133,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "tetrisd: listening on", l.Addr())
-	if err := srv.Serve(l); err != nil {
-		fmt.Fprintln(os.Stderr, "tetrisd:", err)
+	serveErr := srv.Serve(l)
+	if sigSeen.Load() {
+		<-drained // signal path: let the drain finish before closing
+	}
+	closeDurable(dur)
+	if serveErr != nil {
+		fmt.Fprintln(os.Stderr, "tetrisd:", serveErr)
 		os.Exit(1)
+	}
+}
+
+// closeDurable flushes and closes the durable catalog, if any.
+func closeDurable(dur *durable.Catalog) {
+	if dur == nil {
+		return
+	}
+	if err := dur.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tetrisd: close:", err)
 	}
 }

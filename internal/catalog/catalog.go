@@ -45,9 +45,21 @@ type Options struct {
 	// relation version, in addition to whatever orders queries demand on
 	// the fly. Empty means pure build-on-demand.
 	DefaultSpecs []index.Spec
+	// CompactDepth is the delta-chain depth at which a relation's index
+	// registry is compacted — rebuilt as fresh base indexes — by a
+	// background goroutine, off the write path. 0 means the default
+	// (defaultCompactDepth); negative disables background compaction,
+	// leaving only index.Set.Derive's synchronous depth-cap fallback.
+	CompactDepth int
 }
 
 const defaultPlanCache = 64
+
+// defaultCompactDepth keeps steady-state chains well under the
+// synchronous rebuild cap in index.Set.Derive (16): a trickle of writes
+// triggers background folds long before a write would ever pay for a
+// full rebuild inline.
+const defaultCompactDepth = 8
 
 // Catalog is a concurrency-safe store of named, versioned relations and
 // their index registries, with a prepared-plan cache on top. All stored
@@ -65,6 +77,13 @@ type Catalog struct {
 	plans *planCache
 
 	hits, misses atomic.Int64
+
+	// Background delta-chain compaction state (compact.go).
+	compactions   atomic.Int64 // completed registry compactions
+	compactBuilds atomic.Int64 // of builds: full rebuilds done by the compactor
+	compactMu     sync.Mutex
+	compacting    map[string]bool // relations with a compaction in flight
+	compactWG     sync.WaitGroup
 }
 
 // New returns an empty catalog with default options.
@@ -77,10 +96,11 @@ func NewWithOptions(opts Options) *Catalog {
 		size = defaultPlanCache
 	}
 	return &Catalog{
-		opts:  opts,
-		rels:  map[string]*relation.Relation{},
-		sets:  map[*relation.Relation]*index.Set{},
-		plans: newPlanCache(size),
+		opts:       opts,
+		rels:       map[string]*relation.Relation{},
+		sets:       map[*relation.Relation]*index.Set{},
+		plans:      newPlanCache(size),
+		compacting: map[string]bool{},
 	}
 }
 
@@ -194,6 +214,11 @@ func (c *Catalog) update(name string, derive func(*relation.Relation) (*relation
 		c.sets[next] = set
 		c.gen.Add(1)
 		c.mu.Unlock()
+		// Deep chains are folded off the write path: the publish above is
+		// done, the compactor swaps in fresh base indexes asynchronously.
+		if th := c.compactDepth(); th > 0 && set.MaxLayerDepth() >= th {
+			c.scheduleCompact(name)
+		}
 		return next.Version(), nil
 	}
 }
@@ -216,6 +241,23 @@ func (c *Catalog) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Specs returns the index specs currently maintained for the named
+// relation's registry — what a checkpoint must record so recovery can
+// rebuild the same access paths eagerly.
+func (c *Catalog) Specs(name string) []index.Spec {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rel, ok := c.rels[name]
+	if !ok {
+		return nil
+	}
+	set, ok := c.sets[rel]
+	if !ok {
+		return nil
+	}
+	return set.SpecList()
 }
 
 // snapshot returns the current name → relation view for query parsing.
@@ -325,6 +367,12 @@ type Stats struct {
 	PlansCached int
 	// PlanHits and PlanMisses count Prepare cache outcomes.
 	PlanHits, PlanMisses int64
+	// Compactions counts completed background registry compactions;
+	// CompactionBuilds the full index rebuilds they performed (included
+	// in IndexBuilds, but off the write path). IndexBuilds −
+	// DeltaIndexBuilds − CompactionBuilds is therefore the synchronous
+	// full-build count a steady write stream must keep flat.
+	Compactions, CompactionBuilds int64
 }
 
 // Stats returns a snapshot of the catalog's counters.
@@ -339,5 +387,7 @@ func (c *Catalog) Stats() Stats {
 		PlansCached:      c.plans.Len(),
 		PlanHits:         c.hits.Load(),
 		PlanMisses:       c.misses.Load(),
+		Compactions:      c.compactions.Load(),
+		CompactionBuilds: c.compactBuilds.Load(),
 	}
 }

@@ -1,0 +1,97 @@
+// Background delta-chain compaction.
+//
+// Append/Delete realize carried index specs as delta layers — O(k)
+// construction per write, the product of PR 5 — but layered probes cost
+// more than base probes, and index.Set.Derive's only defense used to be
+// a *synchronous* full rebuild on the write path once a chain hit its
+// depth cap: exactly the latency spike a serving system must not take
+// inside a write. The compactor moves that fold off the hot path: when
+// a publish leaves a registry with a chain at or past Options.
+// CompactDepth, a background goroutine rebuilds the registry's specs as
+// fresh base indexes over the current snapshot and swaps it in, so
+// steady-state writes never reach Derive's cap (which remains as the
+// emergency brake for bursts that outrun the compactor).
+package catalog
+
+import "tetrisjoin/internal/index"
+
+// compactDepth resolves the configured trigger depth: 0 → default,
+// negative → disabled.
+func (c *Catalog) compactDepth() int {
+	switch {
+	case c.opts.CompactDepth < 0:
+		return 0
+	case c.opts.CompactDepth == 0:
+		return defaultCompactDepth
+	default:
+		return c.opts.CompactDepth
+	}
+}
+
+// scheduleCompact starts a background compaction of the named
+// relation's registry unless one is already in flight.
+func (c *Catalog) scheduleCompact(name string) {
+	c.compactMu.Lock()
+	defer c.compactMu.Unlock()
+	if c.compacting[name] {
+		return
+	}
+	c.compacting[name] = true
+	c.compactWG.Add(1)
+	go c.compact(name)
+}
+
+// compact rebuilds the named relation's registry as fresh base indexes
+// and swaps it in, provided the relation version it read is still
+// current at swap time. A publish racing past the rebuild invalidates
+// it — the new version's registry layered over the stale deep set — so
+// the compactor re-reads and retries a bounded number of times; every
+// such racing publish re-checks the depth trigger itself, so a chain
+// can never silently stay deep.
+func (c *Catalog) compact(name string) {
+	defer c.compactWG.Done()
+	defer func() {
+		c.compactMu.Lock()
+		delete(c.compacting, name)
+		c.compactMu.Unlock()
+	}()
+	th := c.compactDepth()
+	for attempt := 0; attempt < 8; attempt++ {
+		c.mu.RLock()
+		cur, ok := c.rels[name]
+		var old *index.Set
+		if ok {
+			old = c.sets[cur]
+		}
+		c.mu.RUnlock()
+		if !ok || old == nil || old.MaxLayerDepth() < th {
+			return // gone, replaced, or already shallow
+		}
+		fresh := index.NewSet(cur, &c.builds)
+		built := 0
+		for _, spec := range old.SpecList() {
+			_, b, err := fresh.Get(spec)
+			if err != nil {
+				return // leave the layered registry in place; it is correct
+			}
+			if b {
+				built++
+			}
+		}
+		c.mu.Lock()
+		if c.rels[name] == cur {
+			c.sets[cur] = fresh
+			c.mu.Unlock()
+			c.compactions.Add(1)
+			c.compactBuilds.Add(int64(built))
+			return
+		}
+		c.mu.Unlock()
+	}
+}
+
+// WaitCompactions blocks until every in-flight background compaction
+// has finished; for tests and orderly shutdown.
+func (c *Catalog) WaitCompactions() {
+	c.compactWG.Wait()
+}

@@ -1,0 +1,67 @@
+package catalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/relation"
+)
+
+// Compaction is an optimization, never a semantic change: results after
+// a fold are byte-identical to a scratch recompute, and the fold leaves
+// a shallow registry serving the same specs.
+func TestCompactionPreservesResultsAndSpecs(t *testing.T) {
+	cat, text := pathCatalog(t, 60, 6, 11)
+	if _, err := cat.Execute(text, join.Options{Mode: core.Preloaded, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := cat.Relation("R2")
+	specsBefore := len(catSetFor(t, cat, r2).SpecList())
+
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 12; i++ {
+		if _, err := cat.Append("R2", relation.Tuple{uint64(r.Intn(64)), uint64(r.Intn(64))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat.WaitCompactions()
+	if st := cat.Stats(); st.Compactions == 0 {
+		t.Fatal("12 appends never compacted")
+	}
+	cur, _ := cat.Relation("R2")
+	set := catSetFor(t, cat, cur)
+	if d := set.MaxLayerDepth(); d >= defaultCompactDepth {
+		t.Fatalf("post-compaction chain depth %d, want < %d", d, defaultCompactDepth)
+	}
+	if got := len(set.SpecList()); got != specsBefore {
+		t.Fatalf("compaction changed the maintained specs: %d, want %d", got, specsBefore)
+	}
+
+	res, err := cat.Execute(text, join.Options{Mode: core.Preloaded, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTuples(t, "post-compaction", res.Tuples, scratchRecompute(t, cat, text, res.SAO))
+}
+
+// Negative CompactDepth disables the background compactor entirely;
+// deep chains then fall back to Derive's synchronous cap as before.
+func TestCompactionDisabled(t *testing.T) {
+	cat := NewWithOptions(Options{CompactDepth: -1})
+	rel := relation.MustNewUniform("R", []string{"X", "Y"}, 6)
+	rel.MustInsert(1, 2)
+	if _, err := cat.Ingest(rel, BTreeSpecFor(rel)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := cat.Append("R", relation.Tuple{uint64(i), uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat.WaitCompactions()
+	if st := cat.Stats(); st.Compactions != 0 || st.CompactionBuilds != 0 {
+		t.Fatalf("disabled compactor ran: %+v", st)
+	}
+}

@@ -295,6 +295,35 @@ func TestAppendDoesNotRebuildIndexes(t *testing.T) {
 	if builds > 2 {
 		t.Fatalf("append charged %d builds; O(1) expected", builds)
 	}
+
+	// A sustained append stream must ALSO never pay a full rebuild
+	// synchronously: delta chains used to hit index.Set.Derive's depth
+	// cap and rebuild on the write path, now the background compactor
+	// folds them first. Pinned: the write-path full-build count
+	// (IndexBuilds − DeltaIndexBuilds − CompactionBuilds) stays flat
+	// across the whole stream, chains stay below the emergency cap, and
+	// compactions actually happened.
+	r := rand.New(rand.NewSource(7))
+	base := cat.Stats()
+	writePathFull := func(s Stats) int64 { return s.IndexBuilds - s.DeltaIndexBuilds - s.CompactionBuilds }
+	for i := 0; i < 40; i++ {
+		tup := relation.Tuple{uint64(r.Intn(64)), uint64(r.Intn(64))}
+		if _, err := cat.Append("R2", tup); err != nil {
+			t.Fatal(err)
+		}
+		cat.WaitCompactions()
+		st := cat.Stats()
+		if got, want := writePathFull(st), writePathFull(base); got != want {
+			t.Fatalf("append %d of stream performed %d synchronous full rebuilds", i, got-want)
+		}
+		cur, _ := cat.Relation("R2")
+		if d := catSetFor(t, cat, cur).MaxLayerDepth(); d >= 16 {
+			t.Fatalf("append %d of stream left a chain of depth %d; compactor should have folded it", i, d)
+		}
+	}
+	if st := cat.Stats(); st.Compactions == 0 {
+		t.Fatal("40-append stream never triggered a background compaction")
+	}
 }
 
 // catSetFor exposes the registry of a snapshot for the regression

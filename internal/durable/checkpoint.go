@@ -1,0 +1,219 @@
+// Checkpoint snapshots: one CRC-framed record per file holding the
+// full catalog state, published atomically so a crash at any point
+// leaves either the old checkpoint set or the new one — never a
+// half-written file that recovery would trust.
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tetrisjoin/internal/relation"
+	"tetrisjoin/internal/wal"
+)
+
+// ckptTmpName is the scratch file a checkpoint is staged in before the
+// atomic rename; a leftover one (crash mid-write) is removed at open.
+const ckptTmpName = "checkpoint.tmp"
+
+// keepCheckpoints is how many published checkpoints are retained; the
+// older ones are insurance against a latest-checkpoint file that fails
+// validation at recovery.
+const keepCheckpoints = 2
+
+// checkpoint is one loaded snapshot: the catalog state as of LSN.
+type checkpoint struct {
+	LSN        uint64         `json:"-"`
+	Relations  []ckptRelation `json:"relations"`
+	Maintained []maintRecord  `json:"maintained,omitempty"`
+}
+
+// ckptRelation is a relation's tuple snapshot plus the index specs its
+// registry maintained, so recovery rebuilds the same physical design.
+type ckptRelation struct {
+	Snapshot relation.Snapshot `json:"snapshot"`
+	Specs    []specRecord      `json:"specs,omitempty"`
+}
+
+// ckptName formats the published file name; the LSN rides in the name
+// so recovery can order candidates without opening them.
+func ckptName(lsn uint64) string {
+	return fmt.Sprintf("checkpoint-%016x.ckpt", lsn)
+}
+
+// parseCkptName extracts the LSN from a checkpoint file name.
+func parseCkptName(name string) (uint64, bool) {
+	s, ok := strings.CutPrefix(name, "checkpoint-")
+	if !ok {
+		return 0, false
+	}
+	s, ok = strings.CutSuffix(s, ".ckpt")
+	if !ok {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// Checkpoint folds the current catalog state into a new snapshot file
+// and truncates the WAL. Mutations are blocked for the duration; the
+// automatic path runs this from a background worker so the fold never
+// rides inside a caller's acknowledgement. No-op when nothing was
+// logged since the last checkpoint.
+func (d *Catalog) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.usable(); err != nil {
+		return err
+	}
+	if d.sinceCkpt == 0 || d.lastLSN == 0 {
+		return nil
+	}
+
+	ck := checkpoint{LSN: d.lastLSN}
+	for _, name := range d.Catalog.Names() {
+		rel, ok := d.Catalog.Relation(name)
+		if !ok {
+			continue
+		}
+		ck.Relations = append(ck.Relations, ckptRelation{
+			Snapshot: rel.Snapshot(),
+			Specs:    specsToRecords(d.Catalog.Specs(name)),
+		})
+	}
+	ids := make([]string, 0, len(d.maint))
+	for id := range d.maint {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ck.Maintained = append(ck.Maintained, d.maint[id].rec)
+	}
+
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("durable: encode checkpoint: %w", err)
+	}
+	frame := wal.EncodeRecord(ck.LSN, payload)
+
+	// Stage, sync, rename: the file named checkpoint-<lsn>.ckpt either
+	// exists complete or not at all.
+	_ = d.fsys.Remove(ckptTmpName)
+	f, err := d.fsys.OpenAppend(ckptTmpName)
+	if err != nil {
+		return fmt.Errorf("durable: stage checkpoint: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: stage checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: close checkpoint: %w", err)
+	}
+	if err := d.fsys.Rename(ckptTmpName, ckptName(ck.LSN)); err != nil {
+		return fmt.Errorf("durable: publish checkpoint: %w", err)
+	}
+
+	d.ckptLSN = ck.LSN
+	d.sinceCkpt = 0
+	d.checkpoints++
+
+	// The WAL tail is now redundant. A Reset failure poisons the log
+	// (stale records linger, but replay skips LSNs <= the checkpoint, so
+	// correctness never depends on this truncation).
+	if err := d.log.Reset(); err != nil {
+		d.broken = err
+		return fmt.Errorf("durable: truncate wal after checkpoint: %w", err)
+	}
+	d.pruneCheckpoints()
+	return nil
+}
+
+// pruneCheckpoints removes published checkpoints beyond the newest
+// keepCheckpoints. Best-effort: a failed remove costs disk, not
+// correctness.
+func (d *Catalog) pruneCheckpoints() {
+	names, err := d.fsys.List()
+	if err != nil {
+		return
+	}
+	var lsns []uint64
+	for _, name := range names {
+		if lsn, ok := parseCkptName(name); ok {
+			lsns = append(lsns, lsn)
+		}
+	}
+	if len(lsns) <= keepCheckpoints {
+		return
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	for _, lsn := range lsns[keepCheckpoints:] {
+		_ = d.fsys.Remove(ckptName(lsn))
+	}
+}
+
+// loadNewestCheckpoint scans the directory for published checkpoints,
+// newest first, and returns the first one that validates: exactly one
+// CRC-clean record whose LSN matches the file name. Publishes are
+// atomic, so an invalid file means media corruption after the fact —
+// and since the WAL was truncated when that checkpoint was taken, an
+// older checkpoint cannot recover the operations in between. Strict
+// mode therefore refuses; lenient mode falls back to the best remaining
+// recovery point (older checkpoint, or empty state plus whatever the
+// WAL holds) and says loudly what it skipped. A leftover staging file
+// is removed.
+func loadNewestCheckpoint(fsys wal.FS, strict bool, logf func(string, ...any)) (*checkpoint, error) {
+	names, err := fsys.List()
+	if err != nil {
+		return nil, fmt.Errorf("durable: list checkpoints: %w", err)
+	}
+	var lsns []uint64
+	for _, name := range names {
+		if name == ckptTmpName {
+			_ = fsys.Remove(name)
+			continue
+		}
+		if lsn, ok := parseCkptName(name); ok {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+
+	for _, lsn := range lsns {
+		name := ckptName(lsn)
+		rep, err := wal.Replay(fsys, name)
+		if err != nil {
+			return nil, fmt.Errorf("durable: read checkpoint %s: %w", name, err)
+		}
+		reason := ""
+		var ck checkpoint
+		switch {
+		case rep.Corrupt != nil || rep.TornTail || len(rep.Records) != 1 || rep.Records[0].LSN != lsn:
+			reason = fmt.Sprintf("records=%d torn=%v corrupt=%v", len(rep.Records), rep.TornTail, rep.Corrupt)
+		default:
+			if err := json.Unmarshal(rep.Records[0].Payload, &ck); err != nil {
+				reason = err.Error()
+			}
+		}
+		if reason != "" {
+			if strict {
+				return nil, fmt.Errorf("durable: checkpoint %s invalid (%s)", name, reason)
+			}
+			logf("durable: checkpoint %s invalid (%s); falling back", name, reason)
+			continue
+		}
+		ck.LSN = lsn
+		return &ck, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,65 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrisjoin/internal/relation"
+	"tetrisjoin/internal/wal"
+)
+
+// BenchmarkRecovery measures durable.Open over a log of n acknowledged
+// single-tuple appends, with and without a checkpoint folding them into
+// a snapshot first. The wal series scales with the record count (replay
+// re-applies every append); the ckpt series loads one snapshot and
+// replays an empty tail, so it scales only with the data size. The
+// EXPERIMENTS.md recovery-time table comes from this benchmark.
+func BenchmarkRecovery(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		for _, ckpt := range []bool{false, true} {
+			mode := "wal"
+			if ckpt {
+				mode = "ckpt"
+			}
+			b.Run(fmt.Sprintf("%s-%d", mode, n), func(b *testing.B) {
+				fs := wal.NewMemFS()
+				d, err := Open("", Options{FS: fs, CheckpointEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rel, err := relation.New("R", []string{"x", "y"}, []uint8{24, 24})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.Ingest(rel); err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					if _, err := d.Append("R", relation.Tuple{uint64(i), uint64(i)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if ckpt {
+					if err := d.Checkpoint(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := d.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d2, err := Open("", Options{FS: fs.Clone(), CheckpointEvery: -1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got, ok := d2.Relation("R"); !ok || got.Len() != n {
+						b.Fatalf("recovered %v tuples, want %d", got, n)
+					}
+					d2.Close()
+				}
+			})
+		}
+	}
+}

@@ -54,6 +54,10 @@ type Checker struct {
 	// engines. Tests use it to inject faults (e.g. an oracle hiding one
 	// gap box) and assert the pipeline catches and shrinks them.
 	WrapOracle func(core.Oracle) core.Oracle
+	// CrashOnly restricts Check to the CrashRecovery configuration:
+	// query cases run only the WAL-crash differential (cmd/fuzz -kind
+	// crash), box cover cases are skipped.
+	CrashOnly bool
 }
 
 // NewChecker returns the default configuration: shards {2,4} × workers
@@ -69,6 +73,15 @@ func NewChecker() *Checker {
 // checked. Shrinker candidates that turn invalid are thereby rejected
 // rather than mistaken for failures.
 func (ck *Checker) Check(c Case) (*Discrepancy, error) {
+	if ck.CrashOnly {
+		if c.Kind() != QueryKind {
+			return nil, nil
+		}
+		if _, err := c.BuildQuery(); err != nil {
+			return nil, err
+		}
+		return ck.checkCrashRecovery(c), nil
+	}
 	if c.Kind() == QueryKind {
 		return ck.checkQuery(c)
 	}
@@ -186,6 +199,14 @@ func (ck *Checker) checkQuery(c Case) (*Discrepancy, error) {
 	// deterministic append/delete script, byte-identical to scratch
 	// recomputes after every write.
 	if d := ck.checkIncrementalMaintained(c); d != nil {
+		return d, nil
+	}
+
+	// Crash recovery: the same relations driven through a WAL-backed
+	// durable catalog with crashes injected at random byte offsets;
+	// every recovery must answer byte-identically to an oracle that saw
+	// only the durably-acknowledged prefix.
+	if d := ck.checkCrashRecovery(c); d != nil {
 		return d, nil
 	}
 

@@ -36,6 +36,21 @@ func (f Family) String() string {
 	}
 }
 
+// ParseFamily parses a Family.String() name back into the Family; the
+// round-trip the durable catalog's checkpoint files depend on.
+func ParseFamily(s string) (Family, error) {
+	switch s {
+	case "btree":
+		return BTreeFamily, nil
+	case "dyadic":
+		return DyadicFamily, nil
+	case "kdtree":
+		return KDTreeFamily, nil
+	default:
+		return 0, fmt.Errorf("index: unknown family %q", s)
+	}
+}
+
 // Spec describes an index to build or look up: the family plus, for the
 // order-sensitive B-tree family, the attribute order. A Spec is the unit
 // of the catalog's index registry — the catalog records which specs each
@@ -169,8 +184,24 @@ func (s *Set) Ensure(specs ...Spec) error {
 // back to a full rebuild: probe cost grows with the chain (each append
 // layer multiplies probe results, each delete layer adds a member
 // probe), so past this depth a fresh O(N) build is the cheaper steady
-// state.
+// state. With the catalog's background compactor folding chains at a
+// lower threshold off the write path, this cap is the emergency brake
+// for bursts that outrun the compactor, not the steady-state policy.
 const maxLayerDepth = 16
+
+// MaxLayerDepth reports the deepest delta-layer chain among the held
+// indexes: the catalog's compaction trigger.
+func (s *Set) MaxLayerDepth() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	depth := 0
+	for _, e := range s.byKey {
+		if d := LayerDepth(e.ix); d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
 
 // Derive builds the index registry for the next version of this set's
 // relation from the delta between the two versions. Every spec held

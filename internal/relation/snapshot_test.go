@@ -1,0 +1,58 @@
+package relation
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := MustNew("R", []string{"A", "B"}, []uint8{4, 6})
+	r.MustInsert(3, 7)
+	r.MustInsert(1, 2)
+	r.MustInsert(3, 7) // duplicate: normalized away
+
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromSnapshot(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "R" || got.Arity() != 2 || got.Depths()[1] != 6 {
+		t.Fatalf("schema lost: %s arity=%d depths=%v", got.Name(), got.Arity(), got.Depths())
+	}
+	want := r.Tuples()
+	have := got.Tuples()
+	if len(have) != len(want) {
+		t.Fatalf("tuple count %d, want %d", len(have), len(want))
+	}
+	for i := range want {
+		if Compare(have[i], want[i]) != 0 {
+			t.Fatalf("tuple %d = %v, want %v", i, have[i], want[i])
+		}
+	}
+	if got.ID() == r.ID() || got.Version() == r.Version() {
+		t.Fatalf("recovered relation reused stamps: id %d vs %d, version %d vs %d",
+			got.ID(), r.ID(), got.Version(), r.Version())
+	}
+}
+
+func TestFromSnapshotValidates(t *testing.T) {
+	if _, err := FromSnapshot(Snapshot{Name: "X", Attrs: []string{"A"}, Depths: []uint8{2},
+		Tuples: [][]uint64{{9}}}); err == nil {
+		t.Fatal("out-of-domain tuple accepted")
+	}
+	if _, err := FromSnapshot(Snapshot{Name: "X", Attrs: []string{"A", "A"}, Depths: []uint8{2, 2}}); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if _, err := FromSnapshot(Snapshot{Name: "X", Attrs: []string{"A", "B"}, Depths: []uint8{2, 2},
+		Tuples: [][]uint64{{1}}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"tetrisjoin/internal/catalog"
+	"tetrisjoin/internal/durable"
+	"tetrisjoin/internal/wal"
+)
+
+// A panicking handler must cost exactly one error line: the session
+// stays alive and — with MaxConcurrent=1 — the follow-up query proves
+// the admission slot was released during the unwind.
+func TestPanicContainmentReleasesSlot(t *testing.T) {
+	srv := New(catalog.New(), Config{MaxConcurrent: 1})
+	defer srv.Close()
+
+	fired := false
+	testHookPreExec = func() {
+		if !fired {
+			fired = true
+			panic("injected handler panic")
+		}
+	}
+	defer func() { testHookPreExec = nil }()
+
+	q := `{"op":"query","query":"R(A,B)","buffer":true}`
+	lines := drive(t, srv, loadTriangle, q, q, `{"op":"stats"}`)
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4: %v", len(lines), lines)
+	}
+	if ok, _ := lines[1]["ok"].(bool); ok {
+		t.Fatalf("panicking query reported ok: %v", lines[1])
+	}
+	if msg, _ := lines[1]["error"].(string); !strings.Contains(msg, "internal error") {
+		t.Fatalf("panic surfaced as %q, want an internal error line", msg)
+	}
+	// The slot came back: the retry runs to completion on the same session.
+	if ok, _ := lines[2]["ok"].(bool); !ok {
+		t.Fatalf("query after contained panic failed (leaked admission slot?): %v", lines[2])
+	}
+	stats, _ := lines[3]["stats"].(map[string]any)
+	if stats == nil || num(stats, "panics") != 1 {
+		t.Fatalf("stats did not count the contained panic: %v", stats)
+	}
+}
+
+// Shutdown waits for in-flight requests, rejects new admissions, stops
+// the listeners, and only then cancels.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	srv := New(catalog.New(), Config{MaxConcurrent: 2})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+
+	enter := make(chan struct{}, 1)
+	unblock := make(chan struct{})
+	testHookPreExec = func() {
+		select {
+		case enter <- struct{}{}:
+			<-unblock // the in-flight request Shutdown must wait for
+		default:
+		}
+	}
+	defer func() { testHookPreExec = nil }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, loadTriangle)
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatal("no load response")
+	}
+	fmt.Fprintln(conn, `{"op":"query","query":"R(A,B)","buffer":true}`)
+	<-enter // the query is now in flight, parked in the hook
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// Draining: no new sessions...
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			break
+		}
+		c.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// ...and Shutdown is still waiting on the in-flight request.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v before the in-flight request finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(unblock)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drained Shutdown returned %v", err)
+	}
+	// The in-flight request was answered before the connection died.
+	if !sc.Scan() {
+		t.Fatal("in-flight query got no response through the drain")
+	}
+	var m map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := m["ok"].(bool); !ok {
+		t.Fatalf("drained query failed: %v", m)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+// A Shutdown whose deadline expires before the in-flight work finishes
+// reports the context error and still cancels everything.
+func TestShutdownDeadlineExpires(t *testing.T) {
+	srv := New(catalog.New(), Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+
+	enter := make(chan struct{}, 1)
+	unblock := make(chan struct{})
+	testHookPreExec = func() {
+		select {
+		case enter <- struct{}{}:
+			<-unblock
+		default:
+		}
+	}
+	defer func() { testHookPreExec = nil }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, loadTriangle)
+	if !bufio.NewScanner(conn).Scan() {
+		t.Fatal("no load response")
+	}
+	fmt.Fprintln(conn, `{"op":"query","query":"R(A,B)","buffer":true}`)
+	<-enter
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown returned %v, want context.DeadlineExceeded", err)
+	}
+	// Only now release the stuck request: Serve's session accounting
+	// (and so its return) still depends on it unwinding.
+	close(unblock)
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+// An idle connection is closed after the configured timeout; the server
+// keeps serving fresh connections.
+func TestIdleTimeoutClosesSilentConnections(t *testing.T) {
+	srv := New(catalog.New(), Config{IdleTimeout: 100 * time.Millisecond})
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, loadTriangle)
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatal("no load response")
+	}
+	// Fall silent; the server must hang up on us.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if sc.Scan() {
+		t.Fatalf("unexpected line on an idle connection: %s", sc.Text())
+	}
+	if err := sc.Err(); err != nil && strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("client read timed out (%v): server never closed the idle connection", err)
+	}
+
+	// The server is still alive for new connections.
+	conn2, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	fmt.Fprintln(conn2, `{"op":"stats"}`)
+	if !bufio.NewScanner(conn2).Scan() {
+		t.Fatal("server dead after closing an idle connection")
+	}
+}
+
+// A durable server: mutations and maintained registrations survive a
+// restart, and a fresh session on the restarted server execs the
+// recovered statement byte-identically.
+func TestDurableServerSurvivesRestart(t *testing.T) {
+	fs := wal.NewMemFS()
+	open := func() *durable.Catalog {
+		d, err := durable.Open("", durable.Options{FS: fs, CheckpointEvery: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	d := open()
+	srv := NewDurable(d, Config{})
+	lines := drive(t, srv,
+		loadTriangle,
+		`{"op":"append","name":"R","tuples":[[2,4]]}`,
+		`{"op":"maintain","id":"tri","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded"}`,
+		`{"op":"exec","id":"tri","buffer":true}`,
+		`{"op":"stats"}`,
+	)
+	execResp := lines[3]
+	if ok, _ := execResp["ok"].(bool); !ok {
+		t.Fatalf("exec failed: %v", execResp)
+	}
+	want, _ := json.Marshal(execResp["tuples"])
+	stats, _ := lines[4]["stats"].(map[string]any)
+	if stats == nil || num(stats, "wal_last_lsn") != 3 {
+		t.Fatalf("durable stats missing WAL position: %v", stats)
+	}
+	srv.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-restart: reopen from the same storage, fresh server, fresh
+	// session. The maintained id resolves through the durable registry.
+	d2 := open()
+	defer d2.Close()
+	srv2 := NewDurable(d2, Config{})
+	defer srv2.Close()
+	lines = drive(t, srv2, `{"op":"exec","id":"tri","buffer":true}`)
+	resp := lines[len(lines)-1]
+	if ok, _ := resp["ok"].(bool); !ok {
+		t.Fatalf("exec of recovered statement failed: %v", resp)
+	}
+	got, _ := json.Marshal(resp["tuples"])
+	if string(got) != string(want) {
+		t.Fatalf("recovered result %s, want %s", got, want)
+	}
+}

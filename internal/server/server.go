@@ -15,12 +15,16 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tetrisjoin/internal/catalog"
 	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/durable"
+	"tetrisjoin/internal/relation"
 )
 
 // Config tunes the server.
@@ -40,11 +44,16 @@ type Config struct {
 	// ask otherwise. 0 means 1 (sequential), the right default for a
 	// server multiplexing sessions onto the admission queue.
 	Parallelism int
+	// IdleTimeout, when > 0, closes a connection that sends no request
+	// for this long. The deadline is re-armed before every read, so a
+	// long-running execution never trips it — only client silence does.
+	IdleTimeout time.Duration
 }
 
 // Server dispatches protocol sessions against one shared catalog.
 type Server struct {
 	cat   *catalog.Catalog
+	dur   *durable.Catalog // nil for a purely in-memory server
 	cfg   Config
 	admit chan struct{}
 
@@ -53,8 +62,14 @@ type Server struct {
 
 	sessions atomic.Int64 // lifetime session count
 	queries  atomic.Int64 // lifetime executions (query/exec/count)
-	mu       sync.Mutex
-	open     int // currently open sessions
+	panics   atomic.Int64 // operations recovered from a panic
+	draining atomic.Bool
+
+	mu        sync.Mutex
+	open      int // currently open sessions
+	ops       int // requests being handled right now
+	opsIdle   chan struct{}
+	listeners map[net.Listener]struct{}
 }
 
 // New returns a server over the catalog.
@@ -65,25 +80,96 @@ func New(cat *catalog.Catalog, cfg Config) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		cat:    cat,
-		cfg:    cfg,
-		admit:  make(chan struct{}, slots),
-		ctx:    ctx,
-		cancel: cancel,
+		cat:       cat,
+		cfg:       cfg,
+		admit:     make(chan struct{}, slots),
+		ctx:       ctx,
+		cancel:    cancel,
+		listeners: map[net.Listener]struct{}{},
 	}
+}
+
+// NewDurable returns a server whose mutations (load/append/delete and
+// maintain registrations) go through the durable catalog: applied,
+// write-ahead logged and fsynced before the response line is written,
+// so an acknowledged mutation survives a crash. Reads are served from
+// the same in-memory catalog as always.
+func NewDurable(d *durable.Catalog, cfg Config) *Server {
+	s := New(d.Catalog, cfg)
+	s.dur = d
+	return s
 }
 
 // Catalog returns the shared catalog.
 func (s *Server) Catalog() *catalog.Catalog { return s.cat }
 
+// Durable returns the durable layer, or nil for an in-memory server.
+func (s *Server) Durable() *durable.Catalog { return s.dur }
+
 // Close cancels every session (running executions stop cooperatively
 // through their contexts).
 func (s *Server) Close() { s.cancel() }
 
+// Shutdown drains the server: listeners stop accepting, new engine
+// admissions are rejected, and in-flight requests get until the
+// context's deadline to finish — then everything is cancelled, exactly
+// as Close. Returns the context error when the deadline cut the drain
+// short, nil when the server went idle in time. With a durable catalog
+// the caller can then Close it knowing every acknowledged mutation is
+// already synced — acknowledgement happens inside the request, so an
+// orderly drain has nothing left to flush.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	var idle chan struct{}
+	if s.ops > 0 {
+		idle = make(chan struct{})
+		s.opsIdle = idle
+	}
+	s.mu.Unlock()
+
+	var err error
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	s.cancel()
+	return err
+}
+
+// beginOp marks one request as in flight for Shutdown's drain; the
+// returned func marks it done.
+func (s *Server) beginOp() func() {
+	s.mu.Lock()
+	s.ops++
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.ops--
+		if s.ops == 0 && s.opsIdle != nil {
+			close(s.opsIdle)
+			s.opsIdle = nil
+		}
+		s.mu.Unlock()
+	}
+}
+
+// errDraining rejects work arriving during a graceful shutdown.
+var errDraining = fmt.Errorf("server: draining")
+
 // admitExec blocks until an execution slot is free or the session is
 // cancelled; the returned release must be called when the engine work
-// is done.
+// is done. A draining server admits nothing new.
 func (s *Server) admitExec(ctx context.Context) (release func(), err error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
 	select {
 	case s.admit <- struct{}{}:
 		return func() { <-s.admit }, nil
@@ -93,8 +179,16 @@ func (s *Server) admitExec(ctx context.Context) (release func(), err error) {
 }
 
 // Serve accepts connections until the listener fails or the server is
-// closed, running one session per connection.
+// closed or drained, running one session per connection.
 func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
 	go func() {
 		<-s.ctx.Done()
 		l.Close()
@@ -104,7 +198,7 @@ func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if s.ctx.Err() != nil {
+			if s.ctx.Err() != nil || s.draining.Load() {
 				return nil
 			}
 			return err
@@ -126,9 +220,29 @@ func (s *Server) Serve(l net.Listener) error {
 				case <-done:
 				}
 			}()
-			s.ServeSession(conn, conn)
+			var r io.Reader = conn
+			if s.cfg.IdleTimeout > 0 {
+				r = &idleReader{conn: conn, timeout: s.cfg.IdleTimeout}
+			}
+			s.ServeSession(r, conn)
 		}()
 	}
+}
+
+// idleReader re-arms the connection's read deadline before every read:
+// a client silent for longer than the timeout fails its next pending
+// read and the session closes cleanly, while any amount of server-side
+// execution time between reads is free.
+type idleReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (r *idleReader) Read(p []byte) (int, error) {
+	if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+		return 0, err
+	}
+	return r.conn.Read(p)
 }
 
 // serverStats is the stats-op payload.
@@ -136,6 +250,9 @@ type serverStats struct {
 	Sessions     int64 `json:"sessions"`
 	OpenSessions int   `json:"open_sessions"`
 	Queries      int64 `json:"queries"`
+	// Panics counts requests that died in a handler and were contained:
+	// the session got an error line and lived on.
+	Panics int64 `json:"panics,omitempty"`
 
 	Relations   int   `json:"relations"`
 	IndexBuilds int64 `json:"index_builds"`
@@ -143,9 +260,16 @@ type serverStats struct {
 	// delta layers over prior versions (incremental maintenance), not
 	// full constructions.
 	DeltaIndexBuilds int64 `json:"delta_index_builds"`
-	PlansCached      int   `json:"plans_cached"`
-	PlanHits         int64 `json:"plan_hits"`
-	PlanMisses       int64 `json:"plan_misses"`
+	// Compactions counts background delta-chain folds.
+	Compactions int64 `json:"compactions,omitempty"`
+	PlansCached int   `json:"plans_cached"`
+	PlanHits    int64 `json:"plan_hits"`
+	PlanMisses  int64 `json:"plan_misses"`
+
+	// Durability counters; present only on a durable server.
+	WALLastLSN  uint64 `json:"wal_last_lsn,omitempty"`
+	WALSize     int64  `json:"wal_size,omitempty"`
+	Checkpoints int64  `json:"checkpoints,omitempty"`
 }
 
 func (s *Server) stats() serverStats {
@@ -153,17 +277,26 @@ func (s *Server) stats() serverStats {
 	s.mu.Lock()
 	open := s.open
 	s.mu.Unlock()
-	return serverStats{
+	st := serverStats{
 		Sessions:         s.sessions.Load(),
 		OpenSessions:     open,
 		Queries:          s.queries.Load(),
+		Panics:           s.panics.Load(),
 		Relations:        cs.Relations,
 		IndexBuilds:      cs.IndexBuilds,
 		DeltaIndexBuilds: cs.DeltaIndexBuilds,
+		Compactions:      cs.Compactions,
 		PlansCached:      cs.PlansCached,
 		PlanHits:         cs.PlanHits,
 		PlanMisses:       cs.PlanMisses,
 	}
+	if s.dur != nil {
+		ws := s.dur.WAL()
+		st.WALLastLSN = ws.LastLSN
+		st.WALSize = ws.WALSize
+		st.Checkpoints = ws.Checkpoints
+	}
+	return st
 }
 
 // sessionBudget mints the per-session work quota, or nil when the
@@ -189,3 +322,28 @@ func (s *Server) trackSession(delta int) {
 }
 
 var errClosed = fmt.Errorf("server: closed")
+
+// The mutation helpers route through the durable layer when the server
+// has one — applied, logged, synced, then acknowledged — and straight
+// to the in-memory catalog otherwise.
+
+func (s *Server) ingestRel(rel *relation.Relation) (uint64, error) {
+	if s.dur != nil {
+		return s.dur.Ingest(rel)
+	}
+	return s.cat.Ingest(rel)
+}
+
+func (s *Server) appendRel(name string, tuples []relation.Tuple) (uint64, error) {
+	if s.dur != nil {
+		return s.dur.Append(name, tuples...)
+	}
+	return s.cat.Append(name, tuples...)
+}
+
+func (s *Server) deleteRel(name string, tuples []relation.Tuple) (uint64, error) {
+	if s.dur != nil {
+		return s.dur.Delete(name, tuples...)
+	}
+	return s.cat.Delete(name, tuples...)
+}

@@ -161,7 +161,9 @@ func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
 		if req.Op == "close" {
 			return sess.respond(Response{OK: true, Op: "close"})
 		}
+		finish := s.beginOp()
 		resp := sess.handle(req)
+		finish()
 		resp.Op = req.Op
 		if err := sess.respond(resp); err != nil {
 			return err
@@ -181,8 +183,28 @@ func (sess *session) respond(r Response) error {
 // fail formats an error response.
 func fail(err error) Response { return Response{Err: err.Error()} }
 
-// handle dispatches one request.
-func (sess *session) handle(req Request) Response {
+// testHookPreExec, when non-nil, runs inside every admitted execution;
+// tests use it to inject panics and prove containment releases the
+// admission slot.
+var testHookPreExec func()
+
+// handle dispatches one request, containing any panic in the handler
+// chain: the session gets an error line and lives on, and the deferred
+// releases below (admission slot, op tracking) run during the unwind,
+// so one poisoned request cannot leak the execution slot or wedge the
+// drain accounting.
+func (sess *session) handle(req Request) (resp Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			sess.srv.panics.Add(1)
+			resp = fail(fmt.Errorf("internal error in %q: %v", req.Op, r))
+		}
+	}()
+	return sess.dispatch(req)
+}
+
+// dispatch routes one request to its handler.
+func (sess *session) dispatch(req Request) Response {
 	switch req.Op {
 	case "load":
 		return sess.load(req)
@@ -226,7 +248,7 @@ func (sess *session) load(req Request) Response {
 			return fail(err)
 		}
 	}
-	version, err := sess.srv.cat.Ingest(rel)
+	version, err := sess.srv.ingestRel(rel)
 	if err != nil {
 		return fail(err)
 	}
@@ -244,9 +266,9 @@ func (sess *session) ingest(req Request) Response {
 	var version uint64
 	var err error
 	if req.Op == "append" {
-		version, err = sess.srv.cat.Append(req.Name, tuples...)
+		version, err = sess.srv.appendRel(req.Name, tuples)
 	} else {
-		version, err = sess.srv.cat.Delete(req.Name, tuples...)
+		version, err = sess.srv.deleteRel(req.Name, tuples)
 	}
 	if err != nil {
 		return fail(err)
@@ -269,8 +291,8 @@ func (sess *session) prepare(req Request) Response {
 	if err != nil {
 		return fail(err)
 	}
+	defer release()
 	p, err := sess.srv.cat.Prepare(req.Query, join.Options{Mode: mode, SAOVars: req.SAO})
-	release()
 	if err != nil {
 		return fail(err)
 	}
@@ -302,13 +324,34 @@ func (sess *session) maintain(req Request) Response {
 	if err != nil {
 		return fail(err)
 	}
-	m, err := sess.srv.cat.Maintain(req.Query, join.Options{
+	defer release()
+	opts := join.Options{
 		Mode:    mode,
 		SAOVars: req.SAO,
 		Budget:  sess.budget,
 		Context: sess.ctx,
-	})
-	release()
+	}
+	var m *catalog.Maintained
+	if dur := sess.srv.dur; dur != nil {
+		// On a durable server a maintained id is global, durable state:
+		// registration is logged and survives restarts. Re-maintaining an
+		// existing id attaches to the recovered statement when the query
+		// matches, and is an error when it does not — two texts cannot
+		// durably share one id.
+		if existing, ok := dur.MaintainedByID(req.ID); ok {
+			if existing.Text() != req.Query {
+				return fail(fmt.Errorf("maintained statement %q already exists with a different query", req.ID))
+			}
+			m = existing
+			if _, err := m.Execute(opts); err != nil {
+				return fail(err)
+			}
+		} else {
+			m, err = dur.Maintain(req.ID, req.Query, opts)
+		}
+	} else {
+		m, err = sess.srv.cat.Maintain(req.Query, opts)
+	}
 	if err != nil {
 		return fail(err)
 	}
@@ -341,6 +384,9 @@ func (sess *session) execMaintained(req Request, m *catalog.Maintained) Response
 	}
 	defer release()
 	sess.srv.queries.Add(1)
+	if testHookPreExec != nil {
+		testHookPreExec()
+	}
 
 	res, err := m.Execute(join.Options{Budget: sess.budget, Context: sess.ctx})
 	if err != nil {
@@ -383,6 +429,14 @@ func (sess *session) exec(req Request) Response {
 	}
 	p, ok := sess.stmts[req.ID]
 	if !ok {
+		// A durable server's maintained statements outlive the session
+		// that registered them — including restarts — so exec falls back
+		// to the durable registry before giving up.
+		if dur := sess.srv.dur; dur != nil {
+			if m, ok := dur.MaintainedByID(req.ID); ok {
+				return sess.execMaintained(req, m)
+			}
+		}
 		return fail(fmt.Errorf("unknown statement %q", req.ID))
 	}
 	return sess.run(req, func(opts join.Options) (*join.Result, error) {
@@ -473,6 +527,9 @@ func (sess *session) run(req Request,
 	}
 	defer release()
 	sess.srv.queries.Add(1)
+	if testHookPreExec != nil {
+		testHookPreExec()
+	}
 
 	opts := join.Options{
 		Parallelism: sess.srv.defaultParallelism(),

@@ -1,0 +1,218 @@
+package wal
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS with byte-exact durability tracking: every
+// file records how many of its bytes have been covered by a successful
+// Sync. CrashClone materializes the state a process crash would leave
+// behind — synced bytes only — and SyncHook injects failed and torn
+// syncs, so the crash-recovery fuzz harness can exercise every tail
+// shape the real filesystem could produce without touching disk.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+
+	// SyncHook, when non-nil, intercepts every Sync call with the file
+	// name and the number of pending (written but unsynced) bytes. It
+	// returns how many of those bytes actually reach durable storage
+	// and whether the sync fails: (pending, false) is a normal sync,
+	// (k < pending, true) a torn write — the crash image keeps a strict
+	// prefix of the record — and (0, true) a clean sync failure.
+	SyncHook func(name string, pending int) (keep int, fail bool)
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}}
+}
+
+func (m *MemFS) file(name string) *memFile {
+	f, ok := m.files[name]
+	if !ok {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return f
+}
+
+// memHandle resolves the file by name on every operation, so a handle
+// stays valid across Truncate (like an O_APPEND fd: writes land at the
+// current end, wherever that is now).
+type memHandle struct {
+	fs   *MemFS
+	name string
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.file(name)
+	return &memHandle{fs: m, name: name}, nil
+}
+
+// Write implements File.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f := h.fs.file(h.name)
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+// Sync implements File, consulting the fault-injection hook.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f := h.fs.file(h.name)
+	pending := len(f.data) - f.synced
+	if hook := h.fs.SyncHook; hook != nil {
+		keep, fail := hook(h.name, pending)
+		if keep > pending {
+			keep = pending
+		}
+		if keep < 0 {
+			keep = 0
+		}
+		if fail {
+			// The kept prefix is durable; the rest is not. Model the
+			// in-memory state the crash image will be cut from.
+			f.synced += keep
+			return fmt.Errorf("wal: injected sync failure on %s (%d of %d bytes persisted)", h.name, keep, pending)
+		}
+	}
+	f.synced = len(f.data)
+	return nil
+}
+
+// Close implements File.
+func (h *memHandle) Close() error { return nil }
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if size < int64(len(f.data)) {
+		f.data = f.data[:size]
+	}
+	if f.synced > len(f.data) {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// List implements FS.
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size returns the current length of the named file (0 if missing).
+func (m *MemFS) Size(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return int64(len(f.data))
+	}
+	return 0
+}
+
+// CrashClone returns a new MemFS holding what a process crash would
+// leave on disk: for every file, exactly its synced prefix. The clone
+// is independent — recovery experiments on it do not disturb the live
+// filesystem — and starts fully synced (its bytes are, by construction,
+// durable).
+func (m *MemFS) CrashClone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for name, f := range m.files {
+		data := append([]byte(nil), f.data[:f.synced]...)
+		out.files[name] = &memFile{data: data, synced: len(data)}
+	}
+	return out
+}
+
+// Clone returns a full copy including unsynced bytes (the state an OS
+// page-cache flush could also have persisted).
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for name, f := range m.files {
+		data := append([]byte(nil), f.data...)
+		out.files[name] = &memFile{data: data, synced: len(data)}
+	}
+	return out
+}
+
+// FlipByte inverts the byte at the given offset, simulating media
+// corruption. Offsets outside the file are an error.
+func (m *MemFS) FlipByte(name string, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return &fs.PathError{Op: "corrupt", Path: name, Err: fs.ErrNotExist}
+	}
+	if off < 0 || off >= int64(len(f.data)) {
+		return fmt.Errorf("wal: corrupt offset %d outside %s (%d bytes)", off, name, len(f.data))
+	}
+	f.data[off] ^= 0xFF
+	return nil
+}
