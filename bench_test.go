@@ -228,6 +228,14 @@ func BenchmarkParallel(b *testing.B) {
 	benchSuiteGroup(b, "Parallel")
 }
 
+// BenchmarkPlannerSkew — the statistics-driven SAO planner vs the
+// natural order on the skewed adversarial families; the resolutions
+// metric is the series cmd/bench -gate holds to the committed
+// trajectory. Workloads defined once in benchio.Suite.
+func BenchmarkPlannerSkew(b *testing.B) {
+	benchSuiteGroup(b, "PlannerSkew")
+}
+
 // BenchmarkCertIndexPower — Appendix B.2 / Figure 13: certificate size
 // under (A,B)- versus (B,A)-ordered indices.
 func BenchmarkCertIndexPower(b *testing.B) {

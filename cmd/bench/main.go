@@ -9,6 +9,18 @@
 // Passing -baseline keeps a reference run in the report (the committed
 // file carries the pre-optimization go.mod-only numbers), and the tool
 // prints the current/baseline ratio for entries present in both.
+//
+// Every entry is stamped with GOMAXPROCS, the CPU count and a machine
+// class label (internal/benchio.MachineClass); entries from different
+// classes are kept as separate series and timing ratios are only
+// printed within a class. Resolution counts are deterministic and
+// machine-independent, which is what -gate keys on:
+//
+//	go run ./cmd/bench -bench '^PlannerSkew/' -o /tmp/gate.json -gate BENCH_tetris.json
+//
+// fails (exit 1) when any measured benchmark performs more than 5% more
+// geometric resolutions per op than the committed trajectory records —
+// the CI regression gate for the planner's skewed-workload set.
 package main
 
 import (
@@ -29,6 +41,8 @@ func main() {
 		out      = flag.String("o", "BENCH_tetris.json", "output report path")
 		baseFile = flag.String("baseline", "", "previous report whose entries become the baseline section")
 		merge    = flag.Bool("merge", false, "keep the output file's existing entries, overwriting only the benchmarks run (for adding a filtered series without re-running the whole suite)")
+		gateFile = flag.String("gate", "", "committed trajectory to gate against: exit 1 if any measured benchmark's resolutions/op exceeds its committed entry by more than -gate-slack")
+		gateTol  = flag.Float64("gate-slack", 0.05, "fractional resolution regression tolerated by -gate")
 	)
 	flag.Parse()
 
@@ -53,16 +67,17 @@ func main() {
 		}
 	}
 
-	rep := benchio.RunSuite(filter)
+	run := benchio.RunSuite(filter)
+	rep := run
 	if *merge {
 		if prev, err := benchio.ReadFile(*out); err == nil {
 			if len(baseline) == 0 {
 				baseline = prev.Baseline
 			}
-			for _, e := range rep.Entries {
+			for _, e := range run.Entries {
 				prev.Set(e)
 			}
-			prev.GoVersion, prev.GoOS, prev.GoArch = rep.GoVersion, rep.GoOS, rep.GoArch
+			prev.GoVersion, prev.GoOS, prev.GoArch = run.GoVersion, run.GoOS, run.GoArch
 			rep = prev
 		}
 	}
@@ -71,16 +86,70 @@ func main() {
 		log.Fatalf("writing %s: %v", *out, err)
 	}
 
+	// Timing ratios only make sense within a machine class; an entry
+	// from a baseline written before classes were recorded (empty label)
+	// is still matched so old trajectories stay comparable.
 	base := map[string]benchio.Entry{}
 	for _, e := range baseline {
-		base[e.Name] = e
+		base[e.Name+"|"+e.MachineClass] = e
 	}
+	log.Printf("machine class %s", benchio.MachineClass())
 	fmt.Fprintf(os.Stdout, "%-28s %14s %14s %12s\n", "benchmark", "ns/op", "allocs/op", "resolutions")
 	for _, e := range rep.Entries {
 		fmt.Fprintf(os.Stdout, "%-28s %14.0f %14.1f %12.0f\n", e.Name, e.NsPerOp, e.AllocsPerOp, e.ResolutionsPerOp)
-		if b, ok := base[e.Name]; ok && e.NsPerOp > 0 && e.AllocsPerOp > 0 {
+		b, ok := base[e.Name+"|"+e.MachineClass]
+		if !ok {
+			b, ok = base[e.Name+"|"]
+		}
+		if ok && e.NsPerOp > 0 && e.AllocsPerOp > 0 {
 			fmt.Fprintf(os.Stdout, "%-28s %13.2fx %13.2fx\n", "  vs baseline", b.NsPerOp/e.NsPerOp, b.AllocsPerOp/e.AllocsPerOp)
 		}
 	}
 	log.Printf("wrote %s (%d entries)", *out, len(rep.Entries))
+
+	if *gateFile != "" {
+		gate(run, *gateFile, *gateTol)
+	}
+}
+
+// gate holds the measured run's resolution counts to the committed
+// trajectory: resolutions are deterministic for a fixed workload and
+// plan, so any excess over the committed entry (beyond slack) is a real
+// planner regression, not machine noise. When the committed file holds
+// the same name for several machine classes the smallest count is the
+// bar. Exits non-zero on the first failing report.
+func gate(run *benchio.Report, path string, slack float64) {
+	ref, err := benchio.ReadFile(path)
+	if err != nil {
+		log.Fatalf("reading gate trajectory: %v", err)
+	}
+	committed := map[string]float64{}
+	for _, e := range ref.Entries {
+		if e.ResolutionsPerOp <= 0 {
+			continue
+		}
+		if cur, ok := committed[e.Name]; !ok || e.ResolutionsPerOp < cur {
+			committed[e.Name] = e.ResolutionsPerOp
+		}
+	}
+	checked, failed := 0, 0
+	for _, e := range run.Entries {
+		want, ok := committed[e.Name]
+		if !ok || e.ResolutionsPerOp <= 0 {
+			continue
+		}
+		checked++
+		if e.ResolutionsPerOp > want*(1+slack) {
+			log.Printf("gate FAIL %s: %.0f resolutions/op vs committed %.0f (%+.1f%%, slack %.0f%%)",
+				e.Name, e.ResolutionsPerOp, want, 100*(e.ResolutionsPerOp/want-1), 100*slack)
+			failed++
+		}
+	}
+	if checked == 0 {
+		log.Fatalf("gate: no measured benchmark has a committed resolutions entry in %s", path)
+	}
+	if failed > 0 {
+		log.Fatalf("gate: %d of %d benchmarks regressed past the committed resolution trajectory", failed, checked)
+	}
+	log.Printf("gate: %d benchmarks within %.0f%% of the committed resolution trajectory", checked, 100*slack)
 }

@@ -36,7 +36,7 @@ func main() {
 		n       = flag.Int("n", 200, "number of cases to generate and check")
 		seed    = flag.Int64("seed", 1, "base generator seed; case i uses seed+i")
 		timeout = flag.Duration("timeout", 0, "stop after this much wall-clock time (0 = no limit)")
-		kind    = flag.String("kind", "both", "case kind: query, bcp, both, or crash (WAL crash-recovery only)")
+		kind    = flag.String("kind", "both", "case kind: query, bcp, both, crash (WAL crash-recovery only), or planner (planner differential only)")
 		corpus  = flag.String("corpus", "", "directory to write shrunk repros into (default: print only)")
 		fault   = flag.Bool("fault", false, "inject the drop-largest-gap-box fault (pipeline self-test: discrepancies are expected)")
 		verbose = flag.Bool("v", false, "log every case")
@@ -44,7 +44,7 @@ func main() {
 	flag.Parse()
 
 	var kinds []fuzz.Kind
-	crashOnly := false
+	crashOnly, plannerOnly := false, false
 	switch *kind {
 	case "query":
 		kinds = []fuzz.Kind{fuzz.QueryKind}
@@ -58,19 +58,43 @@ func main() {
 		// crashes, checked against the durably-acknowledged oracle.
 		kinds = []fuzz.Kind{fuzz.QueryKind}
 		crashOnly = true
+	case "planner":
+		// Planner-differential campaign: the fixed workload-family panel
+		// first, then random query cases, all through the planner
+		// transparency checks only.
+		kinds = []fuzz.Kind{fuzz.QueryKind}
+		plannerOnly = true
 	default:
-		fmt.Fprintf(os.Stderr, "fuzz: unknown -kind %q (want query, bcp, both or crash)\n", *kind)
+		fmt.Fprintf(os.Stderr, "fuzz: unknown -kind %q (want query, bcp, both, crash or planner)\n", *kind)
 		os.Exit(2)
 	}
 
 	ck := fuzz.NewChecker()
 	ck.CrashOnly = crashOnly
+	ck.PlannerOnly = plannerOnly
 	if *fault {
 		ck.WrapOracle = fuzz.DropLargestGap
 	}
 
 	start := time.Now()
 	checked := 0
+	if plannerOnly {
+		for _, c := range fuzz.PlannerFamilies() {
+			if *verbose {
+				fmt.Printf("family %s\n", c.Name)
+			}
+			d, err := ck.Check(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fuzz: invalid family case %s: %v\n", c.Name, err)
+				os.Exit(2)
+			}
+			checked++
+			if d != nil {
+				fmt.Fprintf(os.Stderr, "fuzz: DISCREPANCY on %s\n  %v\n", c.Name, d)
+				os.Exit(1)
+			}
+		}
+	}
 	for i := 0; i < *n; i++ {
 		if *timeout > 0 && time.Since(start) > *timeout {
 			fmt.Printf("fuzz: timeout after %d of %d cases\n", checked, *n)

@@ -15,6 +15,7 @@ package benchio
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"sort"
@@ -38,7 +39,41 @@ type Entry struct {
 	BytesPerOp float64 `json:"bytes_per_op"`
 	// ResolutionsPerOp is the number of geometric resolutions one
 	// operation performs, when the benchmark reports it (0 otherwise).
+	// Resolutions are deterministic for a fixed workload and plan, so this
+	// column compares across machine classes; the timing columns do not.
 	ResolutionsPerOp float64 `json:"resolutions_per_op,omitempty"`
+	// GoMaxProcs and NumCPU record the scheduler width the entry was
+	// measured under — without them a workers=8 number from a 2-core
+	// box would silently poison the parallel-speedup trajectory.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
+	// MachineClass labels the hardware class of the run (see
+	// MachineClass()). Entries from different classes are kept as
+	// separate series: Set never overwrites one class's measurement
+	// with another's, and cmd/bench only prints timing ratios within a
+	// class.
+	MachineClass string `json:"machine_class,omitempty"`
+}
+
+// ClassEnvVar overrides the derived machine-class label, for fleets
+// whose hardware differs in ways GOOS/GOARCH/core count cannot see.
+const ClassEnvVar = "BENCH_MACHINE_CLASS"
+
+// MachineClass returns the label identifying the hardware class of this
+// process: the BENCH_MACHINE_CLASS environment variable when set,
+// otherwise "<goos>-<goarch>-c<NumCPU>".
+func MachineClass() string {
+	if c := os.Getenv(ClassEnvVar); c != "" {
+		return c
+	}
+	return fmt.Sprintf("%s-%s-c%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+}
+
+// stamp fills the machine-environment columns of an entry in place.
+func stamp(e *Entry) {
+	e.GoMaxProcs = runtime.GOMAXPROCS(0)
+	e.NumCPU = runtime.NumCPU()
+	e.MachineClass = MachineClass()
 }
 
 // Report is the trajectory file: current entries plus, optionally, the
@@ -61,17 +96,27 @@ func NewReport() *Report {
 	}
 }
 
-// Set inserts or replaces the entry with the same name, keeping entries
-// sorted by name so the JSON diffs cleanly.
+// Set inserts or replaces the entry with the same name and machine
+// class, keeping entries sorted so the JSON diffs cleanly. Entries
+// measured on a different machine class are preserved as a separate
+// series; an existing unlabeled entry (written before machine classes
+// were recorded) is upgraded in place by whichever class measures the
+// name first.
 func (r *Report) Set(e Entry) {
 	for i := range r.Entries {
-		if r.Entries[i].Name == e.Name {
+		if r.Entries[i].Name == e.Name &&
+			(r.Entries[i].MachineClass == e.MachineClass || r.Entries[i].MachineClass == "") {
 			r.Entries[i] = e
 			return
 		}
 	}
 	r.Entries = append(r.Entries, e)
-	sort.Slice(r.Entries, func(i, j int) bool { return r.Entries[i].Name < r.Entries[j].Name })
+	sort.Slice(r.Entries, func(i, j int) bool {
+		if r.Entries[i].Name != r.Entries[j].Name {
+			return r.Entries[i].Name < r.Entries[j].Name
+		}
+		return r.Entries[i].MachineClass < r.Entries[j].MachineClass
+	})
 }
 
 // WriteFile writes the report as indented JSON.
@@ -144,6 +189,7 @@ func (o *Obs) End(b *testing.B, resolutionsPerOp float64) {
 		BytesPerOp:       float64(ms.TotalAlloc-o.startBytes) / float64(n),
 		ResolutionsPerOp: resolutionsPerOp,
 	}
+	stamp(&e)
 	collectMu.Lock()
 	defer collectMu.Unlock()
 	if collected == nil {

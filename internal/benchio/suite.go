@@ -138,6 +138,34 @@ func Suite() []Case {
 		Case{Name: "Maintained/Table1Acyclic/N=3000/patched", Bench: maintainedBench(1000, true)},
 		Case{Name: "Maintained/Table1Acyclic/N=3000/recompute", Bench: maintainedBench(1000, false)},
 	)
+	// Planner skew series: the statistics-driven SAO planner against the
+	// natural (first-occurrence) order on the skewed adversarial
+	// families it exists for. The resolutions/op column is the series
+	// that matters — it is deterministic for a fixed workload and plan,
+	// so `cmd/bench -gate` holds the planned entries to the committed
+	// trajectory (a >5% resolution regression fails CI) on any machine
+	// class, while ns/op stays class-local context.
+	for _, inst := range []struct {
+		name string
+		mk   func() *join.Query
+	}{
+		{"SkewedTriangle", sync.OnceValue(func() *join.Query { return workload.SkewedTriangle(32, 6) })},
+		{"SkewedFourCycle", sync.OnceValue(func() *join.Query { return workload.SkewedFourCycle(16, 5) })},
+		{"HeavyValueMismatch", sync.OnceValue(func() *join.Query { return workload.HeavyValueMismatch(32, 6) })},
+		{"GAOSensitive", sync.OnceValue(func() *join.Query { return workload.GAOSensitive(32, 6) })},
+		{"PinnedChain", sync.OnceValue(func() *join.Query { return workload.PinnedChain(512, 26) })},
+	} {
+		cases = append(cases,
+			Case{
+				Name:  "PlannerSkew/" + inst.name + "/planned",
+				Bench: lazyExecBench(inst.mk, join.Options{Strategy: join.SAOPlanned, Mode: core.Reloaded}),
+			},
+			Case{
+				Name:  "PlannerSkew/" + inst.name + "/natural",
+				Bench: lazyExecBench(inst.mk, join.Options{Strategy: join.SAONatural, Mode: core.Reloaded}),
+			},
+		)
+	}
 	return cases
 }
 
@@ -297,14 +325,16 @@ func RunSuite(filter *regexp.Regexp) *Report {
 			b.ReportAllocs()
 			resolutions = bench(b)
 		})
-		rep.Set(Entry{
+		e := Entry{
 			Name:             c.Name,
 			N:                r.N,
 			NsPerOp:          float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp:      float64(r.AllocsPerOp()),
 			BytesPerOp:       float64(r.AllocedBytesPerOp()),
 			ResolutionsPerOp: resolutions,
-		})
+		}
+		stamp(&e)
+		rep.Set(e)
 	}
 	return rep
 }

@@ -1,0 +1,147 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/workload"
+)
+
+// TestPlanCacheKeyIncludesPlannerFingerprint pins the cache-key
+// contract: two preparations of the same shape, SAO and mode must still
+// land on different cache entries when the planning inputs differ —
+// feedback changes the decision fingerprint even when it does not flip
+// the winner. Under the old shape+SAO+mode key the second preparation
+// would silently serve the stale plan and the feedback loop could never
+// take effect.
+func TestPlanCacheKeyIncludesPlannerFingerprint(t *testing.T) {
+	c := New()
+	q := workload.PinnedChain(32, 6)
+	opts := join.Options{Strategy: join.SAOPlanned, Mode: core.Reloaded}
+
+	p1, err := c.PrepareQuery(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.CacheHit() {
+		t.Fatal("first preparation reported a cache hit")
+	}
+	p2, err := c.PrepareQuery(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.CacheHit() {
+		t.Fatal("identical preparation missed the plan cache")
+	}
+
+	// Feedback on a losing candidate: the winner (and so the SAO part of
+	// the key) is unchanged, only the planning inputs differ.
+	d := p1.Plan().Decision()
+	if d == nil || !d.Planned || len(d.Candidates) < 2 {
+		t.Fatalf("want a planned decision with a losing candidate, got %+v", d)
+	}
+	loser := d.Candidates[1]
+	fed := opts
+	fed.Feedback = map[string]float64{join.FeedbackKey(loser.SAOVars): 1e12}
+	p3, err := c.PrepareQuery(q, fed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(p3.Plan().SAOVars()), fmt.Sprint(p1.Plan().SAOVars()); got != want {
+		t.Fatalf("feedback on a loser flipped the winner: %s vs %s", got, want)
+	}
+	if p3.CacheHit() {
+		t.Fatal("stale plan served: same SAO with different planning feedback must miss the cache")
+	}
+	if d3 := p3.Plan().Decision(); d3.Fingerprint == d.Fingerprint {
+		t.Fatal("feedback did not change the decision fingerprint")
+	}
+}
+
+// TestReplanFiresAndImproves pins the feedback loop end to end on the
+// calibration family PinnedChain, where the cost model cannot tell the
+// cheap order from one that is ~d/4 times worse. Caller feedback poisons
+// the planner's preferred orders until it prepares the expensive one;
+// executing that plan observes a resolution count past the divergence
+// gate, the catalog records it, and the next preparation — with no
+// caller feedback at all — must miss the cache, re-plan away from the
+// observed order, and run at least 2× cheaper.
+func TestReplanFiresAndImproves(t *testing.T) {
+	c := New()
+	q := workload.PinnedChain(512, 26)
+	base := join.Options{Strategy: join.SAOPlanned, Mode: core.Reloaded}
+	exec := join.Options{Parallelism: 1}
+
+	// Poison successive winners (at a cost above every honest estimate
+	// but below the expensive order's actual work) until the planner
+	// prepares an order whose execution diverges.
+	poison := map[string]float64{}
+	var badRes int64
+	var badSAO string
+	for round := 0; ; round++ {
+		if round >= 8 {
+			t.Fatal("no divergent order reached after 8 poison rounds")
+		}
+		opts := base
+		opts.Feedback = make(map[string]float64, len(poison))
+		for k, v := range poison {
+			opts.Feedback[k] = v
+		}
+		p, err := c.PrepareQuery(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Execute(exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Stats().Replans > 0 {
+			badRes = res.Stats.Resolutions
+			badSAO = fmt.Sprint(p.Plan().SAOVars())
+			break
+		}
+		poison[join.FeedbackKey(p.Plan().SAOVars())] = 6 * 512
+	}
+	st := c.Stats()
+	if st.Replans != 1 || st.FeedbackEntries != 1 {
+		t.Fatalf("replans=%d feedback=%d after one divergent execution, want 1/1", st.Replans, st.FeedbackEntries)
+	}
+
+	// Re-prepare with no caller feedback: the recorded observation alone
+	// must invalidate the cached plan and steer the planner away.
+	p2, err := c.PrepareQuery(q, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.CacheHit() {
+		t.Fatal("stale plan served after a recorded divergence")
+	}
+	if got := fmt.Sprint(p2.Plan().SAOVars()); got == badSAO {
+		t.Fatalf("re-plan kept the observed-divergent order %s", got)
+	}
+	res2, err := p2.Execute(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Resolutions*2 > badRes {
+		t.Fatalf("re-plan did not improve: %d resolutions vs %d before", res2.Stats.Resolutions, badRes)
+	}
+
+	// The improved plan is stable: same preparation now hits the cache
+	// and its execution stays under the divergence gate.
+	p3, err := c.PrepareQuery(q, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p3.CacheHit() {
+		t.Fatal("re-planned preparation did not cache")
+	}
+	if _, err := p3.Execute(exec); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Replans; got != 1 {
+		t.Fatalf("improved plan re-triggered the feedback loop: replans=%d", got)
+	}
+}

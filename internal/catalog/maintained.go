@@ -100,8 +100,14 @@ func (c *Catalog) Maintain(query string, opts join.Options) (*Maintained, error)
 	}
 	// The statement outlives the call: keep only the preparation-time
 	// fields, not the caller's execution context/budget — refreshes take
-	// those per Execute.
+	// those per Execute. The SAO is pinned by name: re-preparations over
+	// later relation versions must keep the initial order even when the
+	// statistics-driven planner would now choose differently, because the
+	// materialized result — and every patch spliced into it — lives in
+	// that order.
 	opts.Context, opts.Budget = nil, nil
+	opts.Decision = nil
+	opts.SAOVars = append([]string(nil), p.Plan().SAOVars()...)
 	m := &Maintained{
 		c:      c,
 		text:   query,

@@ -20,6 +20,11 @@ type Prepared struct {
 
 	builds   int64 // indexes constructed during this preparation
 	cacheHit bool
+
+	// Feedback routing: the owning catalog and the query-shape key
+	// executions report divergent resolution counts under.
+	cat   *Catalog
+	shape string
 }
 
 // Plan returns the underlying immutable plan.
@@ -48,7 +53,46 @@ func (p *Prepared) Mode() core.Mode { return p.mode }
 func (p *Prepared) Execute(opts join.Options) (*join.Result, error) {
 	opts.Mode = p.mode
 	opts.SharedBase = true
-	return p.plan.Execute(opts)
+	res, err := p.plan.Execute(opts)
+	if err != nil {
+		return nil, err
+	}
+	p.observe(opts, res.Stats)
+	return res, nil
+}
+
+// replanDivergence and replanSlack gate the feedback loop: an execution
+// whose observed resolution count exceeds the plan's estimate by more
+// than the factor (plus an absolute slack that keeps tiny queries
+// quiet) records the observation, invalidating the cached plan. The
+// planner's Σ-of-prefix-AGM estimate upper-bounds the resolution count
+// of a well-chosen order up to polylog factors, so a 4× overshoot
+// signals an order the cost model got wrong, not estimator noise.
+const (
+	replanDivergence = 4.0
+	replanSlack      = 128.0
+)
+
+// observe feeds an execution's work measurement back to the catalog's
+// planner-feedback registry when it diverges from the plan's estimate.
+// Limited runs (output/resolution caps, shared budgets, streaming
+// stops) are skipped: their truncated counts measure the limit, not
+// the order.
+func (p *Prepared) observe(opts join.Options, stats core.Stats) {
+	if p.cat == nil {
+		return
+	}
+	if opts.MaxOutput > 0 || opts.MaxResolutions > 0 || opts.Budget != nil || opts.OnOutput != nil {
+		return
+	}
+	d := p.plan.Decision()
+	if d == nil || !d.Planned {
+		return
+	}
+	obs := float64(stats.Resolutions)
+	if obs > d.EstimatedResolutions*replanDivergence+replanSlack {
+		p.cat.recordFeedback(p.shape, join.FeedbackKey(p.plan.SAOVars()), obs)
+	}
 }
 
 // Count runs the counting variant over the prepared plan.
@@ -63,15 +107,17 @@ func (p *Prepared) Covers(opts join.Options) (*core.CoverReport, error) {
 	return p.plan.Covers(opts)
 }
 
-// planKey builds the cache identity of a preparation: the query shape
-// over pinned relation versions, the resolved SAO, and the mode.
-// Relations are identified by (ID, version) — stamps that no two
-// distinct tuple-set states share — so an ingest of a new version
-// changes the key and the stale plan simply stops being found. Atoms
-// carrying explicit indexes pin them by instance identity: a plan built
-// over caller-supplied index structures must never be served to a
-// preparation that asked for different ones.
-func planKey(q *join.Query, saoVars []string, mode core.Mode) string {
+// shapeKey identifies the query shape over pinned relation versions:
+// the part of a preparation's identity that is independent of how it
+// was planned. Relations are identified by (ID, version) — stamps that
+// no two distinct tuple-set states share — so an ingest of a new
+// version changes the key and the stale plan simply stops being found.
+// Atoms carrying explicit indexes pin them by instance identity: a plan
+// built over caller-supplied index structures must never be served to a
+// preparation that asked for different ones. Planner feedback is keyed
+// by this shape: observations apply to every strategy/mode the shape
+// runs under.
+func shapeKey(q *join.Query) string {
 	var sb strings.Builder
 	for i, a := range q.Atoms() {
 		if i > 0 {
@@ -82,7 +128,24 @@ func planKey(q *join.Query, saoVars []string, mode core.Mode) string {
 			fmt.Fprintf(&sb, "!%p", ix)
 		}
 	}
-	fmt.Fprintf(&sb, "|sao=%s|mode=%v", strings.Join(saoVars, ","), mode)
+	return sb.String()
+}
+
+// planKey builds the cache identity of a preparation: the shape, the
+// resolved SAO, the mode and — for planner-made decisions — the
+// decision fingerprint, which covers the relation statistics, the
+// chosen index families and any feedback that shaped the choice. The
+// fingerprint is what makes re-planning effective: recording a
+// divergent observation changes the next decision's fingerprint, so the
+// stale auto-plan can never be served again even though shape, SAO and
+// mode may all be unchanged.
+func planKey(shape string, d *join.Decision, mode core.Mode) string {
+	var sb strings.Builder
+	sb.WriteString(shape)
+	fmt.Fprintf(&sb, "|sao=%s|mode=%v", strings.Join(d.SAOVars, ","), mode)
+	if d.Planned {
+		fmt.Fprintf(&sb, "|plan=%016x", d.Fingerprint)
+	}
 	return sb.String()
 }
 
@@ -104,32 +167,38 @@ func (c *Catalog) Prepare(query string, opts join.Options) (*Prepared, error) {
 // their own on-demand index registries. Callers must treat relations as
 // immutable once planned.
 func (c *Catalog) PrepareQuery(q *join.Query, opts join.Options) (*Prepared, error) {
-	sao, err := join.ChooseSAO(q, opts)
+	shape := shapeKey(q)
+
+	// Merge recorded observations for this shape into the planning
+	// feedback; caller-supplied entries win on conflict.
+	if fb := c.feedbackFor(shape); fb != nil {
+		for k, v := range opts.Feedback {
+			fb[k] = v
+		}
+		opts.Feedback = fb
+	}
+	d, err := join.Decide(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	saoVars := make([]string, len(sao))
-	for i, pos := range sao {
-		saoVars[i] = q.Vars()[pos]
-	}
-	key := planKey(q, saoVars, opts.Mode)
+	key := planKey(shape, d, opts.Mode)
 
 	if plan, ok := c.plans.Get(key); ok {
 		c.hits.Add(1)
-		return &Prepared{plan: plan, mode: opts.Mode, cacheHit: true}, nil
+		return &Prepared{plan: plan, mode: opts.Mode, cacheHit: true, cat: c, shape: shape}, nil
 	}
 	c.misses.Add(1)
 
-	// Pin the SAO we just resolved: PreparePlan would re-derive it
-	// identically, but pinning skips the second strategy walk and keeps
+	// Pin the decision we just resolved: PreparePlan would re-derive it
+	// identically, but pinning skips the second planner run and keeps
 	// the cache key and the plan definitionally in step.
-	opts.SAOVars = saoVars
+	opts.Decision = d
 	plan, err := join.PreparePlan(q, opts, source{c})
 	if err != nil {
 		return nil, err
 	}
 	c.plans.Put(key, plan)
-	return &Prepared{plan: plan, mode: opts.Mode, builds: plan.IndexBuilds()}, nil
+	return &Prepared{plan: plan, mode: opts.Mode, builds: plan.IndexBuilds(), cat: c, shape: shape}, nil
 }
 
 // Execute prepares (with caching) and runs a textual query in one call:
@@ -167,6 +236,7 @@ func (p *Prepared) executeCharged(opts join.Options) (*join.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.observe(opts, res.Stats)
 	res.Stats.IndexBuilds = p.builds
 	return res, nil
 }

@@ -58,6 +58,10 @@ type Checker struct {
 	// query cases run only the WAL-crash differential (cmd/fuzz -kind
 	// crash), box cover cases are skipped.
 	CrashOnly bool
+	// PlannerOnly restricts Check to the PlannerDifferential
+	// configuration: query cases run only the planner-transparency
+	// checks (cmd/fuzz -kind planner), box cover cases are skipped.
+	PlannerOnly bool
 }
 
 // NewChecker returns the default configuration: shards {2,4} × workers
@@ -73,12 +77,15 @@ func NewChecker() *Checker {
 // checked. Shrinker candidates that turn invalid are thereby rejected
 // rather than mistaken for failures.
 func (ck *Checker) Check(c Case) (*Discrepancy, error) {
-	if ck.CrashOnly {
+	if ck.CrashOnly || ck.PlannerOnly {
 		if c.Kind() != QueryKind {
 			return nil, nil
 		}
 		if _, err := c.BuildQuery(); err != nil {
 			return nil, err
+		}
+		if ck.PlannerOnly {
+			return ck.checkPlanner(c), nil
 		}
 		return ck.checkCrashRecovery(c), nil
 	}
@@ -207,6 +214,12 @@ func (ck *Checker) checkQuery(c Case) (*Discrepancy, error) {
 	// every recovery must answer byte-identically to an oracle that saw
 	// only the durably-acknowledged prefix.
 	if d := ck.checkCrashRecovery(c); d != nil {
+		return d, nil
+	}
+
+	// The statistics-driven planner: deterministic decisions, planned
+	// and feedback-perturbed executions agreeing with the reference.
+	if d := ck.checkPlanner(c); d != nil {
 		return d, nil
 	}
 

@@ -1,0 +1,24 @@
+package fuzz
+
+import "testing"
+
+// TestPlannerFamiliesClean replays the fixed workload-family panel of
+// the planner differential on every test run: the statistics-driven
+// planner must stay semantically transparent on the classic paper
+// instances and the skewed adversarial ones alike.
+func TestPlannerFamiliesClean(t *testing.T) {
+	ck := NewChecker()
+	ck.PlannerOnly = true
+	for _, c := range PlannerFamilies() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			d, err := ck.Check(c)
+			if err != nil {
+				t.Fatalf("invalid family case: %v", err)
+			}
+			if d != nil {
+				t.Fatalf("discrepancy: %v", d)
+			}
+		})
+	}
+}

@@ -17,13 +17,19 @@ import (
 type SAOStrategy int
 
 const (
-	// SAOAuto follows the paper's prescriptions: for α-acyclic queries
-	// the reverse of a GYO elimination order (Theorem D.8); otherwise the
-	// reverse of a minimum-induced-width elimination order
-	// (Theorems 4.7 and 4.9).
+	// SAOAuto follows the paper's prescriptions for α-acyclic queries
+	// (the reverse of a GYO elimination order, Theorem D.8) and hands
+	// cyclic queries — where the paper leaves order selection open and
+	// the data decides — to the statistics-driven planner
+	// (internal/planner), which keeps the classical
+	// minimum-induced-width elimination order unless relation statistics
+	// argue for a better one.
 	SAOAuto SAOStrategy = iota
 	// SAONatural uses the variables' first-occurrence order.
 	SAONatural
+	// SAOPlanned invokes the statistics-driven planner unconditionally,
+	// acyclic queries included.
+	SAOPlanned
 )
 
 // Options configures query execution.
@@ -35,6 +41,17 @@ type Options struct {
 	SAOVars []string
 	// Strategy picks the automatic SAO derivation when SAOVars is empty.
 	Strategy SAOStrategy
+	// Decision, when non-nil, is a pre-resolved planning decision (from
+	// Decide) used verbatim by plan preparation: no strategy dispatch,
+	// no planner run. The catalog resolves decisions once per prepare
+	// and hands them down through this field.
+	Decision *Decision
+	// Feedback carries observed resolution counts from earlier
+	// executions of this query shape, keyed by comma-joined SAO variable
+	// names (FeedbackKey). The planner scores a candidate order by its
+	// observed count instead of the cost-model estimate when one is
+	// present — the calibration loop behind the catalog's re-planning.
+	Feedback map[string]float64
 	// Parallelism is the number of worker goroutines executing shards of
 	// the query. 0 means runtime.GOMAXPROCS(0) — except when MaxOutput,
 	// MaxResolutions or OnOutput is set, where 0 means sequential so that
@@ -109,60 +126,25 @@ type Result struct {
 }
 
 // ChooseSAO returns the splitting attribute order (as variable positions)
-// that Execute would use for the query under the given options.
+// that Execute would use for the query under the given options. It is
+// the order half of Decide; callers wanting the index families or the
+// planner's reasoning use Decide directly.
 func ChooseSAO(q *Query, opts Options) ([]int, error) {
-	if len(opts.SAOVars) > 0 {
-		if len(opts.SAOVars) != len(q.vars) {
-			return nil, fmt.Errorf("join: SAO has %d variables, query has %d", len(opts.SAOVars), len(q.vars))
-		}
-		sao := make([]int, len(opts.SAOVars))
-		seen := map[int]bool{}
-		for i, v := range opts.SAOVars {
-			pos := q.VarIndex(v)
-			if pos < 0 {
-				return nil, fmt.Errorf("join: SAO variable %s not in query", v)
-			}
-			if seen[pos] {
-				return nil, fmt.Errorf("join: SAO repeats variable %s", v)
-			}
-			seen[pos] = true
-			sao[i] = pos
-		}
-		return sao, nil
+	d, err := Decide(q, opts)
+	if err != nil {
+		return nil, err
 	}
-	n := len(q.vars)
-	sao := make([]int, n)
-	switch opts.Strategy {
-	case SAONatural:
-		for i := range sao {
-			sao[i] = i
-		}
-	case SAOAuto:
-		h := q.Hypergraph()
-		var elim []int
-		if order, acyclic := h.GYO(); acyclic {
-			elim = order
-		} else {
-			elim, _ = h.EliminationOrder()
-		}
-		// SAO = reverse of the elimination order: the paper's GAO lists
-		// A_1..A_n with A_n eliminated first.
-		for i, v := range elim {
-			sao[n-1-i] = v
-		}
-	default:
-		return nil, fmt.Errorf("join: unknown SAO strategy %d", opts.Strategy)
-	}
-	return sao, nil
+	return d.SAO(), nil
 }
 
 // BuildIndices returns one index per atom: the atom's own indices pooled
 // into a Union when provided, and otherwise a B-tree index consistent
 // with the given SAO (the GAO-consistency default of the paper). Atoms
 // referencing the same relation with the same needed attribute order
-// share one index.
+// share one index. Family selection beyond the B-tree default comes
+// from planning (PreparePlan with a planned Decision).
 func BuildIndices(q *Query, sao []int) ([]index.Index, error) {
-	indices, _, err := buildIndices(q, sao, NewIndexBuilder())
+	indices, _, err := buildIndices(q, unplannedDecision(q, sao), NewIndexBuilder())
 	return indices, err
 }
 
@@ -192,8 +174,9 @@ func SAOIndexOrder(q *Query, a Atom, sao []int) []string {
 }
 
 // buildIndices resolves one index per atom through the given source,
-// returning how many indexes the source had to construct.
-func buildIndices(q *Query, sao []int, src IndexSource) ([]index.Index, int64, error) {
+// following the decision's per-atom family choices, returning how many
+// indexes the source had to construct.
+func buildIndices(q *Query, d *Decision, src IndexSource) ([]index.Index, int64, error) {
 	out := make([]index.Index, len(q.atoms))
 	var builds int64
 	for ai, a := range q.atoms {
@@ -209,7 +192,7 @@ func buildIndices(q *Query, sao []int, src IndexSource) ([]index.Index, int64, e
 			out[ai] = u
 			continue
 		}
-		ix, built, err := src.IndexFor(a.Relation, SAOIndexOrder(q, a, sao))
+		ix, built, err := src.IndexFor(a.Relation, atomSpec(q, a, d, ai))
 		if err != nil {
 			return nil, 0, err
 		}

@@ -35,25 +35,33 @@ type Explanation struct {
 	AGM float64
 	// Guarantee summarizes the tightest applicable runtime statement.
 	Guarantee string
+	// Planned reports that the statistics-driven planner chose the SAO
+	// and index families; when set, EstimatedResolutions carries its
+	// cost-model estimate and Candidates the scored orders it weighed
+	// (winner first, with rejection reasons on the losers).
+	Planned              bool
+	EstimatedResolutions float64
+	Candidates           []PlannedCandidate
 }
 
 // Explain computes the evaluation plan and structural measures for the
 // query under the given options, without running it.
 func Explain(q *Query, opts Options) (*Explanation, error) {
-	sao, err := ChooseSAO(q, opts)
+	d, err := Decide(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	indices, err := BuildIndices(q, sao)
+	indices, _, err := buildIndices(q, d, NewIndexBuilder())
 	if err != nil {
 		return nil, err
 	}
 	ex := &Explanation{
-		Query: q.String(),
-		Vars:  append([]string(nil), q.Vars()...),
-	}
-	for _, pos := range sao {
-		ex.SAO = append(ex.SAO, q.vars[pos])
+		Query:                q.String(),
+		Vars:                 append([]string(nil), q.Vars()...),
+		SAO:                  append([]string(nil), d.SAOVars...),
+		Planned:              d.Planned,
+		EstimatedResolutions: d.EstimatedResolutions,
+		Candidates:           d.Candidates,
 	}
 	for _, ix := range indices {
 		ex.Indices = append(ex.Indices, ix.Relation().Name()+": "+ix.Kind())
@@ -105,5 +113,20 @@ func (ex *Explanation) String() string {
 	}
 	fmt.Fprintf(&sb, "\nAGM bound: %.1f tuples\n", ex.AGM)
 	fmt.Fprintf(&sb, "guarantee: %s\n", ex.Guarantee)
+	if ex.Planned {
+		fmt.Fprintf(&sb, "planner:   est. resolutions %.3g\n", ex.EstimatedResolutions)
+		for _, c := range ex.Candidates {
+			obs := ""
+			if c.Observed {
+				obs = " (observed)"
+			}
+			why := "chosen"
+			if c.Rejection != "" {
+				why = "rejected: " + c.Rejection
+			}
+			fmt.Fprintf(&sb, "  %-12s %-20s %.3g%s — %s\n",
+				c.Source, strings.Join(c.SAOVars, ","), c.Score, obs, why)
+		}
+	}
 	return sb.String()
 }

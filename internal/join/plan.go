@@ -10,32 +10,33 @@ import (
 )
 
 // IndexSource supplies the per-atom indexes a plan probes. IndexFor
-// returns an index over rel whose gap boxes suit the given attribute
-// order (the GAO-consistency requirement for default B-tree indexes),
-// and reports whether the call had to construct a new index — the
-// charge behind Stats.IndexBuilds.
+// returns an index over rel matching the given spec — for the B-tree
+// family, one whose gap boxes suit the spec's attribute order (the
+// GAO-consistency requirement); the dyadic and k-d families are
+// order-free — and reports whether the call had to construct a new
+// index: the charge behind Stats.IndexBuilds.
 //
 // Two implementations exist: the self-contained builder used by NewPlan
 // (fresh indexes per plan, deduplicated within the plan so self-joins
-// sharing an attribute order share one index) and the catalog's
-// registry-backed source, which reuses indexes across queries and
-// relation versions so prepared executions build nothing at all.
+// sharing a spec share one index) and the catalog's registry-backed
+// source, which reuses indexes across queries and relation versions so
+// prepared executions build nothing at all.
 type IndexSource interface {
-	IndexFor(rel *relation.Relation, order []string) (ix index.Index, built bool, err error)
+	IndexFor(rel *relation.Relation, spec index.Spec) (ix index.Index, built bool, err error)
 }
 
-// builderKey identifies one (relation instance, attribute order) index
-// within a self-contained plan preparation.
+// builderKey identifies one (relation instance, spec) index within a
+// self-contained plan preparation.
 type builderKey struct {
-	rel   *relation.Relation
-	order string
+	rel  *relation.Relation
+	spec string
 }
 
-// indexBuilder is the self-contained IndexSource: it builds a sorted
-// index per distinct (relation, order) pair and caches it for the
-// duration of one preparation, so a query referencing the same relation
-// with the same needed order twice — a self-join under an SAO that
-// ranks both atoms' variables alike — builds one index, not two.
+// indexBuilder is the self-contained IndexSource: it builds one index
+// per distinct (relation, spec) pair and caches it for the duration of
+// one preparation, so a query referencing the same relation with the
+// same needed spec twice — a self-join under an SAO that ranks both
+// atoms' variables alike — builds one index, not two.
 type indexBuilder struct {
 	cache map[builderKey]index.Index
 }
@@ -45,12 +46,12 @@ func NewIndexBuilder() IndexSource {
 	return &indexBuilder{cache: map[builderKey]index.Index{}}
 }
 
-func (b *indexBuilder) IndexFor(rel *relation.Relation, order []string) (index.Index, bool, error) {
-	key := builderKey{rel: rel, order: index.BTreeSpec(order...).Key()}
+func (b *indexBuilder) IndexFor(rel *relation.Relation, spec index.Spec) (index.Index, bool, error) {
+	key := builderKey{rel: rel, spec: spec.Key()}
 	if ix, ok := b.cache[key]; ok {
 		return ix, false, nil
 	}
-	ix, err := index.NewSorted(rel, order...)
+	ix, err := spec.Build(rel)
 	if err != nil {
 		return nil, false, err
 	}
@@ -67,6 +68,7 @@ func (b *indexBuilder) IndexFor(rel *relation.Relation, order []string) (index.I
 // rebuilding its indices.
 type Plan struct {
 	q        *Query
+	decision *Decision
 	sao      []int
 	saoVars  []string
 	indices  []index.Index
@@ -105,19 +107,15 @@ func NewPlan(q *Query, opts Options) (*Plan, error) {
 // plan never build — the hot path is free of index construction by
 // construction.
 func PreparePlan(q *Query, opts Options, src IndexSource) (*Plan, error) {
-	sao, err := ChooseSAO(q, opts)
+	d, err := Decide(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	indices, builds, err := buildIndices(q, sao, src)
+	indices, builds, err := buildIndices(q, d, src)
 	if err != nil {
 		return nil, err
 	}
-	saoVars := make([]string, len(sao))
-	for i, pos := range sao {
-		saoVars[i] = q.vars[pos]
-	}
-	p := &Plan{q: q, sao: sao, saoVars: saoVars, indices: indices, builds: builds}
+	p := &Plan{q: q, decision: d, sao: d.sao, saoVars: d.SAOVars, indices: indices, builds: builds}
 	for ai, a := range q.atoms {
 		relPos := make([]int, len(a.Vars))
 		for i, v := range a.Vars {
@@ -139,6 +137,9 @@ func (p *Plan) SAOVars() []string { return p.saoVars }
 
 // SAO returns the chosen splitting attribute order as variable positions.
 func (p *Plan) SAO() []int { return p.sao }
+
+// Decision returns the planning decision the plan was prepared under.
+func (p *Plan) Decision() *Decision { return p.decision }
 
 // Indices returns the per-atom indices the plan probes. Atoms may share
 // an entry (self-joins over one attribute order share one index).

@@ -1,0 +1,268 @@
+package planner
+
+import (
+	"math"
+	"math/bits"
+
+	"tetrisjoin/internal/agm"
+	"tetrisjoin/internal/hypergraph"
+)
+
+// atomStats is the per-atom slice of statistics the estimator works
+// from: snapshot cardinality plus, per bound query variable, the
+// distinct count and the heavy-hitter degree of the attribute binding
+// it. Everything is extracted once per planning run; estimation never
+// touches tuples.
+type atomStats struct {
+	vars     []int
+	count    float64
+	distinct map[int]float64 // query var -> distinct values
+	maxFreq  map[int]float64 // query var -> degree of the heaviest value
+}
+
+// estimator memoizes prefix-set estimates: Ê(S) depends on the variable
+// set only, never on the order within it, which is what makes both the
+// subset-lattice DP and exhaustive candidate scoring cheap.
+type estimator struct {
+	nvars int
+	atoms []atomStats
+	memo  map[uint64]float64
+}
+
+func newEstimator(nvars int, atoms []Atom) *estimator {
+	e := &estimator{nvars: nvars, memo: map[uint64]float64{}}
+	for _, a := range atoms {
+		st := a.Rel.Stats()
+		as := atomStats{
+			vars:     a.Vars,
+			count:    float64(st.Count),
+			distinct: make(map[int]float64, len(a.Vars)),
+			maxFreq:  make(map[int]float64, len(a.Vars)),
+		}
+		for i, v := range a.Vars {
+			as.distinct[v] = float64(st.Attrs[i].Distinct)
+			as.maxFreq[v] = float64(st.Attrs[i].MaxFreq)
+		}
+		e.atoms = append(e.atoms, as)
+	}
+	return e
+}
+
+// orderScore is the planner's cost model: the sum of prefix-set
+// estimates along the order — a proxy for the number of distinct
+// branches Tetris resolves when splitting variables in that order.
+func (e *estimator) orderScore(sao []int) float64 {
+	var mask uint64
+	score := 0.0
+	for _, v := range sao {
+		mask |= 1 << uint(v)
+		score += e.estimate(mask)
+	}
+	return score
+}
+
+// optimalOrder finds the order minimizing orderScore over all n!
+// permutations by DP over the subset lattice: the score of an order is
+// the sum of Ê over its chain of prefix sets, so
+//
+//	best(S) = Ê(S) + min_{v ∈ S} best(S \ {v})
+//
+// and the optimal order reads off the argmin chain. O(2ⁿ·n) estimate
+// lookups; ties break toward the smallest variable so the result is
+// deterministic.
+func (e *estimator) optimalOrder() []int {
+	n := e.nvars
+	if n > 30 {
+		return nil
+	}
+	size := uint64(1) << uint(n)
+	best := make([]float64, size)
+	last := make([]int8, size)
+	for mask := uint64(1); mask < size; mask++ {
+		best[mask] = math.Inf(1)
+		last[mask] = -1
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) == 0 {
+				continue
+			}
+			if c := best[mask&^(1<<uint(v))]; c < best[mask] {
+				best[mask] = c
+				last[mask] = int8(v)
+			}
+		}
+		best[mask] += e.estimate(mask)
+	}
+	order := make([]int, n)
+	mask := size - 1
+	for i := n - 1; i >= 0; i-- {
+		v := int(last[mask])
+		if v < 0 {
+			return nil
+		}
+		order[i] = v
+		mask &^= 1 << uint(v)
+	}
+	return order
+}
+
+// estimate returns Ê(S): the skew-aware AGM estimate of the join
+// projected onto the variable set S (given as a bitmask) — the minimum
+// of the plain projection-AGM bound and a one-level heavy/light split
+// on the most dominant hub variable in S.
+func (e *estimator) estimate(mask uint64) float64 {
+	if v, ok := e.memo[mask]; ok {
+		return v
+	}
+	est := e.agmEstimate(mask, restriction{})
+	if hv, ha, frac := e.dominantHub(mask); frac >= hubFracThreshold {
+		heavy := e.agmEstimate(mask&^(1<<uint(hv)), restriction{kind: heavySlice, v: hv})
+		light := e.agmEstimate(mask, restriction{kind: lightSlice, v: hv, atom: ha})
+		if split := heavy + light; split < est {
+			est = split
+		}
+	}
+	e.memo[mask] = est
+	return est
+}
+
+// hubFracThreshold is the heavy-hitter fraction past which a variable
+// counts as a hub worth conditioning on: the heavy slice then carries
+// at least half of some relation.
+const hubFracThreshold = 0.5
+
+// dominantHub finds the variable in S whose heaviest value carries the
+// largest fraction of some atom binding it, returning that variable,
+// the atom index, and the fraction.
+func (e *estimator) dominantHub(mask uint64) (v, atom int, frac float64) {
+	v, atom = -1, -1
+	for ai, a := range e.atoms {
+		if a.count == 0 {
+			continue
+		}
+		for _, av := range a.vars {
+			if mask&(1<<uint(av)) == 0 {
+				continue
+			}
+			if f := a.maxFreq[av] / a.count; f > frac {
+				v, atom, frac = av, ai, f
+			}
+		}
+	}
+	return v, atom, frac
+}
+
+// restriction adjusts the per-atom projection estimates for the two
+// halves of a heavy/light split on variable v.
+type restriction struct {
+	kind int // 0 none, heavySlice, lightSlice
+	v    int
+	atom int // lightSlice only: the atom whose hub defines the split
+}
+
+const (
+	heavySlice = iota + 1
+	lightSlice
+)
+
+// agmEstimate is the AGM bound of the join restricted to the variable
+// set S: 2^opt of the fractional edge cover LP over the restricted
+// hypergraph, with edge weights log₂ of the per-atom projection
+// estimates. Returns 1 for the empty set.
+func (e *estimator) agmEstimate(mask uint64, r restriction) float64 {
+	n := bits.OnesCount64(mask)
+	if n == 0 {
+		return 1
+	}
+	remap := make(map[int]int, n)
+	for v := 0; v < e.nvars; v++ {
+		if mask&(1<<uint(v)) != 0 {
+			remap[v] = len(remap)
+		}
+	}
+	h := hypergraph.New(n)
+	var weights []float64
+	for ai, a := range e.atoms {
+		var verts []int
+		var projVars []int
+		for _, v := range a.vars {
+			if p, ok := remap[v]; ok {
+				verts = append(verts, p)
+				projVars = append(projVars, v)
+			}
+		}
+		if len(verts) == 0 {
+			continue
+		}
+		proj := e.projEstimate(ai, projVars, r)
+		if proj < 1 {
+			// An atom whose restricted projection is empty proves the
+			// restricted join empty — the collapse that makes a
+			// single-valued (or hub-dominated) attribute score as the
+			// cheap split it is.
+			return 0
+		}
+		if err := h.AddEdge(verts...); err != nil {
+			continue
+		}
+		weights = append(weights, math.Log2(proj))
+	}
+	_, opt, err := agm.FractionalEdgeCover(h, weights)
+	if err != nil {
+		// A variable covered by no edge under this restriction: fall
+		// back to the product of the cheapest per-variable distincts.
+		prod := 1.0
+		for v := range remap {
+			d := math.Inf(1)
+			for _, a := range e.atoms {
+				if dv, ok := a.distinct[v]; ok && dv < d {
+					d = dv
+				}
+			}
+			if !math.IsInf(d, 1) {
+				prod *= math.Max(1, d)
+			}
+		}
+		return prod
+	}
+	return math.Pow(2, opt)
+}
+
+// projEstimate bounds |π_T(R)| for atom ai projected onto query vars T,
+// adjusted for the active heavy/light restriction: min(cardinality,
+// Π distinct). Under heavySlice the atom is conditioned on the hub
+// value of variable v — its cardinality drops to that value's maximum
+// degree; under lightSlice the defining atom loses the hub value's
+// tuples and one distinct value of v.
+func (e *estimator) projEstimate(ai int, T []int, r restriction) float64 {
+	a := e.atoms[ai]
+	count := a.count
+	binds := func(v int) bool {
+		_, ok := a.distinct[v]
+		return ok
+	}
+	switch r.kind {
+	case heavySlice:
+		if binds(r.v) {
+			count = math.Min(count, a.maxFreq[r.v])
+		}
+	case lightSlice:
+		if ai == r.atom && binds(r.v) {
+			count = math.Max(0, count-a.maxFreq[r.v])
+		}
+	}
+	prod := 1.0
+	for _, v := range T {
+		d := a.distinct[v]
+		switch {
+		case r.kind == lightSlice && ai == r.atom && v == r.v:
+			d = math.Max(0, d-1)
+		case r.kind == heavySlice && v == r.v:
+			d = 1
+		}
+		prod *= math.Max(1, math.Min(d, math.Max(count, 1)))
+		if prod > count {
+			return math.Max(count, 0)
+		}
+	}
+	return math.Min(math.Max(count, 0), prod)
+}

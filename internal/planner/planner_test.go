@@ -1,0 +1,271 @@
+package planner_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/index"
+	"tetrisjoin/internal/join"
+	"tetrisjoin/internal/planner"
+	"tetrisjoin/internal/relation"
+	"tetrisjoin/internal/workload"
+)
+
+func atomsOf(q *join.Query) (int, []planner.Atom) {
+	var atoms []planner.Atom
+	for _, a := range q.Atoms() {
+		vars := make([]int, len(a.Vars))
+		for i, v := range a.Vars {
+			vars[i] = q.VarIndex(v)
+		}
+		atoms = append(atoms, planner.Atom{Rel: a.Relation, Vars: vars})
+	}
+	return len(q.Vars()), atoms
+}
+
+func resolutions(t *testing.T, q *join.Query, opts join.Options) int64 {
+	t.Helper()
+	opts.Mode = core.Reloaded
+	opts.Parallelism = 1
+	res, err := join.Execute(q, opts)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return res.Stats.Resolutions
+}
+
+func permutations(vars []string) [][]string {
+	if len(vars) <= 1 {
+		return [][]string{append([]string(nil), vars...)}
+	}
+	var out [][]string
+	for i, v := range vars {
+		rest := make([]string, 0, len(vars)-1)
+		rest = append(rest, vars[:i]...)
+		rest = append(rest, vars[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]string{v}, p...))
+		}
+	}
+	return out
+}
+
+// TestPlannerBeatsNaturalOnSkew is the acceptance gate of the planner:
+// on the skewed workload families the planned SAO must beat the natural
+// order by at least 2× in resolutions and stay within 10% of the best
+// fixed order (checked exhaustively over all permutations).
+func TestPlannerBeatsNaturalOnSkew(t *testing.T) {
+	families := []struct {
+		name string
+		q    *join.Query
+	}{
+		{"SkewedTriangle", workload.SkewedTriangle(64, 7)},
+		{"SkewedFourCycle", workload.SkewedFourCycle(64, 7)},
+		{"HeavyValueMismatch", workload.HeavyValueMismatch(64, 7)},
+		{"GAOSensitive", workload.GAOSensitive(64, 7)},
+	}
+	for _, f := range families {
+		t.Run(f.name, func(t *testing.T) {
+			planned := resolutions(t, f.q, join.Options{Strategy: join.SAOPlanned})
+			natural := resolutions(t, f.q, join.Options{Strategy: join.SAONatural})
+			if planned*2 > natural {
+				t.Errorf("planned SAO took %d resolutions, natural %d: want >= 2x improvement", planned, natural)
+			}
+			best := natural
+			var bestOrder []string
+			for _, p := range permutations(f.q.Vars()) {
+				if r := resolutions(t, f.q, join.Options{SAOVars: p}); r < best {
+					best, bestOrder = r, p
+				}
+			}
+			if float64(planned) > 1.1*float64(best) {
+				t.Errorf("planned SAO took %d resolutions, best fixed order %v takes %d: want within 10%%",
+					planned, bestOrder, best)
+			}
+		})
+	}
+}
+
+// TestPlannerKeepsClassicalOrderOnSymmetricInstances pins the planner's
+// stability guarantee: on the classic (symmetric or already-optimal)
+// families its choice is byte-identical to the engine's classical
+// elimination-based order, so enabling planning cannot perturb the
+// paper-reproduction numbers.
+func TestPlannerKeepsClassicalOrderOnSymmetricInstances(t *testing.T) {
+	families := []struct {
+		name string
+		q    *join.Query
+	}{
+		{"TriangleAGMStar", workload.TriangleAGMStar(64, 7)},
+		{"TriangleDense", workload.TriangleDense(8, 4)},
+		{"TriangleMSB", workload.TriangleMSB(5)},
+		{"FourCycleBlocks", workload.FourCycleBlocks(6)},
+		{"Clique4", workload.CliqueQuery(4, 24, 0.4, 5, 7)},
+	}
+	for _, f := range families {
+		t.Run(f.name, func(t *testing.T) {
+			auto, err := join.Decide(f.q, join.Options{Strategy: join.SAOAuto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The classical order: reverse of GYO/elimination, which the
+			// planner keeps as its "elimination" candidate and prefers on
+			// ties.
+			h := f.q.Hypergraph()
+			var elim []int
+			if order, acyclic := h.GYO(); acyclic {
+				elim = order
+			} else {
+				elim, _ = h.EliminationOrder()
+			}
+			n := len(f.q.Vars())
+			want := make([]string, n)
+			for i, v := range elim {
+				want[n-1-i] = f.q.Vars()[v]
+			}
+			if fmt.Sprint(auto.SAOVars) != fmt.Sprint(want) {
+				t.Errorf("SAOAuto chose %v, classical order is %v", auto.SAOVars, want)
+			}
+		})
+	}
+}
+
+// TestChooseDeterministic pins that equal inputs give equal decisions,
+// including candidate ordering and fingerprint.
+func TestChooseDeterministic(t *testing.T) {
+	q := workload.SkewedTriangle(32, 6)
+	nvars, atoms := atomsOf(q)
+	d1, err := planner.Choose(nvars, atoms, planner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := planner.Choose(nvars, atoms, planner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planner.SAOKey(d1.SAO) != planner.SAOKey(d2.SAO) || d1.Fingerprint != d2.Fingerprint {
+		t.Fatalf("nondeterministic decision: %v/%x vs %v/%x", d1.SAO, d1.Fingerprint, d2.SAO, d2.Fingerprint)
+	}
+	if len(d1.Candidates) == 0 || d1.Candidates[0].Rejection != "" {
+		t.Fatalf("winner must be first with no rejection: %+v", d1.Candidates)
+	}
+	for _, c := range d1.Candidates[1:] {
+		if c.Rejection == "" {
+			t.Errorf("losing candidate %v has no rejection reason", c.SAO)
+		}
+	}
+}
+
+// TestFingerprintTracksFeedbackAndStats pins the cache-key contract:
+// the decision fingerprint must change when feedback arrives or the
+// relation statistics change, and stay equal otherwise.
+func TestFingerprintTracksFeedbackAndStats(t *testing.T) {
+	q := workload.SkewedTriangle(32, 6)
+	nvars, atoms := atomsOf(q)
+	base, err := planner.Choose(nvars, atoms, planner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := planner.Choose(nvars, atoms, planner.Options{
+		Observed: map[string]float64{planner.SAOKey(base.SAO): 1e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.Fingerprint == base.Fingerprint {
+		t.Fatal("feedback did not change the decision fingerprint")
+	}
+	// A new snapshot with different statistics must re-fingerprint too.
+	q2 := workload.SkewedTriangle(33, 6)
+	nvars2, atoms2 := atomsOf(q2)
+	other, err := planner.Choose(nvars2, atoms2, planner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Fingerprint == base.Fingerprint {
+		t.Fatal("different snapshots share a decision fingerprint")
+	}
+}
+
+// TestObservedScoreOverridesEstimate pins the calibration loop: an
+// observed resolution count replaces the estimate for that order, so a
+// hugely divergent observation flips the winner.
+func TestObservedScoreOverridesEstimate(t *testing.T) {
+	q := workload.SkewedTriangle(32, 6)
+	nvars, atoms := atomsOf(q)
+	base, err := planner.Choose(nvars, atoms, planner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := planner.Choose(nvars, atoms, planner.Options{
+		Observed: map[string]float64{planner.SAOKey(base.SAO): 1e12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planner.SAOKey(repl.SAO) == planner.SAOKey(base.SAO) {
+		t.Fatalf("winner %v unchanged despite a 1e12 observed cost", repl.SAO)
+	}
+	var found bool
+	for _, c := range repl.Candidates {
+		if planner.SAOKey(c.SAO) == planner.SAOKey(base.SAO) {
+			found = true
+			if !c.Observed || c.Score != 1e12 {
+				t.Errorf("old winner scored %v (observed=%v), want the observation", c.Score, c.Observed)
+			}
+		}
+	}
+	if !found {
+		t.Error("old winner missing from candidate list")
+	}
+}
+
+// TestSAOKeyRoundTrip pins the key encoding.
+func TestSAOKeyRoundTrip(t *testing.T) {
+	sao := []int{2, 0, 1}
+	got, ok := planner.ParseSAOKey(planner.SAOKey(sao), 3)
+	if !ok || fmt.Sprint(got) != fmt.Sprint(sao) {
+		t.Fatalf("round trip failed: %v %v", got, ok)
+	}
+	for _, bad := range []string{"", "0,1", "0,1,3", "0,1,1", "a,b,c"} {
+		if _, ok := planner.ParseSAOKey(bad, 3); ok {
+			t.Errorf("ParseSAOKey(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFamilySelection pins the index-family choice: clustered
+// multidimensional relations (diagonals) get the dyadic family, spread
+// relations the SAO-consistent B-tree, and arity ≥ 3 clusters the k-d
+// tree.
+func TestFamilySelection(t *testing.T) {
+	diag := relation.MustNewUniform("D", []string{"X", "Y"}, 6)
+	spread := relation.MustNewUniform("G", []string{"X", "Y"}, 6)
+	for v := uint64(0); v < 64; v++ {
+		diag.MustInsert(v, v)
+	}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			spread.MustInsert(a*8, b*8)
+		}
+	}
+	diag3 := relation.MustNewUniform("E", []string{"X", "Y", "Z"}, 6)
+	for v := uint64(0); v < 64; v++ {
+		diag3.MustInsert(v, v, v)
+	}
+	d, err := planner.Choose(3, []planner.Atom{
+		{Rel: diag, Vars: []int{0, 1}},
+		{Rel: spread, Vars: []int{1, 2}},
+		{Rel: diag3, Vars: []int{0, 1, 2}},
+	}, planner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []index.Family{index.DyadicFamily, index.BTreeFamily, index.KDTreeFamily}
+	for i, f := range want {
+		if d.Families[i] != f {
+			t.Errorf("atom %d family = %v, want %v", i, d.Families[i], f)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"tetrisjoin/internal/dyadic"
@@ -69,6 +70,11 @@ type Relation struct {
 	// Pointer-free by design: old versions are not kept alive by new
 	// ones. Severed (nil) after an in-place Insert.
 	lineage []lineageStep
+
+	// stats caches the per-snapshot statistics summary (stats.go),
+	// recomputed when the version stamp moves past the cached one.
+	statsMu sync.Mutex
+	stats   *Stats
 }
 
 // New creates an empty relation with the given name, attribute names and

@@ -1,0 +1,96 @@
+package relation
+
+import "testing"
+
+func TestStatsBasic(t *testing.T) {
+	r := MustNewUniform("R", []string{"A", "B"}, 4)
+	// Heavy hub 3 on A (degree 5), spread B.
+	for b := uint64(0); b < 5; b++ {
+		r.MustInsert(3, b)
+	}
+	r.MustInsert(7, 1)
+	r.MustInsert(9, 2)
+	s := r.Stats()
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	a := s.Attrs[0]
+	if a.Distinct != 3 || a.MaxFreq != 5 || a.HeavyValue != 3 {
+		t.Fatalf("A stats = %+v, want distinct 3, maxfreq 5, heavy 3", a)
+	}
+	b := s.Attrs[1]
+	if b.Distinct != 5 || b.MaxFreq != 2 {
+		t.Fatalf("B stats = %+v, want distinct 5, maxfreq 2", b)
+	}
+	if got := a.DepthOccupancy[4]; got != a.Distinct {
+		t.Fatalf("full-depth occupancy %d != distinct %d", got, a.Distinct)
+	}
+	// Values 3 (0011), 7 (0111), 9 (1001): top-1-bit prefixes {0,1},
+	// top-2-bit prefixes {00,01,10}.
+	if a.DepthOccupancy[1] != 2 || a.DepthOccupancy[2] != 3 {
+		t.Fatalf("A occupancy = %v", a.DepthOccupancy)
+	}
+	if f := s.HeavyFrac(); f < 0.7 || f > 0.72 {
+		t.Fatalf("HeavyFrac = %v, want 5/7", f)
+	}
+}
+
+func TestStatsCachedByVersion(t *testing.T) {
+	r := MustNewUniform("R", []string{"A"}, 4)
+	r.MustInsert(1)
+	s1 := r.Stats()
+	if s2 := r.Stats(); s2 != s1 {
+		t.Fatal("same version recomputed stats")
+	}
+	r.MustInsert(2)
+	s3 := r.Stats()
+	if s3 == s1 || s3.Count != 2 {
+		t.Fatalf("stats not refreshed after insert: %+v", s3)
+	}
+	next, err := r.WithInserted(Tuple{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := next.Stats().Count; got != 3 {
+		t.Fatalf("derived version count = %d, want 3", got)
+	}
+	if r.Stats() != s3 {
+		t.Fatal("parent stats disturbed by derivation")
+	}
+}
+
+func TestStatsDiagonalClustering(t *testing.T) {
+	diag := MustNewUniform("D", []string{"A", "B"}, 6)
+	grid := MustNewUniform("G", []string{"A", "B"}, 6)
+	for v := uint64(0); v < 64; v++ {
+		diag.MustInsert(v, v)
+	}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			grid.MustInsert(a*8, b*8)
+		}
+	}
+	// The diagonal occupies 2^l joint cells at level l; the grid occupies
+	// the full product. Midway, the diagonal must look clustered and the
+	// grid must not.
+	if r := diag.Stats().ClusterRatio(3); r > 0.25 {
+		t.Fatalf("diagonal ClusterRatio(3) = %v, want <= 0.25", r)
+	}
+	if r := grid.Stats().ClusterRatio(3); r < 0.9 {
+		t.Fatalf("grid ClusterRatio(3) = %v, want ~1", r)
+	}
+}
+
+func TestStatsFingerprintDistinguishesSnapshots(t *testing.T) {
+	r1 := MustNewUniform("R", []string{"A"}, 4)
+	r1.MustInsert(1)
+	r2 := MustNewUniform("R", []string{"A"}, 4)
+	r2.MustInsert(1)
+	if r1.Stats().Fingerprint() != r2.Stats().Fingerprint() {
+		t.Fatal("identical tuple sets should share a fingerprint")
+	}
+	r2.MustInsert(2)
+	if r1.Stats().Fingerprint() == r2.Stats().Fingerprint() {
+		t.Fatal("different tuple sets share a fingerprint")
+	}
+}

@@ -481,3 +481,180 @@ func CliqueQuery(k int, numVertices uint64, p float64, d uint8, seed int64) *joi
 	}
 	return join.MustNewQuery(atoms...)
 }
+
+// SkewedTriangle is a triangle whose data skew makes the splitting
+// order decisive: R(A,B) is the diagonal, S(B,C) pins B to the single
+// heavy value 0 across all of C, and T(A,C) is the diagonal again.
+//
+//	R = {(i,i) : i ∈ [0,m)}   S = {0}×[0,m)   T = {(i,i) : i ∈ [0,m)}
+//
+// Output: {(0,0,0)}. Splitting B first, S certifies the whole B≠0
+// region in O(d) boxes and R collapses the B=0 slice to A=0, so Tetris
+// finishes in Õ(1) resolutions; under the natural order (A,B,C) the
+// B-contradiction is rediscovered once per A value — Ω(m). The planner
+// sees distinct_B(S) = 1 in the statistics and puts B first.
+func SkewedTriangle(m uint64, d uint8) *join.Query {
+	if m > 1<<d {
+		panic("workload: m exceeds domain")
+	}
+	r := relation.MustNewUniform("R", []string{"X", "Y"}, d)
+	s := relation.MustNewUniform("S", []string{"X", "Y"}, d)
+	t := relation.MustNewUniform("T", []string{"X", "Y"}, d)
+	for i := uint64(0); i < m; i++ {
+		r.MustInsert(i, i)
+		s.MustInsert(0, i)
+		t.MustInsert(i, i)
+	}
+	return join.MustNewQuery(
+		join.Atom{Relation: r, Vars: []string{"A", "B"}},
+		join.Atom{Relation: s, Vars: []string{"B", "C"}},
+		join.Atom{Relation: t, Vars: []string{"A", "C"}},
+	)
+}
+
+// SkewedFourCycle is a 4-cycle with mismatched heavy values on the last
+// variable: R(A,B) and S(B,C) are diagonals, T(C,D) pins D to 0, and
+// U(D,A) pins D to 1 — so the output is empty and the proof is a single
+// D-contradiction.
+//
+//	R = S = {(i,i)}   T = [0,m)×{0}   U = {1}×[0,m)
+//
+// Splitting D first exposes the contradiction in O(d) resolutions;
+// natural order (A,B,C,D) walks the diagonals first — Ω(m). The
+// planner's heavy/light split on the hub value collapses the D-first
+// estimates (the light slices of T and U are empty).
+func SkewedFourCycle(m uint64, d uint8) *join.Query {
+	if m > 1<<d {
+		panic("workload: m exceeds domain")
+	}
+	r := relation.MustNewUniform("R", []string{"X", "Y"}, d)
+	s := relation.MustNewUniform("S", []string{"X", "Y"}, d)
+	t := relation.MustNewUniform("T", []string{"X", "Y"}, d)
+	u := relation.MustNewUniform("U", []string{"X", "Y"}, d)
+	for i := uint64(0); i < m; i++ {
+		r.MustInsert(i, i)
+		s.MustInsert(i, i)
+		t.MustInsert(i, 0)
+		u.MustInsert(1, i)
+	}
+	return join.MustNewQuery(
+		join.Atom{Relation: r, Vars: []string{"A", "B"}},
+		join.Atom{Relation: s, Vars: []string{"B", "C"}},
+		join.Atom{Relation: t, Vars: []string{"C", "D"}},
+		join.Atom{Relation: u, Vars: []string{"D", "A"}},
+	)
+}
+
+// HeavyValueMismatch is the minimal heavy-value instance: two atoms
+// sharing B, each pinning it to a different single value.
+//
+//	R(A,B) = [0,m)×{1}   S(C,B) = [0,m)×{0}
+//
+// The output is empty. With B split first, both relations certify their
+// B-complements in O(d) order-consistent gap boxes and the contradiction
+// is immediate; under the natural order (A,B,C) the B-tree on R is
+// A-major, so the B≠1 gap is rediscovered per A value — Ω(m·d). This is
+// Appendix B.2's index-dependence of certificates driven purely by skew
+// statistics (distinct_B = 1 in both relations).
+func HeavyValueMismatch(m uint64, d uint8) *join.Query {
+	if m > 1<<d {
+		panic("workload: m exceeds domain")
+	}
+	r := relation.MustNewUniform("R", []string{"X", "Y"}, d)
+	s := relation.MustNewUniform("S", []string{"X", "Y"}, d)
+	for i := uint64(0); i < m; i++ {
+		r.MustInsert(i, 1)
+		s.MustInsert(i, 0)
+	}
+	return join.MustNewQuery(
+		join.Atom{Relation: r, Vars: []string{"A", "B"}},
+		join.Atom{Relation: s, Vars: []string{"C", "B"}},
+	)
+}
+
+// zipfRelation fills a relation with n tuples whose attribute values are
+// independently Zipf-distributed over [0, 2^d): value v has probability
+// ∝ 1/(v+1)^skew, so 0 is the heavy value of every attribute.
+func zipfRelation(name string, arity int, n int, d uint8, skew float64, rng *rand.Rand) *relation.Relation {
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("X%d", i+1)
+	}
+	rel := relation.MustNewUniform(name, attrs, d)
+	z := rand.NewZipf(rng, skew, 1, 1<<d-1)
+	vals := make([]uint64, arity)
+	for t := 0; t < n; t++ {
+		for j := range vals {
+			vals[j] = z.Uint64()
+		}
+		rel.MustInsert(vals...)
+	}
+	return rel
+}
+
+// ZipfTriangle is a triangle over three independently sampled relations
+// with Zipf(skew)-distributed values — every attribute has 0 as its
+// heavy value, with degree concentration growing with skew. The heavy
+// intersections make both the output and the work distribution skewed;
+// this is the randomized counterpart of the deterministic Skewed*
+// families, used by the fuzz and benchmark sweeps.
+func ZipfTriangle(n int, d uint8, skew float64, seed int64) *join.Query {
+	rng := rand.New(rand.NewSource(seed))
+	r := zipfRelation("R", 2, n, d, skew, rng)
+	s := zipfRelation("S", 2, n, d, skew, rng)
+	t := zipfRelation("T", 2, n, d, skew, rng)
+	return join.MustNewQuery(
+		join.Atom{Relation: r, Vars: []string{"A", "B"}},
+		join.Atom{Relation: s, Vars: []string{"B", "C"}},
+		join.Atom{Relation: t, Vars: []string{"A", "C"}},
+	)
+}
+
+// ZipfStar is the star R_1(H,B_1) ⋈ … ⋈ R_k(H,B_k) with Zipf(skew)
+// values: the shared hub variable H concentrates on the heavy value 0,
+// so the star's output is dominated by the hub's heavy intersection.
+func ZipfStar(k, n int, d uint8, skew float64, seed int64) *join.Query {
+	rng := rand.New(rand.NewSource(seed))
+	atoms := make([]join.Atom, k)
+	for i := range atoms {
+		rel := zipfRelation(fmt.Sprintf("R%d", i+1), 2, n, d, skew, rng)
+		atoms[i] = join.Atom{Relation: rel, Vars: []string{"H", fmt.Sprintf("B%d", i+1)}}
+	}
+	return join.MustNewQuery(atoms...)
+}
+
+// PinnedChain is the chain R(A,B) ⋈ S(B,C) ⋈ T(C) built so the cost
+// model's skew-aware estimates stay O(m) for every order while the
+// actual resolution count is order-sensitive by a factor of ~d:
+//
+//	R(A,B) = [0,m)×{1}   S(B,C) = {(i,i)}   T(C) = [0,m) \ {1}
+//
+// R pins B to 1, S then forces C = 1, and T excludes it: the output is
+// empty. Splitting B (or C) first proves the contradiction in O(d)
+// resolutions from order-consistent wildcard gap boxes; splitting last
+// rediscovers S's diagonal gaps value by value — Ω(m·d) — which at
+// large depth d overshoots the estimate by more than any constant
+// divergence factor. This is the calibration family for the catalog's
+// plan-feedback loop: the one regime where observed work legitimately
+// contradicts the estimate, so a divergent execution must trigger a
+// re-plan.
+func PinnedChain(m uint64, d uint8) *join.Query {
+	if m > 1<<d {
+		panic("workload: m exceeds domain")
+	}
+	r := relation.MustNewUniform("R", []string{"X", "Y"}, d)
+	s := relation.MustNewUniform("S", []string{"X", "Y"}, d)
+	t := relation.MustNewUniform("T", []string{"X"}, d)
+	for i := uint64(0); i < m; i++ {
+		r.MustInsert(i, 1)
+		s.MustInsert(i, i)
+		if i != 1 {
+			t.MustInsert(i)
+		}
+	}
+	return join.MustNewQuery(
+		join.Atom{Relation: r, Vars: []string{"A", "B"}},
+		join.Atom{Relation: s, Vars: []string{"B", "C"}},
+		join.Atom{Relation: t, Vars: []string{"C"}},
+	)
+}

@@ -111,11 +111,13 @@ type SAOStrategy = join.SAOStrategy
 
 // SAO strategies.
 const (
-	// SAOAuto follows the paper's prescriptions (GYO reverse for acyclic
-	// queries, minimum-elimination-width reverse otherwise).
+	// SAOAuto follows the paper's prescription for acyclic queries (GYO
+	// reverse) and hands cyclic queries to the statistics-driven planner.
 	SAOAuto = join.SAOAuto
 	// SAONatural uses first-occurrence variable order.
 	SAONatural = join.SAONatural
+	// SAOPlanned invokes the statistics-driven planner unconditionally.
+	SAOPlanned = join.SAOPlanned
 )
 
 // Join evaluates the query with Tetris and returns its output tuples over
