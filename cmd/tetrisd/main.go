@@ -30,6 +30,15 @@
 // statements exactly as acknowledged. SIGINT/SIGTERM trigger a graceful
 // drain (bounded by -drain-timeout) before the process exits.
 //
+// With -metrics-addr the process serves /metrics in Prometheus text
+// format: engine counters (resolutions, index builds, plan cache,
+// replans), WAL position, admission queue depth and wait time, and
+// per-query-shape latency histograms with p50/p95/p99 gauges. The
+// server sheds executions with an "overloaded" error when the admission
+// wait queue (-max-queue) is full, and disconnects peers that stop
+// draining their output (-output-buffer lines of slack, -write-stall
+// patience) with an explicit "slow consumer" error.
+//
 // Responses are one JSON object per line; executions stream their
 // output as {"tuple":[…]} lines before the final response. See
 // internal/server for the full protocol.
@@ -40,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -63,6 +73,10 @@ func main() {
 		ckptEvery    = flag.Int("checkpoint-every", 0, "WAL records between checkpoints (0 = default 256, negative disables)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections silent for this long (0 = never)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP listen address for /metrics in Prometheus text format (empty: disabled)")
+		maxQueue     = flag.Int("max-queue", 0, "executions that may wait for an engine slot before arrivals are shed (0 = 4×max-concurrent, negative = shed immediately)")
+		outputBuffer = flag.Int("output-buffer", 0, "per-session output buffer in lines before slow-consumer backpressure (0 = default 256)")
+		writeStall   = flag.Duration("write-stall", 0, "how long a session's output may stall on a full buffer before the peer is disconnected as a slow consumer (0 = default 5s)")
 	)
 	flag.Parse()
 
@@ -73,6 +87,9 @@ func main() {
 		SessionMaxResolutions: *maxRes,
 		SessionMaxOutput:      *maxOut,
 		IdleTimeout:           *idleTimeout,
+		MaxQueue:              *maxQueue,
+		OutputBuffer:          *outputBuffer,
+		WriteStallTimeout:     *writeStall,
 	}
 
 	var srv *server.Server
@@ -95,6 +112,22 @@ func main() {
 		srv = server.New(catalog.NewWithOptions(catOpts), cfg)
 	}
 	defer srv.Close()
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tetrisd: metrics:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		fmt.Fprintln(os.Stderr, "tetrisd: metrics on", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "tetrisd: metrics:", err)
+			}
+		}()
+	}
 
 	// Graceful drain on SIGINT/SIGTERM: stop accepting, let in-flight
 	// requests finish (acknowledged mutations are already synced — the
@@ -120,6 +153,10 @@ func main() {
 
 	if *addr == "" {
 		err := srv.ServeSession(os.Stdin, os.Stdout)
+		if sigSeen.Load() {
+			<-drained
+			err = nil // a signal-driven shutdown is a clean exit
+		}
 		closeDurable(dur)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tetrisd:", err)

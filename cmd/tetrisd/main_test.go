@@ -5,7 +5,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -198,6 +200,62 @@ func TestKillDuringIngestRecoversAcknowledged(t *testing.T) {
 	}
 }
 
+// The real binary with -metrics-addr serves Prometheus-parseable text
+// including per-shape latency series and the overload counters.
+func TestMetricsEndpointOverHTTP(t *testing.T) {
+	p := startServer(t, t.TempDir(), "-metrics-addr", "127.0.0.1:0")
+	defer func() { p.cmd.Process.Kill(); p.cmd.Wait() }()
+
+	var maddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for maddr == "" {
+		for _, line := range strings.Split(p.stderrText(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "tetrisd: metrics on "); ok {
+				maddr = rest
+			}
+		}
+		if maddr == "" {
+			if time.Now().After(deadline) {
+				t.Fatalf("no metrics listener; stderr:\n%s", p.stderrText())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	send(t, conn, sc, `{"op":"load","name":"R","attrs":["s","d"],"depth":4,"tuples":[[1,2],[2,3],[1,3],[3,4]]}`)
+	send(t, conn, sc, `{"op":"query","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded","buffer":true}`)
+	send(t, conn, sc, `{"op":"query","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded","buffer":true}`)
+
+	resp, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`tetris_exec_seconds_bucket{shape="R(A,B),R(B,C),R(A,C)",kind="exec"`,
+		`tetris_exec_seconds_count{shape="R(A,B),R(B,C),R(A,C)",kind="exec"} 2`,
+		`tetris_exec_seconds_quantile{shape="R(A,B),R(B,C),R(A,C)",kind="exec",quantile="0.99"}`,
+		"tetris_admission_shed_total 0",
+		"tetris_slow_consumers_total 0",
+		"tetris_wal_last_lsn 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q; body:\n%s", want, body)
+		}
+	}
+}
+
 // SIGTERM drains gracefully: the process exits 0 and reports the drain.
 func TestSigtermDrainsAndExitsClean(t *testing.T) {
 	dir := t.TempDir()
@@ -214,8 +272,17 @@ func TestSigtermDrainsAndExitsClean(t *testing.T) {
 	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
+	// Drain stderr to EOF before reaping: Wait closes the pipe, and
+	// calling it while the scanner still has buffered lines in flight
+	// can drop the very drain line this test asserts on.
 	done := make(chan error, 1)
-	go func() { done <- p.cmd.Wait() }()
+	go func() {
+		select {
+		case <-p.scanDone:
+		case <-time.After(10 * time.Second):
+		}
+		done <- p.cmd.Wait()
+	}()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -224,10 +291,6 @@ func TestSigtermDrainsAndExitsClean(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		p.cmd.Process.Kill()
 		t.Fatalf("no exit within 10s of SIGTERM; stderr:\n%s", p.stderrText())
-	}
-	select {
-	case <-p.scanDone:
-	case <-time.After(5 * time.Second):
 	}
 	if !strings.Contains(p.stderrText(), "draining") {
 		t.Errorf("no drain line on SIGTERM; stderr:\n%s", p.stderrText())

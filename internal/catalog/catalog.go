@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tetrisjoin/internal/index"
 	"tetrisjoin/internal/join"
@@ -93,6 +94,36 @@ type Catalog struct {
 	compactMu     sync.Mutex
 	compacting    map[string]bool // relations with a compaction in flight
 	compactWG     sync.WaitGroup
+
+	// execObs, when set, receives one latency sample per prepared or
+	// maintained execution (SetExecObserver).
+	execObs atomic.Pointer[ExecObserver]
+}
+
+// ExecObserver receives one wall-clock latency sample per execution
+// through the catalog's serving paths: the version-free query shape
+// (relation names and variable bindings, e.g. "R(A,B),R(B,C),R(A,C)"),
+// the kind of work ("exec", "count" or "maintained"), and the seconds
+// spent. Observers must be cheap and non-blocking — they run inline on
+// the execution path; the server wires one into its latency histograms.
+type ExecObserver func(shape, kind string, seconds float64)
+
+// SetExecObserver installs (or, with nil, removes) the catalog's
+// execution observer. Last writer wins; safe to call concurrently with
+// executions.
+func (c *Catalog) SetExecObserver(fn ExecObserver) {
+	if fn == nil {
+		c.execObs.Store(nil)
+		return
+	}
+	c.execObs.Store(&fn)
+}
+
+// observeExec reports one completed execution to the observer, if any.
+func (c *Catalog) observeExec(shape, kind string, start time.Time) {
+	if p := c.execObs.Load(); p != nil {
+		(*p)(shape, kind, time.Since(start).Seconds())
+	}
 }
 
 // New returns an empty catalog with default options.

@@ -23,8 +23,11 @@ type planEntry struct {
 	plan *join.Plan
 }
 
-// newPlanCache returns a cache holding at most cap plans; cap < 0
-// disables caching (every Get misses, Put is a no-op).
+// newPlanCache returns a cache holding at most cap plans; cap <= 0
+// disables caching (every Get misses, Put is a no-op). Zero is
+// explicitly "no capacity", not "insert then immediately evict": a
+// disabled cache must not pay list churn under the lock, and Len() == 0
+// with every Get missing is the pinned contract either way.
 func newPlanCache(cap int) *planCache {
 	return &planCache{cap: cap, order: list.New(), byKey: map[string]*list.Element{}}
 }
@@ -32,7 +35,7 @@ func newPlanCache(cap int) *planCache {
 // Get returns the cached plan for the key and marks it most recently
 // used.
 func (c *planCache) Get(key string) (*join.Plan, bool) {
-	if c.cap < 0 {
+	if c.cap <= 0 {
 		return nil, false
 	}
 	c.mu.Lock()
@@ -48,7 +51,7 @@ func (c *planCache) Get(key string) (*join.Plan, bool) {
 // Put inserts or refreshes the plan under the key, evicting the least
 // recently used entry when over capacity.
 func (c *planCache) Put(key string, plan *join.Plan) {
-	if c.cap < 0 {
+	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()

@@ -1,0 +1,51 @@
+package catalog
+
+import (
+	"testing"
+
+	"tetrisjoin/internal/join"
+)
+
+// Zero capacity is "caching disabled", exactly like negative capacity:
+// Put stores nothing (no insert-then-evict churn), Get always misses,
+// Len stays 0. The regression: Put used to PushFront and then
+// immediately evict under the lock, so a zero-cap cache did dead work
+// on every preparation while reporting misses forever.
+func TestPlanCacheZeroAndNegativeCapDisabled(t *testing.T) {
+	plan := &join.Plan{}
+	for _, cap := range []int{0, -1, -64} {
+		c := newPlanCache(cap)
+		c.Put("k", plan)
+		if got := c.Len(); got != 0 {
+			t.Errorf("cap %d: Len() = %d after Put, want 0", cap, got)
+		}
+		if _, ok := c.Get("k"); ok {
+			t.Errorf("cap %d: Get hit on a disabled cache", cap)
+		}
+		// The disabled cache holds no list/map state at all.
+		if c.order.Len() != 0 || len(c.byKey) != 0 {
+			t.Errorf("cap %d: disabled cache retained state: list=%d map=%d", cap, c.order.Len(), len(c.byKey))
+		}
+	}
+}
+
+// A positive capacity still evicts LRU-style.
+func TestPlanCacheEviction(t *testing.T) {
+	a, b, x := &join.Plan{}, &join.Plan{}, &join.Plan{}
+	c := newPlanCache(2)
+	c.Put("a", a)
+	c.Put("b", b)
+	if _, ok := c.Get("a"); !ok { // a is now most recently used
+		t.Fatal("miss on live entry")
+	}
+	c.Put("x", x) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if got, ok := c.Get("a"); !ok || got != a {
+		t.Error("recently used entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", c.Len())
+	}
+}

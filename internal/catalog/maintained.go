@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/index"
@@ -35,9 +36,10 @@ import (
 // A Maintained statement serializes its own refreshes (one mutex); the
 // catalog underneath stays fully concurrent.
 type Maintained struct {
-	c    *Catalog
-	text string
-	opts join.Options // preparation options; Mode fixed at Maintain
+	c     *Catalog
+	text  string
+	label string       // version-free shape, for the exec observer
+	opts  join.Options // preparation options; Mode fixed at Maintain
 
 	mu                  sync.Mutex
 	plan                *join.Plan                    // over the pinned versions
@@ -111,6 +113,7 @@ func (c *Catalog) Maintain(query string, opts join.Options) (*Maintained, error)
 	m := &Maintained{
 		c:      c,
 		text:   query,
+		label:  ShapeLabel(p.Plan().Query()),
 		opts:   opts,
 		plan:   p.Plan(),
 		result: res.Tuples,
@@ -174,6 +177,10 @@ func (m *Maintained) Text() string { return m.text }
 func (m *Maintained) Execute(opts join.Options) (*join.Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// The whole refresh is one observed sample — delta passes, merge and
+	// serve — because that is the latency an exec of the statement costs
+	// a client, whatever mixture of patching and recomputation served it.
+	defer m.c.observeExec(m.label, "maintained", time.Now())
 
 	gen := m.c.Generation()
 	if gen == m.gen {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"strings"
+	"time"
 
 	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/join"
@@ -22,9 +23,12 @@ type Prepared struct {
 	cacheHit bool
 
 	// Feedback routing: the owning catalog and the query-shape key
-	// executions report divergent resolution counts under.
+	// executions report divergent resolution counts under. label is the
+	// version-free shape executions are observed under (telemetry must
+	// aggregate across versions; feedback must not).
 	cat   *Catalog
 	shape string
+	label string
 }
 
 // Plan returns the underlying immutable plan.
@@ -53,9 +57,13 @@ func (p *Prepared) Mode() core.Mode { return p.mode }
 func (p *Prepared) Execute(opts join.Options) (*join.Result, error) {
 	opts.Mode = p.mode
 	opts.SharedBase = true
+	start := time.Now()
 	res, err := p.plan.Execute(opts)
 	if err != nil {
 		return nil, err
+	}
+	if p.cat != nil {
+		p.cat.observeExec(p.label, "exec", start)
 	}
 	p.observe(opts, res.Stats)
 	return res, nil
@@ -97,7 +105,12 @@ func (p *Prepared) observe(opts join.Options, stats core.Stats) {
 
 // Count runs the counting variant over the prepared plan.
 func (p *Prepared) Count(opts join.Options) (*big.Int, core.Stats, error) {
-	return p.plan.Count(opts)
+	start := time.Now()
+	n, stats, err := p.plan.Count(opts)
+	if err == nil && p.cat != nil {
+		p.cat.observeExec(p.label, "count", start)
+	}
+	return n, stats, err
 }
 
 // Covers runs the Boolean variant over the prepared plan: covered means
@@ -127,6 +140,24 @@ func shapeKey(q *join.Query) string {
 		for _, ix := range a.Indexes {
 			fmt.Fprintf(&sb, "!%p", ix)
 		}
+	}
+	return sb.String()
+}
+
+// ShapeLabel is the version-free rendering of a query's shape —
+// relation names and variable bindings only, e.g.
+// "R(A,B),R(B,C),R(A,C)". Unlike shapeKey it is stable across relation
+// versions, which makes it the right key for telemetry (a latency
+// histogram must aggregate a shape's executions across appends, not
+// fragment into one series per version) and the wrong key for plan
+// caching (which shapeKey covers).
+func ShapeLabel(q *join.Query) string {
+	var sb strings.Builder
+	for i, a := range q.Atoms() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s(%s)", a.Relation.Name(), strings.Join(a.Vars, ","))
 	}
 	return sb.String()
 }
@@ -183,9 +214,10 @@ func (c *Catalog) PrepareQuery(q *join.Query, opts join.Options) (*Prepared, err
 	}
 	key := planKey(shape, d, opts.Mode)
 
+	label := ShapeLabel(q)
 	if plan, ok := c.plans.Get(key); ok {
 		c.hits.Add(1)
-		return &Prepared{plan: plan, mode: opts.Mode, cacheHit: true, cat: c, shape: shape}, nil
+		return &Prepared{plan: plan, mode: opts.Mode, cacheHit: true, cat: c, shape: shape, label: label}, nil
 	}
 	c.misses.Add(1)
 
@@ -198,7 +230,7 @@ func (c *Catalog) PrepareQuery(q *join.Query, opts join.Options) (*Prepared, err
 		return nil, err
 	}
 	c.plans.Put(key, plan)
-	return &Prepared{plan: plan, mode: opts.Mode, builds: plan.IndexBuilds(), cat: c, shape: shape}, nil
+	return &Prepared{plan: plan, mode: opts.Mode, builds: plan.IndexBuilds(), cat: c, shape: shape, label: label}, nil
 }
 
 // Execute prepares (with caching) and runs a textual query in one call:
@@ -232,9 +264,13 @@ func (c *Catalog) ExecuteQuery(q *join.Query, opts join.Options) (*join.Result, 
 func (p *Prepared) executeCharged(opts join.Options) (*join.Result, error) {
 	opts.Mode = p.mode
 	opts.SharedBase = p.cacheHit
+	start := time.Now()
 	res, err := p.plan.Execute(opts)
 	if err != nil {
 		return nil, err
+	}
+	if p.cat != nil {
+		p.cat.observeExec(p.label, "exec", start)
 	}
 	p.observe(opts, res.Stats)
 	res.Stats.IndexBuilds = p.builds

@@ -1,0 +1,230 @@
+// Package metrics is the engine's telemetry substrate: lock-cheap
+// counters, gauges and log-scaled latency histograms, collected in a
+// registry that renders the Prometheus text exposition format.
+//
+// Everything on the hot path is a single atomic add — no locks, no
+// allocation — so instruments can sit inside session dispatch, the
+// admission queue and the catalog's execute paths without perturbing
+// what they measure. Labelled families (histogram vectors keyed by
+// query shape and operation) resolve their child through one lock-free
+// map read after the first observation; label cardinality is bounded so
+// a client sending unbounded distinct query shapes cannot grow server
+// memory without bound (overflow collapses into an "other" series).
+//
+// Histogram buckets are powers of two in microseconds from 1µs to
+// ~67s (27 finite buckets plus +Inf): multiplicative resolution, which
+// is what latency distributions need — p99 of a 100µs query and p99 of
+// a 10s analytical scan both land in well-resolved buckets. Quantiles
+// (p50/p95/p99) are estimated by linear interpolation inside the
+// bucket, accurate to the bucket's factor-of-two width.
+package metrics
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the Prometheus counter contract).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histFiniteBuckets is the number of finite histogram buckets: bucket i
+// holds observations <= 2^i microseconds, i in [0, histFiniteBuckets);
+// one more bucket catches +Inf.
+const histFiniteBuckets = 27
+
+// bucketUpperSeconds returns the upper bound of finite bucket i in
+// seconds.
+func bucketUpperSeconds(i int) float64 {
+	return float64(uint64(1)<<uint(i)) / 1e6
+}
+
+// Histogram is a log2-bucketed latency histogram. All mutation is
+// atomic; Observe is one add to a bucket, one to the sum and one to the
+// count.
+type Histogram struct {
+	buckets [histFiniteBuckets + 1]atomic.Int64
+	sumNs   atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	idx := 0
+	if us > 1 {
+		idx = bits.Len64(us - 1) // ceil(log2(us))
+	}
+	if idx > histFiniteBuckets {
+		idx = histFiniteBuckets // +Inf
+	}
+	h.buckets[idx].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNs.Load()) / 1e9 }
+
+// snapshot copies the bucket counts coherently enough for rendering
+// (individual loads are atomic; cross-bucket skew of a scrape racing
+// observations is inherent to the format).
+func (h *Histogram) snapshot() (counts [histFiniteBuckets + 1]int64, total int64) {
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds by linear
+// interpolation within the holding bucket. Returns 0 with no
+// observations; observations in the +Inf bucket clamp to the largest
+// finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= histFiniteBuckets {
+			return bucketUpperSeconds(histFiniteBuckets - 1)
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bucketUpperSeconds(i - 1)
+		}
+		hi := bucketUpperSeconds(i)
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return bucketUpperSeconds(histFiniteBuckets - 1)
+}
+
+// maxChildren bounds a vector's label cardinality. The 257th distinct
+// label combination — and every one after it — shares one "other"
+// child, so an adversarial client cannot grow the registry without
+// bound.
+const maxChildren = 256
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct {
+	name, help string
+	labelNames []string
+
+	children sync.Map // joined label key -> *histChild
+	nKids    atomic.Int64
+	overflow atomic.Pointer[histChild]
+}
+
+type histChild struct {
+	values []string
+	hist   Histogram
+}
+
+// With returns the child histogram for the given label values (one per
+// declared label name), creating it on first use. Past the cardinality
+// cap every new combination shares the "other" child.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labelNames) {
+		panic("metrics: label value count mismatch for " + v.name)
+	}
+	key := joinKey(values)
+	if c, ok := v.children.Load(key); ok {
+		return &c.(*histChild).hist
+	}
+	if v.nKids.Load() >= maxChildren {
+		return v.otherChild()
+	}
+	child := &histChild{values: append([]string(nil), values...)}
+	if actual, loaded := v.children.LoadOrStore(key, child); loaded {
+		return &actual.(*histChild).hist
+	}
+	v.nKids.Add(1)
+	return &child.hist
+}
+
+// otherChild lazily creates the shared overflow series: every label set
+// to "other".
+func (v *HistogramVec) otherChild() *Histogram {
+	if c := v.overflow.Load(); c != nil {
+		return &c.hist
+	}
+	values := make([]string, len(v.labelNames))
+	for i := range values {
+		values[i] = "other"
+	}
+	child := &histChild{values: values}
+	if v.overflow.CompareAndSwap(nil, child) {
+		v.children.Store(joinKey(values)+"\x00other", child)
+	}
+	return &v.overflow.Load().hist
+}
+
+// joinKey builds the child map key from label values.
+func joinKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	n := 0
+	for _, s := range values {
+		n += len(s) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, s := range values {
+		if i > 0 {
+			b = append(b, 0)
+		}
+		b = append(b, s...)
+	}
+	return string(b)
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Idempotent registration returns the same instrument.
+	if r.Counter("c_total", "a counter") != c {
+		t.Fatal("re-registration minted a new counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations at ~1ms, 10 at ~100ms, 1 at ~10s.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	h.Observe(10 * time.Second)
+	if h.Count() != 111 {
+		t.Fatalf("count = %d, want 111", h.Count())
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 < 0.0005 || p50 > 0.002 {
+		t.Errorf("p50 = %g, want ~1ms", p50)
+	}
+	if p95 < 0.0005 || p95 > 0.2 {
+		t.Errorf("p95 = %g, want <= ~100ms", p95)
+	}
+	if p99 < 0.05 || p99 > 0.2 {
+		t.Errorf("p99 = %g, want ~100ms bucket", p99)
+	}
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", q)
+	}
+	h.Observe(0)             // sub-microsecond lands in the first bucket
+	h.Observe(2 * time.Hour) // beyond the last finite bucket: clamps
+	if q := h.Quantile(0.99); q != bucketUpperSeconds(histFiniteBuckets-1) {
+		t.Errorf("overflow quantile = %g, want clamp to %g", q, bucketUpperSeconds(histFiniteBuckets-1))
+	}
+}
+
+func TestPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tetris_test_total", "things").Add(3)
+	r.Gauge("tetris_depth", "queue depth").Set(2)
+	r.GaugeFunc("tetris_fn", "computed", func() float64 { return 1.5 })
+	r.CounterFunc("tetris_cfn_total", "computed counter", func() float64 { return 9 })
+	v := r.HistogramVec("tetris_lat_seconds", "latency", "shape", "kind")
+	v.With(`R(A,B),S(B,C)`, "exec").Observe(3 * time.Millisecond)
+	v.With(`R(A,B),S(B,C)`, "exec").Observe(5 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE tetris_test_total counter",
+		"tetris_test_total 3",
+		"tetris_depth 2",
+		"tetris_fn 1.5",
+		"tetris_cfn_total 9",
+		"# TYPE tetris_lat_seconds histogram",
+		`tetris_lat_seconds_bucket{shape="R(A,B),S(B,C)",kind="exec",le="+Inf"} 2`,
+		`tetris_lat_seconds_count{shape="R(A,B),S(B,C)",kind="exec"} 2`,
+		`tetris_lat_seconds_quantile{shape="R(A,B),S(B,C)",kind="exec",quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the le="+Inf" count equals _count, and some
+	// finite bucket already holds both observations (5ms < 8192µs).
+	if !strings.Contains(out, `le="0.008192"} 2`) {
+		t.Errorf("cumulative 8ms bucket missing:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("esc_seconds", "", "shape")
+	v.With("we\"ird\\label\nx").Observe(time.Millisecond)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `shape="we\"ird\\label\nx"`) {
+		t.Errorf("label not escaped:\n%s", sb.String())
+	}
+}
+
+func TestVecCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("cap_seconds", "", "shape")
+	for i := 0; i < maxChildren+50; i++ {
+		v.With(fmt.Sprintf("shape-%d", i)).Observe(time.Millisecond)
+	}
+	// Overflow shares one "other" child.
+	n := int64(0)
+	v.children.Range(func(_, _ any) bool { n++; return true })
+	if n > maxChildren+1 {
+		t.Fatalf("vector grew to %d children, cap is %d + other", n, maxChildren)
+	}
+	if got := v.With("brand-new-shape"); got != v.With("another-brand-new") {
+		t.Fatal("overflow shapes did not collapse into the shared child")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `shape="other"`) {
+		t.Errorf("no overflow series in output")
+	}
+}
+
+func TestVecConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("conc_seconds", "", "op")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.With(fmt.Sprintf("op%d", w%4)).Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	v.children.Range(func(_, c any) bool {
+		total += c.(*histChild).hist.Count()
+		return true
+	})
+	if total != 8000 {
+		t.Fatalf("lost observations: %d, want 8000", total)
+	}
+}

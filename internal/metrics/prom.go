@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named instruments and renders them in the Prometheus
+// text exposition format (version 0.0.4). Registration is idempotent by
+// name; rendering preserves registration order so scrapes are stable.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*family
+	byName map[string]*family
+}
+
+type familyKind int
+
+const (
+	counterFamily familyKind = iota
+	gaugeFamily
+	counterFuncFamily
+	gaugeFuncFamily
+	histogramFamily
+)
+
+type family struct {
+	name, help string
+	kind       familyKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	vec     *HistogramVec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// get returns the family under the name, creating it with mk on first
+// registration. A name re-registered with a different kind panics: two
+// call sites disagreeing on what a metric is can only be a bug.
+func (r *Registry) get(name, help string, kind familyKind, mk func() *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic("metrics: " + name + " re-registered with a different kind")
+		}
+		return f
+	}
+	f := mk()
+	f.name, f.help, f.kind = name, help, kind
+	r.byName[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// Counter registers (or returns) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.get(name, help, counterFamily, func() *family { return &family{counter: &Counter{}} }).counter
+}
+
+// Gauge registers (or returns) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.get(name, help, gaugeFamily, func() *family { return &family{gauge: &Gauge{}} }).gauge
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the shape for counters already tracked elsewhere (catalog
+// stats, WAL position) that the registry should expose without double
+// accounting.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.get(name, help, counterFuncFamily, func() *family { return &family{fn: fn} })
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.get(name, help, gaugeFuncFamily, func() *family { return &family{fn: fn} })
+}
+
+// HistogramVec registers (or returns) a labelled histogram family.
+// Call With(values...) on the result to observe.
+func (r *Registry) HistogramVec(name, help string, labelNames ...string) *HistogramVec {
+	return r.get(name, help, histogramFamily, func() *family {
+		return &family{vec: &HistogramVec{name: name, labelNames: labelNames}}
+	}).vec
+}
+
+// quantiles are the percentiles exported per histogram series.
+var quantiles = []float64{0.5, 0.95, 0.99}
+
+// WritePrometheus renders every registered family. Histogram vectors
+// emit the standard cumulative _bucket/_sum/_count series per child,
+// plus a companion "<name>_quantile" gauge family carrying estimated
+// p50/p95/p99 — precomputed server-side so dashboards without a PromQL
+// engine (and the CI smoke) can read latency directly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		switch f.kind {
+		case counterFamily:
+			header(&sb, f.name, f.help, "counter")
+			fmt.Fprintf(&sb, "%s %d\n", f.name, f.counter.Value())
+		case gaugeFamily:
+			header(&sb, f.name, f.help, "gauge")
+			fmt.Fprintf(&sb, "%s %d\n", f.name, f.gauge.Value())
+		case counterFuncFamily:
+			header(&sb, f.name, f.help, "counter")
+			fmt.Fprintf(&sb, "%s %s\n", f.name, formatFloat(f.fn()))
+		case gaugeFuncFamily:
+			header(&sb, f.name, f.help, "gauge")
+			fmt.Fprintf(&sb, "%s %s\n", f.name, formatFloat(f.fn()))
+		case histogramFamily:
+			writeHistogramVec(&sb, f)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeHistogramVec renders one labelled histogram family and its
+// quantile companion.
+func writeHistogramVec(sb *strings.Builder, f *family) {
+	children := make([]*histChild, 0, 8)
+	f.vec.children.Range(func(_, v any) bool {
+		children = append(children, v.(*histChild))
+		return true
+	})
+	sort.Slice(children, func(i, j int) bool {
+		return joinKey(children[i].values) < joinKey(children[j].values)
+	})
+
+	header(sb, f.name, f.help, "histogram")
+	for _, c := range children {
+		labels := labelString(f.vec.labelNames, c.values, "")
+		counts, total := c.hist.snapshot()
+		var cum int64
+		for i := 0; i <= histFiniteBuckets; i++ {
+			cum += counts[i]
+			le := "+Inf"
+			if i < histFiniteBuckets {
+				le = formatFloat(bucketUpperSeconds(i))
+			}
+			fmt.Fprintf(sb, "%s_bucket{%sle=\"%s\"} %d\n", f.name, labels, le, cum)
+		}
+		fmt.Fprintf(sb, "%s_sum%s %s\n", f.name, braced(labels), formatFloat(c.hist.Sum()))
+		fmt.Fprintf(sb, "%s_count%s %d\n", f.name, braced(labels), total)
+	}
+
+	qname := f.name + "_quantile"
+	header(sb, qname, "Estimated quantiles of "+f.name+".", "gauge")
+	for _, c := range children {
+		if c.hist.Count() == 0 {
+			continue
+		}
+		for _, q := range quantiles {
+			labels := labelString(f.vec.labelNames, c.values, strconv.FormatFloat(q, 'g', -1, 64))
+			fmt.Fprintf(sb, "%s%s %s\n", qname, braced(labels), formatFloat(c.hist.Quantile(q)))
+		}
+	}
+}
+
+// labelString renders `name="value",` pairs (trailing comma kept so a
+// le/quantile label can append); quantile, when non-empty, is added as
+// a quantile label.
+func labelString(names, values []string, quantile string) string {
+	var sb strings.Builder
+	for i, n := range names {
+		fmt.Fprintf(&sb, "%s=\"%s\",", n, escapeLabel(values[i]))
+	}
+	if quantile != "" {
+		fmt.Fprintf(&sb, "quantile=\"%s\",", quantile)
+	}
+	return sb.String()
+}
+
+// braced wraps a labelString result in {} for a standalone sample line,
+// rendering a label-free series bare (no empty "{}" pair).
+func braced(labels string) string {
+	labels = strings.TrimSuffix(labels, ",")
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func header(sb *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(sb, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	}
+	fmt.Fprintf(sb, "# TYPE %s %s\n", name, typ)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

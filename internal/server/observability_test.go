@@ -1,0 +1,432 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tetrisjoin/internal/catalog"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The drain race, pinned: a mutation parked just before beginOp while
+// Shutdown observes an idle server and completes must be REJECTED when
+// it resumes — not applied to a catalog whose durable layer the caller
+// is now free to close. Before the fix, beginOp never checked draining,
+// so the append below would have gone through after Shutdown returned.
+func TestDrainRejectsLateMutation(t *testing.T) {
+	cat := catalog.New()
+	srv := New(cat, Config{})
+	drive(t, srv, loadTriangle, `{"op":"close"}`)
+	gen := cat.Generation()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var armed atomic.Bool
+	testHookBeginOp = func() {
+		if armed.CompareAndSwap(true, false) {
+			close(entered)
+			<-release
+		}
+	}
+	defer func() { testHookBeginOp = nil }()
+
+	pr, pw := io.Pipe()
+	var out bytes.Buffer
+	sessDone := make(chan error, 1)
+	go func() {
+		err := srv.ServeSession(pr, &out)
+		pr.Close()
+		sessDone <- err
+	}()
+
+	armed.Store(true)
+	fmt.Fprintln(pw, `{"op":"append","name":"R","tuples":[[7,8]]}`)
+	<-entered // the mutation is now parked on the race window
+
+	// The server looks idle (ops == 0), so Shutdown drains instantly.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown of an idle server returned %v", err)
+	}
+	close(release) // the mutation resumes — after Shutdown completed
+	pw.Close()
+	<-sessDone
+
+	if g := cat.Generation(); g != gen {
+		t.Fatalf("mutation was applied after Shutdown returned: generation %d -> %d", gen, g)
+	}
+	var resp map[string]any
+	line, _, _ := strings.Cut(out.String(), "\n")
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatalf("bad rejection line %q: %v", line, err)
+	}
+	if ok, _ := resp["ok"].(bool); ok {
+		t.Fatalf("late mutation acknowledged: %v", resp)
+	}
+	if msg, _ := resp["error"].(string); !strings.Contains(msg, "draining") {
+		t.Fatalf("late mutation rejected with %q, want a draining error", msg)
+	}
+	if srv.met.drainRejects.Value() == 0 {
+		t.Error("drain rejection not counted")
+	}
+}
+
+// Shutdown under a sustained mutation burst: every append is either
+// acknowledged before Shutdown returns or rejected — the catalog must
+// not move once Shutdown has completed its drain.
+func TestShutdownUnderMutationBurst(t *testing.T) {
+	cat := catalog.New()
+	srv := New(cat, Config{})
+	drive(t, srv, loadTriangle, `{"op":"close"}`)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	started := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pr, pw := io.Pipe()
+			var out bytes.Buffer
+			done := make(chan struct{})
+			go func() {
+				srv.ServeSession(pr, &out)
+				pr.Close()
+				close(done)
+			}()
+			first := true
+			for {
+				if _, err := fmt.Fprintln(pw, `{"op":"append","name":"R","tuples":[[9,9]]}`); err != nil {
+					break
+				}
+				if first {
+					first = false
+					started <- struct{}{}
+				}
+			}
+			<-done
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		<-started
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown under burst returned %v", err)
+	}
+	gen := cat.Generation()
+	time.Sleep(50 * time.Millisecond)
+	if g := cat.Generation(); g != gen {
+		t.Fatalf("catalog moved after Shutdown returned: generation %d -> %d", gen, g)
+	}
+	wg.Wait()
+}
+
+// A full admission queue sheds instead of queueing: with one slot held
+// and no wait queue, the second query fails fast with "overloaded" and
+// the shed is counted.
+func TestOverloadShedsFastFail(t *testing.T) {
+	srv := New(catalog.New(), Config{MaxConcurrent: 1, MaxQueue: -1})
+	defer srv.Close()
+	drive(t, srv, loadTriangle, `{"op":"close"}`)
+
+	enter := make(chan struct{}, 1)
+	unblock := make(chan struct{})
+	testHookPreExec = func() {
+		select {
+		case enter <- struct{}{}:
+			<-unblock
+		default:
+		}
+	}
+	defer func() { testHookPreExec = nil }()
+
+	pr, pw := io.Pipe()
+	var out bytes.Buffer
+	sessDone := make(chan error, 1)
+	go func() {
+		err := srv.ServeSession(pr, &out)
+		pr.Close()
+		sessDone <- err
+	}()
+	fmt.Fprintln(pw, `{"op":"query","query":"R(A,B)","buffer":true}`)
+	<-enter // the slot is now held
+
+	lines := drive(t, srv, `{"op":"query","query":"R(A,B)","buffer":true}`, `{"op":"stats"}`)
+	if msg, _ := lines[0]["error"].(string); msg != "overloaded" {
+		t.Fatalf("busy server answered %v, want the \"overloaded\" fast-fail", lines[0])
+	}
+	stats, _ := lines[1]["stats"].(map[string]any)
+	if stats == nil || num(stats, "shed") != 1 {
+		t.Fatalf("shed not counted in stats: %v", stats)
+	}
+
+	close(unblock)
+	pw.Close()
+	if err := <-sessDone; err != nil {
+		t.Fatalf("slot-holding session failed: %v", err)
+	}
+	// The held execution itself completed fine.
+	sc := bufio.NewScanner(&out)
+	if !sc.Scan() {
+		t.Fatal("no response from the slot-holding session")
+	}
+	var m map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := m["ok"].(bool); !ok {
+		t.Fatalf("slot-holding query failed: %v", m)
+	}
+}
+
+// The tentpole guarantee, end to end: a consumer that stops reading its
+// streamed result (a) is cut loose with the explicit slow-consumer
+// farewell and (b) releases its engine slot, so a session queued behind
+// it — visible in the admission queue-depth gauge while it waits —
+// runs to completion instead of convoying behind a dead peer.
+func TestSlowConsumerReleasesSlot(t *testing.T) {
+	srv := New(catalog.New(), Config{
+		MaxConcurrent:     1,
+		OutputBuffer:      4,
+		WriteStallTimeout: 300 * time.Millisecond,
+	})
+	defer srv.Close()
+
+	// Enough rows that streaming outlives the 4-line buffer many times
+	// over: the stall is structural, not a timing accident.
+	var sb strings.Builder
+	sb.WriteString(`{"op":"load","name":"Big","attrs":["a","b"],"depth":12,"tuples":[`)
+	for i := 0; i < 512; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "[%d,%d]", i, i+1)
+	}
+	sb.WriteString(`]}`)
+	drive(t, srv, sb.String(), `{"op":"close"}`)
+
+	// Session A over a synchronous in-process conn (net.Pipe supports
+	// write deadlines, buffers nothing): the peer sends one streaming
+	// query and then never reads.
+	serverConn, clientConn := net.Pipe()
+	aDone := make(chan error, 1)
+	go func() {
+		err := srv.ServeSession(serverConn, serverConn)
+		serverConn.Close()
+		aDone <- err
+	}()
+	if _, err := fmt.Fprintln(clientConn, `{"op":"query","query":"Big(A,B)"}`); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session A to take the execution slot", func() bool { return len(srv.admit) == 1 })
+
+	// Session B queues behind A — provably, via the queue-depth gauge.
+	bDone := make(chan []map[string]any, 1)
+	go func() {
+		var out bytes.Buffer
+		in := strings.NewReader(`{"op":"query","query":"Big(A,B)","buffer":true,"limit":1}` + "\n")
+		if err := srv.ServeSession(in, &out); err != nil {
+			bDone <- nil
+			return
+		}
+		var lines []map[string]any
+		sc := bufio.NewScanner(&out)
+		for sc.Scan() {
+			var m map[string]any
+			json.Unmarshal(sc.Bytes(), &m)
+			lines = append(lines, m)
+		}
+		bDone <- lines
+	}()
+	waitFor(t, "session B to park in the admission queue", func() bool { return srv.waiting.Load() == 1 })
+
+	// A's stall expires: it is declared slow, B gets the slot.
+	linesB := <-bDone
+	if linesB == nil {
+		t.Fatal("session B failed")
+	}
+	if ok, _ := linesB[len(linesB)-1]["ok"].(bool); !ok {
+		t.Fatalf("session B did not complete behind the slow consumer: %v", linesB[len(linesB)-1])
+	}
+
+	// The cut-off peer, finally reading, finds the explicit farewell as
+	// the last line on its connection. It must start draining now: the
+	// farewell is being written with a short grace deadline (net.Pipe
+	// buffers nothing), and session A only ends once it lands.
+	clientConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var last string
+	sc := bufio.NewScanner(clientConn)
+	for sc.Scan() {
+		if s := strings.TrimSpace(sc.Text()); s != "" {
+			last = s
+		}
+	}
+	if err := <-aDone; !errors.Is(err, errSlowConsumer) {
+		t.Fatalf("session A ended with %v, want errSlowConsumer", err)
+	}
+	if got := srv.met.slowConsumers.Value(); got != 1 {
+		t.Errorf("slow_consumers = %d, want 1", got)
+	}
+	if d := srv.waiting.Load(); d != 0 {
+		t.Errorf("admission queue depth = %d after B completed, want 0", d)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(last), &m); err != nil {
+		t.Fatalf("last line %q not JSON: %v", last, err)
+	}
+	if ok, _ := m["ok"].(bool); ok || m["error"] != "slow consumer" {
+		t.Fatalf("final line = %q, want the slow-consumer farewell", last)
+	}
+}
+
+// A session cut by server close gets an explicit final line, not a bare
+// EOF: the watcher expires the read deadline instead of closing the
+// conn, leaving the write side alive for the farewell.
+func TestServerCloseSendsFarewellLine(t *testing.T) {
+	srv := New(catalog.New(), Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, loadTriangle)
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatal("no load response")
+	}
+
+	srv.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if !sc.Scan() {
+		t.Fatalf("no farewell line on server close (read error: %v)", sc.Err())
+	}
+	var m map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+		t.Fatalf("bad farewell line %q: %v", sc.Text(), err)
+	}
+	if ok, _ := m["ok"].(bool); ok || m["error"] != "server closing" {
+		t.Fatalf("farewell = %v, want {\"ok\":false,\"error\":\"server closing\"}", m)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+// An over-long request line answers with an error line and closes
+// cleanly instead of killing the session with bufio.ErrTooLong and
+// silence.
+func TestOverlongRequestLineAnswered(t *testing.T) {
+	defer func(old int) { maxRequestLine = old }(maxRequestLine)
+	maxRequestLine = 1024
+
+	srv := New(catalog.New(), Config{})
+	defer srv.Close()
+	lines := drive(t, srv, `{"op":"query","query":"`+strings.Repeat("R", 4096)+`"}`, `{"op":"stats"}`)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1: %v", len(lines), lines)
+	}
+	if ok, _ := lines[0]["ok"].(bool); ok {
+		t.Fatalf("oversized line acknowledged: %v", lines[0])
+	}
+	if msg, _ := lines[0]["error"].(string); !strings.Contains(msg, "exceeds 1024 bytes") {
+		t.Fatalf("oversized line answered %q, want a line-cap error", msg)
+	}
+	if srv.met.overlong.Value() != 1 {
+		t.Error("overlong request not counted")
+	}
+}
+
+// /metrics serves Prometheus-parseable text including per-shape latency
+// histograms, engine counters, and the overload instruments.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(catalog.New(), Config{})
+	defer srv.Close()
+	q := `{"op":"query","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded","buffer":true}`
+	drive(t, srv, loadTriangle, q, q, `{"op":"close"}`)
+
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+
+	const shape = `shape="R(A,B),R(B,C),R(A,C)",kind="exec"`
+	for _, want := range []string{
+		"tetris_exec_seconds_bucket{" + shape + `,le="+Inf"} 2`,
+		"tetris_exec_seconds_count{" + shape + "} 2",
+		"tetris_exec_seconds_quantile{" + shape + `,quantile="0.99"}`,
+		`tetris_request_seconds_count{op="query"} 2`,
+		`tetris_request_seconds_count{op="load"} 1`,
+		"tetris_admission_shed_total 0",
+		"tetris_slow_consumers_total 0",
+		"tetris_sessions_total 1",
+		"tetris_queries_total 2",
+		"tetris_index_builds_total",
+		"tetris_plan_misses_total 1",
+		"tetris_outputs_total 2",
+		"# TYPE tetris_exec_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Every line is exposition-format shaped: a # comment or
+	// "series[{labels}] <float>".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		if _, err := fmt.Sscanf(line[i+1:], "%g", new(float64)); err != nil {
+			t.Fatalf("metrics line %q has non-numeric value: %v", line, err)
+		}
+		series := line[:i]
+		if j := strings.IndexByte(series, '{'); j >= 0 && !strings.HasSuffix(series, "}") {
+			t.Fatalf("unbalanced labels in metrics line %q", line)
+		}
+	}
+
+	// The WAL family only appears on durable servers.
+	if strings.Contains(body, "tetris_wal_") {
+		t.Error("in-memory server exposes WAL metrics")
+	}
+}

@@ -48,14 +48,29 @@ type Config struct {
 	// for this long. The deadline is re-armed before every read, so a
 	// long-running execution never trips it — only client silence does.
 	IdleTimeout time.Duration
+	// MaxQueue bounds how many executions may wait for an admission slot
+	// at once. An arrival finding the queue full is shed immediately with
+	// an "overloaded" error instead of queueing unboundedly. 0 means
+	// 4×MaxConcurrent; negative means no waiting at all (busy ⇒ shed).
+	MaxQueue int
+	// OutputBuffer is the per-session output buffer, in protocol lines,
+	// drained to the peer by a writer goroutine: the slack a slow
+	// consumer gets before backpressure reaches the engine. 0 means 256.
+	OutputBuffer int
+	// WriteStallTimeout is how long a session's output may stay blocked
+	// on a full buffer before the peer is declared a slow consumer and
+	// disconnected. 0 means 5s.
+	WriteStallTimeout time.Duration
 }
 
 // Server dispatches protocol sessions against one shared catalog.
 type Server struct {
-	cat   *catalog.Catalog
-	dur   *durable.Catalog // nil for a purely in-memory server
-	cfg   Config
-	admit chan struct{}
+	cat      *catalog.Catalog
+	dur      *durable.Catalog // nil for a purely in-memory server
+	cfg      Config
+	admit    chan struct{}
+	queueCap int // resolved MaxQueue
+	met      *serverMetrics
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -63,6 +78,7 @@ type Server struct {
 	sessions atomic.Int64 // lifetime session count
 	queries  atomic.Int64 // lifetime executions (query/exec/count)
 	panics   atomic.Int64 // operations recovered from a panic
+	waiting  atomic.Int64 // executions parked in the admission queue
 	draining atomic.Bool
 
 	mu        sync.Mutex
@@ -78,15 +94,26 @@ func New(cat *catalog.Catalog, cfg Config) *Server {
 	if slots <= 0 {
 		slots = 1
 	}
+	queueCap := cfg.MaxQueue
+	switch {
+	case queueCap == 0:
+		queueCap = 4 * slots
+	case queueCap < 0:
+		queueCap = 0
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cat:       cat,
 		cfg:       cfg,
 		admit:     make(chan struct{}, slots),
+		queueCap:  queueCap,
 		ctx:       ctx,
 		cancel:    cancel,
 		listeners: map[net.Listener]struct{}{},
 	}
+	s.met = newServerMetrics(s)
+	cat.SetExecObserver(s.observeExec)
+	return s
 }
 
 // NewDurable returns a server whose mutations (load/append/delete and
@@ -97,6 +124,7 @@ func New(cat *catalog.Catalog, cfg Config) *Server {
 func NewDurable(d *durable.Catalog, cfg Config) *Server {
 	s := New(d.Catalog, cfg)
 	s.dur = d
+	s.met.registerDurable(s)
 	return s
 }
 
@@ -119,8 +147,13 @@ func (s *Server) Close() { s.cancel() }
 // already synced — acknowledgement happens inside the request, so an
 // orderly drain has nothing left to flush.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
 	s.mu.Lock()
+	// draining flips inside the same critical section that reads ops:
+	// beginOp checks it under the same lock, so no request can slip in
+	// between "observed ops == 0" here and the drain decision below —
+	// the race that used to let a mutation start after the durable layer
+	// was cleared for closing.
+	s.draining.Store(true)
 	for l := range s.listeners {
 		l.Close()
 	}
@@ -143,10 +176,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// testHookBeginOp, when non-nil, runs just before beginOp takes the
+// lock; tests use it to park a request on the drain race window.
+var testHookBeginOp func()
+
 // beginOp marks one request as in flight for Shutdown's drain; the
-// returned func marks it done.
-func (s *Server) beginOp() func() {
+// returned func marks it done. It fails with errDraining once Shutdown
+// has started: the draining check shares Shutdown's critical section,
+// so a request either lands in ops before the drain reads it or is
+// rejected — never a third thing. Without this check a mutation could
+// begin after Shutdown observed ops == 0 and race the durable close.
+func (s *Server) beginOp() (func(), error) {
+	if testHookBeginOp != nil {
+		testHookBeginOp()
+	}
 	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		s.met.drainRejects.Inc()
+		return nil, errDraining
+	}
 	s.ops++
 	s.mu.Unlock()
 	return func() {
@@ -157,22 +206,48 @@ func (s *Server) beginOp() func() {
 			s.opsIdle = nil
 		}
 		s.mu.Unlock()
-	}
+	}, nil
 }
 
 // errDraining rejects work arriving during a graceful shutdown.
 var errDraining = fmt.Errorf("server: draining")
 
-// admitExec blocks until an execution slot is free or the session is
-// cancelled; the returned release must be called when the engine work
-// is done. A draining server admits nothing new.
+// errOverloaded sheds work when every execution slot is busy and the
+// wait queue is full. The text is the protocol-visible signal: clients
+// seeing "overloaded" should back off and retry, unlike "draining"
+// (reconnect elsewhere) or budget errors (give up).
+var errOverloaded = fmt.Errorf("overloaded")
+
+// admitExec acquires an execution slot; the returned release must be
+// called when the engine work is done. A free slot admits immediately.
+// Otherwise the execution waits — but only while the wait queue
+// (queueCap deep) has room: beyond that, arrivals are shed immediately
+// with errOverloaded rather than queueing unboundedly, so overload
+// produces fast, explicit failures instead of a silently growing convoy
+// of blocked sessions. A draining server admits nothing new.
 func (s *Server) admitExec(ctx context.Context) (release func(), err error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
+	release = func() { <-s.admit }
 	select {
 	case s.admit <- struct{}{}:
-		return func() { <-s.admit }, nil
+		return release, nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.queueCap) {
+		s.waiting.Add(-1)
+		s.met.shed.Inc()
+		return nil, errOverloaded
+	}
+	start := time.Now()
+	defer func() {
+		s.waiting.Add(-1)
+		s.met.queueWait.Observe(time.Since(start))
+	}()
+	select {
+	case s.admit <- struct{}{}:
+		return release, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -207,22 +282,30 @@ func (s *Server) Serve(l net.Listener) error {
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			// Close must also unblock sessions parked in a connection
-			// read (the session context only cancels cooperative engine
-			// work): closing the conn fails the pending Scan, so Serve's
-			// wg.Wait cannot hang on idle clients after shutdown.
+			// Shutdown must unblock sessions parked in a connection read
+			// (the session context only cancels cooperative engine work),
+			// but NOT by closing the conn: the session still owes the peer
+			// its "server closing" farewell line. Expiring the read
+			// deadline fails the pending Scan while the write side stays
+			// usable; the hard Close lands only after the session exits or
+			// a short grace, so Serve's wg.Wait cannot hang either way.
 			done := make(chan struct{})
 			defer close(done)
 			go func() {
 				select {
 				case <-s.ctx.Done():
+					conn.SetReadDeadline(time.Now())
+					select {
+					case <-done:
+					case <-time.After(time.Second):
+					}
 					conn.Close()
 				case <-done:
 				}
 			}()
 			var r io.Reader = conn
 			if s.cfg.IdleTimeout > 0 {
-				r = &idleReader{conn: conn, timeout: s.cfg.IdleTimeout}
+				r = &idleReader{srv: s, conn: conn, timeout: s.cfg.IdleTimeout}
 			}
 			s.ServeSession(r, conn)
 		}()
@@ -232,13 +315,19 @@ func (s *Server) Serve(l net.Listener) error {
 // idleReader re-arms the connection's read deadline before every read:
 // a client silent for longer than the timeout fails its next pending
 // read and the session closes cleanly, while any amount of server-side
-// execution time between reads is free.
+// execution time between reads is free. Once the server is closed it
+// stops re-arming — doing so would overwrite the expired deadline the
+// shutdown watcher set to unblock the session — and fails immediately.
 type idleReader struct {
+	srv     *Server
 	conn    net.Conn
 	timeout time.Duration
 }
 
 func (r *idleReader) Read(p []byte) (int, error) {
+	if r.srv.ctx.Err() != nil {
+		return 0, errClosed
+	}
 	if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
 		return 0, err
 	}
@@ -253,6 +342,11 @@ type serverStats struct {
 	// Panics counts requests that died in a handler and were contained:
 	// the session got an error line and lived on.
 	Panics int64 `json:"panics,omitempty"`
+	// Shed counts executions fast-failed with "overloaded" because the
+	// admission wait queue was full; SlowConsumers counts sessions
+	// disconnected for not draining their output.
+	Shed          int64 `json:"shed,omitempty"`
+	SlowConsumers int64 `json:"slow_consumers,omitempty"`
 
 	Relations   int   `json:"relations"`
 	IndexBuilds int64 `json:"index_builds"`
@@ -288,6 +382,8 @@ func (s *Server) stats() serverStats {
 		OpenSessions:     open,
 		Queries:          s.queries.Load(),
 		Panics:           s.panics.Load(),
+		Shed:             s.met.shed.Value(),
+		SlowConsumers:    s.met.slowConsumers.Value(),
 		Relations:        cs.Relations,
 		IndexBuilds:      cs.IndexBuilds,
 		DeltaIndexBuilds: cs.DeltaIndexBuilds,
@@ -318,6 +414,20 @@ func (s *Server) defaultParallelism() int {
 		return s.cfg.Parallelism
 	}
 	return 1
+}
+
+func (s *Server) outputBufferLines() int {
+	if s.cfg.OutputBuffer > 0 {
+		return s.cfg.OutputBuffer
+	}
+	return 256
+}
+
+func (s *Server) writeStallTimeout() time.Duration {
+	if s.cfg.WriteStallTimeout > 0 {
+		return s.cfg.WriteStallTimeout
+	}
+	return 5 * time.Second
 }
 
 func (s *Server) trackSession(delta int) {

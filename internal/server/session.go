@@ -5,9 +5,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"tetrisjoin/internal/catalog"
 	"tetrisjoin/internal/core"
@@ -112,14 +114,23 @@ type session struct {
 	qcache map[string]*catalog.Prepared
 	qgen   uint64
 
-	out *bufio.Writer
-	enc *json.Encoder
+	out *sessionWriter
 }
 
 // qcacheCap bounds the per-session textual-statement cache; a client
 // sending unbounded distinct query texts must not grow session memory
 // without bound (overflow entries are simply re-prepared each time).
 const qcacheCap = 64
+
+// maxRequestLine caps one protocol request line. Var, not const, so the
+// oversized-line test can lower it without buffering 64 MiB.
+var maxRequestLine = 64 * 1024 * 1024
+
+// slowConsumerLine is the explicit farewell a slow consumer gets,
+// written directly to the connection after its session writer is
+// retired. The leading newline guards against a partial line the
+// cut-off writer may have left on the wire.
+const slowConsumerLine = "\n{\"ok\":false,\"error\":\"slow consumer\"}\n"
 
 // ServeSession runs one protocol session over the reader/writer pair
 // until EOF, a close op, or server shutdown. Each line of r is one JSON
@@ -131,53 +142,134 @@ func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
 	ctx, cancel := context.WithCancel(s.ctx)
 	defer cancel()
 
+	// All output — responses and streamed tuples — goes through the
+	// session writer: a bounded buffer drained by its own goroutine, so
+	// the engine never blocks on a slow peer. finish (deferred first, so
+	// it runs before Serve's watcher may hard-close the conn) delivers
+	// everything buffered before the session ends.
+	sw := newSessionWriter(w, s.outputBufferLines(), s.writeStallTimeout())
+	defer sw.finish()
+
 	sess := &session{
 		srv:    s,
 		ctx:    ctx,
 		budget: s.sessionBudget(),
 		stmts:  map[string]*catalog.Prepared{},
 		maint:  map[string]*catalog.Maintained{},
-		out:    bufio.NewWriter(w),
+		out:    sw,
 	}
-	sess.enc = json.NewEncoder(sess.out)
 
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	// The scanner's limit is max(cap(buf), max), so the initial buffer
+	// must not exceed the configured cap.
+	initial := 64 * 1024
+	if maxRequestLine < initial {
+		initial = maxRequestLine
+	}
+	sc.Buffer(make([]byte, 0, initial), maxRequestLine)
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
-		if err := s.ctx.Err(); err != nil {
+		if s.ctx.Err() != nil {
+			sess.respond(Response{Err: "server closing"})
 			return errClosed
 		}
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
-			if err := sess.respond(Response{Op: "?", Err: fmt.Sprintf("bad request: %v", err)}); err != nil {
-				return err
+			if rerr := sess.respond(Response{Op: "?", Err: fmt.Sprintf("bad request: %v", err)}); rerr != nil {
+				return s.failWrite(sw, w, rerr)
 			}
 			continue
 		}
 		if req.Op == "close" {
-			return sess.respond(Response{OK: true, Op: "close"})
+			if err := sess.respond(Response{OK: true, Op: "close"}); err != nil {
+				return s.failWrite(sw, w, err)
+			}
+			return nil
 		}
-		finish := s.beginOp()
+		finish, err := s.beginOp()
+		if err != nil {
+			// Draining: the request never starts. The client still gets
+			// its error line — and the session keeps running, because a
+			// drain rejection is per-request, not a protocol failure.
+			if rerr := sess.respond(Response{Op: req.Op, Err: err.Error()}); rerr != nil {
+				return s.failWrite(sw, w, rerr)
+			}
+			continue
+		}
+		start := time.Now()
 		resp := sess.handle(req)
 		finish()
+		s.met.requestSeconds.With(opLabel(req.Op)).Observe(time.Since(start))
 		resp.Op = req.Op
+		if resp.OK {
+			s.met.resolutions.Add(resp.Resolutions)
+			s.met.outputs.Add(resp.Outputs)
+		}
 		if err := sess.respond(resp); err != nil {
-			return err
+			return s.failWrite(sw, w, err)
 		}
 	}
-	return sc.Err()
-}
 
-// respond writes one response line and flushes it to the peer.
-func (sess *session) respond(r Response) error {
-	if err := sess.enc.Encode(r); err != nil {
+	// The loop exits through a failed read. Shutdown surfaces here too —
+	// the watcher expires the read deadline — and the peer is owed an
+	// explicit final line, not a silent EOF. An idle-timeout close (the
+	// server is fine, the client went quiet) stays silent by design.
+	if s.ctx.Err() != nil {
+		sess.respond(Response{Err: "server closing"})
+		return errClosed
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// An oversized request line used to kill the session with no
+			// response at all. The line itself is unrecoverable — the
+			// scanner cannot resync mid-line — so answer, then close.
+			s.met.overlong.Inc()
+			sess.respond(Response{Op: "?", Err: fmt.Sprintf("request line exceeds %d bytes", maxRequestLine)})
+			return nil
+		}
 		return err
 	}
-	return sess.out.Flush()
+	return nil
+}
+
+// failWrite ends a session whose write path failed. A slow consumer —
+// sticky once declared — gets the explicit farewell written directly to
+// the connection (the session writer is retired first; a fresh deadline
+// re-enables the write side the stall cut).
+func (s *Server) failWrite(sw *sessionWriter, w io.Writer, err error) error {
+	if !errors.Is(err, errSlowConsumer) {
+		return err
+	}
+	s.met.slowConsumers.Inc()
+	sw.finish()
+	if d, ok := w.(deadlineWriter); ok {
+		d.SetWriteDeadline(time.Now().Add(time.Second))
+	}
+	io.WriteString(w, slowConsumerLine)
+	return err
+}
+
+// respond writes one response line and waits for it to reach the
+// transport: a mutation's acknowledgement is on the wire before the
+// session reads the next request.
+func (sess *session) respond(r Response) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return sess.out.enqueueSync(append(b, '\n'))
+}
+
+// send queues one streamed line (no delivery wait).
+func (sess *session) send(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return sess.out.enqueue(append(b, '\n'))
 }
 
 // fail formats an error response.
@@ -416,7 +508,7 @@ func (sess *session) execMaintained(req Request, m *catalog.Maintained) Response
 		return resp
 	}
 	for _, tup := range tuples {
-		if err := sess.enc.Encode(tupleLine{Tuple: tup}); err != nil {
+		if err := sess.send(tupleLine{Tuple: tup}); err != nil {
 			return fail(err)
 		}
 	}
@@ -552,8 +644,12 @@ func (sess *session) run(req Request,
 	var buffered [][]uint64
 	var streamErr error
 	if !req.Buffer {
+		// Streaming through the bounded session writer means a stalled
+		// peer surfaces as errSlowConsumer here: the engine stops at its
+		// next output, releasing the admission slot instead of holding it
+		// hostage to the peer's read rate.
 		opts.OnOutput = func(tuple []uint64) bool {
-			if streamErr = sess.enc.Encode(tupleLine{Tuple: tuple}); streamErr != nil {
+			if streamErr = sess.send(tupleLine{Tuple: tuple}); streamErr != nil {
 				return false
 			}
 			delivered++

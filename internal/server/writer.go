@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errSlowConsumer is the sticky session error once a peer has failed to
+// drain its output within the stall budget. The session is disconnected
+// with an explicit {"ok":false,"error":"slow consumer"} line — never a
+// silent stall of shared engine capacity.
+var errSlowConsumer = errors.New("slow consumer")
+
+// deadlineWriter is the optional connection capability the
+// slow-consumer path uses to cut a write blocked on a dead peer
+// (net.Conn implements it; pipes and buffers do not need it).
+type deadlineWriter interface{ SetWriteDeadline(time.Time) error }
+
+// sessionWriter decouples protocol output from the peer: every response
+// and streamed tuple line is enqueued into a bounded buffer drained by
+// one writer goroutine, so the engine — and with it the admission slot
+// it holds — never blocks on a slow connection. A peer that leaves the
+// buffer full for longer than the stall budget is declared a slow
+// consumer: enqueue fails sticky, the engine stops at its next output,
+// and the session disconnects with an explicit error line.
+//
+// The buffer is intentionally lines, not bytes: the protocol's unit of
+// progress is one JSON line, and a line count keeps the slow-consumer
+// policy independent of tuple width.
+type sessionWriter struct {
+	w     io.Writer
+	dl    deadlineWriter // non-nil when w supports write deadlines
+	lines chan wline
+	done  chan struct{}
+	stall time.Duration
+
+	slow atomic.Bool
+	mu   sync.Mutex
+	werr error
+
+	finishOnce sync.Once
+}
+
+// wline is one queued output line; a non-nil ack asks the drain
+// goroutine to flush after writing it and report the outcome.
+type wline struct {
+	data []byte
+	ack  chan error
+}
+
+func newSessionWriter(w io.Writer, buf int, stall time.Duration) *sessionWriter {
+	sw := &sessionWriter{
+		w:     w,
+		lines: make(chan wline, buf),
+		done:  make(chan struct{}),
+		stall: stall,
+	}
+	if d, ok := w.(deadlineWriter); ok {
+		sw.dl = d
+	}
+	go sw.loop()
+	return sw
+}
+
+// loop drains the buffer into the peer, flushing on every acked line
+// and whenever the buffer runs dry (so a streaming burst amortizes
+// syscalls between responses). After a write error the loop keeps
+// draining — discarding, but still answering acks — so enqueuers can
+// never block on a dead sink.
+func (sw *sessionWriter) loop() {
+	defer close(sw.done)
+	bw := bufio.NewWriter(sw.w)
+	for ln := range sw.lines {
+		err := sw.err()
+		if err == nil {
+			if _, werr := bw.Write(ln.data); werr != nil {
+				sw.fail(werr)
+				err = werr
+			}
+		}
+		if err == nil && (ln.ack != nil || len(sw.lines) == 0) {
+			if werr := bw.Flush(); werr != nil {
+				sw.fail(werr)
+				err = werr
+			}
+		}
+		if ln.ack != nil {
+			ln.ack <- err
+		}
+	}
+	if sw.err() == nil {
+		bw.Flush()
+	}
+}
+
+func (sw *sessionWriter) err() error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.werr
+}
+
+func (sw *sessionWriter) fail(err error) {
+	sw.mu.Lock()
+	if sw.werr == nil {
+		sw.werr = err
+	}
+	sw.mu.Unlock()
+}
+
+// enqueue hands one complete line (newline included) to the writer
+// without waiting for delivery — the streamed-tuple path. It returns
+// immediately while the buffer has room; on a full buffer it waits at
+// most the stall budget for the peer to catch up, then declares it slow
+// — cutting any write the drain goroutine has blocked on, so the
+// goroutine can discard the backlog and exit at close.
+func (sw *sessionWriter) enqueue(line []byte) error {
+	if sw.slow.Load() {
+		return errSlowConsumer
+	}
+	if err := sw.err(); err != nil {
+		return err
+	}
+	select {
+	case sw.lines <- wline{data: line}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(sw.stall)
+	defer timer.Stop()
+	select {
+	case sw.lines <- wline{data: line}:
+		return nil
+	case <-timer.C:
+		return sw.declareSlow()
+	}
+}
+
+// enqueueSync queues one line and waits (bounded by the stall budget)
+// until it — and everything queued before it — has been handed to the
+// peer. Responses use this: an acknowledgement must reach the transport
+// before the session reads its next request, so a client never observes
+// more than one acknowledged-but-undelivered mutation. Streamed tuples
+// between responses still ride the asynchronous path.
+func (sw *sessionWriter) enqueueSync(line []byte) error {
+	if sw.slow.Load() {
+		return errSlowConsumer
+	}
+	if err := sw.err(); err != nil {
+		return err
+	}
+	ack := make(chan error, 1) // buffered: the loop never blocks on it
+	timer := time.NewTimer(sw.stall)
+	defer timer.Stop()
+	select {
+	case sw.lines <- wline{data: line, ack: ack}:
+	case <-timer.C:
+		return sw.declareSlow()
+	}
+	select {
+	case err := <-ack:
+		return err
+	case <-timer.C:
+		return sw.declareSlow()
+	}
+}
+
+// declareSlow marks the peer a slow consumer (sticky) and cuts any
+// write the drain goroutine is blocked on.
+func (sw *sessionWriter) declareSlow() error {
+	sw.slow.Store(true)
+	if sw.dl != nil {
+		sw.dl.SetWriteDeadline(time.Now())
+	}
+	return errSlowConsumer
+}
+
+// finish closes the stream and waits for the drain goroutine to exit
+// (delivering everything buffered, unless the sink already failed).
+// Idempotent; must be called before any direct write to the underlying
+// writer. One exception to the wait: a slow consumer on a sink without
+// write deadlines cannot have its blocked write cut, so finish leaves
+// the drain goroutine to die with the sink rather than hanging the
+// session teardown on it.
+func (sw *sessionWriter) finish() {
+	sw.finishOnce.Do(func() {
+		close(sw.lines)
+		if sw.slow.Load() && sw.dl == nil {
+			return
+		}
+		<-sw.done
+	})
+}
