@@ -61,7 +61,7 @@ func benchJoin(b *testing.B, q *join.Query, opts join.Options) {
 		resolutions = float64(res.Stats.Resolutions)
 	}
 	b.ReportMetric(resolutions, "resolutions")
-	obs.End(b, resolutions)
+	obs.End(b, benchio.Metrics{Resolutions: resolutions})
 }
 
 // benchSuiteGroup runs the benchio suite cases under the given name
@@ -77,11 +77,14 @@ func benchSuiteGroup(b *testing.B, prefix string) {
 		bench := c.Bench
 		b.Run(strings.TrimPrefix(c.Name, prefix+"/"), func(b *testing.B) {
 			obs := benchio.Begin(b)
-			resolutions := bench(b)
-			if resolutions > 0 {
-				b.ReportMetric(resolutions, "resolutions")
+			m := bench(b)
+			if m.Resolutions > 0 {
+				b.ReportMetric(m.Resolutions, "resolutions")
 			}
-			obs.End(b, resolutions)
+			if m.Balance > 0 {
+				b.ReportMetric(m.Balance, "balance")
+			}
+			obs.End(b, m)
 		})
 	}
 	if !matched {
@@ -98,7 +101,7 @@ func benchBCP(b *testing.B, inst workload.BCP, opts core.Options) {
 		resolutions = float64(res.Stats.Resolutions)
 	}
 	b.ReportMetric(resolutions, "resolutions")
-	obs.End(b, resolutions)
+	obs.End(b, benchio.Metrics{Resolutions: resolutions})
 }
 
 // BenchmarkTable1Acyclic — Table 1 row "α-acyclic: N+Z" (Thm D.8).
@@ -228,6 +231,14 @@ func BenchmarkParallel(b *testing.B) {
 	benchSuiteGroup(b, "Parallel")
 }
 
+// BenchmarkBalance — the work-stealing executor vs static sharding on
+// skewed Zipf families; the balance metric (max/mean worker resolution
+// share) is the series cmd/bench -gate-balance holds a floor on.
+// Workloads defined once in benchio.Suite.
+func BenchmarkBalance(b *testing.B) {
+	benchSuiteGroup(b, "Balance")
+}
+
 // BenchmarkPlannerSkew — the statistics-driven SAO planner vs the
 // natural order on the skewed adversarial families; the resolutions
 // metric is the series cmd/bench -gate holds to the committed
@@ -277,7 +288,7 @@ func BenchmarkYannakakisVsTetris(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		obs.End(b, 0)
+		obs.End(b, benchio.Metrics{})
 	})
 	b.Run("tetris-preloaded", func(b *testing.B) {
 		benchJoin(b, q, join.Options{Mode: core.Preloaded})

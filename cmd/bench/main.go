@@ -21,6 +21,20 @@
 // fails (exit 1) when any measured benchmark performs more than 5% more
 // geometric resolutions per op than the committed trajectory records —
 // the CI regression gate for the planner's skewed-workload set.
+//
+// Two further gates complement it. -gate-time holds ns/op to the
+// committed trajectory, but only within the recorded machine class
+// (wall time does not compare across hardware); its slack defaults per
+// class from the core count, fewer cores tolerating more noise. And
+//
+//	go run ./cmd/bench -bench '^Balance/' -o /tmp/balance.json -gate-balance 1.5
+//
+// runs the work-stealing balance series and fails unless, for every
+// Balance/<family> pair, static sharding's max/mean worker resolution
+// share is at least the given factor times the stealing share — the
+// self-contained regression gate for the dynamic-splitting executor
+// (both sides are measured in the same run, so no committed reference
+// or machine-class match is needed).
 package main
 
 import (
@@ -29,6 +43,8 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"strconv"
+	"strings"
 
 	"tetrisjoin/internal/benchio"
 )
@@ -43,6 +59,9 @@ func main() {
 		merge    = flag.Bool("merge", false, "keep the output file's existing entries, overwriting only the benchmarks run (for adding a filtered series without re-running the whole suite)")
 		gateFile = flag.String("gate", "", "committed trajectory to gate against: exit 1 if any measured benchmark's resolutions/op exceeds its committed entry by more than -gate-slack")
 		gateTol  = flag.Float64("gate-slack", 0.05, "fractional resolution regression tolerated by -gate")
+		gateTime = flag.String("gate-time", "", "committed trajectory to time-gate against: exit 1 if any measured benchmark's ns/op exceeds the committed entry of the SAME machine class by more than -gate-time-slack (entries with no same-class committed record are skipped)")
+		timeTol  = flag.Float64("gate-time-slack", 0, "fractional ns/op regression tolerated by -gate-time; 0 picks a per-class default from the class's core count (fewer cores = noisier timings = more slack)")
+		gateBal  = flag.Float64("gate-balance", 0, "balance-gate factor: for every Balance/<family> pair measured in this run, require static balance share >= factor × stealing share; exit 1 otherwise (0 disables)")
 	)
 	flag.Parse()
 
@@ -110,6 +129,12 @@ func main() {
 	if *gateFile != "" {
 		gate(run, *gateFile, *gateTol)
 	}
+	if *gateTime != "" {
+		gateTiming(run, *gateTime, *timeTol)
+	}
+	if *gateBal > 0 {
+		gateBalance(run, *gateBal)
+	}
 }
 
 // gate holds the measured run's resolution counts to the committed
@@ -152,4 +177,130 @@ func gate(run *benchio.Report, path string, slack float64) {
 		log.Fatalf("gate: %d of %d benchmarks regressed past the committed resolution trajectory", failed, checked)
 	}
 	log.Printf("gate: %d benchmarks within %.0f%% of the committed resolution trajectory", checked, 100*slack)
+}
+
+// classSlack picks the default ns/op tolerance for a machine class from
+// its core count (the "-cN" suffix of derived class labels): small
+// machines time noisily — a 1-core runner shares its only core with the
+// GC and the OS — so they get more room; wide machines hold a tighter
+// bar. Classes without a parsable core count get the middle default.
+func classSlack(class string) float64 {
+	i := strings.LastIndex(class, "-c")
+	if i < 0 {
+		return 0.5
+	}
+	cores, err := strconv.Atoi(class[i+2:])
+	if err != nil || cores < 1 {
+		return 0.5
+	}
+	switch {
+	case cores == 1:
+		return 0.6
+	case cores <= 4:
+		return 0.5
+	default:
+		return 0.4
+	}
+}
+
+// gateTiming holds the measured run's ns/op to the committed trajectory
+// — but, unlike the resolution gate, only within the recorded machine
+// class: wall time is not comparable across hardware, so an entry whose
+// class has no committed record is skipped (reported, not failed).
+// slack 0 applies classSlack's per-class default.
+func gateTiming(run *benchio.Report, path string, slack float64) {
+	ref, err := benchio.ReadFile(path)
+	if err != nil {
+		log.Fatalf("reading gate-time trajectory: %v", err)
+	}
+	committed := map[string]float64{}
+	for _, e := range ref.Entries {
+		if e.NsPerOp > 0 && e.MachineClass != "" {
+			committed[e.Name+"|"+e.MachineClass] = e.NsPerOp
+		}
+	}
+	checked, skipped, failed := 0, 0, 0
+	for _, e := range run.Entries {
+		if e.NsPerOp <= 0 {
+			continue
+		}
+		want, ok := committed[e.Name+"|"+e.MachineClass]
+		if !ok {
+			skipped++
+			continue
+		}
+		tol := slack
+		if tol == 0 {
+			tol = classSlack(e.MachineClass)
+		}
+		checked++
+		if e.NsPerOp > want*(1+tol) {
+			log.Printf("gate-time FAIL %s [%s]: %.0f ns/op vs committed %.0f (%+.1f%%, slack %.0f%%)",
+				e.Name, e.MachineClass, e.NsPerOp, want, 100*(e.NsPerOp/want-1), 100*tol)
+			failed++
+		}
+	}
+	if skipped > 0 {
+		log.Printf("gate-time: %d entries have no committed timing for this machine class; skipped", skipped)
+	}
+	if failed > 0 {
+		log.Fatalf("gate-time: %d of %d benchmarks regressed past the committed class timing", failed, checked)
+	}
+	log.Printf("gate-time: %d benchmarks within the class timing trajectory", checked)
+}
+
+// gateBalance checks the work-stealing executor's reason to exist: for
+// every Balance/<family> static/stealing pair measured in THIS run (no
+// committed reference needed — both sides ran on the same machine), the
+// static max/mean worker share must be at least factor × the stealing
+// share. Fails when no pair was measured, so a filter typo cannot pass
+// the gate vacuously.
+func gateBalance(run *benchio.Report, factor float64) {
+	type pair struct{ static, stealing float64 }
+	fams := map[string]*pair{}
+	for _, e := range run.Entries {
+		var fam string
+		var static bool
+		switch {
+		case strings.HasPrefix(e.Name, "Balance/") && strings.HasSuffix(e.Name, "/static"):
+			fam, static = strings.TrimSuffix(strings.TrimPrefix(e.Name, "Balance/"), "/static"), true
+		case strings.HasPrefix(e.Name, "Balance/") && strings.HasSuffix(e.Name, "/stealing"):
+			fam = strings.TrimSuffix(strings.TrimPrefix(e.Name, "Balance/"), "/stealing")
+		default:
+			continue
+		}
+		p := fams[fam]
+		if p == nil {
+			p = &pair{}
+			fams[fam] = p
+		}
+		if static {
+			p.static = e.Balance
+		} else {
+			p.stealing = e.Balance
+		}
+	}
+	checked, failed := 0, 0
+	for fam, p := range fams {
+		if p.static <= 0 || p.stealing <= 0 {
+			log.Printf("gate-balance: family %s missing a side (static=%.2f stealing=%.2f); skipped", fam, p.static, p.stealing)
+			continue
+		}
+		checked++
+		ratio := p.static / p.stealing
+		if ratio < factor {
+			log.Printf("gate-balance FAIL %s: static share %.2f / stealing share %.2f = %.2fx, want >= %.2fx",
+				fam, p.static, p.stealing, ratio, factor)
+			failed++
+		} else {
+			log.Printf("gate-balance: %s static %.2f vs stealing %.2f (%.2fx)", fam, p.static, p.stealing, ratio)
+		}
+	}
+	if checked == 0 {
+		log.Fatalf("gate-balance: no complete Balance/<family> static/stealing pair was measured")
+	}
+	if failed > 0 {
+		log.Fatalf("gate-balance: %d of %d families below the %.2fx balance-improvement floor", failed, checked, factor)
+	}
+	log.Printf("gate-balance: %d families clear the %.2fx floor", checked, factor)
 }

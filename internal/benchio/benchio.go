@@ -42,6 +42,13 @@ type Entry struct {
 	// Resolutions are deterministic for a fixed workload and plan, so this
 	// column compares across machine classes; the timing columns do not.
 	ResolutionsPerOp float64 `json:"resolutions_per_op,omitempty"`
+	// Balance is the max/mean worker resolution share of a parallel run
+	// (core.Stats.MaxWorkerResolutions / (Resolutions/ParallelWorkers)):
+	// 1.0 is a perfectly balanced run, ParallelWorkers means one worker
+	// did everything. 0 when the benchmark is sequential or does not
+	// report it. Like resolutions it is a work-distribution measure, not
+	// a timing, so it compares across machine classes.
+	Balance float64 `json:"balance,omitempty"`
 	// GoMaxProcs and NumCPU record the scheduler width the entry was
 	// measured under — without them a workers=8 number from a 2-core
 	// box would silently poison the parallel-speedup trajectory.
@@ -177,7 +184,7 @@ func Begin(b *testing.B) *Obs {
 // accumulated report is rewritten to that path on every End, which is
 // what lets a plain `go test -bench=… -benchtime=1x` run exercise the
 // writer end to end.
-func (o *Obs) End(b *testing.B, resolutionsPerOp float64) {
+func (o *Obs) End(b *testing.B, m Metrics) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	n := b.N
@@ -187,7 +194,8 @@ func (o *Obs) End(b *testing.B, resolutionsPerOp float64) {
 		NsPerOp:          float64(b.Elapsed().Nanoseconds()) / float64(n),
 		AllocsPerOp:      float64(ms.Mallocs-o.startMallocs) / float64(n),
 		BytesPerOp:       float64(ms.TotalAlloc-o.startBytes) / float64(n),
-		ResolutionsPerOp: resolutionsPerOp,
+		ResolutionsPerOp: m.Resolutions,
+		Balance:          m.Balance,
 	}
 	stamp(&e)
 	collectMu.Lock()

@@ -17,14 +17,34 @@ import (
 	"tetrisjoin/internal/workload"
 )
 
+// Metrics are the work-distribution measures a benchmark body reports
+// alongside the timing the framework collects: resolutions/op (the
+// paper's cost measure) and, for parallel runs, the max/mean worker
+// balance share. Both are deterministic enough to compare across
+// machine classes, unlike ns/op.
+type Metrics struct {
+	Resolutions float64
+	Balance     float64
+}
+
+// balanceOf extracts the max/mean worker resolution share from a run's
+// statistics: MaxWorkerResolutions / (Resolutions / ParallelWorkers),
+// 0 for sequential runs or runs that did no resolution work.
+func balanceOf(s core.Stats) float64 {
+	if s.ParallelWorkers <= 1 || s.Resolutions == 0 {
+		return 0
+	}
+	return float64(s.MaxWorkerResolutions) / (float64(s.Resolutions) / float64(s.ParallelWorkers))
+}
+
 // Case is one benchmark of the canonical suite. Bench runs the measured
-// body b.N times and returns resolutions/op (0 when not applicable).
-// Workloads are constructed when Suite is called — except the large
-// parallel-series instances, which build lazily on first use — so Bench
-// bodies contain nothing but the measured loop.
+// body b.N times and returns the work metrics of one operation (zero
+// when not applicable). Workloads are constructed when Suite is called —
+// except the large parallel-series instances, which build lazily on
+// first use — so Bench bodies contain nothing but the measured loop.
 type Case struct {
 	Name  string
-	Bench func(b *testing.B) float64
+	Bench func(b *testing.B) Metrics
 }
 
 // Suite is the canonical benchmark set of the performance trajectory:
@@ -47,42 +67,42 @@ func Suite() []Case {
 	cases = append(cases,
 		Case{Name: "Baselines/tetris-preloaded", Bench: execBench(star, join.Options{Mode: core.Preloaded})},
 		Case{Name: "Baselines/tetris-reloaded", Bench: execBench(star, join.Options{Mode: core.Reloaded})},
-		Case{Name: "Baselines/generic-join", Bench: func(b *testing.B) float64 {
+		Case{Name: "Baselines/generic-join", Bench: func(b *testing.B) Metrics {
 			for i := 0; i < b.N; i++ {
 				if _, err := baseline.GenericJoin(star, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
-			return 0
+			return Metrics{}
 		}},
-		Case{Name: "Baselines/leapfrog", Bench: func(b *testing.B) float64 {
+		Case{Name: "Baselines/leapfrog", Bench: func(b *testing.B) Metrics {
 			for i := 0; i < b.N; i++ {
 				if _, err := baseline.Leapfrog(star, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
-			return 0
+			return Metrics{}
 		}},
-		Case{Name: "Baselines/hash-join", Bench: func(b *testing.B) float64 {
+		Case{Name: "Baselines/hash-join", Bench: func(b *testing.B) Metrics {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := baseline.HashJoin(star); err != nil {
 					b.Fatal(err)
 				}
 			}
-			return 0
+			return Metrics{}
 		}},
 	)
 	for _, m := range []int{32, 128} {
 		inst := workload.RandomBoxes(3, m, 8, int64(m))
 		cases = append(cases, Case{
 			Name: fmt.Sprintf("KleeBoolean/B=%d", m),
-			Bench: func(b *testing.B) float64 {
+			Bench: func(b *testing.B) Metrics {
 				for i := 0; i < b.N; i++ {
 					if _, err := klee.CoversSpace(inst.Depths, inst.Boxes); err != nil {
 						b.Fatal(err)
 					}
 				}
-				return 0
+				return Metrics{}
 			},
 		})
 	}
@@ -166,6 +186,36 @@ func Suite() []Case {
 			},
 		)
 	}
+	// Balance series: the work-stealing executor against static sharding
+	// on skewed Zipf families whose resolution mass piles onto the
+	// heavy-value corner of the first SAO attribute — the regime where
+	// static SAO-prefix shards leave one worker doing everything. The
+	// balance column (max/mean worker resolution share; see Metrics) is
+	// the series that matters: deterministic enough to gate on across
+	// machine classes via `cmd/bench -gate-balance`, which requires the
+	// static/stealing share ratio of each family to clear a floor. Both
+	// entries run at Parallelism 4 in Reloaded mode; only StealDepth
+	// differs (-1 = static seeds, 0 = default dynamic splitting).
+	balanceFams := []struct {
+		name string
+		mk   func() *join.Query
+	}{
+		{"ZipfTriangle", sync.OnceValue(func() *join.Query { return workload.ZipfTriangle(3000, 12, 1.1, 7) })},
+		{"ZipfStar", sync.OnceValue(func() *join.Query { return workload.ZipfStar(3, 300, 10, 1.2, 11) })},
+		{"ZipfFourCycle", sync.OnceValue(func() *join.Query { return workload.ZipfFourCycle(800, 11, 1.2, 19) })},
+	}
+	for _, fam := range balanceFams {
+		cases = append(cases,
+			Case{
+				Name:  "Balance/" + fam.name + "/static",
+				Bench: lazyExecBench(fam.mk, join.Options{Mode: core.Reloaded, Parallelism: 4, StealDepth: -1}),
+			},
+			Case{
+				Name:  "Balance/" + fam.name + "/stealing",
+				Bench: lazyExecBench(fam.mk, join.Options{Mode: core.Reloaded, Parallelism: 4}),
+			},
+		)
+	}
 	return cases
 }
 
@@ -175,8 +225,8 @@ func Suite() []Case {
 // timer (so the loop is the steady-state refresh path and must never
 // fall back to recompute); otherwise every iteration re-executes from
 // scratch over the current versions, fresh indexes included.
-func maintainedBench(n int, patched bool) func(b *testing.B) float64 {
-	return func(b *testing.B) float64 {
+func maintainedBench(n int, patched bool) func(b *testing.B) Metrics {
+	return func(b *testing.B) Metrics {
 		q := workload.PathQuery(3, n, 12, int64(n))
 		cat := catalog.New()
 		var atomTexts []string
@@ -245,7 +295,7 @@ func maintainedBench(n int, patched bool) func(b *testing.B) float64 {
 		if patched && m.Recomputes() != 0 {
 			b.Fatalf("maintained loop fell back to %d recomputes", m.Recomputes())
 		}
-		return resolutions
+		return Metrics{Resolutions: resolutions}
 	}
 }
 
@@ -253,27 +303,30 @@ func maintainedBench(n int, patched bool) func(b *testing.B) float64 {
 // included, as an end-to-end query costs it too). An unset Parallelism is
 // pinned to 1: the canonical entries track the sequential trajectory, and
 // the parallel series sets its worker count explicitly.
-func execBench(q *join.Query, opts join.Options) func(b *testing.B) float64 {
+func execBench(q *join.Query, opts join.Options) func(b *testing.B) Metrics {
 	if opts.Parallelism == 0 {
 		opts.Parallelism = 1
 	}
-	return func(b *testing.B) float64 {
-		var resolutions float64
+	return func(b *testing.B) Metrics {
+		var m Metrics
 		for i := 0; i < b.N; i++ {
 			res, err := join.Execute(q, opts)
 			if err != nil {
 				b.Fatal(err)
 			}
-			resolutions = float64(res.Stats.Resolutions)
+			m = Metrics{
+				Resolutions: float64(res.Stats.Resolutions),
+				Balance:     balanceOf(res.Stats),
+			}
 		}
-		return resolutions
+		return m
 	}
 }
 
 // lazyExecBench is execBench over a workload built on first use (the
 // timer restarts after construction, so the build is never measured).
-func lazyExecBench(mk func() *join.Query, opts join.Options) func(b *testing.B) float64 {
-	return func(b *testing.B) float64 {
+func lazyExecBench(mk func() *join.Query, opts join.Options) func(b *testing.B) Metrics {
+	return func(b *testing.B) Metrics {
 		inner := execBench(mk(), opts)
 		b.ResetTimer()
 		return inner(b)
@@ -285,8 +338,8 @@ func lazyExecBench(mk func() *join.Query, opts join.Options) func(b *testing.B) 
 // builds the plan's shared Preloaded base) happen outside the timer, so
 // the loop is the Nth-execution hot path — zero index builds, memoized
 // gap set, shared knowledge base.
-func lazyPreparedBench(mk func() *join.Query, opts join.Options) func(b *testing.B) float64 {
-	return func(b *testing.B) float64 {
+func lazyPreparedBench(mk func() *join.Query, opts join.Options) func(b *testing.B) Metrics {
+	return func(b *testing.B) Metrics {
 		cat := catalog.New()
 		p, err := cat.PrepareQuery(mk(), opts)
 		if err != nil {
@@ -307,7 +360,7 @@ func lazyPreparedBench(mk func() *join.Query, opts join.Options) func(b *testing
 			}
 			resolutions = float64(res.Stats.Resolutions)
 		}
-		return resolutions
+		return Metrics{Resolutions: resolutions}
 	}
 }
 
@@ -319,11 +372,11 @@ func RunSuite(filter *regexp.Regexp) *Report {
 		if filter != nil && !filter.MatchString(c.Name) {
 			continue
 		}
-		var resolutions float64
+		var m Metrics
 		bench := c.Bench
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
-			resolutions = bench(b)
+			m = bench(b)
 		})
 		e := Entry{
 			Name:             c.Name,
@@ -331,7 +384,8 @@ func RunSuite(filter *regexp.Regexp) *Report {
 			NsPerOp:          float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp:      float64(r.AllocsPerOp()),
 			BytesPerOp:       float64(r.AllocedBytesPerOp()),
-			ResolutionsPerOp: resolutions,
+			ResolutionsPerOp: m.Resolutions,
+			Balance:          m.Balance,
 		}
 		stamp(&e)
 		rep.Set(e)

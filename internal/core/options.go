@@ -131,6 +131,16 @@ type Options struct {
 	// returns the context's error. The sharded executor uses it to stop
 	// sibling shards after a failure or an early stop.
 	Context context.Context
+	// StealDepth bounds dynamic shard splitting in RunShards. An idle
+	// worker steals by having a busy worker split off the SAO-later half
+	// of its remaining region (the same first-thick-dimension split the
+	// skeleton's recursion takes); fragments may be carved at most
+	// StealDepth binary splits below the universe. 0 applies the default
+	// bound; a negative value disables dynamic splitting entirely, so the
+	// run balances only across the static ShardRoots partition. The
+	// deterministic merge order — and therefore the output order — is
+	// identical at every setting. Sequential runs ignore it.
+	StealDepth int
 	// OnOutput, if non-nil, is invoked for every output tuple as it is
 	// found. Returning false stops the enumeration early. The slice is
 	// reused; callers must copy it to retain it.
@@ -182,12 +192,27 @@ type Stats struct {
 	IndexBuilds int64
 	// KnowledgeBase is the final number of boxes in the knowledge base.
 	KnowledgeBase int
+	// Steals counts fragments the work-stealing executor split off
+	// running workers' regions (0 for sequential runs and for runs with
+	// dynamic splitting disabled).
+	Steals int64
+	// ParallelWorkers is the number of worker goroutines the sharded
+	// executor launched for the run (0 for sequential runs).
+	ParallelWorkers int64
+	// MaxWorkerResolutions is the resolution count of the run's busiest
+	// worker. MaxWorkerResolutions / (Resolutions / ParallelWorkers) is
+	// the max/mean balance share: 1.0 is a perfectly balanced run,
+	// ParallelWorkers means one worker did everything.
+	MaxWorkerResolutions int64
 }
 
 // Merge accumulates the counters of another run into s. The sharded
 // executor uses it to combine per-shard statistics: every field is a sum
 // (KnowledgeBase becomes the total number of boxes held across shard
-// knowledge bases).
+// knowledge bases), except the executor-shape fields ParallelWorkers and
+// MaxWorkerResolutions, which take the maximum — summing them across
+// the runs a caller accumulates (e.g. maintenance passes) would turn a
+// per-run balance diagnostic into a meaningless total.
 func (s *Stats) Merge(other Stats) {
 	s.Resolutions += other.Resolutions
 	s.GapResolutions += other.GapResolutions
@@ -201,6 +226,9 @@ func (s *Stats) Merge(other Stats) {
 	s.Rebuilds += other.Rebuilds
 	s.IndexBuilds += other.IndexBuilds
 	s.KnowledgeBase += other.KnowledgeBase
+	s.Steals += other.Steals
+	s.ParallelWorkers = max(s.ParallelWorkers, other.ParallelWorkers)
+	s.MaxWorkerResolutions = max(s.MaxWorkerResolutions, other.MaxWorkerResolutions)
 }
 
 // Result is the outcome of a Tetris run: the output tuples of the box

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"tetrisjoin/internal/boxtree"
 	"tetrisjoin/internal/dyadic"
@@ -41,23 +40,30 @@ func ShardRoots(depths []uint8, sao []int, shards int) []dyadic.Box {
 	return roots
 }
 
-// RunShards executes Tetris sharded: the universe is partitioned into
-// disjoint dyadic root boxes along the SAO prefix (ShardRoots), each root
-// is solved by an independent per-shard run (RunBox semantics), and the
-// per-shard results are merged deterministically in shard order. Output
-// decomposition over disjoint roots is exact (Proposition 3.6), so the
-// merged tuple set — and, because shards are concatenated in depth-first
-// order, the tuple order — is identical to a sequential run's.
+// RunShards executes Tetris under the work-stealing parallel executor.
+// The universe is partitioned into disjoint dyadic seed fragments along
+// the SAO prefix (the ShardRoots partition); workers own deques of
+// fragments, and an idle worker steals either a whole pending fragment
+// from another deque or — when every deque is empty — by having a busy
+// worker split off the SAO-later half of its remaining region at the
+// first thick dimension, the same split the skeleton's own recursion
+// takes (bounded by Options.StealDepth). Every fragment is therefore a
+// node of the sequential recursion tree, keyed by its depth-first path;
+// output decomposition over disjoint dyadic boxes is exact (Proposition
+// 3.6), so merging completed fragments in key order reproduces the
+// sequential run's tuple set AND tuple order byte for byte, however the
+// fragments were carved at runtime.
 //
 // newOracle must return a fresh oracle per call; each worker goroutine
-// calls it once and keeps the oracle for every shard it processes, so
+// calls it once and keeps the oracle for every fragment it processes
+// (the probe oracle built for validation is reused as worker 0's), so
 // implementations may share immutable index structures between oracles
-// but must not share probe scratch. MaxResolutions/MaxOutput are enforced
-// as budgets shared across all shards. opts.OnOutput, when set, is
-// invoked only from this goroutine (never concurrently), in deterministic
-// shard-major order, as each shard's buffered results become available;
-// returning false cancels the remaining shards. opts.Context cancels the
-// whole run.
+// but must not share probe scratch. MaxResolutions/MaxOutput are
+// enforced as budgets shared across all fragments. opts.OnOutput, when
+// set, is invoked only from this goroutine (never concurrently), in
+// deterministic fragment-key order, as each fragment's buffered results
+// become available; returning false cancels the remaining fragments.
+// opts.Context cancels the whole run.
 //
 // Only the plain Preloaded/Reloaded modes shard; callers must route the
 // LB modes through Run.
@@ -84,7 +90,21 @@ func RunShards(newOracle func() Oracle, opts Options, parallelism, shards int) (
 		return nil, fmt.Errorf("core: SinglePass requires Preloaded mode (the knowledge base must hold every gap box)")
 	}
 	depths := probe.Depths()
-	roots := ShardRoots(depths, sao, shards)
+	seeds, splittable := stealSeeds(depths, sao, shards)
+	stealDepth := opts.StealDepth
+	switch {
+	case stealDepth < 0:
+		stealDepth = 0 // dynamic splitting disabled: static seeds only
+	case stealDepth == 0:
+		stealDepth = defaultStealDepth
+	}
+	// Workers beyond the seed count are useful only if seeds can still be
+	// split for them; otherwise (space exhausted into unit boxes, or
+	// dynamic splitting disabled) they would only ever idle.
+	workers := parallelism
+	if !splittable || stealDepth == 0 {
+		workers = min(parallelism, len(seeds))
+	}
 
 	// Preloaded: build the full knowledge base ONCE and share it
 	// read-only across every shard (the skeleton never writes to it —
@@ -143,79 +163,85 @@ func RunShards(newOracle func() Oracle, opts Options, parallelism, shards int) (
 		}
 	}
 
-	results := make([]*Result, len(roots))
-	errs := make([]error, len(roots))
-	done := make([]chan struct{}, len(roots))
-	for i := range done {
-		done[i] = make(chan struct{})
-	}
-	var next atomic.Int64
+	sched := newStealScheduler(workers, seeds, stealDepth, sao, depths)
 	var wg sync.WaitGroup
-	workers := min(parallelism, len(roots))
 	for w := 0; w < workers; w++ {
+		// The probe oracle built for validation (and the shared base) is
+		// worker 0's; only the extra workers cost a newOracle call.
 		oracle := probe
 		if w > 0 {
 			oracle = newOracle()
 		}
 		wg.Add(1)
-		go func(o Oracle) {
+		go func(w int, o Oracle) {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(roots) {
+				f := sched.take(w)
+				if f == nil {
 					return
 				}
-				results[i], errs[i] = runPlain(o, sopts, sao, roots[i], base)
-				if errs[i] != nil {
-					cancel() // stop sibling shards; the merge sorts out blame
+				var sess *stealSession
+				if stealDepth > 0 {
+					sess = sched.session(w, f)
 				}
-				close(done[i])
+				fres, ferr := runPlain(o, sopts, sao, f.box, base, sess)
+				if ferr != nil {
+					cancel() // stop sibling fragments; the merge sorts out blame
+				}
+				sched.finish(w, f, fres, ferr)
 			}
-		}(oracle)
+		}(w, oracle)
 	}
 
-	// Merge in shard order as shards complete: statistics accumulate, and
-	// tuples are either appended or replayed through OnOutput serialized
-	// right here. stopped records an OnOutput early stop, after which
-	// remaining shards are cancelled and their tuples dropped — matching
-	// the sequential contract that nothing is reported past the stop.
+	// Merge in fragment-key (depth-first) order as fragments complete:
+	// statistics accumulate, and tuples are either appended or replayed
+	// through OnOutput serialized right here. stopped records an OnOutput
+	// early stop, after which remaining fragments are cancelled and their
+	// tuples dropped — matching the sequential contract that nothing is
+	// reported past the stop. Fragments donated while the merge head is
+	// still running slot in behind it, so the order stays exact.
 	res := &Result{}
 	stopped := false
-	broken := false // some shard (even a cancelled bystander) has no result
+	broken := false // some fragment (even a cancelled bystander) has no result
 	var delivered int64
 	var firstErr, cancelErr error
-	for i := range roots {
-		<-done[i]
-		if errs[i] != nil {
-			// A context.Canceled shard was a bystander: it stopped because
-			// a sibling failed, the merge stopped early, or the caller's
-			// context fired — never blame it over the original cause.
-			if errs[i] == context.Canceled {
+	for {
+		f := sched.nextToMerge()
+		if f == nil {
+			break
+		}
+		<-f.done
+		if f.err != nil {
+			// A context.Canceled fragment was a bystander: it stopped
+			// because a sibling failed, the merge stopped early, or the
+			// caller's context fired — never blame it over the original
+			// cause.
+			if f.err == context.Canceled {
 				if cancelErr == nil {
-					cancelErr = errs[i]
+					cancelErr = f.err
 				}
 			} else if firstErr == nil {
-				firstErr = errs[i]
+				firstErr = f.err
 			}
 			broken = true
 			continue
 		}
-		// Deliver nothing past an early stop — and nothing past a shard
-		// with no result (failed or cancelled as a bystander): a
+		// Deliver nothing past an early stop — and nothing past a
+		// fragment with no result (failed or cancelled as a bystander): a
 		// sequential run would never have reached the region after the
-		// failure, and delivering shard i+1 with shard i's output missing
-		// would be a hole in the enumeration.
+		// failure, and delivering the next fragment with this one's output
+		// missing would be a hole in the enumeration.
 		if stopped || broken {
 			continue
 		}
-		shard := results[i]
-		results[i] = nil // release the shard buffer as soon as it is merged
-		res.Stats.Merge(shard.Stats)
+		frag := f.res
+		f.res = nil // release the fragment buffer as soon as it is merged
+		res.Stats.Merge(frag.Stats)
 		if opts.OnOutput == nil {
-			res.Tuples = append(res.Tuples, shard.Tuples...)
+			res.Tuples = append(res.Tuples, frag.Tuples...)
 			continue
 		}
-		for _, tup := range shard.Tuples {
+		for _, tup := range frag.Tuples {
 			delivered++
 			if !opts.OnOutput(tup) {
 				stopped = true
@@ -242,6 +268,11 @@ func RunShards(newOracle func() Oracle, opts Options, parallelism, shards int) (
 	if opts.OnOutput != nil {
 		res.Stats.Outputs = delivered
 	}
+	// Executor-shape statistics: per-fragment runs report zeros for
+	// these, so setting them here never clobbers merged counters.
+	res.Stats.Steals = sched.steals
+	res.Stats.ParallelWorkers = int64(workers)
+	res.Stats.MaxWorkerResolutions = sched.maxWorkerResolutions()
 	// The shared base counts once: shards report only their private
 	// knowledge bases. Prior knowledge handed to a Reloaded run is not
 	// charged at all (runWithBase applies the same convention): its cost

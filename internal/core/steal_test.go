@@ -1,0 +1,226 @@
+package core
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+// skewedInstance is a 2-dimensional BCP whose work piles onto the
+// SAO-early region: the last quarter of dimension 0 is covered by one
+// big box, dimension 1 is covered everywhere except value 0 by a chain
+// of prefix boxes, so the outputs — and the per-output outer-loop
+// restarts — are the 768 points (a, 0) with a < 768. Static dyadic
+// shards over dimension 0 leave the later shards trivially covered
+// while the early ones carry everything: the imbalance regime dynamic
+// splitting exists for.
+func skewedInstance(t testing.TB) *BoxOracle {
+	return skewedInstanceDepth(t, 10)
+}
+
+// skewedInstanceDepth is skewedInstance over a 2^d × 2^d space, with
+// 3·2^d/4 outputs — smaller d keeps deliberately-slowed runs quick.
+func skewedInstanceDepth(t testing.TB, d int) *BoxOracle {
+	t.Helper()
+	depths := []uint8{uint8(d), uint8(d)}
+	boxes := []dyadic.Box{dyadic.MustParseBox("11,λ")}
+	prefix := ""
+	for i := 0; i < d; i++ {
+		boxes = append(boxes, dyadic.MustParseBox("λ,"+prefix+"1"))
+		prefix += "0"
+	}
+	return MustBoxOracle(depths, boxes)
+}
+
+// slowOracle delays every probe so a run spans many scheduler quanta:
+// steal tests use it to guarantee idle workers get to register their
+// demand while the skewed region is still being enumerated.
+type slowOracle struct{ *BoxOracle }
+
+func (s slowOracle) GapsContaining(p []uint64) []dyadic.Box {
+	time.Sleep(50 * time.Microsecond)
+	return s.BoxOracle.GapsContaining(p)
+}
+
+// TestStealSkewedMatchesSequential: on the skewed instance, dynamic
+// splitting must kick in (idle workers outnumber the two seed
+// fragments) and the output must remain byte-identical to the
+// sequential enumeration.
+func TestStealSkewedMatchesSequential(t *testing.T) {
+	o := skewedInstance(t)
+	seq, err := Run(o, Options{Mode: Reloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Tuples) != 768 { // 3·2^10/4
+		t.Fatalf("instance has %d outputs, want 768", len(seq.Tuples))
+	}
+	before := StealsTotal()
+	got, err := RunShards(func() Oracle { return slowOracle{o.Clone()} },
+		Options{Mode: Reloaded}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Tuples, seq.Tuples) {
+		t.Fatalf("stealing run diverged from sequential enumeration (%d vs %d tuples)",
+			len(got.Tuples), len(seq.Tuples))
+	}
+	if got.Stats.Outputs != seq.Stats.Outputs {
+		t.Fatalf("Outputs %d != sequential %d", got.Stats.Outputs, seq.Stats.Outputs)
+	}
+	if got.Stats.Steals == 0 {
+		t.Fatal("4 workers over 2 skewed seeds performed no dynamic splits")
+	}
+	if got.Stats.ParallelWorkers != 4 {
+		t.Fatalf("ParallelWorkers = %d, want 4", got.Stats.ParallelWorkers)
+	}
+	if got.Stats.MaxWorkerResolutions == 0 || got.Stats.MaxWorkerResolutions > got.Stats.Resolutions {
+		t.Fatalf("MaxWorkerResolutions = %d out of range (total %d)",
+			got.Stats.MaxWorkerResolutions, got.Stats.Resolutions)
+	}
+	if StealsTotal()-before < got.Stats.Steals {
+		t.Fatalf("process counter advanced %d < run's %d steals", StealsTotal()-before, got.Stats.Steals)
+	}
+}
+
+// TestStealSinglePassDonation: the single-pass skeleton donates by
+// unwinding and restarting; order and output count must still match the
+// sequential single-pass run exactly.
+func TestStealSinglePassDonation(t *testing.T) {
+	o := skewedInstanceDepth(t, 8)
+	seq, err := Run(o, Options{Mode: Preloaded, SinglePass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-pass runs never probe the oracle mid-run, so slowOracle
+	// cannot stretch them; a sleeping OnResolve observer does.
+	slow := func(w1, w2, r dyadic.Box, dim int) { time.Sleep(20 * time.Microsecond) }
+	got, err := RunShards(func() Oracle { return o.Clone() },
+		Options{Mode: Preloaded, SinglePass: true, OnResolve: slow}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Tuples, seq.Tuples) {
+		t.Fatalf("single-pass stealing run diverged from sequential (%d vs %d tuples)",
+			len(got.Tuples), len(seq.Tuples))
+	}
+	if got.Stats.Outputs != seq.Stats.Outputs {
+		t.Fatalf("Outputs %d != sequential %d", got.Stats.Outputs, seq.Stats.Outputs)
+	}
+	if got.Stats.Steals == 0 {
+		t.Fatal("single-pass run with idle workers performed no dynamic splits")
+	}
+}
+
+// TestStealDisabled: StealDepth < 0 must pin the run to the static seed
+// partition — no dynamic splits, workers capped at the seed count — and
+// still enumerate identically.
+func TestStealDisabled(t *testing.T) {
+	o := skewedInstance(t)
+	seq, err := Run(o, Options{Mode: Reloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunShards(func() Oracle { return o.Clone() },
+		Options{Mode: Reloaded, StealDepth: -1}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Tuples, seq.Tuples) {
+		t.Fatal("static run diverged from sequential enumeration")
+	}
+	if got.Stats.Steals != 0 {
+		t.Fatalf("StealDepth=-1 performed %d dynamic splits", got.Stats.Steals)
+	}
+	if got.Stats.ParallelWorkers != 2 {
+		t.Fatalf("static run launched %d workers for 2 seeds, want 2", got.Stats.ParallelWorkers)
+	}
+}
+
+// TestStealDepthBound: a StealDepth no deeper than the seed partition
+// leaves no room to split, so the run degrades to static scheduling
+// (but keeps its full worker pool, unlike StealDepth < 0).
+func TestStealDepthBound(t *testing.T) {
+	o := skewedInstance(t)
+	got, err := RunShards(func() Oracle { return slowOracle{o.Clone()} },
+		Options{Mode: Reloaded, StealDepth: 1}, 4, 2) // seeds sit at depth 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Steals != 0 {
+		t.Fatalf("StealDepth=1 over depth-1 seeds performed %d splits", got.Stats.Steals)
+	}
+	if len(got.Tuples) != 768 {
+		t.Fatalf("got %d tuples, want 768", len(got.Tuples))
+	}
+}
+
+// TestRunShardsReusesProbeOracle pins the executor's oracle economy:
+// the probe oracle built for validation doubles as worker 0's, so a run
+// with W workers calls the factory exactly W times (probe + W-1).
+func TestRunShardsReusesProbeOracle(t *testing.T) {
+	o := shardInstance(t)
+	var calls atomic.Int64
+	mk := func() Oracle {
+		calls.Add(1)
+		return o.Clone()
+	}
+	if _, err := RunShards(mk, Options{Mode: Reloaded}, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("factory called %d times for 3 workers, want 3 (probe reused as worker 0's)", got)
+	}
+}
+
+// TestStealStormRace hammers the scheduler: every worker slot contended,
+// fragments donated and stolen continuously, OnResolve serialized — the
+// -race CI job runs this with the detector on.
+func TestStealStormRace(t *testing.T) {
+	o := skewedInstance(t)
+	seq, err := Run(o, Options{Mode: Reloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resolves atomic.Int64
+	for round := 0; round < 4; round++ {
+		got, err := RunShards(func() Oracle { return slowOracle{o.Clone()} },
+			Options{
+				Mode:      Reloaded,
+				OnResolve: func(w1, w2, r dyadic.Box, dim int) { resolves.Add(1) },
+			}, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Tuples, seq.Tuples) {
+			t.Fatalf("round %d: storm run diverged from sequential enumeration", round)
+		}
+	}
+}
+
+// TestStealFragmentKeysOrderable documents the merge-order invariant on
+// the raw mechanism: donated keys extend the donor's path with a '1',
+// so plain string order equals depth-first order, prefixes first.
+func TestStealFragmentKeysOrderable(t *testing.T) {
+	seeds, splittable := stealSeeds([]uint8{3, 3}, []int{0, 1}, 4)
+	if len(seeds) != 4 || !splittable {
+		t.Fatalf("seeds=%d splittable=%v, want 4 true", len(seeds), splittable)
+	}
+	for i, f := range seeds {
+		if len(f.key) != 2 {
+			t.Fatalf("seed %d key %q, want depth-2 path", i, f.key)
+		}
+		if i > 0 && seeds[i-1].key >= f.key {
+			t.Fatalf("seed keys out of DFS order: %q >= %q", seeds[i-1].key, f.key)
+		}
+	}
+	// A donation inside seed "01" keys between "01" and "10".
+	donated := seeds[1].key + "1"
+	if !(seeds[1].key < donated && donated < seeds[2].key) {
+		t.Fatalf("donated key %q does not slot between %q and %q",
+			donated, seeds[1].key, seeds[2].key)
+	}
+}

@@ -40,7 +40,7 @@ func Run(o Oracle, opts Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			return runPlain(o, plain, sao, dyadic.Universe(n), nil)
+			return runPlain(o, plain, sao, dyadic.Universe(n), nil, nil)
 		}
 		return runLB(o, opts)
 	default:
@@ -88,7 +88,7 @@ func runWithBase(o Oracle, opts Options, sao []int, root dyadic.Box) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	res, err := runPlain(o, opts, sao, root, base)
+	res, err := runPlain(o, opts, sao, root, base, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -166,12 +166,17 @@ func checkSAO(sao []int, n int) ([]int, error) {
 
 // runPlain is Algorithm 2 with the Preloaded or Reloaded initialization,
 // enumerating the outputs inside root (the whole universe for sequential
-// runs, one disjoint subbox per shard under RunShards). base, when
-// non-nil, is a prebuilt read-only knowledge base holding the full
+// runs, one disjoint fragment per worker turn under RunShards). base,
+// when non-nil, is a prebuilt read-only knowledge base holding the full
 // preloaded gap set: RunShards builds it once and shares it across every
-// shard, so a Preloaded shard starts with an empty private knowledge
-// base instead of re-inserting its slice of B.
-func runPlain(o Oracle, opts Options, sao []int, root dyadic.Box, base *boxtree.Tree) (*Result, error) {
+// fragment, so a Preloaded fragment starts with an empty private
+// knowledge base instead of re-inserting its slice of B. steal, when
+// non-nil, is the run's work-stealing session: between outer-loop
+// iterations the run offers the SAO-later part of its remaining region
+// to idle workers, shrinking root accordingly — safe because the outer
+// loop processes points in nondecreasing SAO-lexicographic order, so
+// the donated later half is guaranteed untouched.
+func runPlain(o Oracle, opts Options, sao []int, root dyadic.Box, base *boxtree.Tree, steal *stealSession) (*Result, error) {
 	n, depths := o.Dims(), o.Depths()
 	res := &Result{}
 	// Resolve the budget once and share it with the skeleton, so the
@@ -205,9 +210,15 @@ func runPlain(o Oracle, opts Options, sao []int, root dyadic.Box, base *boxtree.
 
 	if opts.SinglePass {
 		// TetrisSkeleton2 (footnote 13): one depth-first pass reporting
-		// every uncovered unit box as an output.
+		// every uncovered unit box as an output. Under work stealing the
+		// pass unwinds when an idle worker wants work — every output up to
+		// the current point is already in the knowledge base, so the
+		// donation checkpoint can split the region and a restart from the
+		// shrunk root re-descends through covered territory in CoverHits.
 		point := make([]uint64, n) // reused per output; OnOutput must copy
+		havePoint := false
 		var ctxErr error
+		donated := false
 		sk.onUncoveredUnit = func(b dyadic.Box) bool {
 			if ctxErr = checkContext(opts); ctxErr != nil {
 				return false
@@ -217,6 +228,7 @@ func runPlain(o Oracle, opts Options, sao []int, root dyadic.Box, base *boxtree.
 				return false
 			}
 			b.ValuesInto(point, depths)
+			havePoint = true
 			res.Stats.Outputs++
 			if opts.OnOutput != nil {
 				if !opts.OnOutput(point) {
@@ -227,20 +239,48 @@ func runPlain(o Oracle, opts Options, sao []int, root dyadic.Box, base *boxtree.
 				copy(tup, point)
 				res.Tuples = append(res.Tuples, tup)
 			}
-			return !stop
+			if stop {
+				return false
+			}
+			if steal != nil && steal.wanted() {
+				// Unwind to the donation checkpoint. The skeleton records
+				// the output only when the callback returns true, so record
+				// it here; the restart then finds it covered.
+				sk.addOutput(b)
+				donated = true
+				return false
+			}
+			return true
 		}
-		_, _, err := sk.root(root)
-		if err != nil && err != errStopped {
-			return nil, err
-		}
-		if ctxErr != nil {
-			return nil, ctxErr
+		for {
+			if steal != nil {
+				var last []uint64
+				if havePoint {
+					last = point
+				}
+				root = steal.offer(root, last)
+			}
+			donated = false
+			_, _, err := sk.root(root)
+			if err != nil && err != errStopped {
+				return nil, err
+			}
+			if ctxErr != nil {
+				return nil, ctxErr
+			}
+			if err == nil || !donated {
+				// Fully enumerated, or a genuine stop (caller/quota).
+				break
+			}
+			// Donated unwind: loop back so the offer above splits the
+			// region, then restart the pass over what remains.
 		}
 		res.Stats.KnowledgeBase = sk.kb.Len()
 		return res, nil
 	}
 
 	point := make([]uint64, n) // probe-point buffer, reused per iteration
+	havePoint := false
 	for {
 		if err := checkContext(opts); err != nil {
 			return nil, err
@@ -250,6 +290,16 @@ func runPlain(o Oracle, opts Options, sao []int, root dyadic.Box, base *boxtree.
 		if budget.outputsExhausted() {
 			break
 		}
+		// Work-stealing checkpoint: everything at or before the last
+		// processed point is covered or emitted, so the SAO-later part of
+		// the region can be split off for an idle worker.
+		if steal != nil {
+			var last []uint64
+			if havePoint {
+				last = point
+			}
+			root = steal.offer(root, last)
+		}
 		v, w, err := sk.root(root)
 		if err != nil {
 			return nil, err
@@ -258,6 +308,7 @@ func runPlain(o Oracle, opts Options, sao []int, root dyadic.Box, base *boxtree.
 			break
 		}
 		w.ValuesInto(point, depths)
+		havePoint = true
 		res.Stats.OracleCalls++
 		gaps := o.GapsContaining(point)
 		if len(gaps) == 0 {

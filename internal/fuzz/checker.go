@@ -47,6 +47,11 @@ type Checker struct {
 	// crosses with every mode and SAO.
 	Shards  []int
 	Workers []int
+	// StealDepths are the dynamic-splitting bounds crossed into the
+	// sharded matrix (core.Options.StealDepth values: negative disables
+	// stealing, 0 is the default bound). Single-worker runs try only the
+	// first entry — with nobody to steal, the settings are equivalent.
+	StealDepths []int
 	// MaxSAOs caps the number of splitting attribute orders tried per
 	// case (all n! permutations are tried when they fit the cap).
 	MaxSAOs int
@@ -65,9 +70,15 @@ type Checker struct {
 }
 
 // NewChecker returns the default configuration: shards {2,4} × workers
-// {1,2}, at most 7 SAOs per case.
+// {1,2,4} × steal depths {disabled, default, aggressive}, at most 7
+// SAOs per case.
 func NewChecker() *Checker {
-	return &Checker{Shards: []int{2, 4}, Workers: []int{1, 2}, MaxSAOs: 7}
+	return &Checker{
+		Shards:      []int{2, 4},
+		Workers:     []int{1, 2, 4},
+		StealDepths: []int{-1, 0, 63},
+		MaxSAOs:     7,
+	}
 }
 
 // Check runs the full differential matrix on one case. It returns a
@@ -469,27 +480,44 @@ func (ck *Checker) checkEngines(ec engineCase) *Discrepancy {
 
 	// Sharded executor: tuple-for-tuple equal to the sequential
 	// enumeration order (the determinism contract), for every
-	// mode × shard count × worker count.
+	// mode × shard count × worker count × steal depth.
+	stealDepths := ck.StealDepths
+	if len(stealDepths) == 0 {
+		stealDepths = []int{0}
+	}
 	for _, mode := range []core.Mode{core.Reloaded, core.Preloaded} {
 		for _, shards := range ck.Shards {
 			for _, workers := range ck.Workers {
-				config := fmt.Sprintf("%v %s shards=%d workers=%d", mode, ec.label, shards, workers)
-				res, err := core.RunShards(ec.mkOracle, copts(mode), workers, shards)
-				if err != nil {
-					return &Discrepancy{Config: config, Detail: fmt.Sprintf("engine error: %v", err)}
-				}
-				// Positional comparison against the sequential run — the
-				// sharded executor's determinism contract is exact order
-				// equality, not just set equality.
-				if d := baseline.FirstDivergence(res.Tuples, seqOrder[mode]); d != nil {
-					return &Discrepancy{Config: config,
-						Detail: fmt.Sprintf("sharded tuple order differs from sequential enumeration (%d tuples, sequential %d)", len(res.Tuples), len(seqOrder[mode])),
-						Got:    len(res.Tuples), Want: len(seqOrder[mode]), Diff: d}
-				}
-				if res.Stats.Outputs != seqStats[mode].Outputs {
-					return &Discrepancy{Config: config,
-						Detail: fmt.Sprintf("merged Outputs %d != sequential %d", res.Stats.Outputs, seqStats[mode].Outputs),
-						Got:    int(res.Stats.Outputs), Want: int(seqStats[mode].Outputs)}
+				for _, depth := range stealDepths {
+					if workers == 1 && depth != stealDepths[0] {
+						continue // nobody to steal: all depths are equivalent
+					}
+					config := fmt.Sprintf("%v %s shards=%d workers=%d steal=%d", mode, ec.label, shards, workers, depth)
+					opts := copts(mode)
+					opts.StealDepth = depth
+					res, err := core.RunShards(ec.mkOracle, opts, workers, shards)
+					if err != nil {
+						return &Discrepancy{Config: config, Detail: fmt.Sprintf("engine error: %v", err)}
+					}
+					// Positional comparison against the sequential run — the
+					// sharded executor's determinism contract is exact order
+					// equality, not just set equality, however the fragments
+					// were carved at runtime.
+					if d := baseline.FirstDivergence(res.Tuples, seqOrder[mode]); d != nil {
+						return &Discrepancy{Config: config,
+							Detail: fmt.Sprintf("sharded tuple order differs from sequential enumeration (%d tuples, sequential %d)", len(res.Tuples), len(seqOrder[mode])),
+							Got:    len(res.Tuples), Want: len(seqOrder[mode]), Diff: d}
+					}
+					if res.Stats.Outputs != seqStats[mode].Outputs {
+						return &Discrepancy{Config: config,
+							Detail: fmt.Sprintf("merged Outputs %d != sequential %d", res.Stats.Outputs, seqStats[mode].Outputs),
+							Got:    int(res.Stats.Outputs), Want: int(seqStats[mode].Outputs)}
+					}
+					if depth < 0 && res.Stats.Steals != 0 {
+						return &Discrepancy{Config: config,
+							Detail: fmt.Sprintf("StealDepth=%d still performed %d dynamic splits", depth, res.Stats.Steals),
+							Got:    int(res.Stats.Steals), Want: 0}
+					}
 				}
 			}
 		}

@@ -65,10 +65,20 @@ type Options struct {
 	// tuples (never in what order) they report.
 	Parallelism int
 	// Shards is the number of disjoint dyadic subboxes the output space
-	// is split into along the SAO prefix (rounded up to a power of two).
-	// 0 picks a default based on Parallelism. More shards improve load
-	// balance but repeat per-shard knowledge-base setup.
+	// is split into along the SAO prefix (rounded up to a power of two),
+	// forming the work-stealing executor's seed fragments. 0 picks a
+	// default based on Parallelism. More shards improve initial load
+	// balance but repeat per-shard knowledge-base setup; dynamic
+	// splitting (StealDepth) rebalances at runtime regardless.
 	Shards int
+	// StealDepth bounds the parallel executor's dynamic shard splitting:
+	// an idle worker steals the SAO-later half of a busy worker's
+	// remaining region, carved at most StealDepth binary splits below
+	// the universe. 0 applies the core engine's default bound; negative
+	// disables dynamic splitting (static seed shards only). Output order
+	// is byte-identical to a sequential run at every setting. Forwarded
+	// to core.Options.StealDepth; sequential runs ignore it.
+	StealDepth int
 	// Context, if non-nil, cancels execution cooperatively; the run
 	// returns the context's error.
 	Context context.Context
@@ -288,6 +298,7 @@ func (p *Plan) coreOptions(opts Options) core.Options {
 		Budget:          opts.Budget,
 		OnOutput:        opts.OnOutput,
 		Context:         opts.Context,
+		StealDepth:      opts.StealDepth,
 	}
 }
 

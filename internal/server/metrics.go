@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tetrisjoin/internal/catalog"
+	"tetrisjoin/internal/core"
 	"tetrisjoin/internal/metrics"
 )
 
@@ -75,6 +76,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Geometric resolutions spent by successful requests.")
 	m.outputs = reg.Counter("tetris_outputs_total",
 		"Output tuples delivered by successful requests.")
+
+	// Work-stealing executor telemetry: process-wide atomics maintained
+	// by internal/core across every in-flight parallel run.
+	reg.CounterFunc("tetris_shard_steals_total",
+		"Dynamic shard splits performed by the work-stealing executor.",
+		func() float64 { return float64(core.StealsTotal()) })
+	reg.GaugeFunc("tetris_worker_busy",
+		"Executor workers currently running a shard fragment.",
+		func() float64 { return float64(core.BusyWorkers()) })
 
 	reg.GaugeFunc("tetris_admission_running", "Executions holding an engine slot right now.",
 		func() float64 { return float64(len(s.admit)) })

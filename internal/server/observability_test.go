@@ -399,6 +399,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"tetris_index_builds_total",
 		"tetris_plan_misses_total 1",
 		"tetris_outputs_total 2",
+		"tetris_shard_steals_total",
+		"tetris_worker_busy 0",
 		"# TYPE tetris_exec_seconds histogram",
 	} {
 		if !strings.Contains(body, want) {

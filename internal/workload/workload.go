@@ -623,6 +623,26 @@ func ZipfStar(k, n int, d uint8, skew float64, seed int64) *join.Query {
 	return join.MustNewQuery(atoms...)
 }
 
+// ZipfFourCycle is the 4-cycle R(A,B) ⋈ S(B,C) ⋈ T(C,D) ⋈ U(D,A) over
+// independently sampled Zipf(skew) relations — the randomized
+// counterpart of SkewedFourCycle. Every attribute concentrates on the
+// heavy value 0, so the work (and output) mass sits in the small-value
+// corner of the space: the regime where static SAO-prefix shards are
+// maximally imbalanced and dynamic splitting pays off.
+func ZipfFourCycle(n int, d uint8, skew float64, seed int64) *join.Query {
+	rng := rand.New(rand.NewSource(seed))
+	r := zipfRelation("R", 2, n, d, skew, rng)
+	s := zipfRelation("S", 2, n, d, skew, rng)
+	t := zipfRelation("T", 2, n, d, skew, rng)
+	u := zipfRelation("U", 2, n, d, skew, rng)
+	return join.MustNewQuery(
+		join.Atom{Relation: r, Vars: []string{"A", "B"}},
+		join.Atom{Relation: s, Vars: []string{"B", "C"}},
+		join.Atom{Relation: t, Vars: []string{"C", "D"}},
+		join.Atom{Relation: u, Vars: []string{"D", "A"}},
+	)
+}
+
 // PinnedChain is the chain R(A,B) ⋈ S(B,C) ⋈ T(C) built so the cost
 // model's skew-aware estimates stay O(m) for every order while the
 // actual resolution count is order-sensitive by a factor of ~d:
