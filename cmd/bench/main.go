@@ -62,6 +62,7 @@ func main() {
 		gateTime = flag.String("gate-time", "", "committed trajectory to time-gate against: exit 1 if any measured benchmark's ns/op exceeds the committed entry of the SAME machine class by more than -gate-time-slack (entries with no same-class committed record are skipped)")
 		timeTol  = flag.Float64("gate-time-slack", 0, "fractional ns/op regression tolerated by -gate-time; 0 picks a per-class default from the class's core count (fewer cores = noisier timings = more slack)")
 		gateBal  = flag.Float64("gate-balance", 0, "balance-gate factor: for every Balance/<family> pair measured in this run, require static balance share >= factor × stealing share; exit 1 otherwise (0 disables)")
+		gateBld  = flag.String("gate-builds", "", "committed trajectory to build-gate against: exit 1 if any measured Recovery/* benchmark's index_builds_per_op differs from the committed entry — build counts are deterministic, so the committed Recovery/segment value of 0 pins rebuild-free recovery exactly")
 	)
 	flag.Parse()
 
@@ -135,6 +136,52 @@ func main() {
 	if *gateBal > 0 {
 		gateBalance(run, *gateBal)
 	}
+	if *gateBld != "" {
+		gateBuilds(run, *gateBld)
+	}
+}
+
+// gateBuilds holds the measured Recovery series' index-build counts to
+// the committed trajectory exactly: unlike timings, the number of
+// indexes a recovery path constructs is a deterministic function of the
+// image, so any difference is a protocol change, not noise. In
+// particular the committed Recovery/segment entry records 0 builds —
+// this gate is what keeps segment-backed recovery rebuild-free in CI.
+func gateBuilds(run *benchio.Report, path string) {
+	ref, err := benchio.ReadFile(path)
+	if err != nil {
+		log.Fatalf("reading gate-builds trajectory: %v", err)
+	}
+	committed := map[string]float64{}
+	for _, e := range ref.Entries {
+		if strings.HasPrefix(e.Name, "Recovery/") {
+			committed[e.Name] = e.IndexBuildsPerOp
+		}
+	}
+	checked, failed := 0, 0
+	for _, e := range run.Entries {
+		if !strings.HasPrefix(e.Name, "Recovery/") {
+			continue
+		}
+		want, ok := committed[e.Name]
+		if !ok {
+			log.Printf("gate-builds: %s has no committed entry; skipped", e.Name)
+			continue
+		}
+		checked++
+		if e.IndexBuildsPerOp != want {
+			log.Printf("gate-builds FAIL %s: %.0f index builds/op vs committed %.0f",
+				e.Name, e.IndexBuildsPerOp, want)
+			failed++
+		}
+	}
+	if checked == 0 {
+		log.Fatalf("gate-builds: no measured Recovery/* benchmark has a committed entry in %s", path)
+	}
+	if failed > 0 {
+		log.Fatalf("gate-builds: %d of %d recovery paths changed their index-build count", failed, checked)
+	}
+	log.Printf("gate-builds: %d recovery paths match the committed build counts exactly", checked)
 }
 
 // gate holds the measured run's resolution counts to the committed

@@ -200,6 +200,77 @@ func TestKillDuringIngestRecoversAcknowledged(t *testing.T) {
 	}
 }
 
+// Checkpoint op then kill -9: the restart loads every index from its
+// segment file — the first exec reports index_builds 0 — and serves the
+// pre-crash result byte-identically. In-memory servers refuse the op.
+func TestCheckpointThenKillRecoversWithoutRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	p := startServer(t, dir, "-checkpoint-every", "-1") // only the explicit op checkpoints
+
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	send(t, conn, sc, `{"op":"load","name":"R","attrs":["s","d"],"depth":4,"tuples":[[1,2],[2,3],[1,3],[3,4]]}`)
+	send(t, conn, sc, `{"op":"load","name":"S","attrs":["s","d"],"depth":4,"tuples":[[2,1],[3,2],[4,3]]}`)
+	send(t, conn, sc, `{"op":"load","name":"T","attrs":["s","d"],"depth":4,"tuples":[[1,4],[2,4]]}`)
+	send(t, conn, sc, `{"op":"maintain","id":"tri","query":"R(A,B), R(B,C), R(A,C)","mode":"preloaded"}`)
+	triTuples, _ := send(t, conn, sc, `{"op":"exec","id":"tri"}`)
+	_, ckResp := send(t, conn, sc, `{"op":"checkpoint"}`)
+	if v, _ := ckResp["version"].(float64); v <= 0 {
+		t.Fatalf("checkpoint response carries no covered LSN: %v", ckResp)
+	}
+	conn.Close()
+	p.cmd.Process.Kill() // SIGKILL: no drain, recovery must come from the segments
+	p.cmd.Wait()
+
+	p2 := startServer(t, dir)
+	defer func() { p2.cmd.Process.Kill(); p2.cmd.Wait() }()
+	conn2, err := net.Dial("tcp", p2.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	sc2 := bufio.NewScanner(conn2)
+	triAfter, execResp := send(t, conn2, sc2, `{"op":"exec","id":"tri"}`)
+	if strings.Join(triAfter, "\n") != strings.Join(triTuples, "\n") {
+		t.Fatalf("segment-recovered result differs:\npre-crash:  %v\npost-crash: %v", triTuples, triAfter)
+	}
+	if builds, _ := execResp["index_builds"].(float64); builds != 0 {
+		t.Fatalf("first exec after segment recovery built %v indexes, want 0; stderr:\n%s",
+			builds, p2.stderrText())
+	}
+	// Startup itself loaded the frozen indexes instead of rebuilding.
+	stderr := p2.stderrText()
+	if !strings.Contains(stderr, "indexes loaded, 0 rebuilt") || strings.Contains(stderr, " 0 indexes loaded") {
+		t.Errorf("restart did not report a segment-backed index load; stderr:\n%s", stderr)
+	}
+
+	// An in-memory server has nowhere to persist.
+	mem := startServer(t, "")
+	defer func() { mem.cmd.Process.Kill(); mem.cmd.Wait() }()
+	mconn, err := net.Dial("tcp", mem.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mconn.Close()
+	msc := bufio.NewScanner(mconn)
+	if _, err := fmt.Fprintln(mconn, `{"op":"checkpoint"}`); err != nil {
+		t.Fatal(err)
+	}
+	if !msc.Scan() {
+		t.Fatal("no response to checkpoint on in-memory server")
+	}
+	var m map[string]any
+	if err := json.Unmarshal(msc.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := m["ok"].(bool); ok {
+		t.Fatalf("in-memory server accepted checkpoint: %v", m)
+	}
+}
+
 // The real binary with -metrics-addr serves Prometheus-parseable text
 // including per-shape latency series and the overload counters.
 func TestMetricsEndpointOverHTTP(t *testing.T) {

@@ -42,6 +42,13 @@ type Entry struct {
 	// Resolutions are deterministic for a fixed workload and plan, so this
 	// column compares across machine classes; the timing columns do not.
 	ResolutionsPerOp float64 `json:"resolutions_per_op,omitempty"`
+	// IndexBuildsPerOp is the number of index constructions one operation
+	// performs, when the benchmark reports it (0 otherwise, and absent
+	// from the JSON). For the Recovery series it is deterministic — the
+	// same image yields the same build count on any machine — which is
+	// what `cmd/bench -gate-builds` keys on: the committed
+	// Recovery/segment entry records 0, pinning rebuild-free recovery.
+	IndexBuildsPerOp float64 `json:"index_builds_per_op,omitempty"`
 	// Balance is the max/mean worker resolution share of a parallel run
 	// (core.Stats.MaxWorkerResolutions / (Resolutions/ParallelWorkers)):
 	// 1.0 is a perfectly balanced run, ParallelWorkers means one worker
@@ -195,6 +202,7 @@ func (o *Obs) End(b *testing.B, m Metrics) {
 		AllocsPerOp:      float64(ms.Mallocs-o.startMallocs) / float64(n),
 		BytesPerOp:       float64(ms.TotalAlloc-o.startBytes) / float64(n),
 		ResolutionsPerOp: m.Resolutions,
+		IndexBuildsPerOp: m.IndexBuilds,
 		Balance:          m.Balance,
 	}
 	stamp(&e)

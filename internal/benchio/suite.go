@@ -11,9 +11,12 @@ import (
 	"tetrisjoin/internal/baseline"
 	"tetrisjoin/internal/catalog"
 	"tetrisjoin/internal/core"
+	"tetrisjoin/internal/durable"
+	"tetrisjoin/internal/index"
 	"tetrisjoin/internal/join"
 	"tetrisjoin/internal/klee"
 	"tetrisjoin/internal/relation"
+	"tetrisjoin/internal/wal"
 	"tetrisjoin/internal/workload"
 )
 
@@ -25,6 +28,10 @@ import (
 type Metrics struct {
 	Resolutions float64
 	Balance     float64
+	// IndexBuilds is the number of index constructions one operation
+	// performed — reported by the Recovery series, where it is
+	// deterministic (segment-backed recovery commits 0).
+	IndexBuilds float64
 }
 
 // balanceOf extracts the max/mean worker resolution share from a run's
@@ -216,7 +223,158 @@ func Suite() []Case {
 			},
 		)
 	}
+	// Recovery series: durable.Open over the same catalog image — three
+	// relations, four maintained index families each — persisted three
+	// ways. replay recovers from the raw WAL (re-ingest plus rebuild);
+	// checkpoint loads tuple-only snapshots and rebuilds every index;
+	// segment loads the frozen index slabs and builds nothing. The
+	// index_builds_per_op column is deterministic (segment commits 0;
+	// `cmd/bench -gate-builds` pins it), and the segment/checkpoint
+	// timing ratio is the EXPERIMENTS.md rebuild-free-recovery claim.
+	for _, mode := range []string{"replay", "checkpoint", "segment"} {
+		cases = append(cases, Case{
+			Name:  "Recovery/" + mode,
+			Bench: recoveryBench(mode),
+		})
+	}
+	// Checkpoint series: one (append → Checkpoint) iteration against a
+	// ten-relation catalog. full touches every relation before the
+	// checkpoint, so all ten are re-frozen; incremental touches one, so
+	// nine segment files are re-referenced and the write is O(churn) —
+	// the bytes/op ratio between the two entries is the incremental-
+	// checkpoint claim.
+	cases = append(cases,
+		Case{Name: "Checkpoint/full", Bench: checkpointBench(10)},
+		Case{Name: "Checkpoint/incremental", Bench: checkpointBench(1)},
+	)
 	return cases
+}
+
+// recoverySeed ingests the Recovery-series catalog: three relations of
+// 4000 tuples over 12-bit attributes, each maintaining both B-tree
+// orders plus the dyadic and k-d families.
+func recoverySeed(d *durable.Catalog) error {
+	rng := rand.New(rand.NewSource(99))
+	for i := 1; i <= 3; i++ {
+		rel := relation.MustNewUniform(fmt.Sprintf("R%d", i), []string{"X", "Y"}, 12)
+		seen := map[[2]uint64]bool{}
+		for len(seen) < 16000 {
+			t := [2]uint64{uint64(rng.Intn(1 << 12)), uint64(rng.Intn(1 << 12))}
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			rel.MustInsert(t[0], t[1])
+		}
+		specs := []index.Spec{
+			index.BTreeSpec("X", "Y"), index.BTreeSpec("Y", "X"),
+			index.DyadicSpec(), index.KDTreeSpec(),
+		}
+		if _, err := d.Ingest(rel, specs...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoveryBench measures durable.Open per op against a fixed image:
+// mode replay is WAL-only, checkpoint is a tuples-only snapshot
+// (DisableIndexSegments), segment is a full index-segment checkpoint.
+func recoveryBench(mode string) func(b *testing.B) Metrics {
+	image := sync.OnceValues(func() (*wal.MemFS, error) {
+		fs := wal.NewMemFS()
+		d, err := durable.Open("", durable.Options{
+			FS:                   fs,
+			CheckpointEvery:      -1,
+			DisableIndexSegments: mode == "checkpoint",
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := recoverySeed(d); err != nil {
+			return nil, err
+		}
+		if mode != "replay" {
+			if err := d.Checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+		return fs, d.Close()
+	})
+	return func(b *testing.B) Metrics {
+		fs, err := image()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var builds float64
+		for i := 0; i < b.N; i++ {
+			// The image copy models the files sitting on disk; it is
+			// harness bookkeeping, not recovery work, so it stays off
+			// the clock.
+			b.StopTimer()
+			img := fs.Clone()
+			b.StartTimer()
+			d, err := durable.Open("", durable.Options{FS: img, CheckpointEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			builds = float64(d.IndexBuilds())
+			if mode == "segment" && builds != 0 {
+				b.Fatalf("segment-backed recovery built %v indexes", builds)
+			}
+			d.Close()
+		}
+		return Metrics{IndexBuilds: builds}
+	}
+}
+
+// checkpointBench measures one (append to `touch` relations →
+// Checkpoint) iteration against a ten-relation durable catalog built
+// outside the timer. touch=10 re-freezes everything per op; touch=1 is
+// the O(churn) incremental path.
+func checkpointBench(touch int) func(b *testing.B) Metrics {
+	return func(b *testing.B) Metrics {
+		fs := wal.NewMemFS()
+		d, err := durable.Open("", durable.Options{FS: fs, CheckpointEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 10; i++ {
+			rel := relation.MustNewUniform(fmt.Sprintf("T%d", i), []string{"X", "Y"}, 12)
+			seen := map[[2]uint64]bool{}
+			for len(seen) < 2000 {
+				t := [2]uint64{uint64(rng.Intn(1 << 12)), uint64(rng.Intn(1 << 12))}
+				if seen[t] {
+					continue
+				}
+				seen[t] = true
+				rel.MustInsert(t[0], t[1])
+			}
+			if _, err := d.Ingest(rel, index.BTreeSpec("X", "Y"), index.DyadicSpec()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := d.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < touch; j++ {
+				name := fmt.Sprintf("T%d", j)
+				t := relation.Tuple{uint64(rng.Intn(1 << 12)), uint64(rng.Intn(1 << 12))}
+				if _, err := d.Append(name, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := d.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return Metrics{}
+	}
 }
 
 // maintainedBench measures one (1-tuple Append → Execute) iteration
@@ -385,6 +543,7 @@ func RunSuite(filter *regexp.Regexp) *Report {
 			AllocsPerOp:      float64(r.AllocsPerOp()),
 			BytesPerOp:       float64(r.AllocedBytesPerOp()),
 			ResolutionsPerOp: m.Resolutions,
+			IndexBuildsPerOp: m.IndexBuilds,
 			Balance:          m.Balance,
 		}
 		stamp(&e)

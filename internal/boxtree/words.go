@@ -1,0 +1,95 @@
+package boxtree
+
+import (
+	"fmt"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+// AppendWords appends the tree's full arena state to dst as a flat
+// word slab — the segment serialization form. Layout:
+//
+//	[dims | nodeCount<<32]
+//	[ivCount | size<<32]
+//	nodeCount × 3 words: {c0|c1<<32, next|box<<32, count (as uint32)}
+//	ivCount × 2 words:   {Bits, Len}
+//	[free]
+//
+// The slab captures the arena verbatim, free-list threading included,
+// so a round trip through TreeFromWords yields a structurally
+// identical tree (not merely the same box set).
+func (t *Tree) AppendWords(dst []uint64) []uint64 {
+	dst = append(dst,
+		uint64(uint32(t.n))|uint64(uint32(len(t.nodes)))<<32,
+		uint64(uint32(len(t.ivs)))|uint64(uint32(t.size))<<32,
+	)
+	for _, nd := range t.nodes {
+		dst = append(dst,
+			uint64(nd.children[0])|uint64(nd.children[1])<<32,
+			uint64(nd.next)|uint64(nd.box)<<32,
+			uint64(uint32(nd.count)),
+		)
+	}
+	for _, iv := range t.ivs {
+		dst = append(dst, iv.Bits, uint64(iv.Len))
+	}
+	return append(dst, uint64(t.free))
+}
+
+// TreeFromWords rebuilds a tree from an AppendWords slab, validating
+// every node and payload reference so a corrupt slab is rejected
+// instead of producing out-of-bounds trie walks.
+func TreeFromWords(words []uint64) (*Tree, error) {
+	if len(words) < 2 {
+		return nil, fmt.Errorf("boxtree: slab too short (%d words)", len(words))
+	}
+	n := int(uint32(words[0]))
+	nodeCount := int(words[0] >> 32)
+	ivCount := int(uint32(words[1]))
+	size := int(words[1] >> 32)
+	if n < 1 {
+		return nil, fmt.Errorf("boxtree: invalid dimension %d", n)
+	}
+	want := 2 + 3*nodeCount + 2*ivCount + 1
+	if nodeCount < 2 || len(words) != want {
+		return nil, fmt.Errorf("boxtree: slab has %d words, want %d (%d nodes, %d intervals)", len(words), want, nodeCount, ivCount)
+	}
+	if ivCount%n != 0 {
+		return nil, fmt.Errorf("boxtree: %d intervals not a multiple of dimension %d", ivCount, n)
+	}
+	t := &Tree{n: n, size: size}
+	t.nodes = make([]node, nodeCount)
+	for i := range t.nodes {
+		w := words[2+3*i : 2+3*i+3]
+		nd := node{
+			children: [2]uint32{uint32(w[0]), uint32(w[0] >> 32)},
+			next:     uint32(w[1]),
+			box:      uint32(w[1] >> 32),
+			count:    int32(uint32(w[2])),
+		}
+		if int(nd.children[0]) >= nodeCount || int(nd.children[1]) >= nodeCount || int(nd.next) >= nodeCount {
+			return nil, fmt.Errorf("boxtree: node %d links out of range", i)
+		}
+		if nd.box != 0 && int(nd.box-1)+n > ivCount {
+			return nil, fmt.Errorf("boxtree: node %d box ref %d out of range", i, nd.box)
+		}
+		t.nodes[i] = nd
+	}
+	t.ivs = make([]dyadic.Interval, ivCount)
+	base := 2 + 3*nodeCount
+	for i := range t.ivs {
+		ln := words[base+2*i+1]
+		if ln > dyadic.MaxDepth {
+			return nil, fmt.Errorf("boxtree: interval %d length %d exceeds max depth", i, ln)
+		}
+		t.ivs[i] = dyadic.Interval{Bits: words[base+2*i], Len: uint8(ln)}
+	}
+	t.free = uint32(words[len(words)-1])
+	if int(t.free) >= nodeCount {
+		return nil, fmt.Errorf("boxtree: free-list head %d out of range", t.free)
+	}
+	if size < 0 || int(t.nodes[rootNode].count) != size {
+		return nil, fmt.Errorf("boxtree: size %d disagrees with root count %d", size, t.nodes[rootNode].count)
+	}
+	return t, nil
+}

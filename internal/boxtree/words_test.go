@@ -1,0 +1,114 @@
+package boxtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tetrisjoin/internal/dyadic"
+)
+
+func TestWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(3)
+	depths := []uint8{6, 6, 6}
+	var boxes []dyadic.Box
+	for i := 0; i < 200; i++ {
+		b := make(dyadic.Box, 3)
+		for d := range b {
+			ln := uint8(rng.Intn(int(depths[d]) + 1))
+			b[d] = dyadic.Interval{Bits: rng.Uint64() & ((1 << ln) - 1), Len: ln}
+		}
+		if tr.Insert(b) {
+			boxes = append(boxes, b.Clone())
+		}
+		// Interleave deletions so the free-list is threaded.
+		if i%17 == 16 {
+			victim := make(dyadic.Box, 3)
+			for d := range victim {
+				victim[d] = dyadic.Interval{}
+			}
+			tr.DeleteContainedInBudget(victim, 4)
+		}
+	}
+
+	slab := tr.AppendWords(nil)
+	got, err := TreeFromWords(slab)
+	if err != nil {
+		t.Fatalf("TreeFromWords: %v", err)
+	}
+	if got.Len() != tr.Len() || got.Dims() != tr.Dims() {
+		t.Fatalf("len/dims = %d/%d, want %d/%d", got.Len(), got.Dims(), tr.Len(), tr.Dims())
+	}
+	// Structural identity: the rebuilt arena must behave exactly like
+	// the original for membership and superset queries...
+	for _, b := range boxes {
+		if tr.Contains(b) != got.Contains(b) {
+			t.Fatalf("Contains(%v) diverges", b)
+		}
+		if _, ok1 := tr.ContainsSuperset(b); true {
+			_, ok2 := got.ContainsSuperset(b)
+			if ok1 != ok2 {
+				t.Fatalf("ContainsSuperset(%v) diverges", b)
+			}
+		}
+	}
+	// ...and All must enumerate the same set.
+	all1 := map[string]bool{}
+	for _, b := range tr.All() {
+		all1[b.Key()] = true
+	}
+	all2 := map[string]bool{}
+	for _, b := range got.All() {
+		all2[b.Key()] = true
+	}
+	if !reflect.DeepEqual(all1, all2) {
+		t.Fatalf("All() sets diverge: %d vs %d boxes", len(all1), len(all2))
+	}
+	// The free-list must round-trip: further inserts reuse freed slots
+	// identically (slab lengths stay in lock-step).
+	extra := dyadic.Box{{Bits: 1, Len: 3}, {Bits: 2, Len: 3}, {Bits: 3, Len: 3}}
+	tr.Insert(extra)
+	got.Insert(extra)
+	if len(tr.nodes) != len(got.nodes) {
+		t.Fatalf("post-insert node slab lengths diverge: %d vs %d", len(tr.nodes), len(got.nodes))
+	}
+}
+
+func TestTreeFromWordsRejectsCorruption(t *testing.T) {
+	tr := New(2)
+	tr.Insert(dyadic.Box{{Bits: 1, Len: 2}, {Bits: 0, Len: 1}})
+	tr.Insert(dyadic.Box{{Bits: 0, Len: 1}, {Bits: 1, Len: 1}})
+	clean := tr.AppendWords(nil)
+
+	if _, err := TreeFromWords(clean); err != nil {
+		t.Fatalf("clean slab rejected: %v", err)
+	}
+	mut := func(f func([]uint64) []uint64) []uint64 {
+		s := append([]uint64(nil), clean...)
+		return f(s)
+	}
+	cases := []struct {
+		name string
+		slab []uint64
+	}{
+		{"short", clean[:1]},
+		{"truncated", clean[:len(clean)-2]},
+		{"zero-dim", mut(func(s []uint64) []uint64 { s[0] &^= 0xFFFFFFFF; return s })},
+		{"child-out-of-range", mut(func(s []uint64) []uint64 { s[2+3] |= 0xFFFF; return s })},
+		{"box-ref-out-of-range", mut(func(s []uint64) []uint64 { s[2+3*1+1] |= 0xFFFF << 32; return s })},
+		{"bad-interval-len", mut(func(s []uint64) []uint64 {
+			nodes := int(s[0] >> 32)
+			s[2+3*nodes+1] = 200
+			return s
+		})},
+		{"size-mismatch", mut(func(s []uint64) []uint64 { s[1] ^= 1 << 32; return s })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := TreeFromWords(tc.slab); err == nil {
+				t.Fatal("corrupt slab accepted")
+			}
+		})
+	}
+}

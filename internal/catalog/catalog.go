@@ -170,6 +170,48 @@ func (c *Catalog) Ingest(rel *relation.Relation, specs ...index.Spec) (uint64, e
 	return rel.Version(), nil
 }
 
+// IngestPrepared registers the relation like Ingest, but lets the
+// caller prime the index registry before it is published — the
+// segment-backed recovery path: the durable layer Puts indexes loaded
+// from segment files (charging zero builds) and Ensures only the specs
+// whose segments were missing or corrupt. DefaultSpecs are NOT added
+// implicitly; recovery knows the exact spec list from its manifest and
+// is responsible for the full set.
+func (c *Catalog) IngestPrepared(rel *relation.Relation, prime func(*index.Set) error) (uint64, error) {
+	if rel == nil {
+		return 0, fmt.Errorf("catalog: nil relation")
+	}
+	rel.Tuples() // normalize before publishing: readers must never re-sort
+	set := index.NewSet(rel, &c.builds)
+	if prime != nil {
+		if err := prime(set); err != nil {
+			return 0, err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.rels[rel.Name()]; ok {
+		delete(c.sets, old)
+	}
+	c.rels[rel.Name()] = rel
+	c.sets[rel] = set
+	c.gen.Add(1)
+	return rel.Version(), nil
+}
+
+// IndexSet returns the live index registry for the named relation's
+// current version, or nil — the checkpoint freeze path reads built
+// indexes out of it without forcing any new builds.
+func (c *Catalog) IndexSet(name string) *index.Set {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rel, ok := c.rels[name]
+	if !ok {
+		return nil
+	}
+	return c.sets[rel]
+}
+
 // Generation returns a counter that increases on every relation publish
 // (Ingest, Append, Delete). Callers holding artifacts derived from the
 // catalog's current state — e.g. a server session reusing a prepared

@@ -44,6 +44,12 @@ import (
 // it by name when simulating crashes.
 const WALName = "wal.log"
 
+// WALPrevName is the previous WAL epoch: each checkpoint rotates the
+// live log here instead of truncating it, so a checkpoint manifest
+// that later fails validation can fall back to the prior manifest plus
+// both epochs and still recover the full acknowledged prefix.
+const WALPrevName = "wal-prev.log"
+
 // defaultCheckpointEvery bounds WAL replay cost: after this many logged
 // records a background checkpoint folds the log into a snapshot.
 const defaultCheckpointEvery = 256
@@ -63,6 +69,11 @@ type Options struct {
 	// StrictReplay refuses to open when the WAL has a mid-log CRC
 	// mismatch, instead of recovering the last consistent prefix.
 	StrictReplay bool
+	// DisableIndexSegments makes checkpoints serialize tuple slabs only,
+	// leaving every index to be rebuilt at recovery. For benchmarks and
+	// comparisons; the default (false) freezes indexes into segments so
+	// a clean restart performs zero index builds.
+	DisableIndexSegments bool
 	// Logf, when non-nil, receives recovery and checkpoint diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -86,6 +97,18 @@ type RecoveryInfo struct {
 	// when the log was clean. Non-negative only with StrictReplay off —
 	// the log was truncated to the last consistent prefix.
 	CorruptOffset int64
+	// SegmentRelations counts relations materialized from segment files
+	// (as opposed to replayed from WAL records).
+	SegmentRelations int
+	// IndexesLoaded counts indexes loaded zero-copy from frozen segment
+	// sections; IndexesRebuilt counts manifest-listed index sections
+	// that were missing or corrupt and had to be rebuilt from tuples.
+	IndexesLoaded  int
+	IndexesRebuilt int
+	// CheckpointFallback is true when the newest manifest failed
+	// validation and recovery used an older one (plus the previous WAL
+	// epoch) instead.
+	CheckpointFallback bool
 }
 
 // Catalog is a catalog.Catalog whose mutations are write-ahead logged.
@@ -107,6 +130,10 @@ type Catalog struct {
 	broken    error  // sticky: set when an append/sync fails
 	closed    bool
 	maint     map[string]*maintEntry
+	// segs tracks which segment file currently holds each relation and
+	// at which version it was frozen — the churn detector that lets a
+	// checkpoint skip re-serializing unchanged relations.
+	segs map[string]segRef
 
 	info        RecoveryInfo
 	checkpoints int64
@@ -172,9 +199,29 @@ func Open(dir string, opts Options) (*Catalog, error) {
 		logf = func(string, ...any) {}
 	}
 
-	ckpt, err := loadNewestCheckpoint(fsys, opts.StrictReplay, logf)
+	ckpt, fellBack, err := loadNewestCheckpoint(fsys, opts.StrictReplay, logf)
 	if err != nil {
 		return nil, err
+	}
+
+	// Replay the previous WAL epoch only when it can matter: with no
+	// manifest, or with a fallback manifest, the previous epoch holds
+	// acknowledged records past the manifest actually loaded. A clean
+	// newest manifest covers everything up to its own rotation point,
+	// so wal-prev is skipped entirely.
+	var prevRecords []wal.Record
+	if ckpt == nil || ckpt.Fallback {
+		prev, err := wal.Replay(fsys, WALPrevName)
+		if err != nil {
+			return nil, fmt.Errorf("durable: replay %s: %w", WALPrevName, err)
+		}
+		if prev.Corrupt != nil {
+			if opts.StrictReplay {
+				return nil, fmt.Errorf("durable: %w", prev.Corrupt)
+			}
+			logf("durable: %s: %v; recovering %d-byte prefix", WALPrevName, prev.Corrupt, prev.Size)
+		}
+		prevRecords = prev.Records
 	}
 
 	rep, err := wal.Replay(fsys, WALName)
@@ -193,6 +240,7 @@ func Open(dir string, opts Options) (*Catalog, error) {
 		fsys:    fsys,
 		opts:    opts,
 		maint:   map[string]*maintEntry{},
+		segs:    map[string]segRef{},
 		info:    RecoveryInfo{CorruptOffset: -1},
 	}
 	if rep.Corrupt != nil {
@@ -200,26 +248,35 @@ func Open(dir string, opts Options) (*Catalog, error) {
 	}
 	d.info.TornTail = rep.TornTail
 
-	// Rebuild the checkpointed state first: relations with their
-	// maintained specs, then the maintained statements — before the tail
-	// replays, so a statement registered in the checkpoint sees the tail
-	// mutations as ordinary deltas, exactly as it would have live.
+	// Rebuild the checkpointed state first: relations with their loaded
+	// indexes registered and the remaining maintained specs ensured,
+	// then the maintained statements — before the tail replays, so a
+	// statement registered in the checkpoint sees the tail mutations as
+	// ordinary deltas, exactly as it would have live. On a fully
+	// segment-backed restart every spec arrives via Put, Ensure finds
+	// them all present, and the catalog's build counter never moves.
+	d.info.CheckpointFallback = fellBack
 	if ckpt != nil {
 		d.ckptLSN = ckpt.LSN
 		d.lastLSN = ckpt.LSN
 		d.info.CheckpointLSN = ckpt.LSN
-		for _, cr := range ckpt.Relations {
-			rel, err := relation.FromSnapshot(cr.Snapshot)
+		d.info.IndexesLoaded = ckpt.IndexesLoaded
+		d.info.IndexesRebuilt = ckpt.IndexesRebuilt
+		for _, lr := range ckpt.Relations {
+			lr := lr
+			_, err := d.Catalog.IngestPrepared(lr.rel, func(set *index.Set) error {
+				for _, li := range lr.loaded {
+					if err := set.Put(li.spec, li.ix); err != nil {
+						return err
+					}
+				}
+				return set.Ensure(append(append([]index.Spec{}, d.opts.Catalog.DefaultSpecs...), lr.specs...)...)
+			})
 			if err != nil {
-				return nil, fmt.Errorf("durable: checkpoint relation %s: %w", cr.Snapshot.Name, err)
+				return nil, fmt.Errorf("durable: checkpoint relation %s: %w", lr.rel.Name(), err)
 			}
-			specs, err := specsFromRecords(cr.Specs)
-			if err != nil {
-				return nil, fmt.Errorf("durable: checkpoint relation %s: %w", cr.Snapshot.Name, err)
-			}
-			if _, err := d.Catalog.Ingest(rel, specs...); err != nil {
-				return nil, fmt.Errorf("durable: checkpoint relation %s: %w", cr.Snapshot.Name, err)
-			}
+			d.segs[lr.rel.Name()] = segRef{version: lr.rel.Version(), entry: lr.entry}
+			d.info.SegmentRelations++
 		}
 		for _, mr := range ckpt.Maintained {
 			if err := d.applyMaintain(mr); err != nil {
@@ -228,11 +285,13 @@ func Open(dir string, opts Options) (*Catalog, error) {
 		}
 	}
 
-	// Replay the tail. Records at or below the checkpoint LSN are
-	// already folded into the snapshot — they reappear only when a crash
-	// landed between checkpoint publish and WAL truncation — and are
-	// skipped, which is what makes repeated recovery idempotent.
-	for _, rec := range rep.Records {
+	// Replay the tail: previous epoch first (empty unless recovery fell
+	// back), then the live log. Records at or below the loaded
+	// manifest's LSN are already folded into its segments — they
+	// reappear after a crash between manifest publish and rotation —
+	// and are skipped, which is what makes repeated recovery
+	// idempotent.
+	for _, rec := range append(prevRecords, rep.Records...) {
 		if rec.LSN <= d.ckptLSN {
 			continue
 		}
@@ -247,20 +306,15 @@ func Open(dir string, opts Options) (*Catalog, error) {
 		d.info.Replayed++
 	}
 
-	// Repair the file to match what was applied. A torn or corrupt tail
-	// is cut; a WAL fully covered by the checkpoint (crash before the
-	// post-checkpoint truncation) completes that truncation now.
-	size := rep.Size
-	if d.info.Replayed == 0 && size > 0 {
-		size = 0
-	}
-	if rep.TornTail || rep.Corrupt != nil || size != rep.Size {
-		if err := truncateIfExists(fsys, WALName, size); err != nil {
+	// Repair the live log to match what was applied: a torn or corrupt
+	// tail is cut so appends resume on a consistent prefix.
+	if rep.TornTail || rep.Corrupt != nil {
+		if err := truncateIfExists(fsys, WALName, rep.Size); err != nil {
 			return nil, fmt.Errorf("durable: repair %s: %w", WALName, err)
 		}
 	}
 
-	lg, err := wal.OpenLog(fsys, WALName, size, d.lastLSN)
+	lg, err := wal.OpenLog(fsys, WALName, rep.Size, d.lastLSN)
 	if err != nil {
 		return nil, fmt.Errorf("durable: open %s: %w", WALName, err)
 	}
@@ -269,8 +323,8 @@ func Open(dir string, opts Options) (*Catalog, error) {
 	d.info.LastLSN = d.lastLSN
 	d.info.Relations = len(d.Catalog.Names())
 	d.info.Maintained = len(d.maint)
-	logf("durable: recovered %d relations, %d statements (checkpoint lsn=%d, %d replayed, torn=%v)",
-		d.info.Relations, d.info.Maintained, d.info.CheckpointLSN, d.info.Replayed, d.info.TornTail)
+	logf("durable: recovered %d relations, %d statements (checkpoint lsn=%d, %d replayed, %d indexes loaded, %d rebuilt, torn=%v)",
+		d.info.Relations, d.info.Maintained, d.info.CheckpointLSN, d.info.Replayed, d.info.IndexesLoaded, d.info.IndexesRebuilt, d.info.TornTail)
 
 	if every := d.checkpointEvery(); every > 0 {
 		d.ckptCh = make(chan struct{}, 1)
@@ -585,13 +639,25 @@ func modeString(m core.Mode) string {
 	}
 }
 
+func specToRecord(s index.Spec) specRecord {
+	return specRecord{Family: s.Family.String(), Order: append([]string(nil), s.Order...)}
+}
+
+func specFromRecord(r specRecord) (index.Spec, error) {
+	fam, err := index.ParseFamily(r.Family)
+	if err != nil {
+		return index.Spec{}, err
+	}
+	return index.Spec{Family: fam, Order: append([]string(nil), r.Order...)}, nil
+}
+
 func specsToRecords(specs []index.Spec) []specRecord {
 	if len(specs) == 0 {
 		return nil
 	}
 	out := make([]specRecord, len(specs))
 	for i, s := range specs {
-		out[i] = specRecord{Family: s.Family.String(), Order: append([]string(nil), s.Order...)}
+		out[i] = specToRecord(s)
 	}
 	return out
 }
@@ -602,11 +668,11 @@ func specsFromRecords(recs []specRecord) ([]index.Spec, error) {
 	}
 	out := make([]index.Spec, len(recs))
 	for i, r := range recs {
-		fam, err := index.ParseFamily(r.Family)
+		s, err := specFromRecord(r)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = index.Spec{Family: fam, Order: append([]string(nil), r.Order...)}
+		out[i] = s
 	}
 	return out, nil
 }

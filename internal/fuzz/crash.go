@@ -13,6 +13,7 @@ import (
 	"tetrisjoin/internal/durable"
 	"tetrisjoin/internal/join"
 	"tetrisjoin/internal/relation"
+	"tetrisjoin/internal/segment"
 	"tetrisjoin/internal/wal"
 )
 
@@ -71,7 +72,172 @@ func (ck *Checker) checkCrashRecovery(c Case) *Discrepancy {
 	if d := ck.crashCheckpointRun(plan, text, names, rng); d != nil {
 		return d
 	}
+	if d := ck.crashSegmentRun(plan, text, names, rng); d != nil {
+		return d
+	}
 	return ck.crashFailedSyncRun(plan, text, names, rng)
+}
+
+// crashSegmentRun attacks the checkpoint's segment files and manifest.
+// On a full-script checkpoint image (no WAL tail) it checks the
+// rebuild-free restart invariant — a clean segment-backed open builds
+// zero indexes — then recovers byte-identically through every injector:
+// a flipped or truncated or deleted segment file, a flipped manifest
+// (which StrictReplay must refuse), and a flip confined to a frozen
+// index section, which must rebuild just that index rather than fall
+// back to an older manifest. A second image keeps a live WAL tail so
+// fallback recovery has to compose both log epochs with the mutations.
+func (ck *Checker) crashSegmentRun(plan []crashOp, text string, names []string, rng *rand.Rand) *Discrepancy {
+	ops := clonePlan(plan)
+	fs := wal.NewMemFS()
+	if d := runCrashScript(fs, ops, len(ops)-1); d != nil {
+		return d
+	}
+
+	// Clean restart probe: every index comes back from its segment.
+	rec, err := durable.Open("", durable.Options{FS: fs.Clone(), CheckpointEvery: -1})
+	if err != nil {
+		return &Discrepancy{Config: "crash-recovery/segment-clean", Detail: fmt.Sprintf("open: %v", err)}
+	}
+	info := rec.Recovery()
+	builds := rec.IndexBuilds()
+	rec.Close()
+	if info.CheckpointFallback || info.IndexesRebuilt != 0 || info.Replayed != 0 {
+		return &Discrepancy{Config: "crash-recovery/segment-clean",
+			Detail: fmt.Sprintf("clean segment restart not clean: %+v", info)}
+	}
+	if builds != 0 {
+		return &Discrepancy{Config: "crash-recovery/segment-clean",
+			Detail: fmt.Sprintf("clean segment restart built %d indexes, want 0", builds)}
+	}
+	if d := ck.recoverAndCompare("crash-recovery/segment-clean", fs.Clone(), ops, 0, text, names, nil); d != nil {
+		return d
+	}
+
+	files, err := fs.List()
+	if err != nil {
+		return &Discrepancy{Config: "crash-recovery/segment", Detail: fmt.Sprintf("list: %v", err)}
+	}
+	var segFiles []string
+	manifest := ""
+	for _, f := range files {
+		switch {
+		case strings.HasPrefix(f, "seg-"):
+			segFiles = append(segFiles, f)
+		case strings.HasPrefix(f, "checkpoint-"):
+			manifest = f
+		}
+	}
+	if len(segFiles) == 0 || manifest == "" {
+		return &Discrepancy{Config: "crash-recovery/segment",
+			Detail: fmt.Sprintf("checkpoint image has %d segment files, manifest %q", len(segFiles), manifest)}
+	}
+	victim := segFiles[rng.Intn(len(segFiles))]
+
+	// Damaged or missing pieces: recovery must reconstruct the exact
+	// acknowledged state from whatever remains (older manifests, the
+	// rotated log epochs), never fail open. The oracle cut is moot —
+	// every op is checkpoint-covered.
+	type injector struct {
+		name   string
+		mutate func(img *wal.MemFS) error
+		sanity func(durable.RecoveryInfo) string
+		strict bool // StrictReplay must refuse the image
+	}
+	injectors := []injector{
+		{name: "seg-flip", mutate: func(img *wal.MemFS) error {
+			return img.FlipByte(victim, rng.Int63n(img.Size(victim)))
+		}},
+		{name: "seg-truncate", mutate: func(img *wal.MemFS) error {
+			return img.Truncate(victim, rng.Int63n(img.Size(victim)))
+		}},
+		{name: "seg-remove", mutate: func(img *wal.MemFS) error {
+			return img.Remove(victim)
+		}},
+		{name: "manifest-flip", mutate: func(img *wal.MemFS) error {
+			return img.FlipByte(manifest, rng.Int63n(img.Size(manifest)))
+		}, sanity: func(info durable.RecoveryInfo) string {
+			if !info.CheckpointFallback {
+				return "damaged manifest did not trigger fallback"
+			}
+			return ""
+		}, strict: true},
+	}
+	// A flip confined to a frozen index section must cost exactly a
+	// rebuild of that index — the tuple data is intact, so falling back
+	// to an older manifest would be wrong (some relation has one whose
+	// planner touched an index unless the script degenerated).
+	if off, ok := indexSectionOffset(fs, victim, rng); ok {
+		injectors = append(injectors, injector{
+			name:   "index-section-flip",
+			mutate: func(img *wal.MemFS) error { return img.FlipByte(victim, off) },
+			sanity: func(info durable.RecoveryInfo) string {
+				if info.CheckpointFallback {
+					return "index-section damage escalated to manifest fallback"
+				}
+				if info.IndexesRebuilt == 0 {
+					return "index-section damage rebuilt nothing"
+				}
+				return ""
+			},
+		})
+	}
+	for _, inj := range injectors {
+		img := fs.Clone()
+		if err := inj.mutate(img); err != nil {
+			return &Discrepancy{Config: "crash-recovery/" + inj.name, Detail: fmt.Sprintf("mutate: %v", err)}
+		}
+		if inj.strict {
+			if _, err := durable.Open("", durable.Options{FS: img.Clone(), CheckpointEvery: -1, StrictReplay: true}); err == nil {
+				return &Discrepancy{Config: "crash-recovery/" + inj.name,
+					Detail: "StrictReplay opened an image with a damaged newest checkpoint"}
+			}
+		}
+		if d := ck.recoverAndCompare("crash-recovery/"+inj.name, img, ops, 0, text, names, inj.sanity); d != nil {
+			return d
+		}
+	}
+
+	// Image with a live WAL tail past the checkpoint: a damaged segment
+	// now forces fallback recovery to compose both log epochs with the
+	// tail mutations.
+	ops = clonePlan(plan)
+	tailFS := wal.NewMemFS()
+	if d := runCrashScript(tailFS, ops, rng.Intn(len(ops)-1)); d != nil {
+		return d
+	}
+	img := tailFS.Clone()
+	tailVictim := ""
+	tfiles, _ := img.List()
+	for _, f := range tfiles {
+		if strings.HasPrefix(f, "seg-") {
+			tailVictim = f
+			break
+		}
+	}
+	if tailVictim == "" {
+		return &Discrepancy{Config: "crash-recovery/segment-tail", Detail: "tail image has no segment files"}
+	}
+	if err := img.FlipByte(tailVictim, rng.Int63n(img.Size(tailVictim))); err != nil {
+		return &Discrepancy{Config: "crash-recovery/segment-tail", Detail: fmt.Sprintf("mutate: %v", err)}
+	}
+	return ck.recoverAndCompare("crash-recovery/segment-tail", img, ops, tailFS.Size(durable.WALName), text, names, nil)
+}
+
+// indexSectionOffset picks a byte offset strictly inside one of the
+// victim segment's index sections (any section past the leading tuple
+// section). ok is false when the segment froze no indexes.
+func indexSectionOffset(fs *wal.MemFS, victim string, rng *rand.Rand) (int64, bool) {
+	data, err := fs.ReadFile(victim)
+	if err != nil {
+		return 0, false
+	}
+	seg, err := segment.Load(data)
+	if err != nil || seg.Sections() < 2 {
+		return 0, false
+	}
+	off, length := seg.Extent(1 + rng.Intn(seg.Sections()-1))
+	return off + rng.Int63n(length), true
 }
 
 // crashTruncationRun: run the whole script against a pure-WAL durable
@@ -159,7 +325,7 @@ func (ck *Checker) crashCheckpointRun(plan []crashOp, text string, names []strin
 	if d := runCrashScript(fs, ops, ckptAfter); d != nil {
 		return d
 	}
-	size := fs.Size(durable.WALName) // tail records only: the checkpoint reset the log
+	size := fs.Size(durable.WALName) // tail records only: the checkpoint rotated the log
 	for _, cut := range []int64{size, rng.Int63n(size + 1)} {
 		img := fs.Clone()
 		if cut < size {

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"fmt"
+
 	"tetrisjoin/internal/dyadic"
 	"tetrisjoin/internal/relation"
 )
@@ -12,64 +14,104 @@ import (
 // O(1)-size certificates possible on instances where every B-tree order
 // needs Ω(N) boxes (Examples B.7/B.8, Figure 3b). The tree is immutable
 // after construction; probe scratch lives in the cursors it hands out.
+//
+// The tree is a flat word arena rather than a pointer structure: one
+// word per node, children named by uint32 slab indexes, laid out in
+// preorder so a child's index always exceeds its parent's. Cell
+// regions are not stored — they are reconstructed during descent from
+// the probe point's bits (GapsAt) or a running prefix (AllGaps), and
+// the split dimension is re-derived by the same least-refined-thick-
+// dimension rule the builder used. This makes the arena
+// position-independent: it serializes into a segment verbatim and
+// loads back zero-copy.
 type Dyadic struct {
 	rel    *relation.Relation
 	depths []uint8
-	root   *dyNode
+	nodes  []uint64
 }
 
-type dyNode struct {
-	region   dyadic.Box
-	gap      bool // tuple-free cell: a maximal gap box
-	children [2]*dyNode
-}
+// dyLeaf marks a leaf in the low child slot; the high slot then holds
+// dyGap (tuple-free cell) or dySolid (completely full cell or a unit
+// cell holding a tuple — no gaps inside either way).
+const (
+	dyLeaf  = 0xFFFFFFFF
+	dySolid = 0
+	dyGap   = 1
+)
 
 // NewDyadic builds the dyadic tree over the relation's current tuples.
 func NewDyadic(rel *relation.Relation) *Dyadic {
 	d := &Dyadic{rel: rel, depths: rel.Depths()}
-	tuples := rel.Tuples()
-	d.root = d.build(dyadic.Universe(rel.Arity()), tuples)
+	tuples := append([]relation.Tuple(nil), rel.Tuples()...)
+	lens := make([]uint8, rel.Arity())
+	d.build(tuples, lens)
 	return d
 }
 
-// build recursively subdivides region; tuples is the subset of the
-// relation inside region.
-func (d *Dyadic) build(region dyadic.Box, tuples []relation.Tuple) *dyNode {
-	nd := &dyNode{region: region}
+// build appends the node for the cell described by lens (the per-
+// dimension refinement of the current cell) and recursively subdivides;
+// tuples is the subset of the relation inside the cell. Returns the
+// node's slab index.
+func (d *Dyadic) build(tuples []relation.Tuple, lens []uint8) uint32 {
+	idx := uint32(len(d.nodes))
+	d.nodes = append(d.nodes, 0)
 	if len(tuples) == 0 {
-		nd.gap = true
-		return nd
+		d.nodes[idx] = dyLeaf | dyGap<<32
+		return idx
 	}
 	// A completely full cell contains no gaps; stop subdividing. (Tuples
 	// are deduplicated, so count equality means fullness.)
-	if lv := region.LogVolume(d.depths); lv < 63 && uint64(len(tuples)) == 1<<uint(lv) {
-		return nd
+	if lv := d.logVolume(lens); lv < 63 && uint64(len(tuples)) == 1<<uint(lv) {
+		d.nodes[idx] = dyLeaf | dySolid<<32
+		return idx
 	}
 	// Split the least-refined thick dimension, so dimensions alternate as
 	// in a quadtree and gap cells can be thick in several dimensions.
+	dim := d.splitDim(lens)
+	if dim == -1 {
+		d.nodes[idx] = dyLeaf | dySolid<<32 // unit cell holding a tuple
+		return idx
+	}
+	// Partition tuples by the deciding bit of the split dimension.
+	shift := d.depths[dim] - lens[dim] - 1
+	lo, hi := 0, len(tuples)
+	for lo < hi {
+		if tuples[lo][dim]>>shift&1 == 0 {
+			lo++
+		} else {
+			hi--
+			tuples[lo], tuples[hi] = tuples[hi], tuples[lo]
+		}
+	}
+	lens[dim]++
+	c0 := d.build(tuples[:lo], lens)
+	c1 := d.build(tuples[lo:], lens)
+	lens[dim]--
+	d.nodes[idx] = uint64(c0) | uint64(c1)<<32
+	return idx
+}
+
+// logVolume is dyadic.Box.LogVolume for a cell known only by its
+// per-dimension refinement lens.
+func (d *Dyadic) logVolume(lens []uint8) int {
+	lv := 0
+	for i, l := range lens {
+		lv += int(d.depths[i]) - int(l)
+	}
+	return lv
+}
+
+// splitDim picks the least-refined dimension that is still thick, -1
+// if the cell is a unit cell. Must match what build used — descent
+// re-derives it.
+func (d *Dyadic) splitDim(lens []uint8) int {
 	dim := -1
-	for i := range region {
-		if region[i].Len < d.depths[i] && (dim == -1 || region[i].Len < region[dim].Len) {
+	for i := range lens {
+		if lens[i] < d.depths[i] && (dim == -1 || lens[i] < lens[dim]) {
 			dim = i
 		}
 	}
-	if dim == -1 {
-		return nd // unit cell holding a tuple
-	}
-	r0, r1 := region.SplitAt(dim)
-	// Partition tuples by the deciding bit of the split dimension.
-	shift := d.depths[dim] - region[dim].Len - 1
-	var t0, t1 []relation.Tuple
-	for _, t := range tuples {
-		if t[dim]>>shift&1 == 0 {
-			t0 = append(t0, t)
-		} else {
-			t1 = append(t1, t)
-		}
-	}
-	nd.children[0] = d.build(r0, t0)
-	nd.children[1] = d.build(r1, t1)
-	return nd
+	return dim
 }
 
 // Relation implements Index.
@@ -78,56 +120,168 @@ func (d *Dyadic) Relation() *relation.Relation { return d.rel }
 // Kind implements Index.
 func (d *Dyadic) Kind() string { return "dyadic" }
 
-// dyadicCursor holds the per-worker one-element result slice; the
-// returned box aliases the (immutable) tree node's region.
+// dyadicCursor holds the per-worker scratch: the descent refinement
+// state and the one-element result slice. The returned box is scratch,
+// valid until the next cursor call (the Cursor contract).
 type dyadicCursor struct {
-	ix  *Dyadic
-	out []dyadic.Box
+	ix     *Dyadic
+	lens   []uint8
+	gapBox dyadic.Box
+	out    []dyadic.Box
 }
 
 // NewCursor implements Index.
 func (d *Dyadic) NewCursor() Cursor {
-	return &dyadicCursor{ix: d, out: make([]dyadic.Box, 1)}
+	return &dyadicCursor{
+		ix:     d,
+		lens:   make([]uint8, d.rel.Arity()),
+		gapBox: make(dyadic.Box, d.rel.Arity()),
+		out:    make([]dyadic.Box, 1),
+	}
 }
 
 // GapsAt implements Cursor: descend toward the probe point; the first
 // tuple-free cell on the path is the unique maximal dyadic gap box
-// containing the point. The result slice is reused across calls.
+// containing the point. The cell region is rebuilt from the probe
+// point's own bits while descending. The result slice is reused across
+// calls.
 func (c *dyadicCursor) GapsAt(point []uint64) []dyadic.Box {
 	d := c.ix
 	checkPoint(d.rel, point)
-	nd := d.root
+	lens := c.lens
+	for i := range lens {
+		lens[i] = 0
+	}
+	ni := uint32(0)
 	for {
-		if nd.gap {
-			c.out[0] = nd.region
+		w := d.nodes[ni]
+		if uint32(w) == dyLeaf {
+			if uint32(w>>32) == dySolid {
+				return nil // full or unit cell: no gap at the point
+			}
+			for i := range c.gapBox {
+				c.gapBox[i] = dyadic.Interval{Bits: point[i] >> (d.depths[i] - lens[i]), Len: lens[i]}
+			}
+			c.out[0] = c.gapBox
 			return c.out
 		}
-		if nd.children[0] == nil {
-			return nil // unit cell: the point is a tuple
-		}
-		if nd.children[0].region.ContainsPoint(point, d.depths) {
-			nd = nd.children[0]
+		dim := d.splitDim(lens)
+		bit := point[dim] >> (d.depths[dim] - lens[dim] - 1) & 1
+		if bit == 0 {
+			ni = uint32(w)
 		} else {
-			nd = nd.children[1]
+			ni = uint32(w >> 32)
 		}
+		lens[dim]++
 	}
 }
 
-// AllGaps implements Index: every tuple-free cell of the tree.
+// AllGaps implements Index: every tuple-free cell of the tree. Cell
+// regions are reconstructed from the running bit-prefix of the DFS;
+// the returned boxes are carved from one freshly allocated arena.
 func (d *Dyadic) AllGaps() []dyadic.Box {
+	n := d.rel.Arity()
+	bits := make([]uint64, n)
+	lens := make([]uint8, n)
 	var out []dyadic.Box
-	var walk func(nd *dyNode)
-	walk = func(nd *dyNode) {
-		if nd == nil {
+	var arena []dyadic.Interval
+	var walk func(ni uint32)
+	walk = func(ni uint32) {
+		w := d.nodes[ni]
+		if uint32(w) == dyLeaf {
+			if uint32(w>>32) == dyGap {
+				start := len(arena)
+				for i := 0; i < n; i++ {
+					arena = append(arena, dyadic.Interval{Bits: bits[i], Len: lens[i]})
+				}
+				out = append(out, dyadic.Box(arena[start:start+n:start+n]))
+			}
 			return
 		}
-		if nd.gap {
-			out = append(out, nd.region)
-			return
-		}
-		walk(nd.children[0])
-		walk(nd.children[1])
+		dim := d.splitDim(lens)
+		bits[dim] <<= 1
+		lens[dim]++
+		walk(uint32(w))
+		bits[dim] |= 1
+		walk(uint32(w >> 32))
+		bits[dim] >>= 1
+		lens[dim]--
 	}
-	walk(d.root)
+	if len(d.nodes) > 0 {
+		walk(0)
+	}
 	return out
+}
+
+// AppendWords implements frozen serialization: the node arena is
+// already position-independent, so the slab is a count word plus the
+// nodes verbatim.
+func (d *Dyadic) AppendWords(dst []uint64) []uint64 {
+	dst = append(dst, uint64(len(d.nodes)))
+	return append(dst, d.nodes...)
+}
+
+// DyadicFromWords rebuilds a Dyadic over rel from an AppendWords slab,
+// validating the arena structurally (link ranges, preorder child
+// ordering, leaf markers, full coverage) so descent over a corrupt
+// slab is impossible rather than unbounded.
+func DyadicFromWords(rel *relation.Relation, words []uint64) (*Dyadic, error) {
+	if len(words) < 1 {
+		return nil, fmt.Errorf("index: dyadic slab empty")
+	}
+	count := words[0]
+	nodes := words[1:]
+	if uint64(len(nodes)) != count || count == 0 {
+		return nil, fmt.Errorf("index: dyadic slab has %d nodes, header says %d", len(nodes), count)
+	}
+	d := &Dyadic{rel: rel, depths: rel.Depths(), nodes: nodes}
+	// Validate the reachable tree in one preorder walk. Links: child0
+	// immediately follows the parent and child1 lands strictly between
+	// its parent and count, so every descent is bounded and cannot loop.
+	// Refinement: each split refines the cell by exactly one bit, so a
+	// node's tree depth IS its total refinement — an internal node at
+	// depth maxRef would split a unit cell (GapsAt would re-derive
+	// dim == -1 and mis-descend), so that is the one depth bound to
+	// check, and the lens vector never needs materializing. The slab has
+	// a node per unit-cell split (O(n·d) of them), and recovery runs
+	// this loop over every slab, so the body stays branch-light: one
+	// word load, the link compares, and a packed right-subtree stack.
+	maxRef := 0
+	for _, dep := range d.depths {
+		maxRef += int(dep)
+	}
+	// Each frame packs a pending child1 slot with a went-right bit.
+	const wentRight = uint64(1) << 32
+	stack := make([]uint64, 0, maxRef+1)
+	for ni := uint32(0); ; {
+		w := d.nodes[ni]
+		if uint32(w) == dyLeaf {
+			if k := uint32(w >> 32); k != dySolid && k != dyGap {
+				return nil, fmt.Errorf("index: dyadic node %d has bad leaf kind %d", ni, k)
+			}
+			// Unwind to the deepest frame still owed its right subtree.
+			for {
+				if len(stack) == 0 {
+					return d, nil
+				}
+				top := stack[len(stack)-1]
+				if top&wentRight == 0 {
+					stack[len(stack)-1] = top | wentRight
+					ni = uint32(top)
+					break
+				}
+				stack = stack[:len(stack)-1]
+			}
+			continue
+		}
+		c0, c1 := uint32(w), uint32(w>>32)
+		if c0 != ni+1 || uint64(c1) >= count || c1 <= ni {
+			return nil, fmt.Errorf("index: dyadic node %d has bad links (%d, %d)", ni, c0, c1)
+		}
+		if len(stack) >= maxRef {
+			return nil, fmt.Errorf("index: dyadic node %d splits a unit cell", ni)
+		}
+		stack = append(stack, uint64(c1))
+		ni = c0
+	}
 }

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"fmt"
 	"sort"
 
 	"tetrisjoin/internal/dyadic"
@@ -15,41 +16,46 @@ import (
 // per dimension — the polylogarithmic overhead of Proposition B.14. The
 // tree is immutable after construction; probe scratch lives in the
 // cursors it hands out.
+//
+// Like Dyadic, the tree is a flat word arena: three words per node
+// (children, splitDim|tupleRef, splitVal) plus a tuple payload slab,
+// children named by uint32 indexes in preorder. Cell bounds are not
+// stored; descent reconstructs lo/hi from the split values on the
+// path, so the arena is position-independent and serializes into a
+// segment verbatim.
 type KDTree struct {
 	rel    *relation.Relation
 	depths []uint8
-	root   *kdNode
+	nodes  []uint64 // 3 words per node
+	points []uint64 // arity words per stored leaf tuple
 }
 
-type kdNode struct {
-	lo, hi   []uint64 // inclusive cell bounds per dimension
-	tuple    relation.Tuple
-	children [2]*kdNode
-	splitDim int
-	splitVal uint64 // left: value < splitVal; right: value >= splitVal
-}
+// kdNil marks an absent child; a node is a leaf iff both children are
+// kdNil. In a leaf, the tupleRef half-word is 0 for an empty cell or
+// 1 + points-offset/arity for a one-tuple cell.
+const kdNil = 0xFFFFFFFF
 
 // NewKDTree builds the k-d tree over the relation's current tuples.
 func NewKDTree(rel *relation.Relation) *KDTree {
 	k := &KDTree{rel: rel, depths: rel.Depths()}
-	lo := make([]uint64, rel.Arity())
-	hi := make([]uint64, rel.Arity())
-	for i, d := range rel.Depths() {
-		hi[i] = uint64(1)<<d - 1
-	}
 	tuples := append([]relation.Tuple(nil), rel.Tuples()...)
-	k.root = k.build(lo, hi, tuples, 0)
+	k.build(tuples, 0)
 	return k
 }
 
-func (k *KDTree) build(lo, hi []uint64, tuples []relation.Tuple, dim int) *kdNode {
-	nd := &kdNode{lo: lo, hi: hi}
+func (k *KDTree) build(tuples []relation.Tuple, dim int) uint32 {
+	idx := uint32(len(k.nodes) / 3)
+	k.nodes = append(k.nodes, 0, 0, 0)
 	if len(tuples) == 0 {
-		return nd
+		k.nodes[3*idx] = kdNil | kdNil<<32
+		return idx
 	}
 	if len(tuples) == 1 {
-		nd.tuple = tuples[0]
-		return nd
+		ref := uint64(1 + len(k.points)/k.rel.Arity())
+		k.points = append(k.points, tuples[0]...)
+		k.nodes[3*idx] = kdNil | kdNil<<32
+		k.nodes[3*idx+1] = ref << 32
+		return idx
 	}
 	n := k.rel.Arity()
 	// Find a dimension (starting from dim, cycling) where the tuples are
@@ -76,18 +82,25 @@ func (k *KDTree) build(lo, hi []uint64, tuples []relation.Tuple, dim int) *kdNod
 		splitVal = tuples[i][splitDim]
 	}
 	cut := sort.Search(len(tuples), func(i int) bool { return tuples[i][splitDim] >= splitVal })
-	nd.splitDim = splitDim
-	nd.splitVal = splitVal
-	loL := append([]uint64(nil), lo...)
-	hiL := append([]uint64(nil), hi...)
-	hiL[splitDim] = splitVal - 1
-	loR := append([]uint64(nil), lo...)
-	hiR := append([]uint64(nil), hi...)
-	loR[splitDim] = splitVal
 	next := (splitDim + 1) % n
-	nd.children[0] = k.build(loL, hiL, tuples[:cut], next)
-	nd.children[1] = k.build(loR, hiR, tuples[cut:], next)
-	return nd
+	c0 := k.build(tuples[:cut], next)
+	c1 := k.build(tuples[cut:], next)
+	k.nodes[3*idx] = uint64(c0) | uint64(c1)<<32
+	k.nodes[3*idx+1] = uint64(uint32(splitDim))
+	k.nodes[3*idx+2] = splitVal
+	return idx
+}
+
+// leafTuple returns the tuple stored in leaf node ni, nil for an empty
+// cell. The tuple aliases the points slab.
+func (k *KDTree) leafTuple(ni uint32) relation.Tuple {
+	ref := k.nodes[3*ni+1] >> 32
+	if ref == 0 {
+		return nil
+	}
+	n := k.rel.Arity()
+	off := int(ref-1) * n
+	return relation.Tuple(k.points[off : off+n : off+n])
 }
 
 // Relation implements Index.
@@ -96,9 +109,11 @@ func (k *KDTree) Relation() *relation.Relation { return k.rel }
 // Kind implements Index.
 func (k *KDTree) Kind() string { return "kdtree" }
 
-// kdCursor carries the per-worker scratch box and result slice.
+// kdCursor carries the per-worker scratch: the cell bounds rebuilt
+// during descent, the gap box, and the result slice.
 type kdCursor struct {
 	ix     *KDTree
+	lo, hi []uint64
 	gapBox dyadic.Box
 	out    []dyadic.Box
 }
@@ -107,31 +122,47 @@ type kdCursor struct {
 func (k *KDTree) NewCursor() Cursor {
 	return &kdCursor{
 		ix:     k,
+		lo:     make([]uint64, k.rel.Arity()),
+		hi:     make([]uint64, k.rel.Arity()),
 		gapBox: make(dyadic.Box, k.rel.Arity()),
 		out:    make([]dyadic.Box, 1),
 	}
 }
 
-// GapsAt implements Cursor: descend to the probe point's leaf cell. An
-// empty cell yields the maximal dyadic box around the point inside the
-// cell; a one-tuple cell yields the maximal dyadic box that additionally
+// GapsAt implements Cursor: descend to the probe point's leaf cell,
+// narrowing the lo/hi scratch bounds at each split. An empty cell
+// yields the maximal dyadic box around the point inside the cell; a
+// one-tuple cell yields the maximal dyadic box that additionally
 // excludes the tuple along the first dimension where they differ.
 func (c *kdCursor) GapsAt(point []uint64) []dyadic.Box {
 	k := c.ix
 	checkPoint(k.rel, point)
-	nd := k.root
-	for nd.children[0] != nil {
-		if point[nd.splitDim] < nd.splitVal {
-			nd = nd.children[0]
+	n := k.rel.Arity()
+	for i := 0; i < n; i++ {
+		c.lo[i] = 0
+		c.hi[i] = uint64(1)<<k.depths[i] - 1
+	}
+	ni := uint32(0)
+	for {
+		w := k.nodes[3*ni]
+		if uint32(w) == kdNil {
+			break
+		}
+		splitDim := int(uint32(k.nodes[3*ni+1]))
+		splitVal := k.nodes[3*ni+2]
+		if point[splitDim] < splitVal {
+			c.hi[splitDim] = splitVal - 1
+			ni = uint32(w)
 		} else {
-			nd = nd.children[1]
+			c.lo[splitDim] = splitVal
+			ni = uint32(w >> 32)
 		}
 	}
-	n := k.rel.Arity()
 	box := c.gapBox
-	if nd.tuple == nil {
+	tuple := k.leafTuple(ni)
+	if tuple == nil {
 		for i := 0; i < n; i++ {
-			iv, ok := dyadic.MaxDyadicIn(point[i], nd.lo[i], nd.hi[i], k.depths[i])
+			iv, ok := dyadic.MaxDyadicIn(point[i], c.lo[i], c.hi[i], k.depths[i])
 			if !ok {
 				panic("index: kd cell does not contain probe point")
 			}
@@ -142,7 +173,7 @@ func (c *kdCursor) GapsAt(point []uint64) []dyadic.Box {
 	}
 	diff := -1
 	for i := 0; i < n; i++ {
-		if point[i] != nd.tuple[i] {
+		if point[i] != tuple[i] {
 			diff = i
 			break
 		}
@@ -151,13 +182,13 @@ func (c *kdCursor) GapsAt(point []uint64) []dyadic.Box {
 		return nil // the probe point is the cell's tuple
 	}
 	for i := 0; i < n; i++ {
-		lo, hi := nd.lo[i], nd.hi[i]
+		lo, hi := c.lo[i], c.hi[i]
 		if i == diff {
 			// Exclude the tuple: stay on the probe's side of it.
-			if point[i] < nd.tuple[i] {
-				hi = nd.tuple[i] - 1
+			if point[i] < tuple[i] {
+				hi = tuple[i] - 1
 			} else {
-				lo = nd.tuple[i] + 1
+				lo = tuple[i] + 1
 			}
 		}
 		iv, ok := dyadic.MaxDyadicIn(point[i], lo, hi, k.depths[i])
@@ -172,27 +203,39 @@ func (c *kdCursor) GapsAt(point []uint64) []dyadic.Box {
 
 // AllGaps implements Index: empty leaf cells decompose wholesale; a
 // one-tuple cell contributes the staircase decomposition of cell∖{t}.
+// Cell bounds are rebuilt along the DFS by mutate-and-restore.
 func (k *KDTree) AllGaps() []dyadic.Box {
 	var out []dyadic.Box
 	n := k.rel.Arity()
-	var walk func(nd *kdNode)
-	walk = func(nd *kdNode) {
-		if nd == nil {
+	cellLo := make([]uint64, n)
+	cellHi := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		cellHi[i] = uint64(1)<<k.depths[i] - 1
+	}
+	var walk func(ni uint32)
+	walk = func(ni uint32) {
+		w := k.nodes[3*ni]
+		if uint32(w) != kdNil {
+			splitDim := int(uint32(k.nodes[3*ni+1]))
+			splitVal := k.nodes[3*ni+2]
+			oldLo, oldHi := cellLo[splitDim], cellHi[splitDim]
+			cellHi[splitDim] = splitVal - 1
+			walk(uint32(w))
+			cellHi[splitDim] = oldHi
+			cellLo[splitDim] = splitVal
+			walk(uint32(w >> 32))
+			cellLo[splitDim] = oldLo
 			return
 		}
-		if nd.children[0] != nil {
-			walk(nd.children[0])
-			walk(nd.children[1])
-			return
-		}
-		if nd.tuple == nil {
-			out = append(out, dyadic.DecomposeBox(nd.lo, nd.hi, k.depths)...)
+		tuple := k.leafTuple(ni)
+		if tuple == nil {
+			out = append(out, dyadic.DecomposeBox(cellLo, cellHi, k.depths)...)
 			return
 		}
 		// cell ∖ {t} = ⋃_j  t_0 × … × t_{j-1} × (cell_j ∖ t_j) × cell_rest
 		for j := 0; j < n; j++ {
-			for _, side := range [][2]uint64{{nd.lo[j], nd.tuple[j] - 1}, {nd.tuple[j] + 1, nd.hi[j]}} {
-				if nd.tuple[j] == 0 && side[1] == nd.tuple[j]-1 {
+			for _, side := range [][2]uint64{{cellLo[j], tuple[j] - 1}, {tuple[j] + 1, cellHi[j]}} {
+				if tuple[j] == 0 && side[1] == tuple[j]-1 {
 					continue // underflowed empty left side
 				}
 				if side[0] > side[1] {
@@ -203,17 +246,83 @@ func (k *KDTree) AllGaps() []dyadic.Box {
 				for i := 0; i < n; i++ {
 					switch {
 					case i < j:
-						lo[i], hi[i] = nd.tuple[i], nd.tuple[i]
+						lo[i], hi[i] = tuple[i], tuple[i]
 					case i == j:
 						lo[i], hi[i] = side[0], side[1]
 					default:
-						lo[i], hi[i] = nd.lo[i], nd.hi[i]
+						lo[i], hi[i] = cellLo[i], cellHi[i]
 					}
 				}
 				out = append(out, dyadic.DecomposeBox(lo, hi, k.depths)...)
 			}
 		}
 	}
-	walk(k.root)
+	if len(k.nodes) > 0 {
+		walk(0)
+	}
 	return out
+}
+
+// AppendWords implements frozen serialization: node count, the node
+// arena verbatim, then the tuple payload slab.
+func (k *KDTree) AppendWords(dst []uint64) []uint64 {
+	dst = append(dst, uint64(len(k.nodes)/3))
+	dst = append(dst, k.nodes...)
+	return append(dst, k.points...)
+}
+
+// KDTreeFromWords rebuilds a KDTree over rel from an AppendWords slab,
+// validating links, split dimensions, payload references and payload
+// domain bounds so descent over a corrupt slab is impossible.
+func KDTreeFromWords(rel *relation.Relation, words []uint64) (*KDTree, error) {
+	if len(words) < 1 {
+		return nil, fmt.Errorf("index: kdtree slab empty")
+	}
+	count := words[0]
+	n := rel.Arity()
+	if count == 0 || uint64(len(words)-1) < count*3 {
+		return nil, fmt.Errorf("index: kdtree slab has %d words for %d nodes", len(words)-1, count)
+	}
+	nodes := words[1 : 1+count*3]
+	points := words[1+count*3:]
+	if len(points)%n != 0 {
+		return nil, fmt.Errorf("index: kdtree payload %d words not a multiple of arity %d", len(points), n)
+	}
+	numTuples := len(points) / n
+	depths := rel.Depths()
+	for i, v := range points {
+		if d := depths[i%n]; d < 64 && v >= 1<<d {
+			return nil, fmt.Errorf("index: kdtree payload value %d exceeds depth-%d domain", v, d)
+		}
+	}
+	for i := uint64(0); i < count; i++ {
+		w := nodes[3*i]
+		c0, c1 := uint32(w), uint32(w>>32)
+		if c0 == kdNil || c1 == kdNil {
+			if c0 != kdNil || c1 != kdNil {
+				return nil, fmt.Errorf("index: kdtree node %d half-leaf", i)
+			}
+			if ref := nodes[3*i+1] >> 32; ref > uint64(numTuples) {
+				return nil, fmt.Errorf("index: kdtree node %d tuple ref %d out of range", i, ref)
+			}
+			continue
+		}
+		// Preorder append: child0 immediately follows the parent; both
+		// links strictly increase, bounding every descent.
+		if uint64(c0) != i+1 || uint64(c1) >= count || uint64(c1) <= i {
+			return nil, fmt.Errorf("index: kdtree node %d has bad links (%d, %d)", i, c0, c1)
+		}
+		dim := uint32(nodes[3*i+1])
+		if int(dim) >= n {
+			return nil, fmt.Errorf("index: kdtree node %d split dim %d out of range", i, dim)
+		}
+		// Built trees always split strictly above the cell minimum, so a
+		// split value of 0 (which would underflow the left cell bound) or
+		// outside the dimension's domain marks a corrupt slab.
+		sv := nodes[3*i+2]
+		if d := depths[dim]; sv == 0 || (d < 64 && sv >= 1<<d) {
+			return nil, fmt.Errorf("index: kdtree node %d split value %d out of domain", i, sv)
+		}
+	}
+	return &KDTree{rel: rel, depths: depths, nodes: nodes, points: points}, nil
 }

@@ -1,0 +1,56 @@
+package relation
+
+import "fmt"
+
+// AppendWords appends the relation's tuple set to dst as a flat word
+// slab: a count word followed by n·k attribute values in schema order,
+// tuples in sorted order. This is the segment serialization form; it
+// round-trips through FromWords without re-sorting or re-validating
+// per-tuple on the happy path beyond a linear scan.
+func (r *Relation) AppendWords(dst []uint64) []uint64 {
+	r.normalize()
+	dst = append(dst, uint64(len(r.tuples)))
+	for _, t := range r.tuples {
+		dst = append(dst, t...)
+	}
+	return dst
+}
+
+// FromWords rebuilds a relation from an AppendWords slab. The tuple
+// headers alias words directly — no per-value copy — so the caller
+// must not mutate words afterwards (segment loads never do: the slab
+// is the loaded file buffer). The slab is validated structurally:
+// exact length, per-attribute domain bounds, and strictly increasing
+// lexicographic order (sorted and deduplicated), so a corrupt slab is
+// rejected rather than poisoning query results.
+func FromWords(name string, attrs []string, depths []uint8, words []uint64) (*Relation, error) {
+	r, err := New(name, attrs, depths)
+	if err != nil {
+		return nil, err
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("relation: %s: empty tuple slab", name)
+	}
+	n := words[0]
+	k := uint64(len(attrs))
+	if uint64(len(words)-1) != n*k || (k != 0 && n != uint64(len(words)-1)/k) {
+		return nil, fmt.Errorf("relation: %s: slab has %d words, want %d tuples of arity %d", name, len(words)-1, n, k)
+	}
+	body := words[1:]
+	tuples := make([]Tuple, n)
+	for i := range tuples {
+		t := Tuple(body[uint64(i)*k : uint64(i+1)*k : uint64(i+1)*k])
+		for j, v := range t {
+			if depths[j] < 64 && v >= 1<<depths[j] {
+				return nil, fmt.Errorf("relation: %s tuple %d: value %d exceeds depth-%d domain", name, i, v, depths[j])
+			}
+		}
+		if i > 0 && Compare(tuples[i-1], t) >= 0 {
+			return nil, fmt.Errorf("relation: %s: slab not strictly sorted at tuple %d", name, i)
+		}
+		tuples[i] = t
+	}
+	r.tuples = tuples
+	r.sorted = true
+	return r, nil
+}

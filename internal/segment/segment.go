@@ -1,0 +1,214 @@
+// Package segment is the on-disk container for index and relation
+// slabs. A segment is a flat sequence of 64-bit words framed by a
+// versioned, CRC-checked header: the writer lays sections out 8-byte
+// aligned and the loader hands back zero-copy []uint64 views over the
+// raw file bytes, so uint32-indexed nodes and offset-indexed payloads
+// are usable in place with no decode pass.
+//
+// Byte order is explicitly native-with-detection rather than fixed:
+// every word is written in the producing machine's byte order, and the
+// header carries a byte-order mark word. A loader on a machine with
+// the opposite endianness reads the mark byte-swapped and rejects the
+// file, instead of silently mis-reading node offsets. (The magic alone
+// cannot catch this: it is raw bytes, identical either way.) This is
+// the same contract an mmap'd load would need, and the format is laid
+// out so that mapping the file read-only and passing the mapping to
+// Load works unchanged; the default loader is a single ReadFile to
+// stay dependency-free.
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+)
+
+// Magic identifies a segment file. It is written as raw bytes, so it
+// matches on any architecture; endianness is checked separately.
+const Magic = "TSEG0001"
+
+// bom is the byte-order mark. Written as a native word; a cross-endian
+// reader sees 0xEFCDAB8967452301 and rejects.
+const bom = 0x0123456789ABCDEF
+
+// Version is the current container layout version. Bump on any layout
+// change; loaders reject other versions.
+const Version = 1
+
+const (
+	headerWords = 4 // magic, bom, version|count, crc
+	tocWords    = 3 // per section: kind|crc, offset, length
+)
+
+// ErrBadSegment wraps all load-time validation failures.
+var ErrBadSegment = errors.New("segment: invalid segment")
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSegment, fmt.Sprintf(format, args...))
+}
+
+// Writer assembles a segment from typed word sections.
+type Writer struct {
+	sections []section
+}
+
+type section struct {
+	kind  uint32
+	words []uint64
+}
+
+// AddSection appends a section of the given kind and returns its
+// index. The words are referenced, not copied; they must not change
+// before Encode. Kinds are caller-defined and need not be unique.
+func (w *Writer) AddSection(kind uint32, words []uint64) int {
+	w.sections = append(w.sections, section{kind: kind, words: words})
+	return len(w.sections) - 1
+}
+
+// Encode lays the segment out as a single byte slice: header, table of
+// contents, then each section payload 8-byte aligned. Word payloads
+// are emitted in native byte order.
+func (w *Writer) Encode() []byte {
+	total := headerWords + tocWords*len(w.sections)
+	for _, s := range w.sections {
+		total += len(s.words)
+	}
+	words := make([]uint64, total)
+	buf := wordsToBytes(words)
+
+	copy(buf[:8], Magic)
+	words[1] = bom
+	words[2] = uint64(Version) | uint64(len(w.sections))<<32
+
+	off := (headerWords + tocWords*len(w.sections)) * 8
+	for i, s := range w.sections {
+		payload := wordsToBytes(s.words)
+		copy(buf[off:], payload)
+		crc := crc32.ChecksumIEEE(buf[off : off+len(payload)])
+		t := headerWords + tocWords*i
+		words[t] = uint64(s.kind) | uint64(crc)<<32
+		words[t+1] = uint64(off)
+		words[t+2] = uint64(len(payload))
+		off += len(payload)
+	}
+	// Header CRC covers words 0..2 plus the whole TOC, i.e. everything
+	// before the first payload except the CRC word itself.
+	words[3] = uint64(headerCRC(buf, len(w.sections)))
+	return buf
+}
+
+func headerCRC(buf []byte, sections int) uint32 {
+	h := crc32.NewIEEE()
+	h.Write(buf[:24]) // words 0..2
+	h.Write(buf[32 : (headerWords+tocWords*sections)*8])
+	return h.Sum32()
+}
+
+// File is a loaded segment: zero-copy word views over the file bytes.
+type File struct {
+	words    []uint64
+	data     []byte
+	sections int
+}
+
+// Load validates data as a segment and returns a File whose section
+// views alias data (or a realigned copy of it if the caller handed us
+// a buffer not 8-byte aligned — Go heap allocations of this size are
+// aligned in practice, so the copy is a defensive rarity).
+func Load(data []byte) (*File, error) {
+	if len(data) < headerWords*8 {
+		return nil, badf("short file: %d bytes", len(data))
+	}
+	if len(data)%8 != 0 {
+		return nil, badf("size %d not a multiple of 8", len(data))
+	}
+	if string(data[:8]) != Magic {
+		return nil, badf("bad magic %q", data[:8])
+	}
+	if uintptr(unsafe.Pointer(&data[0]))%8 != 0 {
+		aligned := make([]uint64, len(data)/8)
+		copy(wordsToBytes(aligned), data)
+		data = wordsToBytes(aligned)
+	}
+	words := bytesToWords(data)
+	if words[1] != bom {
+		return nil, badf("byte-order mark %#x (cross-endian or corrupt)", words[1])
+	}
+	if v := uint32(words[2]); v != Version {
+		return nil, badf("layout version %d, want %d", v, Version)
+	}
+	n := int(words[2] >> 32)
+	firstPayload := headerWords + tocWords*n
+	if n < 0 || firstPayload*8 > len(data) {
+		return nil, badf("section count %d overflows %d-byte file", n, len(data))
+	}
+	if got, want := headerCRC(data, n), uint32(words[3]); got != want {
+		return nil, badf("header crc %#x, want %#x", got, want)
+	}
+	f := &File{words: words, data: data, sections: n}
+	for i := 0; i < n; i++ {
+		t := headerWords + tocWords*i
+		off, ln := words[t+1], words[t+2]
+		if off%8 != 0 || ln%8 != 0 {
+			return nil, badf("section %d misaligned (off %d len %d)", i, off, ln)
+		}
+		if off < uint64(firstPayload*8) || off+ln < off || off+ln > uint64(len(data)) {
+			return nil, badf("section %d out of bounds (off %d len %d of %d)", i, off, ln, len(data))
+		}
+	}
+	return f, nil
+}
+
+// Verify checks section i's payload against its recorded CRC. Load
+// deliberately does not do this for every section up front: a consumer
+// with several independent sections (e.g. a tuple slab plus per-index
+// slabs) verifies each on use, so one corrupt section degrades only
+// the structures stored in it instead of rejecting the whole file.
+func (f *File) Verify(i int) error {
+	t := headerWords + tocWords*i
+	off, ln := f.words[t+1], f.words[t+2]
+	if got, want := crc32.ChecksumIEEE(f.data[off:off+ln]), uint32(f.words[t]>>32); got != want {
+		return badf("section %d crc %#x, want %#x", i, got, want)
+	}
+	return nil
+}
+
+// Sections reports the number of sections.
+func (f *File) Sections() int { return f.sections }
+
+// Kind reports section i's kind tag.
+func (f *File) Kind(i int) uint32 {
+	return uint32(f.words[headerWords+tocWords*i])
+}
+
+// Words returns section i's payload as a zero-copy word view.
+func (f *File) Words(i int) []uint64 {
+	t := headerWords + tocWords*i
+	off, ln := f.words[t+1]/8, f.words[t+2]/8
+	return f.words[off : off+ln : off+ln]
+}
+
+// Extent reports section i's byte range within the encoded file —
+// useful for tooling (and tests) that target payload bytes directly.
+func (f *File) Extent(i int) (off, length int64) {
+	t := headerWords + tocWords*i
+	return int64(f.words[t+1]), int64(f.words[t+2])
+}
+
+// wordsToBytes and bytesToWords reinterpret a slice in place, in
+// native byte order. bytesToWords requires an 8-aligned base pointer
+// (Load guarantees it before calling).
+func wordsToBytes(w []uint64) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), len(w)*8)
+}
+
+func bytesToWords(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

@@ -1,0 +1,157 @@
+package segment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	a := []uint64{1, 2, 3, 0xDEADBEEF00000000}
+	b := []uint64{}
+	c := []uint64{42}
+	if got := w.AddSection(7, a); got != 0 {
+		t.Fatalf("first section index = %d", got)
+	}
+	w.AddSection(9, b)
+	w.AddSection(7, c)
+	buf := w.Encode()
+	if len(buf)%8 != 0 {
+		t.Fatalf("encoded size %d not word-aligned", len(buf))
+	}
+
+	f, err := Load(buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if f.Sections() != 3 {
+		t.Fatalf("sections = %d, want 3", f.Sections())
+	}
+	wantKinds := []uint32{7, 9, 7}
+	wantWords := [][]uint64{a, b, c}
+	for i := range wantKinds {
+		if f.Kind(i) != wantKinds[i] {
+			t.Errorf("kind(%d) = %d, want %d", i, f.Kind(i), wantKinds[i])
+		}
+		got := f.Words(i)
+		if len(got) != len(wantWords[i]) {
+			t.Fatalf("section %d: %d words, want %d", i, len(got), len(wantWords[i]))
+		}
+		for j, v := range wantWords[i] {
+			if got[j] != v {
+				t.Errorf("section %d word %d = %d, want %d", i, j, got[j], v)
+			}
+		}
+	}
+}
+
+func TestZeroCopy(t *testing.T) {
+	var w Writer
+	w.AddSection(1, []uint64{11, 22, 33})
+	buf := w.Encode()
+	f, err := Load(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := f.Words(0)
+	// Mutating the underlying buffer must show through the view:
+	// proof that Load did not copy the payload.
+	off, _ := f.Extent(0)
+	buf[off] = 0x55
+	if words[0] == 11 {
+		t.Fatal("section view did not alias the file bytes")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	var w Writer
+	w.AddSection(3, []uint64{5, 6, 7, 8})
+	w.AddSection(4, []uint64{9})
+	clean := w.Encode()
+
+	if _, err := Load(clean); err != nil {
+		t.Fatalf("clean load: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(b []byte) []byte
+	}{
+		{"short", func(b []byte) []byte { return b[:16] }},
+		{"unaligned-size", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"bad-bom", func(b []byte) []byte { b[8] ^= 0x01; return b }},
+		{"bad-version", func(b []byte) []byte { b[16] ^= 0x02; return b }},
+		{"header-crc", func(b []byte) []byte { b[33] ^= 0x01; return b }}, // TOC byte
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-8] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := append([]byte(nil), clean...)
+			b = tc.mut(b)
+			if _, err := Load(b); err == nil {
+				t.Fatal("Load accepted corrupt segment")
+			}
+		})
+	}
+}
+
+// TestVerifyIsolatesSections: flipping a payload byte passes Load (the
+// header and TOC are intact) but fails Verify for exactly the damaged
+// section — the contract that lets a consumer degrade one section
+// while trusting the rest.
+func TestVerifyIsolatesSections(t *testing.T) {
+	var w Writer
+	w.AddSection(3, []uint64{5, 6, 7, 8})
+	w.AddSection(4, []uint64{9})
+	buf := w.Encode()
+	f, err := Load(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f.Sections(); i++ {
+		if err := f.Verify(i); err != nil {
+			t.Fatalf("clean section %d: %v", i, err)
+		}
+	}
+	off, _ := f.Extent(1)
+	buf[off] ^= 0x80
+	f, err = Load(buf)
+	if err != nil {
+		t.Fatalf("Load after payload flip: %v", err)
+	}
+	if err := f.Verify(0); err != nil {
+		t.Fatalf("undamaged section 0 failed verify: %v", err)
+	}
+	if err := f.Verify(1); err == nil {
+		t.Fatal("damaged section 1 passed verify")
+	}
+}
+
+func TestLoadRealignsUnalignedBuffer(t *testing.T) {
+	var w Writer
+	payload := []uint64{100, 200, 300}
+	w.AddSection(2, payload)
+	clean := w.Encode()
+
+	// Force a misaligned base pointer by slicing at an odd offset.
+	backing := make([]byte, len(clean)+1)
+	copy(backing[1:], clean)
+	f, err := Load(backing[1:])
+	if err != nil {
+		t.Fatalf("Load(unaligned): %v", err)
+	}
+	got := f.Words(0)
+	for i, v := range payload {
+		if got[i] != v {
+			t.Fatalf("word %d = %d, want %d", i, got[i], v)
+		}
+	}
+}
+
+func TestErrorsWrapSentinel(t *testing.T) {
+	_, err := Load([]byte("not a segment at all........"))
+	if err == nil || !strings.Contains(err.Error(), "segment") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -59,7 +59,8 @@ type Response struct {
 	Op  string `json:"op,omitempty"`
 	Err string `json:"error,omitempty"`
 
-	// Version is the published relation version for load/append/delete.
+	// Version is the published relation version for load/append/delete,
+	// and the WAL LSN the snapshot covers for checkpoint.
 	Version uint64 `json:"version,omitempty"`
 
 	// ID echoes the statement id for prepare/maintain/exec.
@@ -310,6 +311,8 @@ func (sess *session) dispatch(req Request) Response {
 		return sess.maintain(req)
 	case "exec":
 		return sess.exec(req)
+	case "checkpoint":
+		return sess.checkpoint()
 	case "stats":
 		st := sess.srv.stats()
 		return Response{OK: true, Stats: &st}
@@ -366,6 +369,22 @@ func (sess *session) ingest(req Request) Response {
 		return fail(err)
 	}
 	return Response{OK: true, Version: version}
+}
+
+// checkpoint forces an incremental checkpoint on the durable catalog:
+// changed relations are frozen into fresh index segments, unchanged
+// ones re-reference their existing files, and the WAL rotates. The
+// response carries the LSN the snapshot covers. In-memory servers
+// refuse the op — there is nothing to persist to.
+func (sess *session) checkpoint() Response {
+	d := sess.srv.dur
+	if d == nil {
+		return fail(fmt.Errorf("checkpoint requires a durable server (-data-dir)"))
+	}
+	if err := d.Checkpoint(); err != nil {
+		return fail(err)
+	}
+	return Response{OK: true, Version: d.WAL().CheckpointLSN}
 }
 
 func (sess *session) prepare(req Request) Response {

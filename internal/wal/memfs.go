@@ -24,6 +24,8 @@ type MemFS struct {
 	// (k < pending, true) a torn write — the crash image keeps a strict
 	// prefix of the record — and (0, true) a clean sync failure.
 	SyncHook func(name string, pending int) (keep int, fail bool)
+
+	written int64
 }
 
 type memFile struct {
@@ -67,7 +69,17 @@ func (h *memHandle) Write(p []byte) (int, error) {
 	defer h.fs.mu.Unlock()
 	f := h.fs.file(h.name)
 	f.data = append(f.data, p...)
+	h.fs.written += int64(len(p))
 	return len(p), nil
+}
+
+// BytesWritten reports the total bytes ever written through any handle
+// — the I/O meter tests use to prove incremental checkpoints serialize
+// bytes proportional to churn, not to catalog size.
+func (m *MemFS) BytesWritten() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.written
 }
 
 // Sync implements File, consulting the fault-injection hook.
